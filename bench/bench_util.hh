@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: aligned
+ * table printing and the standard design-point sweep used by Figs. 3
+ * and 4.
+ */
+
+#ifndef RPU_BENCH_BENCH_UTIL_HH
+#define RPU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rpu/runner.hh"
+
+namespace rpu::bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+rule(char c = '-', int width = 72)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+/** The paper's DSE axes (Figs. 3 and 4). */
+inline const std::vector<unsigned> &
+hpleSweep()
+{
+    static const std::vector<unsigned> v = {4, 8, 16, 32, 64, 128, 256};
+    return v;
+}
+
+inline const std::vector<unsigned> &
+bankSweep()
+{
+    static const std::vector<unsigned> v = {32, 64, 128, 256};
+    return v;
+}
+
+/** One evaluated design point of the 64K-NTT design-space sweep. */
+struct SweepPoint
+{
+    unsigned hples;
+    unsigned banks;
+    KernelMetrics metrics;
+};
+
+/**
+ * Evaluate the optimized 64K NTT across the full (HPLEs, banks) grid,
+ * regenerating/rescheduling the kernel per design point exactly as
+ * the paper's SPIRAL flow does.
+ */
+inline std::vector<SweepPoint>
+sweep64k(const NttRunner &runner)
+{
+    std::vector<SweepPoint> points;
+    for (unsigned h : hpleSweep()) {
+        for (unsigned b : bankSweep()) {
+            RpuConfig cfg;
+            cfg.numHples = h;
+            cfg.numBanks = b;
+            NttCodegenOptions opts;
+            opts.scheduleConfig = cfg;
+            points.push_back(
+                {h, b, runner.evaluate(runner.makeKernel(opts), cfg)});
+        }
+    }
+    return points;
+}
+
+/** Pareto-optimal subset (minimise runtime and area). */
+inline std::vector<const SweepPoint *>
+paretoFront(const std::vector<SweepPoint> &points)
+{
+    std::vector<const SweepPoint *> front;
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            const bool no_worse =
+                q.metrics.runtimeUs <= p.metrics.runtimeUs &&
+                q.metrics.area.total() <= p.metrics.area.total();
+            const bool better =
+                q.metrics.runtimeUs < p.metrics.runtimeUs ||
+                q.metrics.area.total() < p.metrics.area.total();
+            if (no_worse && better) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(&p);
+    }
+    return front;
+}
+
+} // namespace rpu::bench
+
+#endif // RPU_BENCH_BENCH_UTIL_HH

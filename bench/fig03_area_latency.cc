@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 3 reproduction: 64K NTT area-latency trade-off sweeping the
+ * number of HPLEs and VDM banks; Pareto-optimal designs are marked
+ * (HPLEs, banks) as in the paper.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace rpu;
+
+int
+main()
+{
+    bench::header("Fig. 3: 64K NTT area-latency trade-off");
+    NttRunner runner(65536, 124);
+    const auto points = bench::sweep64k(runner);
+    const auto front = bench::paretoFront(points);
+
+    std::printf("  %-7s %-7s %12s %12s %8s\n", "HPLEs", "banks",
+                "runtime (us)", "area (mm^2)", "Pareto");
+    bench::rule();
+    for (const auto &p : points) {
+        const bool pareto =
+            std::any_of(front.begin(), front.end(),
+                        [&](const bench::SweepPoint *q) {
+                            return q == &p;
+                        });
+        std::printf("  %-7u %-7u %12.2f %12.2f %8s\n", p.hples, p.banks,
+                    p.metrics.runtimeUs, p.metrics.area.total(),
+                    pareto ? "*" : "");
+    }
+    bench::rule();
+    std::printf("  Pareto front: ");
+    for (const auto *p : front)
+        std::printf("(%u, %u) ", p->hples, p->banks);
+    std::printf("\n  paper's Pareto set: (4,32) (8,32) (8,64) (16,32) "
+                "(16,64) (32,32) (32,64)\n"
+                "                      (32,128) (64,32) (64,64) "
+                "(64,128) (128,64) (128,128)\n"
+                "                      (256,128) (256,256)\n");
+    std::printf("  paper trend checks: (4,256)/(4,32) runtime %.2fx "
+                "(paper ~0.75x), area %.2fx (paper ~2.5x)\n",
+                points[3].metrics.runtimeUs / points[0].metrics.runtimeUs,
+                points[3].metrics.area.total() /
+                    points[0].metrics.area.total());
+    const auto &p256_32 = points[points.size() - 4];
+    const auto &p256_256 = points.back();
+    std::printf("                      (256,32)->(256,256) runtime "
+                "%.2fx faster (paper ~3.5x), area +%.0f%% (paper "
+                "~20%%)\n",
+                p256_32.metrics.runtimeUs / p256_256.metrics.runtimeUs,
+                100.0 * (p256_256.metrics.area.total() /
+                             p256_32.metrics.area.total() -
+                         1.0));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 4 reproduction: performance per area of the 64K NTT across RPU
+ * configurations. The paper finds (128,128) most efficient with
+ * (64,64) second.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+using namespace rpu;
+
+int
+main()
+{
+    bench::header("Fig. 4: performance per area (64K NTT)");
+    NttRunner runner(65536, 124);
+    const auto points = bench::sweep64k(runner);
+
+    // Heatmap-style table: rows = HPLEs, columns = banks. Values are
+    // 1 / (runtime_us * mm^2), scaled by 1e6 for readability (the
+    // paper's axis is arbitrary-scaled as well).
+    std::printf("  P/A x 1e6 %10s", "");
+    for (unsigned b : bench::bankSweep())
+        std::printf("%10u", b);
+    std::printf("   (banks)\n");
+    bench::rule();
+
+    const bench::SweepPoint *best = nullptr;
+    const bench::SweepPoint *second = nullptr;
+    for (const auto &p : points) {
+        if (!best || p.metrics.perfPerArea() > best->metrics.perfPerArea()) {
+            second = best;
+            best = &p;
+        } else if (!second || p.metrics.perfPerArea() >
+                                  second->metrics.perfPerArea()) {
+            second = &p;
+        }
+    }
+
+    size_t idx = 0;
+    for (unsigned h : bench::hpleSweep()) {
+        std::printf("  HPLEs %-4u %10s", h, "");
+        for (size_t bi = 0; bi < bench::bankSweep().size(); ++bi) {
+            const auto &p = points[idx++];
+            std::printf("%10.0f", p.metrics.perfPerArea() * 1e6);
+        }
+        std::printf("\n");
+    }
+    bench::rule();
+    std::printf("  most efficient: (%u, %u); second: (%u, %u)\n",
+                best->hples, best->banks, second->hples, second->banks);
+    std::printf("  paper: (128, 128) most efficient, (64, 64) second\n");
+    return best->hples == 128 && best->banks == 128 ? 0 : 1;
+}

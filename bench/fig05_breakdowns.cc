@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 5 reproduction:
+ *   (a) RPU area breakdown sweeping VDM banks at 128 HPLEs,
+ *   (b) sweeping HPLEs at 128 VDM banks,
+ *   (c) 64K NTT energy breakdown on the (128,128) RPU.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "model/comparisons.hh"
+
+using namespace rpu;
+
+namespace {
+
+void
+areaRow(const char *label, unsigned h, unsigned b)
+{
+    RpuConfig cfg;
+    cfg.numHples = h;
+    cfg.numBanks = b;
+    const AreaBreakdown a = rpuArea(cfg);
+    std::printf("  %-10s %6.2f %6.2f %6.2f %6.2f %6.2f %6.2f %7.2f\n",
+                label, a.im, a.vdm, a.vrf, a.lawEngine, a.vbar, a.sbar,
+                a.total());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 5(a): area breakdown, 128 HPLEs, sweeping banks");
+    std::printf("  %-10s %6s %6s %6s %6s %6s %6s %7s  (mm^2)\n", "banks",
+                "IM", "VDM", "VRF", "LAW", "VBAR", "SBAR", "total");
+    bench::rule();
+    for (unsigned b : bench::bankSweep())
+        areaRow(std::to_string(b).c_str(), 128, b);
+
+    bench::header("Fig. 5(b): area breakdown, 128 banks, sweeping HPLEs");
+    std::printf("  %-10s %6s %6s %6s %6s %6s %6s %7s  (mm^2)\n", "HPLEs",
+                "IM", "VDM", "VRF", "LAW", "VBAR", "SBAR", "total");
+    bench::rule();
+    for (unsigned h : bench::hpleSweep())
+        areaRow(std::to_string(h).c_str(), h, 128);
+
+    bench::header("Fig. 5(c): 64K NTT energy breakdown on (128,128)");
+    NttRunner runner(65536, 124);
+    RpuConfig cfg;
+    NttCodegenOptions opts;
+    opts.scheduleConfig = cfg;
+    const KernelMetrics m = runner.evaluate(runner.makeKernel(opts), cfg);
+    const EnergyBreakdown &e = m.energy;
+    const PaperReference ref = paperReference();
+
+    std::printf("  %-8s %12s %10s %14s\n", "", "energy (uJ)", "share",
+                "paper share");
+    bench::rule();
+    const auto row = [&](const char *name, double uj, double paper) {
+        std::printf("  %-8s %12.2f %9.1f%% %13.1f%%\n", name, uj,
+                    e.share(uj), paper);
+    };
+    row("LAW", e.lawUj, ref.lawSharePct);
+    row("VRF", e.vrfUj, ref.vrfSharePct);
+    row("VDM", e.vdmUj, ref.vdmSharePct);
+    row("VBAR", e.vbarUj, ref.vbarSharePct);
+    row("SBAR", e.sbarUj, ref.sbarSharePct);
+    row("IM", e.imUj, 0.1);
+    bench::rule();
+    std::printf("  total energy: %.2f uJ (paper: %.2f uJ)\n", e.totalUj(),
+                ref.ntt64kEnergyUj);
+    std::printf("  runtime: %.2f us -> average power %.2f W (paper: "
+                "%.2f W)\n",
+                m.runtimeUs, m.powerW, ref.averagePowerW);
+    return 0;
+}

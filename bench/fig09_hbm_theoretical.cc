@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 9 reproduction: NTT runtime on the (128,128) RPU vs the
+ * theoretical (ideal-multiplier) latency and the HBM2 load/store time,
+ * for polynomial degrees 1K..64K. The bar labels in the paper are the
+ * ratio of measured to theoretical runtime, shrinking from 3.86x at
+ * 1K to 1.38x at 64K; a 512 GB/s HBM2 always transfers faster than
+ * the NTT computes.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "model/hbm.hh"
+
+using namespace rpu;
+
+int
+main()
+{
+    bench::header("Fig. 9: NTT runtime vs theoretical vs HBM2 "
+                  "(128,128)");
+    std::printf("  %-8s %10s %14s %8s %12s %12s %10s\n", "degree",
+                "NTT (us)", "theory (us)", "ratio", "HBM load",
+                "HBM store", "HBM < NTT");
+    bench::rule(' ', 0);
+    bench::rule();
+    bool ok = true;
+    for (uint64_t n : {1024ull, 2048ull, 4096ull, 8192ull, 16384ull,
+                       32768ull, 65536ull}) {
+        NttRunner runner(n, 124);
+        RpuConfig cfg;
+        NttCodegenOptions opts;
+        opts.scheduleConfig = cfg;
+        const KernelMetrics m =
+            runner.evaluate(runner.makeKernel(opts), cfg);
+        const double theory = theoreticalNttUs(n, cfg.numHples,
+                                               m.freqGhz);
+        const double hbm = hbmTransferUs(n);
+        const bool covered = hbm <= m.runtimeUs;
+        ok = ok && covered;
+        std::printf("  %-8llu %10.3f %14.3f %7.2fx %9.3f us %9.3f us "
+                    "%10s\n",
+                    (unsigned long long)n, m.runtimeUs, theory,
+                    m.runtimeUs / theory, hbm, hbm,
+                    covered ? "yes" : "NO");
+    }
+    bench::rule();
+    std::printf("  paper ratio labels: 3.86 (1K), 2.35, 1.71, 1.49, "
+                "1.42, 1.39, 1.38 (64K)\n");
+    std::printf("  512 GB/s HBM2 sufficient for all degrees: %s "
+                "(paper: yes)\n", ok ? "yes" : "no");
+    return ok ? 0 : 1;
+}

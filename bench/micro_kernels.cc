@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Microkernel benchmarks (google-benchmark): the arithmetic
+ * primitives underneath every figure — 128-bit modular operations,
+ * reference and baseline NTTs, twiddle generation, CRT, and the
+ * functional/cycle simulators themselves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/cpu_ntt64.hh"
+#include "modmath/primegen.hh"
+#include "poly/polynomial.hh"
+#include "rns/crt.hh"
+#include "rpu/runner.hh"
+#include "sim/cycle/simulator.hh"
+
+namespace rpu {
+namespace {
+
+const u128 kPrime128 = nttPrime(124, 65536);
+
+void
+BM_ModMul128(benchmark::State &state)
+{
+    const Modulus mod(kPrime128);
+    Rng rng(1);
+    u128 a = rng.below128(mod.value());
+    const u128 b = rng.below128(mod.value());
+    for (auto _ : state) {
+        a = mod.mul(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ModMul128);
+
+void
+BM_ModMulMontNormal128(benchmark::State &state)
+{
+    const Modulus mod(kPrime128);
+    Rng rng(2);
+    const u128 w = mod.toMont(rng.below128(mod.value()));
+    u128 a = rng.below128(mod.value());
+    for (auto _ : state) {
+        a = mod.mulMontNormal(w, a);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ModMulMontNormal128);
+
+void
+BM_ModAdd128(benchmark::State &state)
+{
+    const Modulus mod(kPrime128);
+    Rng rng(3);
+    u128 a = rng.below128(mod.value());
+    const u128 b = rng.below128(mod.value());
+    for (auto _ : state) {
+        a = mod.add(a, b);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ModAdd128);
+
+void
+BM_ModMulShoup64(benchmark::State &state)
+{
+    const Modulus64 mod(uint64_t(nttPrime(60, 65536)));
+    Rng rng(4);
+    const uint64_t w = rng.below64(mod.value());
+    const uint64_t ws = mod.shoupPrecompute(w);
+    uint64_t a = rng.below64(mod.value());
+    for (auto _ : state) {
+        a = mod.mulShoup(w, ws, a);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_ModMulShoup64);
+
+void
+BM_ReferenceNtt128(benchmark::State &state)
+{
+    const uint64_t n = state.range(0);
+    const Modulus mod(nttPrime(124, n));
+    const TwiddleTable tw(mod, n);
+    const NttContext ntt(tw);
+    Rng rng(5);
+    std::vector<u128> x = randomPoly(mod, n, rng);
+    for (auto _ : state) {
+        ntt.forward(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_ReferenceNtt128)->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Arg(65536)->Complexity(benchmark::oNLogN);
+
+void
+BM_CpuNtt64(benchmark::State &state)
+{
+    const uint64_t n = state.range(0);
+    const uint64_t q = uint64_t(nttPrime(60, n));
+    const CpuNtt64 ntt(q, n);
+    Rng rng(6);
+    std::vector<uint64_t> x(n);
+    for (auto &v : x)
+        v = rng.below64(q);
+    for (auto _ : state) {
+        ntt.forward(x);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_CpuNtt64)->Arg(1024)->Arg(65536);
+
+void
+BM_TwiddleTableBuild(benchmark::State &state)
+{
+    const uint64_t n = state.range(0);
+    const Modulus mod(nttPrime(124, n));
+    for (auto _ : state) {
+        TwiddleTable tw(mod, n);
+        benchmark::DoNotOptimize(tw.psi());
+    }
+}
+BENCHMARK(BM_TwiddleTableBuild)->Arg(1024)->Arg(4096);
+
+void
+BM_CrtReconstruct(benchmark::State &state)
+{
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024,
+                                              state.range(0));
+    const CrtContext crt(basis);
+    Rng rng(7);
+    std::vector<u128> residues(basis.towers());
+    for (size_t i = 0; i < residues.size(); ++i)
+        residues[i] = rng.below128(basis.prime(i));
+    for (auto _ : state) {
+        BigUInt v = crt.reconstruct(residues);
+        benchmark::DoNotOptimize(v.isZero());
+    }
+}
+BENCHMARK(BM_CrtReconstruct)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_NttCodegen(benchmark::State &state)
+{
+    const NttRunner runner(state.range(0), 124);
+    for (auto _ : state) {
+        const NttKernel k = runner.makeKernel();
+        benchmark::DoNotOptimize(k.program.size());
+    }
+}
+BENCHMARK(BM_NttCodegen)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    const NttRunner runner(state.range(0), 124);
+    const NttKernel kernel = runner.makeKernel();
+    Rng rng(8);
+    const std::vector<u128> input =
+        randomPoly(runner.modulus(), runner.n(), rng);
+    for (auto _ : state) {
+        auto out = runner.execute(kernel, input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FunctionalSim)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSim(benchmark::State &state)
+{
+    const NttRunner runner(state.range(0), 124);
+    const NttKernel kernel = runner.makeKernel();
+    const RpuConfig cfg;
+    for (auto _ : state) {
+        const CycleStats s = simulateCycles(kernel.program, cfg);
+        benchmark::DoNotOptimize(s.cycles);
+    }
+}
+BENCHMARK(BM_CycleSim)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace rpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table I reproduction: the B512 instruction set, its 64-bit field
+ * encoding, and a sample of SPIRAL-substitute generated code (the
+ * paper's Listing 1 analogue).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "isa/encoding.hh"
+#include "rpu/runner.hh"
+
+using namespace rpu;
+
+namespace {
+
+void
+show(const Instruction &instr, const char *cls)
+{
+    const uint64_t w = encode(instr);
+    std::printf("  %-9s %-10s %016llx  %s\n", cls,
+                mnemonic(instr.op, instr.bfly).c_str(),
+                (unsigned long long)w, instr.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table I: the B512 ISA (17 instructions)");
+    std::printf("field layout: [63:55] VD1  [54:49] VT1  [48] BFLY  "
+                "[47:44] OPCODE\n"
+                "              [43:24] ADDRESS  [23:18] VD  [17:12] "
+                "VS/MODE  [11:6] VT/VALUE  [5:0] RM/RT\n\n");
+    std::printf("  %-9s %-10s %-17s %s\n", "class", "mnemonic",
+                "encoding", "example");
+    bench::rule();
+
+    show(Instruction::vload(1, 0, 0), "LSI");
+    show(Instruction::vload(2, 0, 8192, AddrMode::STRIDED, 1), "LSI");
+    show(Instruction::vload(3, 0, 0, AddrMode::STRIDED_SKIP, 4), "LSI");
+    show(Instruction::vload(4, 1, 64, AddrMode::REPEATED, 3), "LSI");
+    show(Instruction::vstore(5, 0, 1024), "LSI");
+    show(Instruction::sload(2, 17), "LSI");
+    show(Instruction::vbcast(19, 3, 1), "LSI");
+    show(Instruction::mload(1, 0), "LSI");
+    show(Instruction::aload(2, 3), "LSI");
+    show(Instruction::vv(Opcode::VADDMOD, 58, 60, 59, 1), "CI");
+    show(Instruction::vv(Opcode::VSUBMOD, 57, 60, 59, 1), "CI");
+    show(Instruction::vv(Opcode::VMULMOD, 59, 20, 19, 1), "CI");
+    show(Instruction::butterfly(10, 11, 1, 2, 3, 1), "CI+BFLY");
+    show(Instruction::vs_(Opcode::VSADDMOD, 6, 7, 2, 1), "CI");
+    show(Instruction::vs_(Opcode::VSSUBMOD, 6, 7, 2, 1), "CI");
+    show(Instruction::vs_(Opcode::VSMULMOD, 6, 7, 2, 1), "CI");
+    show(Instruction::shuffle(Opcode::UNPKLO, 56, 58, 57), "SI");
+    show(Instruction::shuffle(Opcode::UNPKHI, 55, 58, 57), "SI");
+    show(Instruction::shuffle(Opcode::PKLO, 54, 56, 55), "SI");
+    show(Instruction::shuffle(Opcode::PKHI, 53, 56, 55), "SI");
+
+    bench::header("Listing 1 analogue: generated radix-2 1,024-point "
+                  "NTT kernel (head)");
+    NttRunner runner(1024, 124);
+    const NttKernel kernel = runner.makeKernel();
+    const bool ok = runner.verify(kernel);
+    std::printf("// kernel %s: %zu instructions, verified %s\n",
+                kernel.program.name().c_str(), kernel.program.size(),
+                ok ? "against the reference NTT" : "FAILED");
+    const auto mix = kernel.program.mix();
+    std::printf("// mix: %llu loads, %llu stores, %llu broadcasts, "
+                "%llu compute (%llu butterflies), %llu shuffles\n",
+                (unsigned long long)mix.loads,
+                (unsigned long long)mix.stores,
+                (unsigned long long)mix.broadcasts,
+                (unsigned long long)mix.compute,
+                (unsigned long long)mix.butterflies,
+                (unsigned long long)mix.shuffles);
+    for (size_t i = 0; i < kernel.program.size() && i < 24; ++i)
+        std::printf("  %s\n", kernel.program[i].toString().c_str());
+    std::printf("  ... (%zu more)\n", kernel.program.size() - 24);
+    return ok ? 0 : 1;
+}

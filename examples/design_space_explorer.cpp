@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interactive design-space explorer: evaluate any (ring size, HPLEs,
+ * banks, multiplier) design point the way the paper's simulator-driven
+ * DSE does (section VI), printing runtime, area, energy, power and
+ * performance-per-area.
+ *
+ * Usage:
+ *   ./build/examples/design_space_explorer                # default tour
+ *   ./build/examples/design_space_explorer n H B          # one point
+ *   ./build/examples/design_space_explorer 65536 128 128
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/hbm.hh"
+#include "rpu/runner.hh"
+
+using namespace rpu;
+
+namespace {
+
+void
+evaluatePoint(const NttRunner &runner, unsigned h, unsigned b)
+{
+    RpuConfig cfg;
+    cfg.numHples = h;
+    cfg.numBanks = b;
+    NttCodegenOptions opts;
+    opts.scheduleConfig = cfg;
+    const NttKernel kernel = runner.makeKernel(opts);
+    const KernelMetrics m = runner.evaluate(kernel, cfg);
+
+    std::printf("\n--- n=%llu on %s ---\n",
+                (unsigned long long)runner.n(), cfg.name().c_str());
+    std::printf("  program: %zu instructions (%llu butterflies, %llu "
+                "shuffles)\n",
+                kernel.program.size(),
+                (unsigned long long)m.cycle.mix.butterflies,
+                (unsigned long long)m.cycle.mix.shuffles);
+    std::printf("  runtime: %llu cycles @ %.2f GHz = %.3f us "
+                "(theory %.3f us, HBM %.3f us)\n",
+                (unsigned long long)m.cycle.cycles, m.freqGhz,
+                m.runtimeUs,
+                theoreticalNttUs(runner.n(), h, m.freqGhz),
+                hbmTransferUs(runner.n()));
+    std::printf("  area:    %s\n", m.area.report().c_str());
+    std::printf("  energy:  %s\n", m.energy.report().c_str());
+    std::printf("  power:   %.2f W   perf/area: %.5f\n", m.powerW,
+                m.perfPerArea());
+    std::printf("  stalls:  %llu busyboard, %llu queue-full; "
+                "utilisation LS %.0f%% CU %.0f%% SH %.0f%%\n",
+                (unsigned long long)m.cycle.busyboardStallCycles,
+                (unsigned long long)m.cycle.queueFullStallCycles,
+                100.0 * m.cycle.ls.utilisation(m.cycle.cycles),
+                100.0 * m.cycle.compute.utilisation(m.cycle.cycles),
+                100.0 * m.cycle.shuffle.utilisation(m.cycle.cycles));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 4) {
+        const uint64_t n = std::strtoull(argv[1], nullptr, 0);
+        const unsigned h = unsigned(std::strtoul(argv[2], nullptr, 0));
+        const unsigned b = unsigned(std::strtoul(argv[3], nullptr, 0));
+        NttRunner runner(n, 124);
+        evaluatePoint(runner, h, b);
+        return 0;
+    }
+
+    std::printf("RPU design-space explorer (pass: n HPLEs banks for a "
+                "single point)\n");
+    // Default tour: the paper's flagship and its neighbours.
+    NttRunner runner(65536, 124);
+    evaluatePoint(runner, 128, 128);
+    evaluatePoint(runner, 64, 64);
+    evaluatePoint(runner, 256, 256);
+    evaluatePoint(runner, 4, 32);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A tour of the NTT code generator (the paper's SPIRAL backend,
+ * section V): generate a 4K-point kernel, inspect the program, verify
+ * it bit-exactly against the reference transform, and compare the
+ * optimized and unoptimized flavours on the cycle simulator (Fig. 6
+ * in miniature).
+ *
+ * Build & run:   ./build/examples/ntt_codegen_tour [ring_size]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rpu/runner.hh"
+
+using namespace rpu;
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
+                                : 4096;
+    std::printf("generating forward/inverse NTT kernels for n=%llu...\n",
+                (unsigned long long)n);
+    NttRunner runner(n, 124);
+
+    RpuConfig cfg; // the paper's (128, 128) flagship
+    NttCodegenOptions opt;
+    opt.scheduleConfig = cfg;
+    const NttKernel fwd = runner.makeKernel(opt);
+
+    const auto mix = fwd.program.mix();
+    std::printf("\nforward kernel '%s':\n", fwd.program.name().c_str());
+    std::printf("  %llu instructions: %llu loads, %llu stores, %llu "
+                "broadcasts,\n  %llu compute (%llu fused butterflies), "
+                "%llu shuffles\n",
+                (unsigned long long)mix.total(),
+                (unsigned long long)mix.loads,
+                (unsigned long long)mix.stores,
+                (unsigned long long)mix.broadcasts,
+                (unsigned long long)mix.compute,
+                (unsigned long long)mix.butterflies,
+                (unsigned long long)mix.shuffles);
+    std::printf("  scratchpads: %zu twiddle-plan words, %zu SDM "
+                "scalars, %zu KiB VDM\n",
+                fwd.twPlanImage.size(), fwd.sdmImage.size(),
+                fwd.vdmBytesRequired >> 10);
+    std::printf("\nfirst 16 instructions:\n");
+    for (size_t i = 0; i < 16 && i < fwd.program.size(); ++i)
+        std::printf("  %s\n", fwd.program[i].toString().c_str());
+
+    std::printf("\nverifying against the reference NTT... %s\n",
+                runner.verify(fwd) ? "bit-exact match" : "MISMATCH");
+
+    // Round trip through the inverse kernel.
+    NttCodegenOptions inv_opt;
+    inv_opt.inverse = true;
+    inv_opt.scheduleConfig = cfg;
+    const NttKernel inv = runner.makeKernel(inv_opt);
+    Rng rng(1);
+    const auto input = randomPoly(runner.modulus(), n, rng);
+    const auto round =
+        runner.execute(inv, runner.execute(fwd, input));
+    std::printf("iNTT(NTT(x)) == x: %s\n",
+                round == input ? "yes" : "NO");
+
+    // Fig. 6 in miniature: the cost of ignoring the microarchitecture.
+    NttCodegenOptions naive;
+    naive.optimized = false;
+    const KernelMetrics mo = runner.evaluate(fwd, cfg);
+    const KernelMetrics mn =
+        runner.evaluate(runner.makeKernel(naive), cfg);
+    std::printf("\non the (128,128) RPU @ %.2f GHz:\n", mo.freqGhz);
+    std::printf("  optimized:   %8llu cycles  %7.2f us\n",
+                (unsigned long long)mo.cycle.cycles, mo.runtimeUs);
+    std::printf("  unoptimized: %8llu cycles  %7.2f us  (%.2fx "
+                "slower)\n",
+                (unsigned long long)mn.cycle.cycles, mn.runtimeUs,
+                mn.runtimeUs / mo.runtimeUs);
+    std::printf("  pipeline utilisation (optimized): LS %.0f%%, "
+                "compute %.0f%%, shuffle %.0f%%\n",
+                100.0 * mo.cycle.ls.utilisation(mo.cycle.cycles),
+                100.0 * mo.cycle.compute.utilisation(mo.cycle.cycles),
+                100.0 * mo.cycle.shuffle.utilisation(mo.cycle.cycles));
+    return 0;
+}

@@ -1,0 +1,91 @@
+#include "baseline/cpu_ntt128.hh"
+
+#include <thread>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+
+void
+parallelFor(unsigned threads, uint64_t count,
+            const std::function<void(uint64_t, uint64_t)> &fn)
+{
+    if (threads <= 1 || count < 2 * threads) {
+        fn(0, count);
+        return;
+    }
+    std::vector<std::thread> pool;
+    const uint64_t chunk = divCeil(count, threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        const uint64_t begin = std::min<uint64_t>(t * chunk, count);
+        const uint64_t end = std::min<uint64_t>(begin + chunk, count);
+        if (begin < end)
+            pool.emplace_back(fn, begin, end);
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace
+
+void
+CpuNtt128::forward(std::vector<u128> &x, unsigned threads) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch");
+    const Modulus &mod = tw_.modulus();
+
+    uint64_t t = n;
+    for (uint64_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        const unsigned th = (m >= 64 && t >= 64) ? threads : 1;
+        parallelFor(th, m, [&](uint64_t begin, uint64_t end) {
+            for (uint64_t i = begin; i < end; ++i) {
+                const u128 w = tw_.rootPowerMont(m + i);
+                u128 *lo = x.data() + 2 * i * t;
+                u128 *hi = lo + t;
+                for (uint64_t j = 0; j < t; ++j) {
+                    const u128 u = lo[j];
+                    const u128 v = mod.mulMontNormal(w, hi[j]);
+                    lo[j] = mod.add(u, v);
+                    hi[j] = mod.sub(u, v);
+                }
+            }
+        });
+    }
+}
+
+void
+CpuNtt128::inverse(std::vector<u128> &x, unsigned threads) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch");
+    const Modulus &mod = tw_.modulus();
+
+    uint64_t t = 1;
+    for (uint64_t m = n >> 1; m >= 1; m >>= 1) {
+        const unsigned th = (m >= 64 && t >= 64) ? threads : 1;
+        parallelFor(th, m, [&](uint64_t begin, uint64_t end) {
+            for (uint64_t i = begin; i < end; ++i) {
+                const u128 w_inv = tw_.invRootPowerMont(m + i);
+                u128 *lo = x.data() + 2 * i * t;
+                u128 *hi = lo + t;
+                for (uint64_t j = 0; j < t; ++j) {
+                    const u128 a = lo[j];
+                    const u128 b = hi[j];
+                    lo[j] = mod.add(a, b);
+                    hi[j] = mod.mulMontNormal(w_inv, mod.sub(a, b));
+                }
+            }
+        });
+        t <<= 1;
+    }
+    const u128 scale = tw_.nInvMont();
+    for (auto &v : x)
+        v = mod.mulMontNormal(scale, v);
+}
+
+} // namespace rpu

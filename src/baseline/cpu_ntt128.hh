@@ -1,0 +1,39 @@
+/**
+ * @file
+ * 128-bit CPU baseline NTT (the "CPU-128b" series of Fig. 10).
+ *
+ * Uses Montgomery-form twiddles so each butterfly costs one wide
+ * multiply + one reduction, the best a 64-bit CPU can reasonably do
+ * for 128-bit coefficients without vector units — which is exactly
+ * the gap the RPU's native 128-bit LAW engines exploit.
+ */
+
+#ifndef RPU_BASELINE_CPU_NTT128_HH
+#define RPU_BASELINE_CPU_NTT128_HH
+
+#include <functional>
+#include <vector>
+
+#include "poly/twiddle.hh"
+
+namespace rpu {
+
+/** Precomputed 128-bit negacyclic NTT, optionally multithreaded. */
+class CpuNtt128
+{
+  public:
+    explicit CpuNtt128(const TwiddleTable &tw) : tw_(tw) {}
+
+    /** In-place forward NTT (natural in, bit-reversed out). */
+    void forward(std::vector<u128> &x, unsigned threads = 1) const;
+
+    /** In-place inverse NTT (bit-reversed in, natural out). */
+    void inverse(std::vector<u128> &x, unsigned threads = 1) const;
+
+  private:
+    const TwiddleTable &tw_;
+};
+
+} // namespace rpu
+
+#endif // RPU_BASELINE_CPU_NTT128_HH

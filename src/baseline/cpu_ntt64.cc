@@ -1,0 +1,172 @@
+#include "baseline/cpu_ntt64.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+
+namespace rpu {
+
+CpuNtt64::CpuNtt64(uint64_t q, uint64_t n) : mod_(q), n_(n)
+{
+    rpu_assert(isPow2(n) && n >= 4, "invalid ring dimension");
+    rpu_assert((q - 1) % (2 * n) == 0, "q != 1 mod 2n");
+    log_n_ = log2Floor(n);
+
+    const uint64_t psi = uint64_t(primitiveRoot2n(q, n));
+    const uint64_t psi_inv = mod_.inv(psi);
+
+    roots_.resize(n);
+    inv_roots_.resize(n);
+    roots_shoup_.resize(n);
+    inv_roots_shoup_.resize(n);
+    std::vector<uint64_t> fwd(n), inv(n);
+    fwd[0] = 1;
+    inv[0] = 1;
+    for (uint64_t i = 1; i < n; ++i) {
+        fwd[i] = mod_.mul(fwd[i - 1], psi);
+        inv[i] = mod_.mul(inv[i - 1], psi_inv);
+    }
+    for (uint64_t j = 0; j < n; ++j) {
+        const uint64_t r = bitReverse(j, log_n_);
+        roots_[j] = fwd[r];
+        inv_roots_[j] = inv[r];
+        roots_shoup_[j] = mod_.shoupPrecompute(roots_[j]);
+        inv_roots_shoup_[j] = mod_.shoupPrecompute(inv_roots_[j]);
+    }
+    n_inv_ = mod_.inv(n % q);
+    n_inv_shoup_ = mod_.shoupPrecompute(n_inv_);
+}
+
+void
+CpuNtt64::forwardRange(std::vector<uint64_t> &x, uint64_t m, uint64_t t,
+                       uint64_t i_begin, uint64_t i_end) const
+{
+    for (uint64_t i = i_begin; i < i_end; ++i) {
+        const uint64_t w = roots_[m + i];
+        const uint64_t ws = roots_shoup_[m + i];
+        uint64_t *lo = x.data() + 2 * i * t;
+        uint64_t *hi = lo + t;
+        for (uint64_t j = 0; j < t; ++j) {
+            const uint64_t u = lo[j];
+            const uint64_t v = mod_.mulShoup(w, ws, hi[j]);
+            lo[j] = mod_.add(u, v);
+            hi[j] = mod_.sub(u, v);
+        }
+    }
+}
+
+void
+CpuNtt64::inverseRange(std::vector<uint64_t> &x, uint64_t m, uint64_t t,
+                       uint64_t i_begin, uint64_t i_end) const
+{
+    for (uint64_t i = i_begin; i < i_end; ++i) {
+        const uint64_t w = inv_roots_[m + i];
+        const uint64_t ws = inv_roots_shoup_[m + i];
+        uint64_t *lo = x.data() + 2 * i * t;
+        uint64_t *hi = lo + t;
+        for (uint64_t j = 0; j < t; ++j) {
+            const uint64_t a = lo[j];
+            const uint64_t b = hi[j];
+            lo[j] = mod_.add(a, b);
+            hi[j] = mod_.mulShoup(w, ws, mod_.sub(a, b));
+        }
+    }
+}
+
+namespace {
+
+/** Split [0, count) across threads and run fn(begin, end) on each. */
+void
+parallelFor(unsigned threads, uint64_t count,
+            const std::function<void(uint64_t, uint64_t)> &fn)
+{
+    if (threads <= 1 || count < 2 * threads) {
+        fn(0, count);
+        return;
+    }
+    std::vector<std::thread> pool;
+    const uint64_t chunk = divCeil(count, threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        const uint64_t begin = std::min<uint64_t>(t * chunk, count);
+        const uint64_t end = std::min<uint64_t>(begin + chunk, count);
+        if (begin < end)
+            pool.emplace_back(fn, begin, end);
+    }
+    for (auto &th : pool)
+        th.join();
+}
+
+} // namespace
+
+void
+CpuNtt64::forward(std::vector<uint64_t> &x, unsigned threads) const
+{
+    rpu_assert(x.size() == n_, "size mismatch");
+    uint64_t t = n_;
+    for (uint64_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        // Only parallelise stages with enough independent groups to
+        // amortise the fork/join barrier.
+        const unsigned th = (m >= 64 && t >= 64) ? threads : 1;
+        parallelFor(th, m, [&](uint64_t b, uint64_t e) {
+            forwardRange(x, m, t, b, e);
+        });
+    }
+}
+
+void
+CpuNtt64::inverse(std::vector<uint64_t> &x, unsigned threads) const
+{
+    rpu_assert(x.size() == n_, "size mismatch");
+    uint64_t t = 1;
+    for (uint64_t m = n_ >> 1; m >= 1; m >>= 1) {
+        const unsigned th = (m >= 64 && t >= 64) ? threads : 1;
+        parallelFor(th, m, [&](uint64_t b, uint64_t e) {
+            inverseRange(x, m, t, b, e);
+        });
+        t <<= 1;
+    }
+    for (auto &v : x)
+        v = mod_.mulShoup(n_inv_, n_inv_shoup_, v);
+}
+
+std::vector<uint64_t>
+CpuNtt64::mulNaive(const std::vector<uint64_t> &a,
+                   const std::vector<uint64_t> &b) const
+{
+    std::vector<uint64_t> r(n_, 0);
+    for (uint64_t i = 0; i < n_; ++i) {
+        for (uint64_t j = 0; j < n_; ++j) {
+            const uint64_t p = mod_.mul(a[i], b[j]);
+            const uint64_t k = i + j;
+            if (k < n_)
+                r[k] = mod_.add(r[k], p);
+            else
+                r[k - n_] = mod_.sub(r[k - n_], p);
+        }
+    }
+    return r;
+}
+
+double
+medianRuntimeUs(unsigned iters, const std::function<void()> &fn)
+{
+    std::vector<double> samples;
+    samples.reserve(iters);
+    for (unsigned i = 0; i < iters; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+} // namespace rpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * High-performance CPU baseline: 64-bit negacyclic NTT with Harvey /
+ * Shoup butterflies, optionally multithreaded.
+ *
+ * This is the "CPU-64b" series of the paper's Fig. 10. The paper
+ * measured OpenFHE kernels on a 32-core EPYC 7502; we substitute a
+ * tuned from-scratch implementation on the host machine (the shape of
+ * the comparison — speedup growing with ring size and with element
+ * width — is the reproduction target, not absolute values).
+ */
+
+#ifndef RPU_BASELINE_CPU_NTT64_HH
+#define RPU_BASELINE_CPU_NTT64_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "modmath/mod64.hh"
+
+namespace rpu {
+
+/** Precomputed 64-bit negacyclic NTT over Z_q[x]/(x^n + 1). */
+class CpuNtt64
+{
+  public:
+    /** @p q must be prime with q == 1 (mod 2n), below 2^62. */
+    CpuNtt64(uint64_t q, uint64_t n);
+
+    uint64_t n() const { return n_; }
+    const Modulus64 &modulus() const { return mod_; }
+
+    /** In-place forward NTT (natural in, bit-reversed out). */
+    void forward(std::vector<uint64_t> &x, unsigned threads = 1) const;
+
+    /** In-place inverse NTT (bit-reversed in, natural out). */
+    void inverse(std::vector<uint64_t> &x, unsigned threads = 1) const;
+
+    /** Naive negacyclic product for validation. */
+    std::vector<uint64_t> mulNaive(const std::vector<uint64_t> &a,
+                                   const std::vector<uint64_t> &b) const;
+
+  private:
+    void forwardRange(std::vector<uint64_t> &x, uint64_t m, uint64_t t,
+                      uint64_t i_begin, uint64_t i_end) const;
+    void inverseRange(std::vector<uint64_t> &x, uint64_t m, uint64_t t,
+                      uint64_t i_begin, uint64_t i_end) const;
+
+    Modulus64 mod_;
+    uint64_t n_;
+    unsigned log_n_;
+    std::vector<uint64_t> roots_;       ///< psi^bitrev(j)
+    std::vector<uint64_t> roots_shoup_;
+    std::vector<uint64_t> inv_roots_;
+    std::vector<uint64_t> inv_roots_shoup_;
+    uint64_t n_inv_;
+    uint64_t n_inv_shoup_;
+};
+
+/**
+ * Median wall-clock microseconds of fn() over @p iters runs
+ * (shared timing helper for the Fig. 10 bench).
+ */
+double medianRuntimeUs(unsigned iters, const std::function<void()> &fn);
+
+} // namespace rpu
+
+#endif // RPU_BASELINE_CPU_NTT64_HH

@@ -1,0 +1,333 @@
+#include "codegen/builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+constexpr unsigned VL = arch::kVectorLength;
+} // namespace
+
+KernelBuilder::KernelBuilder(const TwiddleTable &tw, bool optimized,
+                             uint64_t twplan_base, bool compose)
+    : tw_(tw), optimized_(optimized), compose_(compose),
+      twplan_base_(twplan_base == 0 ? tw.n() : twplan_base),
+      oracle_(tw.n())
+{
+    // v0 is reserved as an always-zero scratch convention; the pool
+    // hands out v1..v63.
+    for (unsigned r = 1; r < arch::kNumVregs; ++r)
+        pool_.push_back(r);
+}
+
+unsigned
+KernelBuilder::allocReg()
+{
+    rpu_assert(!pool_.empty(), "vector register pool exhausted");
+    unsigned r;
+    if (optimized_) {
+        // FIFO: maximise the distance before a register is reused.
+        r = pool_.front();
+        pool_.pop_front();
+    } else {
+        // LIFO: a naive generator recycles the hottest register.
+        r = pool_.back();
+        pool_.pop_back();
+    }
+    return r;
+}
+
+void
+KernelBuilder::freeReg(unsigned reg)
+{
+    rpu_assert(reg >= 1 && reg < arch::kNumVregs, "bad register %u", reg);
+    rpu_assert(std::find(pool_.begin(), pool_.end(), reg) == pool_.end(),
+               "double free of v%u", reg);
+    oracle_.clear(reg);
+    pool_.push_back(reg);
+}
+
+uint64_t
+KernelBuilder::sdmScalar(u128 value)
+{
+    auto it = sdm_slots_.find(value);
+    if (it != sdm_slots_.end())
+        return it->second;
+    const uint64_t addr = sdm_image_.size();
+    if (addr >= arch::kSdmWords)
+        rpu_fatal("SDM scalar capacity exceeded (%zu words)",
+                  arch::kSdmWords);
+    sdm_image_.push_back(value);
+    sdm_slots_.emplace(value, addr);
+    return addr;
+}
+
+uint64_t
+KernelBuilder::twPlanVector(const std::vector<u128> &pattern)
+{
+    rpu_assert(pattern.size() == VL, "twiddle plan vectors are 512 words");
+    auto it = twplan_slots_.find(pattern);
+    if (it != twplan_slots_.end())
+        return it->second;
+    const uint64_t offset = twplan_image_.size();
+    twplan_image_.insert(twplan_image_.end(), pattern.begin(),
+                         pattern.end());
+    twplan_slots_.emplace(pattern, offset);
+    return offset;
+}
+
+void
+KernelBuilder::emitPrologue(bool needs_ninv)
+{
+    // SDM layout: the deduplicating allocator assigns slots in
+    // first-use order; the prologue claims its constants first.
+    const uint64_t q_addr = sdmScalar(tw_.modulus().value());
+    const uint64_t data_addr = sdmScalar(u128(data_base_));
+    const uint64_t plan_addr = sdmScalar(u128(twPlanBase()));
+    const uint64_t zero_addr = sdmScalar(u128(0));
+
+    prog_.append(Instruction::mload(kModReg, uint32_t(q_addr)));
+    prog_.append(Instruction::aload(kDataAreg, uint32_t(data_addr)));
+    prog_.append(Instruction::aload(kTwPlanAreg, uint32_t(plan_addr)));
+    prog_.append(Instruction::aload(kSdmAreg, uint32_t(zero_addr)));
+    if (needs_ninv) {
+        const uint64_t ninv_addr = sdmScalar(tw_.nInv());
+        prog_.append(Instruction::sload(kNinvSreg, uint32_t(ninv_addr)));
+    }
+}
+
+void
+KernelBuilder::beginDataRegion(unsigned areg, uint64_t base_words)
+{
+    rpu_assert(areg < arch::kNumAregs, "bad address register %u", areg);
+    rpu_assert(areg != kTwPlanAreg && areg != kSdmAreg,
+               "ARF a%u is reserved", areg);
+    const uint64_t addr = sdmScalar(u128(base_words));
+    prog_.append(Instruction::aload(uint8_t(areg), uint32_t(addr)));
+    data_areg_ = areg;
+    data_base_ = base_words;
+}
+
+void
+KernelBuilder::beginTower(u128 modulus, unsigned modreg)
+{
+    rpu_assert(modreg < arch::kNumMregs, "bad modulus register %u",
+               modreg);
+    const uint64_t addr = sdmScalar(modulus);
+    prog_.append(Instruction::mload(uint8_t(modreg), uint32_t(addr)));
+    mod_reg_ = modreg;
+}
+
+void
+KernelBuilder::emitDataLoad(unsigned reg, uint32_t vreg_index)
+{
+    const uint64_t offset = uint64_t(vreg_index) * VL;
+    rpu_assert(offset + VL <= tw_.n(), "data load beyond ring");
+    prog_.append(Instruction::vload(uint8_t(reg), uint8_t(data_areg_),
+                                    uint32_t(offset)));
+    oracle_.setContiguous(reg, uint32_t(offset));
+}
+
+void
+KernelBuilder::emitDataStore(unsigned reg)
+{
+    emitRegionStore(reg, data_areg_);
+}
+
+void
+KernelBuilder::emitRegionLoad(unsigned reg, unsigned areg,
+                              uint32_t vreg_index)
+{
+    const uint64_t offset = uint64_t(vreg_index) * VL;
+    rpu_assert(offset + VL <= tw_.n(), "data load beyond ring");
+    prog_.append(Instruction::vload(uint8_t(reg), uint8_t(areg),
+                                    uint32_t(offset)));
+    oracle_.setContiguous(reg, uint32_t(offset));
+}
+
+void
+KernelBuilder::emitRegionStore(unsigned reg, unsigned areg)
+{
+    const auto &t = oracle_.tags(reg);
+    const uint64_t offset = t[0];
+    oracle_.checkStore(reg, offset, AddrMode::CONTIGUOUS, 0);
+    prog_.append(Instruction::vstore(uint8_t(reg), uint8_t(areg),
+                                     uint32_t(offset)));
+}
+
+TwiddleRef
+KernelBuilder::emitBroadcast(u128 value)
+{
+    if (optimized_) {
+        auto it = bcast_map_.find(value);
+        if (it != bcast_map_.end()) {
+            // LRU refresh; the cached register is reused directly.
+            bcast_lru_.splice(bcast_lru_.begin(), bcast_lru_, it->second);
+            return {it->second->second, false};
+        }
+    }
+    const uint64_t sdm_addr = sdmScalar(value);
+    const unsigned reg = allocReg();
+    prog_.append(
+        Instruction::vbcast(uint8_t(reg), kSdmAreg, uint32_t(sdm_addr)));
+    oracle_.clear(reg);
+
+    if (!optimized_)
+        return {reg, true};
+
+    if (bcast_lru_.size() >= kBroadcastCacheCap) {
+        auto &victim = bcast_lru_.back();
+        bcast_map_.erase(victim.first);
+        freeReg(victim.second);
+        bcast_lru_.pop_back();
+    }
+    bcast_lru_.emplace_front(value, reg);
+    bcast_map_[value] = bcast_lru_.begin();
+    return {reg, false};
+}
+
+bool
+KernelBuilder::canCompose(const u128 *pattern, unsigned prefix_len,
+                          unsigned &leaves) const
+{
+    const bool constant =
+        std::all_of(pattern, pattern + prefix_len,
+                    [&](u128 v) { return v == pattern[0]; });
+    if (constant) {
+        leaves += 1;
+        return leaves <= kMaxComposeLeaves;
+    }
+    if (prefix_len == 1)
+        return false; // unreachable: single element is constant
+    // Split into even and odd lanes and recurse.
+    std::vector<u128> evens(prefix_len / 2), odds(prefix_len / 2);
+    for (unsigned i = 0; i < prefix_len / 2; ++i) {
+        evens[i] = pattern[2 * i];
+        odds[i] = pattern[2 * i + 1];
+    }
+    return canCompose(evens.data(), prefix_len / 2, leaves) &&
+           canCompose(odds.data(), prefix_len / 2, leaves);
+}
+
+TwiddleRef
+KernelBuilder::materializePrefix(const u128 *pattern, unsigned prefix_len)
+{
+    const bool constant =
+        std::all_of(pattern, pattern + prefix_len,
+                    [&](u128 v) { return v == pattern[0]; });
+    if (constant)
+        return emitBroadcast(pattern[0]);
+
+    std::vector<u128> evens(prefix_len / 2), odds(prefix_len / 2);
+    for (unsigned i = 0; i < prefix_len / 2; ++i) {
+        evens[i] = pattern[2 * i];
+        odds[i] = pattern[2 * i + 1];
+    }
+    // UNPKLO(A, B) builds lanes [A0,B0,A1,B1,...] from the first
+    // halves of A and B, so A's prefix must hold the even sub-pattern
+    // and B's the odd one.
+    const TwiddleRef a = materializePrefix(evens.data(), prefix_len / 2);
+    const TwiddleRef b = materializePrefix(odds.data(), prefix_len / 2);
+    const unsigned out = allocReg();
+    prog_.append(Instruction::shuffle(Opcode::UNPKLO, uint8_t(out),
+                                      uint8_t(a.reg), uint8_t(b.reg)));
+    oracle_.clear(out);
+    releaseTwiddle(a);
+    releaseTwiddle(b);
+    return {out, true};
+}
+
+TwiddleRef
+KernelBuilder::twiddleReg(const std::vector<u128> &pattern)
+{
+    rpu_assert(pattern.size() == VL, "twiddle pattern must have %u lanes",
+               VL);
+    const bool constant =
+        std::all_of(pattern.begin(), pattern.end(),
+                    [&](u128 v) { return v == pattern[0]; });
+    unsigned leaves = 0;
+    if (constant)
+        return emitBroadcast(pattern[0]);
+    if (compose_ && canCompose(pattern.data(), VL, leaves))
+        return materializePrefix(pattern.data(), VL);
+
+    // Fall back to a precomputed vector in the twiddle-plan region.
+    const uint64_t offset = twPlanVector(pattern);
+    const unsigned reg = allocReg();
+    prog_.append(Instruction::vload(uint8_t(reg), kTwPlanAreg,
+                                    uint32_t(offset)));
+    oracle_.clear(reg);
+    return {reg, true};
+}
+
+void
+KernelBuilder::releaseTwiddle(const TwiddleRef &ref)
+{
+    if (ref.transient)
+        freeReg(ref.reg);
+}
+
+void
+KernelBuilder::emitButterfly(unsigned sum_out, unsigned diff_out,
+                             unsigned va, unsigned vb, unsigned tw_reg)
+{
+    prog_.append(Instruction::butterfly(uint8_t(sum_out), uint8_t(diff_out),
+                                        uint8_t(va), uint8_t(vb),
+                                        uint8_t(tw_reg),
+                                        uint8_t(mod_reg_)));
+    oracle_.commitButterfly(va, vb, sum_out, diff_out);
+}
+
+void
+KernelBuilder::emitInverseButterfly(unsigned sum_out, unsigned diff_out,
+                                    unsigned va, unsigned vb,
+                                    unsigned tw_reg)
+{
+    // sum = a + b; diff = (a - b) * w. A temporary holds the
+    // difference so the composition never clobbers a source early.
+    const unsigned tmp = allocReg();
+    prog_.append(Instruction::vv(Opcode::VSUBMOD, uint8_t(tmp), uint8_t(va),
+                                 uint8_t(vb), uint8_t(mod_reg_)));
+    prog_.append(Instruction::vv(Opcode::VADDMOD, uint8_t(sum_out),
+                                 uint8_t(va), uint8_t(vb),
+                                 uint8_t(mod_reg_)));
+    prog_.append(Instruction::vv(Opcode::VMULMOD, uint8_t(diff_out),
+                                 uint8_t(tmp), uint8_t(tw_reg),
+                                 uint8_t(mod_reg_)));
+    oracle_.commitButterfly(va, vb, sum_out, diff_out);
+    freeReg(tmp);
+}
+
+void
+KernelBuilder::emitPointwiseMul(unsigned vd, unsigned vs, unsigned vt)
+{
+    prog_.append(Instruction::vv(Opcode::VMULMOD, uint8_t(vd),
+                                 uint8_t(vs), uint8_t(vt),
+                                 uint8_t(mod_reg_)));
+    LayoutOracle::Tags tags = oracle_.tags(vs);
+    oracle_.setTags(vd, std::move(tags));
+}
+
+void
+KernelBuilder::emitShuffle(Opcode op, unsigned vd, unsigned vs, unsigned vt)
+{
+    prog_.append(
+        Instruction::shuffle(op, uint8_t(vd), uint8_t(vs), uint8_t(vt)));
+    if (oracle_.tracked(vs) && oracle_.tracked(vt))
+        oracle_.applyShuffle(op, vd, vs, vt);
+    else
+        oracle_.clear(vd);
+}
+
+void
+KernelBuilder::emitScaleByNinv(unsigned reg)
+{
+    prog_.append(Instruction::vs_(Opcode::VSMULMOD, uint8_t(reg),
+                                  uint8_t(reg), kNinvSreg,
+                                  uint8_t(mod_reg_)));
+    // Positions are unchanged by scaling; oracle state stays valid.
+}
+
+} // namespace rpu

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * B512 kernel builder: instruction emission, register allocation,
+ * scratchpad memory planning, and twiddle materialisation.
+ *
+ * This implements the mechanical parts of the paper's SPIRAL backend
+ * (section V): register allocation over the 64-entry VRF, scalar /
+ * twiddle data layout in SDM and VDM, and the choice between
+ * broadcasting a scalar twiddle, composing a patterned twiddle vector
+ * from broadcasts and unpacks, or loading a precomputed twiddle
+ * vector from the VDM "twiddle plan" region.
+ *
+ * Two allocation policies realise the paper's Fig. 6 comparison:
+ *  - optimized: FIFO (least-recently-freed) register rotation, which
+ *    maximises reuse distance so the in-order front-end rarely stalls
+ *    on WAR/WAW hazards, plus a broadcast cache that hoists repeated
+ *    twiddles;
+ *  - unoptimized: LIFO reuse (immediately recycle the last register)
+ *    and no broadcast cache, yielding the dependence-chained code a
+ *    microarchitecture-oblivious generator would produce.
+ */
+
+#ifndef RPU_CODEGEN_BUILDER_HH
+#define RPU_CODEGEN_BUILDER_HH
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "codegen/layout_oracle.hh"
+#include "isa/program.hh"
+#include "poly/twiddle.hh"
+
+namespace rpu {
+
+/** A twiddle vector register handle; transient ones return to the pool. */
+struct TwiddleRef
+{
+    unsigned reg = 0;
+    bool transient = false;
+};
+
+/** Builder for one NTT kernel. */
+class KernelBuilder
+{
+  public:
+    /** Fixed register conventions for generated kernels. */
+    static constexpr unsigned kModReg = 1;    ///< m1 = working modulus
+    static constexpr unsigned kDataAreg = 0;  ///< a0 = data base
+    static constexpr unsigned kTwPlanAreg = 1; ///< a1 = twiddle-plan base
+    static constexpr unsigned kSdmAreg = 3;   ///< a3 = SDM base (0)
+    static constexpr unsigned kNinvSreg = 2;  ///< s2 = n^-1 (inverse NTT)
+
+    /**
+     * @param tw            primary ring (sets the oracle dimension)
+     * @param optimized     allocation/caching policy (see above)
+     * @param twplan_base   VDM word where twiddle-plan vectors start;
+     *                      defaults to just past one ring of data
+     * @param compose       materialise patterned twiddles from
+     *                      broadcast/unpack trees when cheap (false
+     *                      forces plan-vector loads; ablation knob)
+     */
+    KernelBuilder(const TwiddleTable &tw, bool optimized,
+                  uint64_t twplan_base = 0, bool compose = true);
+
+    Program &program() { return prog_; }
+    LayoutOracle &oracle() { return oracle_; }
+    bool optimized() const { return optimized_; }
+
+    // -- Register pool -------------------------------------------------
+
+    unsigned allocReg();
+    void freeReg(unsigned reg);
+    size_t freeRegs() const { return pool_.size(); }
+
+    // -- Memory planning -----------------------------------------------
+
+    /** Deduplicated SDM scalar slot; returns the word address. */
+    uint64_t sdmScalar(u128 value);
+
+    /** Deduplicated twiddle-plan vector; returns offset from plan base. */
+    uint64_t twPlanVector(const std::vector<u128> &pattern);
+
+    const std::vector<u128> &sdmImage() const { return sdm_image_; }
+    const std::vector<u128> &twPlanImage() const { return twplan_image_; }
+
+    /** Current data region base (words). */
+    uint64_t dataBase() const { return data_base_; }
+    uint64_t twPlanBase() const { return twplan_base_; }
+
+    // -- Emission helpers (all keep the layout oracle in sync) ----------
+
+    /** mload/aload setup reading constants placed in SDM. */
+    void emitPrologue(bool needs_ninv);
+
+    /**
+     * Switch subsequent data loads/stores to the region starting at
+     * @p base_words, addressed through ARF register @p areg (distinct
+     * regions must use distinct ARF registers so the scheduler can
+     * prove them independent — see codegen/scheduler.hh).
+     */
+    void beginDataRegion(unsigned areg, uint64_t base_words);
+
+    /**
+     * Load a tower's modulus into @p modreg and make it current for
+     * subsequent compute emission (the MRF's instruction-granularity
+     * modulus switching, paper section IV-B5).
+     */
+    void beginTower(u128 modulus, unsigned modreg);
+
+    unsigned modReg() const { return mod_reg_; }
+
+    /** Load data vector-register index @p vreg_index (contiguous). */
+    void emitDataLoad(unsigned reg, uint32_t vreg_index);
+
+    /**
+     * Cross-region load/store through an already-initialised ARF
+     * register, without changing the current region (used by fused
+     * kernels that read two regions at once).
+     */
+    void emitRegionLoad(unsigned reg, unsigned areg,
+                        uint32_t vreg_index);
+    void emitRegionStore(unsigned reg, unsigned areg);
+
+    /**
+     * Store @p reg back to the data region; the oracle must show it
+     * holding a contiguous run of positions, which determines the
+     * target address.
+     */
+    void emitDataStore(unsigned reg);
+
+    /** Broadcast a scalar from SDM; cached under the optimized policy. */
+    TwiddleRef emitBroadcast(u128 value);
+
+    /**
+     * Materialise an arbitrary 512-lane twiddle pattern: broadcast if
+     * constant, a broadcast/unpack tree if it is recursively
+     * interleave-constant with at most @p kMaxComposeLeaves leaves,
+     * otherwise a contiguous load from the twiddle-plan region.
+     */
+    TwiddleRef twiddleReg(const std::vector<u128> &pattern);
+
+    void releaseTwiddle(const TwiddleRef &ref);
+
+    /** Forward CT butterfly (fused instruction). */
+    void emitButterfly(unsigned sum_out, unsigned diff_out, unsigned va,
+                       unsigned vb, unsigned tw_reg);
+
+    /**
+     * Inverse GS butterfly composed from add/sub/mul (the ISA has no
+     * fused inverse form): sum_out = va + vb; diff_out = (va-vb)*tw.
+     */
+    void emitInverseButterfly(unsigned sum_out, unsigned diff_out,
+                              unsigned va, unsigned vb, unsigned tw_reg);
+
+    /** Shuffle; tracks the oracle when both sources are data-tracked. */
+    void emitShuffle(Opcode op, unsigned vd, unsigned vs, unsigned vt);
+
+    /**
+     * Lane-wise modular product vd = vs .* vt (the NTT-domain dyadic
+     * step); vd inherits vs's position tags.
+     */
+    void emitPointwiseMul(unsigned vd, unsigned vs, unsigned vt);
+
+    /** Scale a data register by the SRF scalar in kNinvSreg. */
+    void emitScaleByNinv(unsigned reg);
+
+    static constexpr unsigned kMaxComposeLeaves = 8;
+    static constexpr unsigned kBroadcastCacheCap = 18;
+
+  private:
+    TwiddleRef materializePrefix(const u128 *pattern, unsigned prefix_len);
+    bool canCompose(const u128 *pattern, unsigned prefix_len,
+                    unsigned &leaves) const;
+
+    const TwiddleTable &tw_;
+    bool optimized_;
+    bool compose_;
+    uint64_t twplan_base_;
+    unsigned data_areg_ = kDataAreg;
+    uint64_t data_base_ = 0;
+    unsigned mod_reg_ = kModReg;
+    Program prog_;
+    LayoutOracle oracle_;
+
+    std::deque<unsigned> pool_;
+
+    std::map<u128, uint64_t> sdm_slots_;
+    std::vector<u128> sdm_image_;
+    std::map<std::vector<u128>, uint64_t> twplan_slots_;
+    std::vector<u128> twplan_image_;
+
+    /** Broadcast cache (optimized policy): value -> register, LRU. */
+    std::map<u128, std::list<std::pair<u128, unsigned>>::iterator>
+        bcast_map_;
+    std::list<std::pair<u128, unsigned>> bcast_lru_;
+};
+
+} // namespace rpu
+
+#endif // RPU_CODEGEN_BUILDER_HH

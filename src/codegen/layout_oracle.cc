@@ -1,0 +1,156 @@
+#include "codegen/layout_oracle.hh"
+
+#include "common/logging.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+
+namespace {
+constexpr unsigned VL = arch::kVectorLength;
+} // namespace
+
+void
+LayoutOracle::setContiguous(unsigned reg, uint32_t first)
+{
+    Tags t(VL);
+    for (unsigned i = 0; i < VL; ++i)
+        t[i] = first + i;
+    setTags(reg, std::move(t));
+}
+
+void
+LayoutOracle::setTags(unsigned reg, Tags tags)
+{
+    rpu_assert(reg < arch::kNumVregs, "bad register %u", reg);
+    rpu_assert(tags.size() == VL, "tag vector must have %u entries", VL);
+    for (uint32_t t : tags)
+        rpu_assert(t < n_, "position tag %u out of range", t);
+    tags_[reg] = std::move(tags);
+}
+
+void
+LayoutOracle::clear(unsigned reg)
+{
+    rpu_assert(reg < arch::kNumVregs, "bad register %u", reg);
+    tags_[reg].clear();
+}
+
+const LayoutOracle::Tags &
+LayoutOracle::tags(unsigned reg) const
+{
+    rpu_assert(reg < arch::kNumVregs, "bad register %u", reg);
+    rpu_assert(!tags_[reg].empty(), "register v%u is not layout-tracked",
+               reg);
+    return tags_[reg];
+}
+
+void
+LayoutOracle::applyShuffle(Opcode op, unsigned vd, unsigned vs,
+                           unsigned vt)
+{
+    const Tags &s = tags(vs);
+    const Tags &t = tags(vt);
+    Tags out(VL);
+    constexpr unsigned H = VL / 2;
+    switch (op) {
+      case Opcode::UNPKLO:
+        for (unsigned i = 0; i < H; ++i) {
+            out[2 * i] = s[i];
+            out[2 * i + 1] = t[i];
+        }
+        break;
+      case Opcode::UNPKHI:
+        for (unsigned i = 0; i < H; ++i) {
+            out[2 * i] = s[H + i];
+            out[2 * i + 1] = t[H + i];
+        }
+        break;
+      case Opcode::PKLO:
+        for (unsigned i = 0; i < H; ++i) {
+            out[i] = s[2 * i];
+            out[H + i] = t[2 * i];
+        }
+        break;
+      case Opcode::PKHI:
+        for (unsigned i = 0; i < H; ++i) {
+            out[i] = s[2 * i + 1];
+            out[H + i] = t[2 * i + 1];
+        }
+        break;
+      default:
+        rpu_panic("applyShuffle on non-shuffle opcode");
+    }
+    setTags(vd, std::move(out));
+}
+
+void
+LayoutOracle::validatePair(unsigned stage, unsigned va, unsigned vb) const
+{
+    const uint64_t gap = n_ >> (stage + 1);
+    rpu_assert(gap >= 1, "stage %u out of range for n=%llu", stage,
+               (unsigned long long)n_);
+    const Tags &a = tags(va);
+    const Tags &b = tags(vb);
+    for (unsigned lane = 0; lane < VL; ++lane) {
+        const uint64_t pa = a[lane];
+        const uint64_t pb = b[lane];
+        if (pb != pa + gap || (pa % (2 * gap)) >= gap) {
+            rpu_panic("stage %u butterfly pairing broken at lane %u: "
+                      "positions %llu / %llu (gap %llu)",
+                      stage, lane, (unsigned long long)pa,
+                      (unsigned long long)pb, (unsigned long long)gap);
+        }
+    }
+}
+
+std::vector<u128>
+LayoutOracle::butterflyTwiddles(const TwiddleTable &tw, unsigned stage,
+                                unsigned va, unsigned vb) const
+{
+    validatePair(stage, va, vb);
+    const uint64_t gap = n_ >> (stage + 1);
+    const uint64_t m = uint64_t(1) << stage;
+    const Tags &a = tags(va);
+    std::vector<u128> pattern(VL);
+    for (unsigned lane = 0; lane < VL; ++lane) {
+        const uint64_t block = a[lane] / (2 * gap);
+        pattern[lane] = tw.rootPower(m + block);
+    }
+    return pattern;
+}
+
+std::vector<u128>
+LayoutOracle::inverseButterflyTwiddles(const TwiddleTable &tw,
+                                       unsigned stage, unsigned va,
+                                       unsigned vb) const
+{
+    validatePair(stage, va, vb);
+    const uint64_t gap = n_ >> (stage + 1);
+    const uint64_t m = uint64_t(1) << stage;
+    const Tags &a = tags(va);
+    std::vector<u128> pattern(VL);
+    for (unsigned lane = 0; lane < VL; ++lane) {
+        const uint64_t block = a[lane] / (2 * gap);
+        pattern[lane] = tw.invRootPower(m + block);
+    }
+    return pattern;
+}
+
+void
+LayoutOracle::checkStore(unsigned reg, uint64_t word_offset_from_data,
+                         AddrMode mode, unsigned mode_value) const
+{
+    const Tags &t = tags(reg);
+    for (unsigned lane = 0; lane < VL; ++lane) {
+        const uint64_t addr =
+            word_offset_from_data +
+            FunctionalSimulator::laneOffset(mode, mode_value, lane);
+        if (addr != t[lane]) {
+            rpu_panic("store misplacement: lane %u holds position %u but "
+                      "writes word %llu",
+                      lane, t[lane], (unsigned long long)addr);
+        }
+    }
+}
+
+} // namespace rpu

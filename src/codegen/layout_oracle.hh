@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Symbolic data-layout tracking for the NTT code generator.
+ *
+ * Vectorising an NTT over 512-lane registers moves data through
+ * unpack/pack shuffles whose net permutation is easy to get wrong.
+ * The oracle tracks, for every lane of every vector register, which
+ * in-place-NTT *position* its value corresponds to. Butterflies keep
+ * positions fixed (the classic in-place formulation); loads, stores
+ * and shuffles move them. With this bookkeeping the generator can:
+ *
+ *  1. prove each butterfly combines positions (a, a + gap) with the
+ *     correct block alignment for its stage,
+ *  2. derive the exact per-lane twiddle factor pattern a butterfly
+ *     needs, and
+ *  3. prove the final stores place every position at its correct
+ *     address.
+ *
+ * Any layout bug becomes a generation-time panic instead of a wrong
+ * numerical result.
+ */
+
+#ifndef RPU_CODEGEN_LAYOUT_ORACLE_HH
+#define RPU_CODEGEN_LAYOUT_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "poly/twiddle.hh"
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** Per-lane position tags for the 64 vector registers. */
+class LayoutOracle
+{
+  public:
+    /** Tag vector: position in [0, n) per lane. Empty = untracked. */
+    using Tags = std::vector<uint32_t>;
+
+    explicit LayoutOracle(uint64_t n) : n_(n) {}
+
+    /** Register now holds data positions [first, first + 512). */
+    void setContiguous(unsigned reg, uint32_t first);
+
+    /** Register now holds explicit tags (512 entries). */
+    void setTags(unsigned reg, Tags tags);
+
+    /** Register holds non-data content (twiddles, scratch). */
+    void clear(unsigned reg);
+
+    bool tracked(unsigned reg) const { return !tags_[reg].empty(); }
+    const Tags &tags(unsigned reg) const;
+
+    /** Apply an UNPK/PK shuffle's permutation to the tags. */
+    void applyShuffle(Opcode op, unsigned vd, unsigned vs, unsigned vt);
+
+    /**
+     * Validate a Cooley-Tukey butterfly at stage @p stage (0-based,
+     * m = 2^stage, gap = n / 2^(stage+1)) combining registers
+     * @p va (sum inputs) and @p vb (difference inputs) lane-wise,
+     * and return the required per-lane forward twiddle values
+     * rootPower(m + block(lane)).
+     *
+     * Panics if any lane pair is not (a, a + gap) with a correctly
+     * block-aligned: that is a generator bug.
+     */
+    std::vector<u128> butterflyTwiddles(const TwiddleTable &tw,
+                                        unsigned stage, unsigned va,
+                                        unsigned vb) const;
+
+    /**
+     * Same validation for the inverse (Gentleman-Sande) butterfly;
+     * returns invRootPower(m + block(lane)) per lane.
+     */
+    std::vector<u128> inverseButterflyTwiddles(const TwiddleTable &tw,
+                                               unsigned stage, unsigned va,
+                                               unsigned vb) const;
+
+    /** After a butterfly, both outputs keep the input positions. */
+    void
+    commitButterfly(unsigned va, unsigned vb, unsigned sum_reg,
+                    unsigned diff_reg)
+    {
+        Tags a = tags(va);
+        Tags b = tags(vb);
+        setTags(sum_reg, std::move(a));
+        setTags(diff_reg, std::move(b));
+    }
+
+    /**
+     * Verify that storing @p reg with the given addressing pattern
+     * writes every lane's position to data_base + position.
+     */
+    void checkStore(unsigned reg, uint64_t word_offset_from_data,
+                    AddrMode mode, unsigned mode_value) const;
+
+  private:
+    void validatePair(unsigned stage, unsigned va, unsigned vb) const;
+
+    uint64_t n_;
+    Tags tags_[arch::kNumVregs];
+};
+
+} // namespace rpu
+
+#endif // RPU_CODEGEN_LAYOUT_ORACLE_HH

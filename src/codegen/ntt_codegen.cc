@@ -1,0 +1,477 @@
+#include "codegen/ntt_codegen.hh"
+
+#include <algorithm>
+
+#include "codegen/builder.hh"
+#include "codegen/scheduler.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+
+constexpr unsigned VL = arch::kVectorLength;
+
+/** One rectangle pass over vertical (whole-register) stages. */
+struct VerticalPassPlan
+{
+    unsigned startStage;
+    unsigned depth;
+};
+
+struct KernelPlan
+{
+    std::vector<VerticalPassPlan> verticalPasses;
+    unsigned finalVerticalStages; ///< vertical stages folded into the
+                                  ///< final (intra) pass
+};
+
+/** Rectangle decomposition of the log2(V) vertical stages. */
+KernelPlan
+planPasses(uint64_t vregs)
+{
+    const unsigned log_v = log2Floor(vregs);
+    KernelPlan plan;
+    plan.finalVerticalStages = std::min(3u, log_v);
+    unsigned remaining = log_v - plan.finalVerticalStages;
+    unsigned stage = 0;
+    while (remaining > 0) {
+        // Depth 4 keeps each group at 16 registers; the group step
+        // must stay >= 1 (depth <= log2(first stage's register gap)+1).
+        const unsigned gv0 = unsigned(vregs) >> (stage + 1);
+        const unsigned max_depth = log2Floor(gv0) + 1;
+        const unsigned d = std::min({4u, remaining, max_depth});
+        plan.verticalPasses.push_back({stage, d});
+        stage += d;
+        remaining -= d;
+    }
+    return plan;
+}
+
+/** Generator state shared by the pass emitters. */
+class NttGenerator
+{
+  public:
+    NttGenerator(const TwiddleTable &tw, KernelBuilder &builder,
+                 bool inverse)
+        : tw_(tw), b_(builder), inverse_(inverse),
+          vregs_(tw.n() / VL), log_v_(log2Floor(tw.n() / VL))
+    {
+    }
+
+    void
+    emitForward(const KernelPlan &plan)
+    {
+        for (const auto &pass : plan.verticalPasses)
+            verticalPass(pass.startStage, pass.depth, false);
+        finalPass(plan.finalVerticalStages, false);
+    }
+
+    void
+    emitInverse(const KernelPlan &plan)
+    {
+        // Exact mirror: the final (intra) pass runs first, then the
+        // vertical rectangles in reverse. The n^-1 scaling folds into
+        // whichever pass touches the data last.
+        const bool only_pass = plan.verticalPasses.empty();
+        finalPass(plan.finalVerticalStages, only_pass);
+        for (size_t p = plan.verticalPasses.size(); p-- > 0;) {
+            const auto &pass = plan.verticalPasses[p];
+            verticalPass(pass.startStage, pass.depth, p == 0);
+        }
+    }
+
+  private:
+    /** Twiddle pattern for one butterfly, validated by the oracle. */
+    std::vector<u128>
+    twiddlePattern(unsigned stage, unsigned va, unsigned vb) const
+    {
+        return inverse_
+                   ? b_.oracle().inverseButterflyTwiddles(tw_, stage, va, vb)
+                   : b_.oracle().butterflyTwiddles(tw_, stage, va, vb);
+    }
+
+    /** Butterfly (direction-appropriate) with oracle-derived twiddles. */
+    void
+    emitStageButterfly(unsigned stage, unsigned sum_out, unsigned diff_out,
+                       unsigned va, unsigned vb)
+    {
+        const auto pattern = twiddlePattern(stage, va, vb);
+        const TwiddleRef tw = b_.twiddleReg(pattern);
+        if (inverse_)
+            b_.emitInverseButterfly(sum_out, diff_out, va, vb, tw.reg);
+        else
+            b_.emitButterfly(sum_out, diff_out, va, vb, tw.reg);
+        b_.releaseTwiddle(tw);
+    }
+
+    /**
+     * One rectangle pass: load a closed register group, run @p depth
+     * whole-register stages in place, store. @p scale_at_end applies
+     * the inverse transform's n^-1 before the stores.
+     */
+    void
+    verticalPass(unsigned start_stage, unsigned depth, bool scale_at_end)
+    {
+        const unsigned gv0 = unsigned(vregs_) >> (start_stage + 1);
+        const unsigned gstep = gv0 >> (depth - 1);
+        rpu_assert(gstep >= 1, "rectangle depth exceeds stage gap");
+        const unsigned group = 1u << depth;
+        const unsigned window = 2 * gv0;
+
+        for (unsigned base = 0; base < vregs_; base += window) {
+            for (unsigned j0 = 0; j0 < gstep; ++j0) {
+                std::vector<unsigned> regs(group);
+                for (unsigned k = 0; k < group; ++k) {
+                    regs[k] = b_.allocReg();
+                    b_.emitDataLoad(regs[k],
+                                    base + j0 + k * gstep);
+                }
+                if (!inverse_) {
+                    for (unsigned e = 0; e < depth; ++e)
+                        groupStage(regs, start_stage, depth, e);
+                } else {
+                    for (unsigned e = depth; e-- > 0;)
+                        groupStage(regs, start_stage, depth, e);
+                }
+                for (unsigned k = 0; k < group; ++k) {
+                    if (scale_at_end)
+                        b_.emitScaleByNinv(regs[k]);
+                    b_.emitDataStore(regs[k]);
+                    b_.freeReg(regs[k]);
+                }
+            }
+        }
+    }
+
+    /** All butterflies of stage (start_stage + e) inside one group. */
+    void
+    groupStage(std::vector<unsigned> &regs, unsigned start_stage,
+               unsigned depth, unsigned e)
+    {
+        const unsigned stage = start_stage + e;
+        const unsigned delta = 1u << (depth - 1 - e);
+        for (unsigned k = 0; k < regs.size(); ++k) {
+            if ((k / delta) % 2 != 0)
+                continue;
+            // In place: sum overwrites the low partner, difference the
+            // high partner, exactly like the scalar in-place NTT.
+            emitStageButterfly(stage, regs[k], regs[k + delta], regs[k],
+                               regs[k + delta]);
+        }
+    }
+
+    /**
+     * The final pass: groups of 2^F consecutive registers run the last
+     * F vertical stages plus all nine intra-register stages per pair.
+     */
+    void
+    finalPass(unsigned f_stages, bool scale_at_end)
+    {
+        const unsigned group = 1u << f_stages;
+        const unsigned s0 = log_v_ - f_stages;
+
+        for (unsigned base = 0; base < vregs_; base += group) {
+            std::vector<unsigned> regs(group);
+            for (unsigned k = 0; k < group; ++k) {
+                regs[k] = b_.allocReg();
+                b_.emitDataLoad(regs[k], base + k);
+            }
+
+            if (!inverse_) {
+                for (unsigned e = 0; e < f_stages; ++e)
+                    groupStage(regs, s0, f_stages, e);
+                for (unsigned u = 0; u < group; u += 2)
+                    intraForwardPair(regs[u], regs[u + 1]);
+                // intraForwardPair stores and frees its registers.
+            } else {
+                for (unsigned u = 0; u < group; u += 2)
+                    intraInversePair(regs[u], regs[u + 1]);
+                for (unsigned e = f_stages; e-- > 0;)
+                    groupStage(regs, s0, f_stages, e);
+                for (unsigned k = 0; k < group; ++k) {
+                    if (scale_at_end)
+                        b_.emitScaleByNinv(regs[k]);
+                    b_.emitDataStore(regs[k]);
+                    b_.freeReg(regs[k]);
+                }
+            }
+        }
+    }
+
+    /**
+     * Nine constant-geometry stages on one 1024-element block held in
+     * registers (A, B), ending with the layout-restoring unpack and
+     * contiguous stores.
+     */
+    void
+    intraForwardPair(unsigned a, unsigned b)
+    {
+        for (unsigned d = 0; d < 9; ++d) {
+            const unsigned stage = log_v_ + d;
+            const unsigned x = b_.allocReg();
+            b_.emitShuffle(Opcode::UNPKLO, x, a, b);
+            const unsigned y = b_.allocReg();
+            b_.emitShuffle(Opcode::UNPKHI, y, a, b);
+            b_.freeReg(a);
+            b_.freeReg(b);
+            const unsigned p = b_.allocReg();
+            const unsigned q = b_.allocReg();
+            emitStageButterfly(stage, p, q, x, y);
+            b_.freeReg(x);
+            b_.freeReg(y);
+            a = p;
+            b = q;
+        }
+        const unsigned x = b_.allocReg();
+        b_.emitShuffle(Opcode::UNPKLO, x, a, b);
+        const unsigned y = b_.allocReg();
+        b_.emitShuffle(Opcode::UNPKHI, y, a, b);
+        b_.freeReg(a);
+        b_.freeReg(b);
+        b_.emitDataStore(x);
+        b_.freeReg(x);
+        b_.emitDataStore(y);
+        b_.freeReg(y);
+    }
+
+    /**
+     * Mirror of intraForwardPair. On return the pair registers are
+     * replaced in place (caller's reg array stays valid) holding the
+     * natural pre-intra layout.
+     */
+    void
+    intraInversePair(unsigned &a_ref, unsigned &b_ref)
+    {
+        unsigned a = a_ref, b = b_ref;
+        // Undo the forward pass's final unpack.
+        unsigned x = b_.allocReg();
+        b_.emitShuffle(Opcode::PKLO, x, a, b);
+        unsigned y = b_.allocReg();
+        b_.emitShuffle(Opcode::PKHI, y, a, b);
+        b_.freeReg(a);
+        b_.freeReg(b);
+
+        for (unsigned d = 9; d-- > 0;) {
+            const unsigned stage = log_v_ + d;
+            const unsigned p = b_.allocReg();
+            const unsigned q = b_.allocReg();
+            emitStageButterfly(stage, p, q, x, y);
+            b_.freeReg(x);
+            b_.freeReg(y);
+            // Undo this stage's forward unpack.
+            x = b_.allocReg();
+            b_.emitShuffle(Opcode::PKLO, x, p, q);
+            y = b_.allocReg();
+            b_.emitShuffle(Opcode::PKHI, y, p, q);
+            b_.freeReg(p);
+            b_.freeReg(q);
+        }
+        a_ref = x;
+        b_ref = y;
+    }
+
+    const TwiddleTable &tw_;
+    KernelBuilder &b_;
+    bool inverse_;
+    uint64_t vregs_;
+    unsigned log_v_;
+};
+
+} // namespace
+
+namespace {
+
+/** Shared size validation. */
+void
+checkRingSize(uint64_t n)
+{
+    if (n < 2 * VL || !isPow2(n))
+        rpu_fatal("NTT codegen requires a power-of-two n >= %u, got %llu",
+                  2 * VL, (unsigned long long)n);
+}
+
+} // namespace
+
+NttKernel
+generateNttKernel(const TwiddleTable &tw, const NttCodegenOptions &opts)
+{
+    const uint64_t n = tw.n();
+    checkRingSize(n);
+
+    KernelBuilder builder(tw, opts.optimized, 0, opts.twiddleCompose);
+    builder.emitPrologue(opts.inverse);
+
+    const KernelPlan plan = planPasses(n / VL);
+    NttGenerator gen(tw, builder, opts.inverse);
+    if (opts.inverse)
+        gen.emitInverse(plan);
+    else
+        gen.emitForward(plan);
+
+    NttKernel kernel;
+    kernel.n = n;
+    kernel.modulus = tw.modulus().value();
+    kernel.inverse = opts.inverse;
+    kernel.optimized = opts.optimized;
+    kernel.dataBase = builder.dataBase();
+    kernel.twPlanBase = builder.twPlanBase();
+    kernel.twPlanImage = builder.twPlanImage();
+    kernel.sdmImage = builder.sdmImage();
+
+    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
+    kernel.vdmBytesRequired =
+        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
+    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
+        rpu_fatal("kernel needs %zu bytes of VDM, above the 32 MiB limit",
+                  kernel.vdmBytesRequired);
+
+    std::string name = (opts.inverse ? "intt" : "ntt") +
+                       std::to_string(n) +
+                       (opts.optimized ? "_opt" : "_naive");
+    if (opts.optimized) {
+        kernel.program =
+            scheduleProgram(builder.program(), opts.scheduleConfig);
+    } else {
+        kernel.program = std::move(builder.program());
+    }
+    kernel.program.setName(name);
+    return kernel;
+}
+
+PolyMulKernel
+generatePolyMulKernel(const TwiddleTable &tw,
+                      const NttCodegenOptions &opts)
+{
+    const uint64_t n = tw.n();
+    checkRingSize(n);
+    if (opts.inverse)
+        rpu_fatal("a polymul kernel has no inverse variant");
+
+    // Regions: a at [0, n), b at [n, 2n), twiddle plan after both.
+    constexpr unsigned kBAreg = 4;
+    PolyMulKernel kernel;
+    kernel.n = n;
+    kernel.modulus = tw.modulus().value();
+    kernel.optimized = opts.optimized;
+    kernel.aBase = 0;
+    kernel.bBase = n;
+
+    KernelBuilder builder(tw, opts.optimized, 2 * n,
+                          opts.twiddleCompose);
+    builder.emitPrologue(true); // the inverse phase scales by n^-1
+    const KernelPlan plan = planPasses(n / VL);
+
+    // Forward transform of region a (through a0).
+    {
+        NttGenerator gen(tw, builder, false);
+        gen.emitForward(plan);
+    }
+    // Forward transform of region b (through its own ARF base so the
+    // scheduler can interleave both transforms).
+    builder.beginDataRegion(kBAreg, n);
+    {
+        NttGenerator gen(tw, builder, false);
+        gen.emitForward(plan);
+    }
+
+    // Dyadic product into region a.
+    for (uint32_t j = 0; j < n / VL; ++j) {
+        const unsigned xa = builder.allocReg();
+        builder.emitRegionLoad(xa, KernelBuilder::kDataAreg, j);
+        const unsigned xb = builder.allocReg();
+        builder.emitRegionLoad(xb, kBAreg, j);
+        builder.emitPointwiseMul(xa, xa, xb);
+        builder.freeReg(xb);
+        builder.emitRegionStore(xa, KernelBuilder::kDataAreg);
+        builder.freeReg(xa);
+    }
+
+    // Inverse transform of the product (back through a0's region).
+    builder.beginDataRegion(KernelBuilder::kDataAreg, 0);
+    {
+        NttGenerator gen(tw, builder, true);
+        gen.emitInverse(plan);
+    }
+
+    kernel.twPlanBase = builder.twPlanBase();
+    kernel.twPlanImage = builder.twPlanImage();
+    kernel.sdmImage = builder.sdmImage();
+    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
+    kernel.vdmBytesRequired =
+        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
+    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
+        rpu_fatal("polymul kernel exceeds the 32 MiB VDM limit");
+
+    if (opts.optimized) {
+        kernel.program =
+            scheduleProgram(builder.program(), opts.scheduleConfig);
+    } else {
+        kernel.program = std::move(builder.program());
+    }
+    kernel.program.setName("polymul" + std::to_string(n) +
+                           (opts.optimized ? "_opt" : "_naive"));
+    return kernel;
+}
+
+BatchedNttKernel
+generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
+                          const NttCodegenOptions &opts)
+{
+    rpu_assert(!towers.empty(), "no towers");
+    const uint64_t n = towers[0]->n();
+    checkRingSize(n);
+    for (const auto *t : towers) {
+        if (t->n() != n)
+            rpu_fatal("all towers must share the ring dimension");
+    }
+    // Register budget: modulus registers m1.. and data ARFs a0,a4,a5..
+    if (towers.size() > 16)
+        rpu_fatal("batched kernel supports at most 16 towers");
+    if (opts.inverse)
+        rpu_fatal("batched generation is forward-only");
+
+    BatchedNttKernel kernel;
+    kernel.n = n;
+
+    KernelBuilder builder(*towers[0], opts.optimized,
+                          towers.size() * n, opts.twiddleCompose);
+    builder.emitPrologue(false);
+    const KernelPlan plan = planPasses(n / VL);
+
+    for (size_t t = 0; t < towers.size(); ++t) {
+        kernel.moduli.push_back(towers[t]->modulus().value());
+        kernel.dataBases.push_back(t * n);
+        if (t > 0) {
+            // Per-tower modulus register and data region: towers are
+            // fully independent, so the scheduler interleaves them.
+            builder.beginTower(towers[t]->modulus().value(),
+                               unsigned(1 + t));
+            builder.beginDataRegion(unsigned(4 + (t - 1)), t * n);
+        }
+        NttGenerator gen(*towers[t], builder, false);
+        gen.emitForward(plan);
+    }
+
+    kernel.twPlanBase = builder.twPlanBase();
+    kernel.twPlanImage = builder.twPlanImage();
+    kernel.sdmImage = builder.sdmImage();
+    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
+    kernel.vdmBytesRequired =
+        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
+    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
+        rpu_fatal("batched kernel exceeds the 32 MiB VDM limit");
+
+    if (opts.optimized) {
+        kernel.program =
+            scheduleProgram(builder.program(), opts.scheduleConfig);
+    } else {
+        kernel.program = std::move(builder.program());
+    }
+    kernel.program.setName("batched_ntt" + std::to_string(n) + "x" +
+                           std::to_string(towers.size()));
+    return kernel;
+}
+
+} // namespace rpu

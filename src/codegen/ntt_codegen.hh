@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The NTT code generator: our from-scratch substitute for the paper's
+ * SPIRAL backend (section V).
+ *
+ * Algorithm family: the Pease / Korn-Lambiotte constant-geometry
+ * vector NTT the paper cites, specialised to B512:
+ *
+ *  - Stages whose butterfly gap is >= 512 pair whole vector registers
+ *    and run in place with broadcast scalar twiddles. They are blocked
+ *    into "rectangles": closed register groups that run several stages
+ *    per VDM round trip (the paper's rectangle decomposition).
+ *  - The last nine stages (gap <= 256) run on register pairs in
+ *    constant-geometry form: each stage is two UNPK shuffles plus one
+ *    fused butterfly with a per-lane twiddle vector; the final
+ *    interleave restores natural in-place layout for contiguous
+ *    stores.
+ *
+ * Every butterfly is validated and its twiddle pattern derived by the
+ * LayoutOracle, so the generator cannot silently produce wrong code.
+ *
+ * The forward transform consumes natural order and produces the
+ * bit-reversed order of the reference NttContext; the inverse (a
+ * Gentleman-Sande mirror with composed inverse butterflies and a
+ * final n^-1 scaling) consumes bit-reversed and produces natural.
+ */
+
+#ifndef RPU_CODEGEN_NTT_CODEGEN_HH
+#define RPU_CODEGEN_NTT_CODEGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "poly/twiddle.hh"
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** Code-generation options (the Fig. 6 axis is `optimized`). */
+struct NttCodegenOptions
+{
+    bool inverse = false;
+
+    /**
+     * Optimized: FIFO register rotation, broadcast caching, and
+     * hardware-aware list scheduling. Unoptimized: LIFO register
+     * recycling, no caching, program order as emitted.
+     */
+    bool optimized = true;
+
+    /**
+     * Materialise patterned twiddle vectors from broadcast/unpack
+     * trees when cheap (default); false forces twiddle-plan loads for
+     * every non-constant pattern (ablation: trades SBAR pressure for
+     * VDM traffic and scratchpad footprint).
+     */
+    bool twiddleCompose = true;
+
+    /**
+     * Design point used to weight the list scheduler (the paper's
+     * optimized programs are scheduled for the target
+     * microarchitecture). Only consulted when optimized.
+     */
+    RpuConfig scheduleConfig{};
+};
+
+/** A generated kernel plus everything needed to launch it. */
+struct NttKernel
+{
+    Program program;
+    uint64_t n = 0;
+    u128 modulus = 0;
+    bool inverse = false;
+    bool optimized = false;
+
+    /** Ring data occupies VDM words [dataBase, dataBase + n). */
+    uint64_t dataBase = 0;
+
+    /** Twiddle-plan vectors occupy [twPlanBase, ...). */
+    uint64_t twPlanBase = 0;
+    std::vector<u128> twPlanImage;
+
+    /** SDM constants (dense from word 0). */
+    std::vector<u128> sdmImage;
+
+    /** Minimum VDM capacity the kernel needs, in bytes. */
+    size_t vdmBytesRequired = 0;
+};
+
+/**
+ * Generate a forward or inverse NTT kernel for the ring dimension and
+ * modulus bound to @p tw. Requires n >= 1024 (two vector registers),
+ * matching the HE standard's minimum ring size cited by the paper.
+ */
+NttKernel generateNttKernel(const TwiddleTable &tw,
+                            const NttCodegenOptions &opts = {});
+
+/**
+ * A fused negacyclic-product kernel — the complete RLWE polynomial
+ * multiplication (NTT(a), NTT(b), dyadic product, inverse NTT) in one
+ * B512 program. The two forward transforms address disjoint regions
+ * through different ARF bases, so the scheduler overlaps them across
+ * the decoupled pipelines; the product lands in region A.
+ */
+struct PolyMulKernel
+{
+    Program program;
+    uint64_t n = 0;
+    u128 modulus = 0;
+    bool optimized = false;
+
+    uint64_t aBase = 0; ///< input a; the product overwrites it
+    uint64_t bBase = 0; ///< input b
+    uint64_t twPlanBase = 0;
+    std::vector<u128> twPlanImage;
+    std::vector<u128> sdmImage;
+    size_t vdmBytesRequired = 0;
+};
+
+PolyMulKernel generatePolyMulKernel(const TwiddleTable &tw,
+                                    const NttCodegenOptions &opts = {});
+
+/**
+ * A batched forward NTT across several RNS towers in a single
+ * program, exercising the MRF's instruction-granularity modulus
+ * switching (paper section IV-B5: "enabling the potential to process
+ * different towers simultaneously"). Tower t's ring lives at
+ * dataBases[t]; towers are register- and memory-independent, so the
+ * scheduler interleaves them freely.
+ */
+struct BatchedNttKernel
+{
+    Program program;
+    uint64_t n = 0;
+    std::vector<u128> moduli;
+    std::vector<uint64_t> dataBases;
+    uint64_t twPlanBase = 0;
+    std::vector<u128> twPlanImage;
+    std::vector<u128> sdmImage;
+    size_t vdmBytesRequired = 0;
+};
+
+BatchedNttKernel
+generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
+                          const NttCodegenOptions &opts = {});
+
+} // namespace rpu
+
+#endif // RPU_CODEGEN_NTT_CODEGEN_HH

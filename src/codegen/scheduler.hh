@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Greedy hardware-aware list scheduler (paper section V: "we used a
+ * greedy instruction scheduler to detect any easily-achieved low-level
+ * optimization, further reducing the overall cycle count").
+ *
+ * Builds the full dependence graph (register RAW/WAR/WAW across all
+ * four register files, plus VDM memory dependences) and re-orders the
+ * program by critical-path priority, interleaving independent work so
+ * the in-order front-end and busyboard rarely stall.
+ *
+ * Memory-dependence contract: vector loads/stores are compared by
+ * (ARF base register, word-offset interval). Accesses through
+ * *different* ARF base registers are assumed disjoint — the kernel
+ * builder guarantees this by construction (data and twiddle-plan
+ * regions do not overlap). ALOAD redefinitions are ordered through
+ * ordinary register dependences.
+ */
+
+#ifndef RPU_CODEGEN_SCHEDULER_HH
+#define RPU_CODEGEN_SCHEDULER_HH
+
+#include "isa/program.hh"
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/**
+ * Return a semantics-preserving reordering of @p prog optimised for
+ * design point @p cfg.
+ */
+Program scheduleProgram(const Program &prog, const RpuConfig &cfg);
+
+} // namespace rpu
+
+#endif // RPU_CODEGEN_SCHEDULER_HH

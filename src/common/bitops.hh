@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the library.
+ */
+
+#ifndef RPU_COMMON_BITOPS_HH
+#define RPU_COMMON_BITOPS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpu {
+
+/** True iff @p x is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); @p x must be non-zero. */
+constexpr unsigned
+log2Floor(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)); @p x must be non-zero. */
+constexpr unsigned
+log2Ceil(uint64_t x)
+{
+    return x <= 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** Reverse the low @p bits bits of @p x (the classic NTT bit-reversal). */
+constexpr uint64_t
+bitReverse(uint64_t x, unsigned bits)
+{
+    uint64_t r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** ceil(a / b) for positive integers. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr uint64_t
+roundUp(uint64_t a, uint64_t b)
+{
+    return divCeil(a, b) * b;
+}
+
+} // namespace rpu
+
+#endif // RPU_COMMON_BITOPS_HH

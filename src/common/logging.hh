@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 style.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  - the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits cleanly with code 1.
+ * warn()   - something is suspicious but execution can continue.
+ * inform() - neutral status output.
+ */
+
+#ifndef RPU_COMMON_LOGGING_HH
+#define RPU_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rpu {
+
+/** Print a formatted message and abort. Use for internal bugs only. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message and exit(1). Use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning to stderr; execution continues. */
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+#define rpu_panic(...) ::rpu::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rpu_fatal(...) ::rpu::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define rpu_warn(...) ::rpu::warnImpl(__VA_ARGS__)
+#define rpu_inform(...) ::rpu::informImpl(__VA_ARGS__)
+
+/**
+ * Internal invariant check that is kept in release builds.
+ * Unlike assert(), the condition is always evaluated.
+ */
+#define rpu_assert(cond, fmt, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rpu::panicImpl(__FILE__, __LINE__,                            \
+                             "assertion '%s' failed: " fmt, #cond,          \
+                             ##__VA_ARGS__);                                \
+        }                                                                   \
+    } while (0)
+
+} // namespace rpu
+
+#endif // RPU_COMMON_LOGGING_HH

@@ -1,0 +1,82 @@
+#include "common/random.hh"
+
+namespace rpu {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &s : state)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+u128
+Rng::next128()
+{
+    return (u128(next64()) << 64) | next64();
+}
+
+uint64_t
+Rng::below64(uint64_t bound)
+{
+    // Rejection sampling on the top range to avoid modulo bias.
+    const uint64_t limit = bound * (UINT64_MAX / bound);
+    uint64_t x;
+    do {
+        x = next64();
+    } while (x >= limit && limit != 0);
+    return x % bound;
+}
+
+u128
+Rng::below128(u128 bound)
+{
+    const u128 maxv = ~u128(0);
+    const u128 limit = bound * (maxv / bound);
+    u128 x;
+    do {
+        x = next128();
+    } while (x >= limit && limit != 0);
+    return x % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+} // namespace rpu

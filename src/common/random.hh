@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation (xoshiro256**).
+ *
+ * The standard <random> engines are not guaranteed to be reproducible
+ * across library implementations; simulators want bit-stable test
+ * vectors, so we carry our own small engine.
+ */
+
+#ifndef RPU_COMMON_RANDOM_HH
+#define RPU_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace rpu {
+
+/** 128-bit unsigned integer used pervasively for ring elements. */
+using u128 = unsigned __int128;
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, reproducible.
+ */
+class Rng
+{
+  public:
+    /** Seed with splitmix64 expansion of @p seed. */
+    explicit Rng(uint64_t seed = 0x243f6a8885a308d3ull);
+
+    /** Next 64 uniformly random bits. */
+    uint64_t next64();
+
+    /** Next 128 uniformly random bits. */
+    u128 next128();
+
+    /** Uniform value in [0, bound) for a non-zero 64-bit bound. */
+    uint64_t below64(uint64_t bound);
+
+    /** Uniform value in [0, bound) for a non-zero 128-bit bound. */
+    u128 below128(u128 bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace rpu
+
+#endif // RPU_COMMON_RANDOM_HH

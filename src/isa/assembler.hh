@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Two-way text assembler for B512.
+ *
+ * The assembly grammar is exactly what Instruction::toString() emits,
+ * plus comments (';' or '#' to end of line) and blank lines, so
+ * assemble(disassemble(p)) == p for every valid program.
+ *
+ * Examples:
+ *   vload v3, a1, 8192, strided, 1
+ *   vbcast v19, a3, 1
+ *   vbfly v4, v5, v1, v2, v3, m1    ; vd, vd1, vs, vt, vt1, modulus
+ *   unpklo v6, v4, v5
+ *   vstore v6, a2, 16, skip, 2
+ */
+
+#ifndef RPU_ISA_ASSEMBLER_HH
+#define RPU_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rpu {
+
+/** Parse one line of assembly; fatal with a line diagnostic on error. */
+Instruction assembleLine(const std::string &line);
+
+/** Parse a full program; skips blank lines and comments. */
+Program assemble(const std::string &text, const std::string &name = "");
+
+} // namespace rpu
+
+#endif // RPU_ISA_ASSEMBLER_HH

@@ -1,0 +1,199 @@
+#include "isa/encoding.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+
+// Field positions from Table I.
+constexpr unsigned kVd1Shift = 55;   // [63:55]
+constexpr unsigned kVt1Shift = 49;   // [54:49]
+constexpr unsigned kBflyShift = 48;  // [48]
+constexpr unsigned kOpShift = 44;    // [47:44]
+constexpr unsigned kAddrShift = 24;  // [43:24]
+constexpr unsigned kVdShift = 18;    // [23:18]
+constexpr unsigned kVsShift = 12;    // [17:12] (also MODE)
+constexpr unsigned kVtShift = 6;     // [11:6]  (also VALUE / RT)
+constexpr unsigned kRmShift = 0;     // [5:0]   (also RT for scalar CI)
+
+constexpr uint64_t kMask6 = 0x3f;
+constexpr uint64_t kMask20 = 0xfffff;
+
+void
+checkReg(unsigned v, const char *what)
+{
+    if (v >= 64)
+        rpu_fatal("%s register index %u out of range", what, v);
+}
+
+} // namespace
+
+uint64_t
+encode(const Instruction &instr)
+{
+    checkReg(instr.vd, "vd");
+    checkReg(instr.vd1, "vd1");
+    checkReg(instr.vs, "vs");
+    checkReg(instr.vt, "vt");
+    checkReg(instr.vt1, "vt1");
+    checkReg(instr.rm, "rm");
+    checkReg(instr.rt, "rt");
+    if (instr.address > kMask20)
+        rpu_fatal("address offset %u exceeds 20 bits", instr.address);
+    if (instr.modeValue >= 64)
+        rpu_fatal("mode value %u exceeds 6 bits", instr.modeValue);
+    if (instr.bfly && instr.op != Opcode::VMULMOD)
+        rpu_fatal("BFLY bit is only valid on vmulmod");
+
+    uint64_t w = uint64_t(instr.op) << kOpShift;
+    if (instr.bfly)
+        w |= uint64_t(1) << kBflyShift;
+
+    switch (instr.op) {
+      case Opcode::VLOAD:
+      case Opcode::VSTORE: {
+        const unsigned vreg =
+            instr.op == Opcode::VLOAD ? instr.vd : instr.vs;
+        w |= uint64_t(instr.address) << kAddrShift;
+        w |= uint64_t(vreg) << kVdShift;
+        w |= uint64_t(instr.mode) << kVsShift;
+        w |= uint64_t(instr.modeValue) << kVtShift;
+        w |= uint64_t(instr.rm) << kRmShift;
+        break;
+      }
+      case Opcode::VBCAST:
+        w |= uint64_t(instr.address) << kAddrShift;
+        w |= uint64_t(instr.vd) << kVdShift;
+        w |= uint64_t(instr.rm) << kRmShift;
+        break;
+      case Opcode::SLOAD:
+      case Opcode::MLOAD:
+      case Opcode::ALOAD:
+        w |= uint64_t(instr.address) << kAddrShift;
+        w |= uint64_t(instr.rt) << kVtShift;
+        break;
+      case Opcode::VADDMOD:
+      case Opcode::VSUBMOD:
+      case Opcode::VMULMOD:
+        w |= uint64_t(instr.vd) << kVdShift;
+        w |= uint64_t(instr.vs) << kVsShift;
+        w |= uint64_t(instr.vt) << kVtShift;
+        w |= uint64_t(instr.rm) << kRmShift;
+        if (instr.bfly) {
+            w |= uint64_t(instr.vd1) << kVd1Shift;
+            w |= uint64_t(instr.vt1) << kVt1Shift;
+        }
+        break;
+      case Opcode::VSADDMOD:
+      case Opcode::VSSUBMOD:
+      case Opcode::VSMULMOD:
+        w |= uint64_t(instr.vd) << kVdShift;
+        w |= uint64_t(instr.vs) << kVsShift;
+        w |= uint64_t(instr.rt) << kVtShift;
+        w |= uint64_t(instr.rm) << kRmShift;
+        break;
+      case Opcode::UNPKLO:
+      case Opcode::UNPKHI:
+      case Opcode::PKLO:
+      case Opcode::PKHI:
+        w |= uint64_t(instr.vd) << kVdShift;
+        w |= uint64_t(instr.vs) << kVsShift;
+        w |= uint64_t(instr.vt) << kVtShift;
+        break;
+    }
+    return w;
+}
+
+Instruction
+decode(uint64_t w)
+{
+    Instruction i;
+    const unsigned op_raw = (w >> kOpShift) & 0xf;
+    i.op = Opcode(op_raw);
+    i.bfly = ((w >> kBflyShift) & 1) != 0;
+    if (i.bfly && i.op != Opcode::VMULMOD)
+        rpu_fatal("decoded BFLY bit on non-vmulmod opcode %u", op_raw);
+
+    const auto addr = uint32_t((w >> kAddrShift) & kMask20);
+    const auto f_vd = uint8_t((w >> kVdShift) & kMask6);
+    const auto f_vs = uint8_t((w >> kVsShift) & kMask6);
+    const auto f_vt = uint8_t((w >> kVtShift) & kMask6);
+    const auto f_rm = uint8_t((w >> kRmShift) & kMask6);
+
+    switch (i.op) {
+      case Opcode::VLOAD:
+      case Opcode::VSTORE:
+        i.address = addr;
+        if (i.op == Opcode::VLOAD)
+            i.vd = f_vd;
+        else
+            i.vs = f_vd;
+        i.mode = AddrMode(f_vs & 0x3);
+        i.modeValue = f_vt;
+        i.rm = f_rm;
+        break;
+      case Opcode::VBCAST:
+        i.address = addr;
+        i.vd = f_vd;
+        i.rm = f_rm;
+        break;
+      case Opcode::SLOAD:
+      case Opcode::MLOAD:
+      case Opcode::ALOAD:
+        i.address = addr;
+        i.rt = f_vt;
+        break;
+      case Opcode::VADDMOD:
+      case Opcode::VSUBMOD:
+      case Opcode::VMULMOD:
+        i.vd = f_vd;
+        i.vs = f_vs;
+        i.vt = f_vt;
+        i.rm = f_rm;
+        if (i.bfly) {
+            i.vd1 = uint8_t((w >> kVd1Shift) & kMask6);
+            i.vt1 = uint8_t((w >> kVt1Shift) & kMask6);
+        }
+        break;
+      case Opcode::VSADDMOD:
+      case Opcode::VSSUBMOD:
+      case Opcode::VSMULMOD:
+        i.vd = f_vd;
+        i.vs = f_vs;
+        i.rt = f_vt;
+        i.rm = f_rm;
+        break;
+      case Opcode::UNPKLO:
+      case Opcode::UNPKHI:
+      case Opcode::PKLO:
+      case Opcode::PKHI:
+        i.vd = f_vd;
+        i.vs = f_vs;
+        i.vt = f_vt;
+        break;
+    }
+    return i;
+}
+
+std::vector<uint64_t>
+encodeProgram(const std::vector<Instruction> &prog)
+{
+    std::vector<uint64_t> words;
+    words.reserve(prog.size());
+    for (const auto &instr : prog)
+        words.push_back(encode(instr));
+    return words;
+}
+
+std::vector<Instruction>
+decodeProgram(const std::vector<uint64_t> &words)
+{
+    std::vector<Instruction> prog;
+    prog.reserve(words.size());
+    for (uint64_t w : words)
+        prog.push_back(decode(w));
+    return prog;
+}
+
+} // namespace rpu

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary encoding of B512 instructions per paper Table I.
+ */
+
+#ifndef RPU_ISA_ENCODING_HH
+#define RPU_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rpu {
+
+/**
+ * Encode to the 64-bit instruction word. Validates field ranges
+ * (register indices < 64, 20-bit address, mode value < 64) and that
+ * fields not used by the instruction's format are zero; fatal on
+ * violation (this is a programming error in the code generator).
+ */
+uint64_t encode(const Instruction &instr);
+
+/** Decode a 64-bit instruction word. */
+Instruction decode(uint64_t word);
+
+/** Encode a whole program. */
+std::vector<uint64_t> encodeProgram(const std::vector<Instruction> &prog);
+
+/** Decode a whole program. */
+std::vector<Instruction> decodeProgram(const std::vector<uint64_t> &words);
+
+} // namespace rpu
+
+#endif // RPU_ISA_ENCODING_HH

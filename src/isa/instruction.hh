@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Decoded B512 instruction representation and field validation.
+ */
+
+#ifndef RPU_ISA_INSTRUCTION_HH
+#define RPU_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hh"
+
+namespace rpu {
+
+/**
+ * A decoded B512 instruction. Field applicability depends on the
+ * opcode; encode() validates that inapplicable fields are zero.
+ *
+ * Field mapping onto the 64-bit word (paper Table I):
+ *   [63:55] vd1  [54:49] vt1  [48] bfly  [47:44] opcode
+ *   [43:24] address  [23:18] vd  [17:12] vs/mode  [11:6] vt/value/rt
+ *   [5:0] rm/rt
+ */
+struct Instruction
+{
+    Opcode op = Opcode::VLOAD;
+    bool bfly = false; ///< butterfly modifier (VMULMOD only)
+
+    uint8_t vd = 0;  ///< vector destination
+    uint8_t vd1 = 0; ///< second vector destination (butterfly)
+    uint8_t vs = 0;  ///< first vector source
+    uint8_t vt = 0;  ///< second vector source
+    uint8_t vt1 = 0; ///< third vector source: butterfly twiddles
+
+    uint8_t rm = 0; ///< MRF index (CI) or ARF index (VLOAD/VSTORE/VBCAST)
+    uint8_t rt = 0; ///< SRF index (vector-scalar CI; SLOAD/MLOAD/ALOAD dest)
+
+    AddrMode mode = AddrMode::CONTIGUOUS;
+    uint8_t modeValue = 0; ///< VALUE field: log2 stride / run / repeat
+    uint32_t address = 0;  ///< 20-bit unsigned word offset
+
+    InstrClass pipeClass() const { return instrClass(op); }
+
+    bool isVectorLoad() const { return op == Opcode::VLOAD; }
+    bool isVectorStore() const { return op == Opcode::VSTORE; }
+    bool isButterfly() const { return op == Opcode::VMULMOD && bfly; }
+
+    bool
+    isVectorScalarCompute() const
+    {
+        return op == Opcode::VSADDMOD || op == Opcode::VSSUBMOD ||
+               op == Opcode::VSMULMOD;
+    }
+
+    bool
+    isVectorVectorCompute() const
+    {
+        return op == Opcode::VADDMOD || op == Opcode::VSUBMOD ||
+               op == Opcode::VMULMOD;
+    }
+
+    bool
+    isShuffle() const
+    {
+        return pipeClass() == InstrClass::Shuffle;
+    }
+
+    /** Human-readable one-line disassembly. */
+    std::string toString() const;
+
+    bool operator==(const Instruction &o) const = default;
+
+    // -- Convenience constructors -------------------------------------
+
+    static Instruction vload(uint8_t vd, uint8_t arf, uint32_t addr,
+                             AddrMode mode = AddrMode::CONTIGUOUS,
+                             uint8_t value = 0);
+    static Instruction vstore(uint8_t vs, uint8_t arf, uint32_t addr,
+                              AddrMode mode = AddrMode::CONTIGUOUS,
+                              uint8_t value = 0);
+    static Instruction sload(uint8_t rt, uint32_t addr);
+    static Instruction vbcast(uint8_t vd, uint8_t arf, uint32_t addr);
+    static Instruction mload(uint8_t rt, uint32_t addr);
+    static Instruction aload(uint8_t rt, uint32_t addr);
+
+    static Instruction vv(Opcode op, uint8_t vd, uint8_t vs, uint8_t vt,
+                          uint8_t rm);
+    static Instruction vs_(Opcode op, uint8_t vd, uint8_t vs, uint8_t rt,
+                           uint8_t rm);
+    static Instruction butterfly(uint8_t vd, uint8_t vd1, uint8_t vs,
+                                 uint8_t vt, uint8_t vt1, uint8_t rm);
+    static Instruction shuffle(Opcode op, uint8_t vd, uint8_t vs,
+                               uint8_t vt);
+};
+
+} // namespace rpu
+
+#endif // RPU_ISA_INSTRUCTION_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * B512 opcode and addressing-mode definitions (paper section III).
+ *
+ * The ISA has 17 instructions encoded as 16 four-bit opcodes plus the
+ * BFLY modifier bit on VMULMOD (the fused butterfly). Instructions
+ * fall into three classes, each served by its own decoupled pipeline:
+ * load/store (LSI), compute (CI) and shuffle (SI).
+ */
+
+#ifndef RPU_ISA_OPCODES_HH
+#define RPU_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rpu {
+
+/** The 16 B512 primary opcodes (4-bit encoding space, fully used). */
+enum class Opcode : uint8_t
+{
+    // Load/store instructions (LSI)
+    VLOAD = 0,  ///< VDM -> vector register, 4 addressing modes
+    VSTORE = 1, ///< vector register -> VDM
+    SLOAD = 2,  ///< SDM -> scalar register
+    VBCAST = 3, ///< SDM[ARF[RM]+addr] broadcast to all 512 lanes
+
+    // Compute instructions (CI)
+    VADDMOD = 4,  ///< lane-wise (VS + VT) mod MRF[RM]
+    VSUBMOD = 5,  ///< lane-wise (VS - VT) mod MRF[RM]
+    VMULMOD = 6,  ///< lane-wise (VS * VT) mod MRF[RM]; +BFLY = butterfly
+    VSADDMOD = 7, ///< lane-wise (VS + SRF[RT]) mod MRF[RM]
+    VSSUBMOD = 8, ///< lane-wise (VS - SRF[RT]) mod MRF[RM]
+    VSMULMOD = 9, ///< lane-wise (VS * SRF[RT]) mod MRF[RM]
+
+    // Shuffle instructions (SI)
+    UNPKLO = 10, ///< interleave first halves of VS and VT
+    UNPKHI = 11, ///< interleave second halves of VS and VT
+    PKLO = 12,   ///< even lanes of VS, then even lanes of VT
+    PKHI = 13,   ///< odd lanes of VS, then odd lanes of VT
+
+    // Scalar-unit loads (LSI class)
+    MLOAD = 14, ///< SDM -> modulus register
+    ALOAD = 15, ///< SDM -> address register
+};
+
+/** Pipeline class an instruction dispatches to (paper section IV-A). */
+enum class InstrClass : uint8_t
+{
+    LoadStore,
+    Compute,
+    Shuffle,
+};
+
+/** Vector load/store addressing modes (MODE field, section III). */
+enum class AddrMode : uint8_t
+{
+    CONTIGUOUS = 0,   ///< word i at base + i
+    STRIDED = 1,      ///< word i at base + i * 2^VALUE
+    STRIDED_SKIP = 2, ///< runs of 2^VALUE words, skipping 2^VALUE between
+    REPEATED = 3,     ///< word i = mem[base + (i >> VALUE)] (loads only)
+};
+
+/** Pipeline class for @p op (+BFLY does not change the class). */
+InstrClass instrClass(Opcode op);
+
+/** Lower-case mnemonic, e.g. "vaddmod". BFLY renders as "vbfly". */
+std::string mnemonic(Opcode op, bool bfly = false);
+
+/** Addressing-mode name, e.g. "strided". */
+std::string addrModeName(AddrMode mode);
+
+} // namespace rpu
+
+#endif // RPU_ISA_OPCODES_HH

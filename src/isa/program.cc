@@ -1,0 +1,57 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace rpu {
+
+InstructionMix
+Program::mix() const
+{
+    InstructionMix m;
+    for (const auto &i : instrs_) {
+        switch (i.op) {
+          case Opcode::VLOAD:
+            ++m.loads;
+            break;
+          case Opcode::VSTORE:
+            ++m.stores;
+            break;
+          case Opcode::VBCAST:
+            ++m.broadcasts;
+            break;
+          case Opcode::SLOAD:
+          case Opcode::MLOAD:
+          case Opcode::ALOAD:
+            ++m.scalarLs;
+            break;
+          case Opcode::VADDMOD:
+          case Opcode::VSUBMOD:
+          case Opcode::VMULMOD:
+          case Opcode::VSADDMOD:
+          case Opcode::VSSUBMOD:
+          case Opcode::VSMULMOD:
+            ++m.compute;
+            if (i.isButterfly())
+                ++m.butterflies;
+            break;
+          case Opcode::UNPKLO:
+          case Opcode::UNPKHI:
+          case Opcode::PKLO:
+          case Opcode::PKHI:
+            ++m.shuffles;
+            break;
+        }
+    }
+    return m;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < instrs_.size(); ++i)
+        os << instrs_[i].toString() << "\n";
+    return os.str();
+}
+
+} // namespace rpu

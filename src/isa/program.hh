@@ -1,0 +1,70 @@
+/**
+ * @file
+ * B512 program container with mix statistics and disassembly.
+ */
+
+#ifndef RPU_ISA_PROGRAM_HH
+#define RPU_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace rpu {
+
+/** Instruction counts by class (paper quotes these for 64K NTT). */
+struct InstructionMix
+{
+    uint64_t loads = 0;      ///< VLOAD
+    uint64_t stores = 0;     ///< VSTORE
+    uint64_t broadcasts = 0; ///< VBCAST
+    uint64_t scalarLs = 0;   ///< SLOAD/MLOAD/ALOAD
+    uint64_t compute = 0;    ///< all CIs (butterfly counts once)
+    uint64_t butterflies = 0;
+    uint64_t shuffles = 0;
+
+    uint64_t
+    total() const
+    {
+        return loads + stores + broadcasts + scalarLs + compute + shuffles;
+    }
+};
+
+/** A named B512 kernel. */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    void append(const Instruction &instr) { instrs_.push_back(instr); }
+    size_t size() const { return instrs_.size(); }
+    bool empty() const { return instrs_.empty(); }
+
+    const Instruction &operator[](size_t i) const { return instrs_[i]; }
+    Instruction &operator[](size_t i) { return instrs_[i]; }
+
+    const std::vector<Instruction> &instructions() const { return instrs_; }
+    std::vector<Instruction> &instructions() { return instrs_; }
+
+    InstructionMix mix() const;
+
+    /** Full text disassembly, one instruction per line. */
+    std::string disassemble() const;
+
+    /** Size in bytes when encoded (8 bytes per instruction). */
+    size_t encodedBytes() const { return instrs_.size() * 8; }
+
+  private:
+    std::string name_;
+    std::vector<Instruction> instrs_;
+};
+
+} // namespace rpu
+
+#endif // RPU_ISA_PROGRAM_HH

@@ -1,0 +1,84 @@
+#include "model/area.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+
+double
+smallMacroUm2(double bytes, const AreaModelConfig &m)
+{
+    return m.smallMacroBaseUm2 + m.smallMacroPerByteUm2 * bytes;
+}
+
+double
+largeMacroUm2(double bytes, const AreaModelConfig &m)
+{
+    return m.largeMacroBaseUm2 + m.largeMacroPerByteUm2 * bytes;
+}
+
+} // namespace
+
+AreaBreakdown
+rpuArea(const RpuConfig &cfg, const AreaModelConfig &m)
+{
+    cfg.validate();
+    const double H = cfg.numHples;
+    const double B = cfg.numBanks;
+
+    AreaBreakdown a;
+
+    // Instruction memory: fixed 512 KiB in several large banks.
+    a.im = m.imMacros *
+           largeMacroUm2(double(arch::kImBytes) / m.imMacros, m) * 1e-6;
+
+    // VDM: `numBanks` large macros covering the configured capacity.
+    a.vdm = B * largeMacroUm2(double(cfg.vdmBytes) / B, m) * 1e-6;
+
+    // VRF: 64 regs x 512 lanes x 16 B = 512 KiB total, divided into
+    // per-HPLE slices of 16 single-port macros (4 registers stacked
+    // per macro, paper section IV-B1). Smaller slices map onto less
+    // efficient macros, which is why VRF area grows 1.5-2x per HPLE
+    // doubling.
+    const double vrf_bytes = double(arch::kNumVregs) *
+                             arch::kVectorLength * arch::kWordBytes;
+    const double macro_bytes = vrf_bytes / (16.0 * H);
+    a.vrf = 16.0 * H * smallMacroUm2(macro_bytes, m) * 1e-6;
+
+    a.lawEngine = H * m.lawEngineMm2;
+
+    a.vbar = m.vbarPerBankMm2 * B + m.vbarPerCrosspointMm2 * H * B;
+
+    const double doublings = std::log2(std::max(H, 4.0) / 4.0);
+    if (H <= 128) {
+        a.sbar = m.sbarAt4Mm2 * std::pow(m.sbarGrowthPerDoubling,
+                                         doublings);
+    } else {
+        const double at128 = m.sbarAt4Mm2 *
+                             std::pow(m.sbarGrowthPerDoubling, 5.0);
+        a.sbar = at128 * std::pow(m.sbarFinalDoublingFactor,
+                                  doublings - 5.0);
+    }
+
+    a.scalarUnit = m.scalarUnitMm2;
+    return a;
+}
+
+std::string
+AreaBreakdown::report() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "IM " << im << "  VDM " << vdm << "  VRF " << vrf << "  LAW "
+       << lawEngine << "  VBAR " << vbar << "  SBAR " << sbar
+       << "  scalar " << scalarUnit << "  | total " << total() << " mm^2";
+    return os.str();
+}
+
+} // namespace rpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical area model for the RPU in GF 12nm (paper section VI-C).
+ *
+ * The paper's numbers come from Synopsys DC plus a commercial SRAM
+ * compiler, neither of which is available here; this model substitutes
+ * calibrated analytical component functions pinned to every datapoint
+ * the paper publishes:
+ *
+ *  - SRAM macro areas: 512 B single-port = 2010 um^2 and 256 B =
+ *    1818 um^2 (section VI-C) give the affine small-macro fit;
+ *  - the (128,128) RPU totals 20.5 mm^2 (section I/VI);
+ *  - HPLE (LAW engines) + VRF at 128 HPLEs is 12.61 mm^2 (the F1
+ *    comparison in section VII);
+ *  - VRF grows 1.5-2x per HPLE doubling, SBAR triples per doubling
+ *    (5x for 128->256), VBAR doubles with banks beyond 64 at 128
+ *    HPLEs, and (256,256) is ~1.2x the (256,32) area.
+ *
+ * Unit tests lock these properties (tests/test_models.cc).
+ */
+
+#ifndef RPU_MODEL_AREA_HH
+#define RPU_MODEL_AREA_HH
+
+#include <string>
+
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** Calibration constants; defaults reproduce the paper's datapoints. */
+struct AreaModelConfig
+{
+    // Small-macro affine fit through (256 B, 1818 um^2), (512 B,
+    // 2010 um^2): area = base + slope * bytes.
+    double smallMacroBaseUm2 = 1626.0;
+    double smallMacroPerByteUm2 = 0.75;
+
+    // Large macros (VDM banks, instruction memory) are denser.
+    double largeMacroBaseUm2 = 10000.0;
+    double largeMacroPerByteUm2 = 0.853;
+
+    /** One LAW engine: 128b modular multiplier + adder + subtractor
+     *  + two comparators. */
+    double lawEngineMm2 = 0.0695;
+
+    // Vector crossbar: per-bank wiring plus per-crosspoint switching.
+    double vbarPerBankMm2 = 0.0076;
+    double vbarPerCrosspointMm2 = 2.2e-5;
+
+    // Shuffle crossbar: triples per HPLE doubling; the final doubling
+    // to 256 costs 5x (paper section VI-C).
+    double sbarAt4Mm2 = 0.0033;
+    double sbarGrowthPerDoubling = 3.0;
+    double sbarFinalDoublingFactor = 5.0;
+
+    /** SDM + SRF + MRF + ARF + front-end. */
+    double scalarUnitMm2 = 0.344;
+
+    unsigned imMacros = 8; ///< 512 KiB IM built from 8 x 64 KiB banks
+};
+
+/** Component breakdown in mm^2 (the Fig. 5 categories). */
+struct AreaBreakdown
+{
+    double im = 0;
+    double vdm = 0;
+    double vrf = 0;
+    double lawEngine = 0;
+    double vbar = 0;
+    double sbar = 0;
+    double scalarUnit = 0;
+
+    double
+    total() const
+    {
+        return im + vdm + vrf + lawEngine + vbar + sbar + scalarUnit;
+    }
+
+    std::string report() const;
+};
+
+/** Area of one design point. */
+AreaBreakdown rpuArea(const RpuConfig &cfg,
+                      const AreaModelConfig &model = {});
+
+} // namespace rpu
+
+#endif // RPU_MODEL_AREA_HH

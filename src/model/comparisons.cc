@@ -1,0 +1,31 @@
+#include "model/comparisons.hh"
+
+namespace rpu {
+
+PaperReference
+paperReference()
+{
+    return PaperReference{};
+}
+
+F1Comparison
+f1Comparison()
+{
+    return F1Comparison{};
+}
+
+double
+paperCpuSpeedup128b(uint64_t n)
+{
+    // Fig. 10: 545x at 1K growing to ~1485x at 64K (read from the
+    // figure; 1K and 64K are quoted in the text).
+    switch (n) {
+      case 1024: return 545.0;
+      case 4096: return 780.0;
+      case 16384: return 1100.0;
+      case 65536: return 1485.0;
+      default: return 0.0;
+    }
+}
+
+} // namespace rpu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Published reference datapoints used for side-by-side comparisons:
+ * the paper's own headline numbers (for EXPERIMENTS.md) and the
+ * F1-accelerator comparison of section VII.
+ */
+
+#ifndef RPU_MODEL_COMPARISONS_HH
+#define RPU_MODEL_COMPARISONS_HH
+
+#include <cstdint>
+
+namespace rpu {
+
+/** Headline numbers the paper reports for the (128,128) RPU. */
+struct PaperReference
+{
+    double ntt64kRuntimeUs = 6.7;
+    double areaMm2 = 20.5;
+    double ntt64kEnergyUj = 49.18;
+    double averagePowerW = 7.44;
+    double cpuSpeedup128b64k = 1485.0;
+    double optimizedVsNaive = 1.8;
+    // Fig. 5c shares (percent).
+    double lawSharePct = 66.7;
+    double vrfSharePct = 19.3;
+    double vdmSharePct = 10.5;
+    double vbarSharePct = 2.3;
+    double sbarSharePct = 1.0;
+};
+
+PaperReference paperReference();
+
+/**
+ * F1 comparison (paper section VII): one F1 compute cluster's NTT
+ * functional unit + register file, scaled 4x from 32b to 128b.
+ */
+struct F1Comparison
+{
+    double f1Ntt16kNs = 2864.0;
+    double f1AreaMm2 = 11.32;
+    double rpuPaperNtt16kNs = 1500.0;
+    double rpuPaperAreaMm2 = 12.61;
+    unsigned maxF1PolyDegree = 16384; ///< F1's ring-size ceiling
+};
+
+F1Comparison f1Comparison();
+
+/**
+ * Paper Fig. 10 reference speedups over the 32-core EPYC 7502 for
+ * 128-bit data (used for shape comparison in the fig10 bench).
+ */
+double paperCpuSpeedup128b(uint64_t n);
+
+} // namespace rpu
+
+#endif // RPU_MODEL_COMPARISONS_HH

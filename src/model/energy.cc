@@ -1,0 +1,40 @@
+#include "model/energy.hh"
+
+#include <sstream>
+
+namespace rpu {
+
+EnergyBreakdown
+kernelEnergy(const CycleStats &s, const EnergyModelConfig &m)
+{
+    EnergyBreakdown e;
+    e.lawUj = (double(s.mulLaneOps) * m.mulPj +
+               double(s.addLaneOps) * m.addPj) *
+              1e-6;
+    e.vrfUj = double(s.vrfWordReads + s.vrfWordWrites) * m.vrfAccessPj *
+              1e-6;
+    e.vdmUj = double(s.vdmWordsRead + s.vdmWordsWritten) *
+              m.vdmAccessPj * 1e-6;
+    e.vbarUj = double(s.vbarWords) * m.vbarWordPj * 1e-6;
+    e.sbarUj = double(s.sbarWords) * m.sbarWordPj * 1e-6;
+    e.imUj = double(s.imFetches) * m.imFetchPj * 1e-6;
+    e.sdmUj = double(s.sdmReads) * m.sdmAccessPj * 1e-6;
+    return e;
+}
+
+std::string
+EnergyBreakdown::report() const
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << "LAW " << lawUj << " uJ (" << share(lawUj) << "%)  VRF "
+       << vrfUj << " uJ (" << share(vrfUj) << "%)  VDM " << vdmUj
+       << " uJ (" << share(vdmUj) << "%)  VBAR " << vbarUj << " uJ ("
+       << share(vbarUj) << "%)  SBAR " << sbarUj << " uJ ("
+       << share(sbarUj) << "%)  IM " << imUj << " uJ (" << share(imUj)
+       << "%)  | total " << totalUj() << " uJ";
+    return os.str();
+}
+
+} // namespace rpu

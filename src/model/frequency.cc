@@ -1,0 +1,17 @@
+#include "model/frequency.hh"
+
+namespace rpu {
+
+double
+rpuFrequencyGhz(unsigned num_banks)
+{
+    // Fewer, larger SRAM macros run slower; beyond 128 banks the VDM
+    // is no longer the critical path.
+    if (num_banks <= 32)
+        return 1.29;
+    if (num_banks <= 64)
+        return 1.53;
+    return 1.68;
+}
+
+} // namespace rpu

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Clock frequency model. The RPU runs a single clock domain limited by
+ * the banked VDM (paper section IV-B3): 32 banks -> 1.29 GHz,
+ * 64 -> 1.53 GHz, 128 and 256 -> 1.68 GHz.
+ */
+
+#ifndef RPU_MODEL_FREQUENCY_HH
+#define RPU_MODEL_FREQUENCY_HH
+
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** Design frequency in GHz for a bank count (paper's VDM table). */
+double rpuFrequencyGhz(unsigned num_banks);
+
+/** Convenience overload. */
+inline double
+rpuFrequencyGhz(const RpuConfig &cfg)
+{
+    return rpuFrequencyGhz(cfg.numBanks);
+}
+
+} // namespace rpu
+
+#endif // RPU_MODEL_FREQUENCY_HH

@@ -1,0 +1,21 @@
+#include "model/hbm.hh"
+
+#include <cmath>
+
+namespace rpu {
+
+double
+hbmTransferUs(uint64_t n, double bandwidth_gbps, unsigned bytes_per_element)
+{
+    const double bytes = double(n) * bytes_per_element;
+    return bytes / (bandwidth_gbps * 1e9) * 1e6;
+}
+
+double
+theoreticalNttUs(uint64_t n, unsigned num_hples, double freq_ghz)
+{
+    const double ops = double(n) * std::log2(double(n));
+    return ops / (double(num_hples) * freq_ghz * 1e9) * 1e6;
+}
+
+} // namespace rpu

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Off-chip memory and ideal-compute models for Fig. 9.
+ *
+ * The VDM double-buffers against a 512 GB/s HBM2 (paper section VI-G,
+ * following F1 and A100 assumptions). The "theoretical" latency is
+ * the paper's ideal bound: n*log2(n) butterfly-multiplies spread
+ * perfectly across the HPLEs with no data movement or dependences.
+ */
+
+#ifndef RPU_MODEL_HBM_HH
+#define RPU_MODEL_HBM_HH
+
+#include <cstdint>
+
+namespace rpu {
+
+/** HBM2 transfer time (one direction) for an n-element ring, in us. */
+double hbmTransferUs(uint64_t n, double bandwidth_gbps = 512.0,
+                     unsigned bytes_per_element = 16);
+
+/** Ideal NTT latency n*log2(n) / (HPLEs * f) in us (paper section VI-G). */
+double theoreticalNttUs(uint64_t n, unsigned num_hples, double freq_ghz);
+
+} // namespace rpu
+
+#endif // RPU_MODEL_HBM_HH

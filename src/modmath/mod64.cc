@@ -1,0 +1,34 @@
+#include "modmath/mod64.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+Modulus64::Modulus64(uint64_t q) : q_(q)
+{
+    rpu_assert(q >= 2, "modulus must be >= 2");
+    rpu_assert(q < (uint64_t(1) << 62), "Modulus64 requires q < 2^62");
+}
+
+uint64_t
+Modulus64::pow(uint64_t a, uint64_t e) const
+{
+    uint64_t base = a % q_;
+    uint64_t result = 1 % q_;
+    while (e != 0) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+uint64_t
+Modulus64::inv(uint64_t a) const
+{
+    rpu_assert(a % q_ != 0, "inverse of zero");
+    return pow(a, q_ - 2);
+}
+
+} // namespace rpu

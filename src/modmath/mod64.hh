@@ -1,0 +1,76 @@
+/**
+ * @file
+ * 64-bit modular arithmetic for the CPU baseline (paper Fig. 10 runs
+ * the CPU NTT on both 64-bit and 128-bit data).
+ *
+ * Uses the native u128 for products plus Barrett reduction, and the
+ * Shoup/Harvey trick for multiplication by precomputed constants —
+ * the standard high-performance CPU NTT inner loop.
+ */
+
+#ifndef RPU_MODMATH_MOD64_HH
+#define RPU_MODMATH_MOD64_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace rpu {
+
+/** A 64-bit modulus (q < 2^62 so lazy sums never overflow). */
+class Modulus64
+{
+  public:
+    explicit Modulus64(uint64_t q);
+
+    uint64_t value() const { return q_; }
+
+    uint64_t
+    add(uint64_t a, uint64_t b) const
+    {
+        const uint64_t s = a + b;
+        return s >= q_ ? s - q_ : s;
+    }
+
+    uint64_t
+    sub(uint64_t a, uint64_t b) const
+    {
+        return a >= b ? a - b : a + (q_ - b);
+    }
+
+    /** (a * b) mod q via the native 128-bit product. */
+    uint64_t
+    mul(uint64_t a, uint64_t b) const
+    {
+        return uint64_t((u128(a) * b) % q_);
+    }
+
+    /** Precompute the Shoup constant floor(w * 2^64 / q) for @p w. */
+    uint64_t
+    shoupPrecompute(uint64_t w) const
+    {
+        return uint64_t((u128(w) << 64) / q_);
+    }
+
+    /**
+     * Shoup multiplication: w * a mod q with w's precomputed constant.
+     * Result is in [0, q).
+     */
+    uint64_t
+    mulShoup(uint64_t w, uint64_t w_shoup, uint64_t a) const
+    {
+        const uint64_t hi = uint64_t((u128(w_shoup) * a) >> 64);
+        const uint64_t r = w * a - hi * q_;
+        return r >= q_ ? r - q_ : r;
+    }
+
+    uint64_t pow(uint64_t a, uint64_t e) const;
+    uint64_t inv(uint64_t a) const;
+
+  private:
+    uint64_t q_;
+};
+
+} // namespace rpu
+
+#endif // RPU_MODMATH_MOD64_HH

@@ -1,0 +1,104 @@
+#include "modmath/modulus.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+Modulus::Modulus(u128 q) : q_(q)
+{
+    rpu_assert(q >= 2, "modulus must be >= 2");
+
+    unsigned b = 0;
+    for (u128 t = q; t != 0; t >>= 1)
+        ++b;
+    bits_ = b;
+
+    if (!isOdd())
+        return; // Montgomery constants are undefined; generic path only.
+
+    // Newton iteration for q^-1 mod 2^128: each step doubles the
+    // number of correct low bits, so 7 steps starting from 1 bit
+    // reach 128.
+    u128 inv = 1;
+    for (int i = 0; i < 7; ++i)
+        inv *= 2 - q_ * inv;
+    rpu_assert(q_ * inv == 1, "Montgomery inverse failed");
+    qInvNeg_ = u128(0) - inv;
+
+    // r2 = 2^256 mod q by doubling 2^128 mod q 128 times.
+    u128 r = (~u128(0)) % q_; // 2^128 - 1 mod q
+    r = add(r, 1);            // 2^128 mod q
+    for (int i = 0; i < 128; ++i)
+        r = add(r, r);
+    r2_ = r;
+}
+
+u128
+Modulus::redc(U256 t) const
+{
+    // m = (t mod 2^128) * (-q^-1) mod 2^128
+    const u128 m = t.lo * qInvNeg_;
+    // t = (t + m * q) / 2^128; the addition can carry out of 256 bits.
+    U256 mq = mulWide(m, q_);
+    const unsigned carry = addWithCarry(t, mq);
+    u128 res = t.hi;
+    if (carry || res >= q_)
+        res -= q_;
+    return res;
+}
+
+u128
+Modulus::mul(u128 a, u128 b) const
+{
+    if (!isOdd())
+        return mulGeneric(a, b);
+    // REDC(a*b) = a*b*R^-1; multiplying by r2 = R^2 and reducing again
+    // restores the plain representative.
+    const u128 ab_red = redc(mulWide(a, b));
+    return redc(mulWide(ab_red, r2_));
+}
+
+u128
+Modulus::mulGeneric(u128 a, u128 b) const
+{
+    // Double-and-add: O(128) additions, only used for even moduli.
+    u128 result = 0;
+    a %= q_;
+    while (b != 0) {
+        if (b & 1)
+            result = add(result, a);
+        a = add(a, a);
+        b >>= 1;
+    }
+    return result;
+}
+
+u128
+Modulus::pow(u128 a, u128 e) const
+{
+    u128 base = reduce(a);
+    u128 result = reduce(1);
+    while (e != 0) {
+        if (e & 1)
+            result = mul(result, base);
+        base = mul(base, base);
+        e >>= 1;
+    }
+    return result;
+}
+
+u128
+Modulus::inv(u128 a) const
+{
+    rpu_assert(a % q_ != 0, "inverse of zero");
+    return pow(a, q_ - 2);
+}
+
+u128
+Modulus::toMont(u128 a) const
+{
+    rpu_assert(isOdd(), "Montgomery form requires an odd modulus");
+    return redc(mulWide(reduce(a), r2_));
+}
+
+} // namespace rpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * 128-bit modular arithmetic — the numeric core of the LAW engine.
+ *
+ * The RPU operates on 128-bit ring elements (paper section III-A).
+ * Multiplication modulo a 128-bit prime requires 256-bit intermediate
+ * products; we use Montgomery reduction (R = 2^128) for speed, with a
+ * plain double-and-add fallback for even moduli so that the ISA-level
+ * semantics ("a * b mod q") hold for any modulus value.
+ *
+ * All public entry points take and return *plain* (non-Montgomery)
+ * representatives in [0, q); Montgomery form is an internal detail
+ * except for the explicit toMont()/mulMontNormal() fast path used by
+ * the reference NTT's precomputed twiddles.
+ */
+
+#ifndef RPU_MODMATH_MODULUS_HH
+#define RPU_MODMATH_MODULUS_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "wide/u256.hh"
+
+namespace rpu {
+
+/**
+ * A fixed 128-bit modulus with precomputed Montgomery constants.
+ */
+class Modulus
+{
+  public:
+    /** Precompute constants for modulus @p q (q >= 2). */
+    explicit Modulus(u128 q);
+
+    u128 value() const { return q_; }
+    unsigned bits() const { return bits_; }
+
+    /** (a + b) mod q; inputs must already be reduced. */
+    u128
+    add(u128 a, u128 b) const
+    {
+        // a + b can exceed 2^128; detect wraparound explicitly.
+        const u128 s = a + b;
+        if (s < a || s >= q_)
+            return s - q_;
+        return s;
+    }
+
+    /** (a - b) mod q; inputs must already be reduced. */
+    u128
+    sub(u128 a, u128 b) const
+    {
+        return a >= b ? a - b : a + (q_ - b);
+    }
+
+    /** (a * b) mod q for any modulus; inputs must be reduced. */
+    u128 mul(u128 a, u128 b) const;
+
+    /** a^e mod q. */
+    u128 pow(u128 a, u128 e) const;
+
+    /** Multiplicative inverse via Fermat (q must be prime). */
+    u128 inv(u128 a) const;
+
+    /** Reduce an arbitrary 128-bit value into [0, q). */
+    u128 reduce(u128 a) const { return a % q_; }
+
+    /** Reduce a 256-bit value into [0, q). Setup/oracle path. */
+    u128 reduceWide(const U256 &a) const { return mod256by128(a, q_); }
+
+    /** Negate: (q - a) mod q. */
+    u128 neg(u128 a) const { return a == 0 ? 0 : q_ - a; }
+
+    /**
+     * Convert to Montgomery form (a * 2^128 mod q). Only valid for
+     * odd moduli.
+     */
+    u128 toMont(u128 a) const;
+
+    /**
+     * Multiply a Montgomery-form constant by a plain value, returning
+     * a plain value: REDC(aMont * b) = a * b mod q. This is the fast
+     * path used with precomputed twiddles (one reduction per product).
+     */
+    u128
+    mulMontNormal(u128 a_mont, u128 b) const
+    {
+        return redc(mulWide(a_mont, b));
+    }
+
+    bool isOdd() const { return (q_ & 1) != 0; }
+
+  private:
+    /** Montgomery reduction: t * 2^-128 mod q, for t < q * 2^128. */
+    u128 redc(U256 t) const;
+
+    /** Slow but fully general multiply (used for even moduli). */
+    u128 mulGeneric(u128 a, u128 b) const;
+
+    u128 q_;
+    u128 qInvNeg_ = 0; ///< -q^-1 mod 2^128 (odd q only)
+    u128 r2_ = 0;      ///< 2^256 mod q (odd q only)
+    unsigned bits_;
+};
+
+} // namespace rpu
+
+#endif // RPU_MODMATH_MODULUS_HH

@@ -1,0 +1,52 @@
+#include "modmath/primality.hh"
+
+#include "modmath/modulus.hh"
+
+namespace rpu {
+
+bool
+isPrime(u128 n, unsigned rounds, uint64_t seed)
+{
+    if (n < 2)
+        return false;
+    static constexpr uint64_t small_primes[] = {
+        2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+        53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    };
+    for (uint64_t p : small_primes) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+
+    // n - 1 = d * 2^s with d odd.
+    u128 d = n - 1;
+    unsigned s = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++s;
+    }
+
+    const Modulus mod(n);
+    Rng rng(seed);
+    for (unsigned round = 0; round < rounds; ++round) {
+        const u128 a = 2 + rng.below128(n - 3);
+        u128 x = mod.pow(a, d);
+        if (x == 1 || x == n - 1)
+            continue;
+        bool witness = true;
+        for (unsigned i = 1; i < s; ++i) {
+            x = mod.mul(x, x);
+            if (x == n - 1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+} // namespace rpu

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Probabilistic primality testing for up to 128-bit candidates.
+ */
+
+#ifndef RPU_MODMATH_PRIMALITY_HH
+#define RPU_MODMATH_PRIMALITY_HH
+
+#include "common/random.hh"
+
+namespace rpu {
+
+/**
+ * Miller-Rabin with @p rounds random bases (error probability
+ * <= 4^-rounds). Deterministic small-prime trial division first.
+ */
+bool isPrime(u128 n, unsigned rounds = 40, uint64_t seed = 0x5eed);
+
+} // namespace rpu
+
+#endif // RPU_MODMATH_PRIMALITY_HH

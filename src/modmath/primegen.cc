@@ -1,0 +1,67 @@
+#include "modmath/primegen.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/modulus.hh"
+#include "modmath/primality.hh"
+
+namespace rpu {
+
+u128
+nttPrime(unsigned bits, uint64_t n)
+{
+    rpu_assert(bits >= 10 && bits <= 128, "prime width %u unsupported", bits);
+    rpu_assert(isPow2(n), "ring dimension must be a power of two");
+
+    const u128 step = u128(2) * n;
+    // Start from the largest value < 2^bits congruent to 1 mod 2n.
+    const u128 top = bits == 128 ? ~u128(0) : (u128(1) << bits) - 1;
+    u128 candidate = top - ((top - 1) % step);
+    while (candidate > step) {
+        if (isPrime(candidate))
+            return candidate;
+        candidate -= step;
+    }
+    rpu_fatal("no %u-bit NTT prime for n = %llu", bits,
+              (unsigned long long)n);
+}
+
+std::vector<u128>
+nttPrimes(unsigned bits, uint64_t n, size_t count)
+{
+    std::vector<u128> primes;
+    const u128 step = u128(2) * n;
+    const u128 top = bits == 128 ? ~u128(0) : (u128(1) << bits) - 1;
+    u128 candidate = top - ((top - 1) % step);
+    while (primes.size() < count && candidate > step) {
+        if (isPrime(candidate))
+            primes.push_back(candidate);
+        candidate -= step;
+    }
+    if (primes.size() < count)
+        rpu_fatal("could not find %zu NTT primes at %u bits", count, bits);
+    return primes;
+}
+
+u128
+primitiveRoot2n(u128 q, uint64_t n, uint64_t seed)
+{
+    rpu_assert(isPow2(n), "ring dimension must be a power of two");
+    const Modulus mod(q);
+    const u128 order = u128(2) * n;
+    if ((q - 1) % order != 0)
+        rpu_fatal("modulus does not support a 2n-th root (q != 1 mod 2n)");
+
+    const u128 cofactor = (q - 1) / order;
+    Rng rng(seed);
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+        const u128 r = 2 + rng.below128(q - 3);
+        const u128 psi = mod.pow(r, cofactor);
+        // psi has order dividing 2n; it is primitive iff psi^n == -1.
+        if (mod.pow(psi, n) == q - 1)
+            return psi;
+    }
+    rpu_fatal("primitive root search failed (is q prime?)");
+}
+
+} // namespace rpu

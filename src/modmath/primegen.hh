@@ -1,0 +1,44 @@
+/**
+ * @file
+ * NTT-friendly prime generation and primitive-root search.
+ *
+ * A negacyclic NTT over Z_q[x]/(x^n + 1) needs a primitive 2n-th root
+ * of unity, which exists iff q == 1 (mod 2n). We generate primes of
+ * the form k * 2^m + 1 at a requested bit width, then find psi with
+ * psi^n == -1 (a primitive 2n-th root).
+ */
+
+#ifndef RPU_MODMATH_PRIMEGEN_HH
+#define RPU_MODMATH_PRIMEGEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace rpu {
+
+/**
+ * Find the largest prime q < 2^bits with q == 1 (mod 2n).
+ * @param bits total width in [10, 128]
+ * @param n    power-of-two ring dimension
+ */
+u128 nttPrime(unsigned bits, uint64_t n);
+
+/**
+ * Find @p count distinct NTT-friendly primes just below 2^bits
+ * (pairwise co-prime by construction — they are distinct primes),
+ * suitable as an RNS basis.
+ */
+std::vector<u128> nttPrimes(unsigned bits, uint64_t n, size_t count);
+
+/**
+ * A primitive 2n-th root of unity mod prime @p q (psi with
+ * psi^n == -1). Fatal if q != 1 (mod 2n).
+ */
+u128 primitiveRoot2n(u128 q, uint64_t n, uint64_t seed = 0x900d);
+
+} // namespace rpu
+
+#endif // RPU_MODMATH_PRIMEGEN_HH

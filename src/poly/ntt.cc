@@ -1,0 +1,108 @@
+#include "poly/ntt.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+void
+NttContext::forward(std::vector<u128> &x) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch: %zu vs n=%llu", x.size(),
+               (unsigned long long)n);
+    const Modulus &mod = tw_.modulus();
+
+    // m: butterflies-per-group doubles each stage; t: half-gap.
+    uint64_t t = n;
+    for (uint64_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (uint64_t i = 0; i < m; ++i) {
+            const u128 w = tw_.rootPowerMont(m + i);
+            const uint64_t j1 = 2 * i * t;
+            for (uint64_t j = j1; j < j1 + t; ++j) {
+                const u128 u = x[j];
+                const u128 v = mod.mulMontNormal(w, x[j + t]);
+                x[j] = mod.add(u, v);
+                x[j + t] = mod.sub(u, v);
+            }
+        }
+    }
+}
+
+void
+NttContext::inverse(std::vector<u128> &x) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch");
+    const Modulus &mod = tw_.modulus();
+
+    // Exact mirror of forward(): stages run backwards, each butterfly
+    // inverted; the per-stage 1/2 factors are folded into n^-1.
+    uint64_t t = 1;
+    for (uint64_t m = n >> 1; m >= 1; m >>= 1) {
+        for (uint64_t i = 0; i < m; ++i) {
+            const u128 w_inv = tw_.invRootPowerMont(m + i);
+            const uint64_t j1 = 2 * i * t;
+            for (uint64_t j = j1; j < j1 + t; ++j) {
+                const u128 a = x[j];
+                const u128 b = x[j + t];
+                x[j] = mod.add(a, b);
+                x[j + t] = mod.mulMontNormal(w_inv, mod.sub(a, b));
+            }
+        }
+        t <<= 1;
+    }
+    const u128 scale = tw_.nInvMont();
+    for (auto &v : x)
+        v = mod.mulMontNormal(scale, v);
+}
+
+void
+NttContext::forwardPlain(std::vector<u128> &x) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch");
+    const Modulus &mod = tw_.modulus();
+
+    uint64_t t = n;
+    for (uint64_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (uint64_t i = 0; i < m; ++i) {
+            const u128 w = tw_.rootPower(m + i);
+            const uint64_t j1 = 2 * i * t;
+            for (uint64_t j = j1; j < j1 + t; ++j) {
+                const u128 u = x[j];
+                const u128 v = mod.mul(w, x[j + t]);
+                x[j] = mod.add(u, v);
+                x[j + t] = mod.sub(u, v);
+            }
+        }
+    }
+}
+
+void
+NttContext::inversePlain(std::vector<u128> &x) const
+{
+    const uint64_t n = tw_.n();
+    rpu_assert(x.size() == n, "size mismatch");
+    const Modulus &mod = tw_.modulus();
+
+    uint64_t t = 1;
+    for (uint64_t m = n >> 1; m >= 1; m >>= 1) {
+        for (uint64_t i = 0; i < m; ++i) {
+            const u128 w_inv = tw_.invRootPower(m + i);
+            const uint64_t j1 = 2 * i * t;
+            for (uint64_t j = j1; j < j1 + t; ++j) {
+                const u128 a = x[j];
+                const u128 b = x[j + t];
+                x[j] = mod.add(a, b);
+                x[j + t] = mod.mul(w_inv, mod.sub(a, b));
+            }
+        }
+        t <<= 1;
+    }
+    for (auto &v : x)
+        v = mod.mul(tw_.nInv(), v);
+}
+
+} // namespace rpu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference negacyclic NTT over Z_q[x]/(x^n + 1), 128-bit moduli.
+ *
+ * This is the repository's golden model: the paper validates its
+ * generated B512 code against OpenFHE; we validate generated code (and
+ * the CPU baselines) against this implementation, which is itself
+ * validated against a naive O(n^2) negacyclic convolution.
+ *
+ * Forward: Cooley-Tukey DIT, natural input -> bit-reversed output.
+ * Inverse: Gentleman-Sande, bit-reversed input -> natural output,
+ * with the n^-1 scaling folded in. Pointwise products in the
+ * transformed domain realise negacyclic convolution.
+ */
+
+#ifndef RPU_POLY_NTT_HH
+#define RPU_POLY_NTT_HH
+
+#include <vector>
+
+#include "poly/twiddle.hh"
+
+namespace rpu {
+
+/** Forward/inverse transforms bound to one twiddle table. */
+class NttContext
+{
+  public:
+    explicit NttContext(const TwiddleTable &table) : tw_(table) {}
+
+    const TwiddleTable &table() const { return tw_; }
+
+    /**
+     * In-place forward NTT (fast path: Montgomery-form twiddles, one
+     * reduction per butterfly product).
+     */
+    void forward(std::vector<u128> &x) const;
+
+    /** In-place inverse NTT. */
+    void inverse(std::vector<u128> &x) const;
+
+    /**
+     * Textbook variant using only plain modular multiplication —
+     * an independent cross-check of the Montgomery fast path.
+     */
+    void forwardPlain(std::vector<u128> &x) const;
+    void inversePlain(std::vector<u128> &x) const;
+
+  private:
+    const TwiddleTable &tw_;
+};
+
+} // namespace rpu
+
+#endif // RPU_POLY_NTT_HH

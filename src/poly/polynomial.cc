@@ -1,0 +1,92 @@
+#include "poly/polynomial.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+std::vector<u128>
+polyAdd(const Modulus &mod, const std::vector<u128> &a,
+        const std::vector<u128> &b)
+{
+    rpu_assert(a.size() == b.size(), "polynomial size mismatch");
+    std::vector<u128> r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = mod.add(a[i], b[i]);
+    return r;
+}
+
+std::vector<u128>
+polySub(const Modulus &mod, const std::vector<u128> &a,
+        const std::vector<u128> &b)
+{
+    rpu_assert(a.size() == b.size(), "polynomial size mismatch");
+    std::vector<u128> r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = mod.sub(a[i], b[i]);
+    return r;
+}
+
+std::vector<u128>
+polyPointwise(const Modulus &mod, const std::vector<u128> &a,
+              const std::vector<u128> &b)
+{
+    rpu_assert(a.size() == b.size(), "polynomial size mismatch");
+    std::vector<u128> r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = mod.mul(a[i], b[i]);
+    return r;
+}
+
+std::vector<u128>
+polyScale(const Modulus &mod, u128 s, const std::vector<u128> &a)
+{
+    std::vector<u128> r(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        r[i] = mod.mul(s, a[i]);
+    return r;
+}
+
+std::vector<u128>
+negacyclicMulNaive(const Modulus &mod, const std::vector<u128> &a,
+                   const std::vector<u128> &b)
+{
+    rpu_assert(a.size() == b.size(), "polynomial size mismatch");
+    const size_t n = a.size();
+    std::vector<u128> r(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] == 0)
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            const u128 p = mod.mul(a[i], b[j]);
+            const size_t k = i + j;
+            if (k < n)
+                r[k] = mod.add(r[k], p);
+            else
+                r[k - n] = mod.sub(r[k - n], p); // x^n == -1
+        }
+    }
+    return r;
+}
+
+std::vector<u128>
+negacyclicMulNtt(const NttContext &ctx, const std::vector<u128> &a,
+                 const std::vector<u128> &b)
+{
+    std::vector<u128> fa = a, fb = b;
+    ctx.forward(fa);
+    ctx.forward(fb);
+    std::vector<u128> prod = polyPointwise(ctx.table().modulus(), fa, fb);
+    ctx.inverse(prod);
+    return prod;
+}
+
+std::vector<u128>
+randomPoly(const Modulus &mod, size_t n, Rng &rng)
+{
+    std::vector<u128> r(n);
+    for (auto &v : r)
+        v = rng.below128(mod.value());
+    return r;
+}
+
+} // namespace rpu

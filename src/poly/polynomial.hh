@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ring-polynomial helpers over Z_q[x]/(x^n + 1).
+ *
+ * Rings are "large arrays of elements in a field" (paper section I);
+ * this module provides the coefficient-domain operations plus the
+ * NTT-accelerated negacyclic product used throughout the RLWE layer
+ * and in tests (the naive quadratic product is the ultimate oracle).
+ */
+
+#ifndef RPU_POLY_POLYNOMIAL_HH
+#define RPU_POLY_POLYNOMIAL_HH
+
+#include <vector>
+
+#include "poly/ntt.hh"
+
+namespace rpu {
+
+/** Coefficient-wise (a + b) mod q. */
+std::vector<u128> polyAdd(const Modulus &mod, const std::vector<u128> &a,
+                          const std::vector<u128> &b);
+
+/** Coefficient-wise (a - b) mod q. */
+std::vector<u128> polySub(const Modulus &mod, const std::vector<u128> &a,
+                          const std::vector<u128> &b);
+
+/** Pointwise (a .* b) mod q. */
+std::vector<u128> polyPointwise(const Modulus &mod,
+                                const std::vector<u128> &a,
+                                const std::vector<u128> &b);
+
+/** Coefficient-wise scalar product (s * a) mod q. */
+std::vector<u128> polyScale(const Modulus &mod, u128 s,
+                            const std::vector<u128> &a);
+
+/**
+ * Naive O(n^2) negacyclic product in Z_q[x]/(x^n + 1) — the
+ * independent oracle for every NTT implementation in this repo.
+ */
+std::vector<u128> negacyclicMulNaive(const Modulus &mod,
+                                     const std::vector<u128> &a,
+                                     const std::vector<u128> &b);
+
+/** NTT-accelerated negacyclic product (forward, dyadic, inverse). */
+std::vector<u128> negacyclicMulNtt(const NttContext &ctx,
+                                   const std::vector<u128> &a,
+                                   const std::vector<u128> &b);
+
+/** Uniformly random polynomial with coefficients in [0, q). */
+std::vector<u128> randomPoly(const Modulus &mod, size_t n, Rng &rng);
+
+} // namespace rpu
+
+#endif // RPU_POLY_POLYNOMIAL_HH

@@ -1,0 +1,43 @@
+#include "poly/twiddle.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+
+namespace rpu {
+
+TwiddleTable::TwiddleTable(const Modulus &mod, uint64_t n)
+    : mod_(mod), n_(n)
+{
+    rpu_assert(isPow2(n) && n >= 4, "invalid ring dimension %llu",
+               (unsigned long long)n);
+    log_n_ = log2Floor(n);
+
+    psi_ = primitiveRoot2n(mod.value(), n);
+    psi_inv_ = mod.inv(psi_);
+    n_inv_ = mod.inv(u128(n) % mod.value());
+    n_inv_mont_ = mod.toMont(n_inv_);
+
+    root_powers_.resize(n);
+    inv_root_powers_.resize(n);
+    root_powers_mont_.resize(n);
+    inv_root_powers_mont_.resize(n);
+
+    // Consecutive powers first, then scatter into bit-reversed slots.
+    std::vector<u128> pow_fwd(n), pow_inv(n);
+    pow_fwd[0] = 1;
+    pow_inv[0] = 1;
+    for (uint64_t i = 1; i < n; ++i) {
+        pow_fwd[i] = mod.mul(pow_fwd[i - 1], psi_);
+        pow_inv[i] = mod.mul(pow_inv[i - 1], psi_inv_);
+    }
+    for (uint64_t j = 0; j < n; ++j) {
+        const uint64_t r = bitReverse(j, log_n_);
+        root_powers_[j] = pow_fwd[r];
+        inv_root_powers_[j] = pow_inv[r];
+        root_powers_mont_[j] = mod.toMont(root_powers_[j]);
+        inv_root_powers_mont_[j] = mod.toMont(inv_root_powers_[j]);
+    }
+}
+
+} // namespace rpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Precomputed twiddle-factor tables for the negacyclic NTT.
+ *
+ * Convention (SEAL/Harvey style): rootPowers[j] = psi^bitrev(j, log2 n)
+ * for j in [1, n), where psi is a primitive 2n-th root of unity.
+ * The forward transform is Cooley-Tukey (natural order in, bit-reversed
+ * order out); the inverse is the exact Gentleman-Sande mirror. These
+ * same tables are the source of truth for the RPU code generator, so
+ * generated B512 programs produce bit-identical outputs.
+ */
+
+#ifndef RPU_POLY_TWIDDLE_HH
+#define RPU_POLY_TWIDDLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "modmath/modulus.hh"
+
+namespace rpu {
+
+/** Twiddle tables for one (modulus, ring dimension) pair. */
+class TwiddleTable
+{
+  public:
+    /**
+     * Build tables for dimension @p n (power of two, >= 4) over prime
+     * @p q with q == 1 (mod 2n). The primitive root is found
+     * deterministically.
+     */
+    TwiddleTable(const Modulus &mod, uint64_t n);
+
+    uint64_t n() const { return n_; }
+    unsigned logN() const { return log_n_; }
+    const Modulus &modulus() const { return mod_; }
+
+    u128 psi() const { return psi_; }
+    u128 psiInv() const { return psi_inv_; }
+    u128 nInv() const { return n_inv_; }
+
+    /** psi^bitrev(j) — plain representative (what the HPLE multiplies). */
+    u128 rootPower(size_t j) const { return root_powers_[j]; }
+
+    /** Inverse of rootPower(j), plain representative. */
+    u128 invRootPower(size_t j) const { return inv_root_powers_[j]; }
+
+    /** Montgomery-form tables for the fast reference NTT path. */
+    u128 rootPowerMont(size_t j) const { return root_powers_mont_[j]; }
+    u128 invRootPowerMont(size_t j) const { return inv_root_powers_mont_[j]; }
+    u128 nInvMont() const { return n_inv_mont_; }
+
+    const std::vector<u128> &rootPowers() const { return root_powers_; }
+    const std::vector<u128> &invRootPowers() const
+    {
+        return inv_root_powers_;
+    }
+
+  private:
+    const Modulus &mod_;
+    uint64_t n_;
+    unsigned log_n_;
+    u128 psi_;
+    u128 psi_inv_;
+    u128 n_inv_;
+    u128 n_inv_mont_;
+    std::vector<u128> root_powers_;
+    std::vector<u128> inv_root_powers_;
+    std::vector<u128> root_powers_mont_;
+    std::vector<u128> inv_root_powers_mont_;
+};
+
+} // namespace rpu
+
+#endif // RPU_POLY_TWIDDLE_HH

@@ -1,0 +1,169 @@
+#include "rlwe/bfv.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+
+namespace rpu {
+
+namespace {
+
+/** One-time modulus construction helper (member init order). */
+u128
+makePrime(const RlweParams &p)
+{
+    p.validate();
+    return nttPrime(p.qBits, p.n);
+}
+
+} // namespace
+
+BfvContext::BfvContext(const RlweParams &params, uint64_t seed)
+    : params_(params), mod_(makePrime(params)), tw_(mod_, params.n),
+      ntt_(tw_), rng_(seed)
+{
+    delta_ = mod_.value() / params_.plaintextModulus;
+}
+
+std::vector<u128>
+BfvContext::samplePolyUniform()
+{
+    return randomPoly(mod_, params_.n, rng_);
+}
+
+std::vector<u128>
+BfvContext::samplePolySmall()
+{
+    std::vector<u128> p(params_.n);
+    const uint64_t span = 2 * params_.noiseBound + 1;
+    for (auto &v : p) {
+        const int64_t e = int64_t(rng_.below64(span)) -
+                          int64_t(params_.noiseBound);
+        v = e >= 0 ? u128(e) : mod_.value() - u128(-e);
+    }
+    return p;
+}
+
+std::vector<u128>
+BfvContext::samplePolyTernary()
+{
+    std::vector<u128> p(params_.n);
+    for (auto &v : p) {
+        const uint64_t r = rng_.below64(3);
+        v = r == 0 ? u128(0) : r == 1 ? u128(1) : mod_.value() - 1;
+    }
+    return p;
+}
+
+SecretKey
+BfvContext::keygen()
+{
+    return SecretKey{samplePolyTernary()};
+}
+
+std::vector<u128>
+BfvContext::liftPlain(const std::vector<uint64_t> &plain) const
+{
+    rpu_assert(plain.size() == params_.n, "plaintext size mismatch");
+    std::vector<u128> m(params_.n);
+    for (size_t i = 0; i < plain.size(); ++i)
+        m[i] = u128(plain[i] % params_.plaintextModulus);
+    return m;
+}
+
+Ciphertext
+BfvContext::encrypt(const SecretKey &sk,
+                    const std::vector<uint64_t> &message)
+{
+    const std::vector<u128> m = liftPlain(message);
+    const std::vector<u128> a = samplePolyUniform();
+    const std::vector<u128> e = samplePolySmall();
+
+    // c0 = a*s + e + Delta*m; c1 = -a.
+    std::vector<u128> as = negacyclicMulNtt(ntt_, a, sk.s);
+    std::vector<u128> c0 = polyAdd(mod_, as, e);
+    c0 = polyAdd(mod_, c0, polyScale(mod_, delta_, m));
+
+    std::vector<u128> c1(params_.n);
+    for (size_t i = 0; i < a.size(); ++i)
+        c1[i] = mod_.neg(a[i]);
+    return Ciphertext{std::move(c0), std::move(c1)};
+}
+
+std::vector<uint64_t>
+BfvContext::decrypt(const SecretKey &sk, const Ciphertext &ct) const
+{
+    // v = c0 + c1*s = e + Delta*m; round(t*v/q) recovers m.
+    const std::vector<u128> c1s = negacyclicMulNtt(ntt_, ct.c1, sk.s);
+    const std::vector<u128> v = polyAdd(mod_, ct.c0, c1s);
+
+    const u128 q = mod_.value();
+    const uint64_t t = params_.plaintextModulus;
+    std::vector<uint64_t> out(params_.n);
+    for (size_t i = 0; i < v.size(); ++i) {
+        // m_i = floor((t*v_i + q/2) / q) mod t
+        U256 num = mulWide(v[i], u128(t));
+        const U256 half = U256::fromU128(q >> 1);
+        U256 sum = num;
+        addWithCarry(sum, half);
+        u128 rem;
+        const U256 quot = divmod256by128(sum, q, rem);
+        out[i] = uint64_t(quot.lo % t);
+    }
+    return out;
+}
+
+Ciphertext
+BfvContext::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    return Ciphertext{polyAdd(mod_, a.c0, b.c0),
+                      polyAdd(mod_, a.c1, b.c1)};
+}
+
+Ciphertext
+BfvContext::mulPlain(const Ciphertext &ct,
+                     const std::vector<uint64_t> &plain,
+                     const PolyMul &mul) const
+{
+    const std::vector<u128> p = liftPlain(plain);
+    return Ciphertext{mul(ct.c0, p), mul(ct.c1, p)};
+}
+
+Ciphertext
+BfvContext::mulPlain(const Ciphertext &ct,
+                     const std::vector<uint64_t> &plain) const
+{
+    return mulPlain(ct, plain, [this](const std::vector<u128> &a,
+                                      const std::vector<u128> &b) {
+        return negacyclicMulNtt(ntt_, a, b);
+    });
+}
+
+double
+BfvContext::noiseBudgetBits(const SecretKey &sk, const Ciphertext &ct,
+                            const std::vector<uint64_t> &expected) const
+{
+    // Noise = v - Delta*m, measured as a signed magnitude; budget is
+    // how many more bits it can grow before rounding fails.
+    const std::vector<u128> c1s = negacyclicMulNtt(ntt_, ct.c1, sk.s);
+    const std::vector<u128> v = polyAdd(mod_, ct.c0, c1s);
+    const u128 q = mod_.value();
+
+    u128 worst = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        const u128 dm = mod_.mul(delta_, u128(expected[i] %
+                                              params_.plaintextModulus));
+        u128 noise = mod_.sub(v[i], dm);
+        if (noise > q / 2)
+            noise = q - noise; // centred magnitude
+        worst = std::max(worst, noise);
+    }
+    const double limit = std::log2(double(q)) -
+                         std::log2(2.0 * params_.plaintextModulus);
+    const double used =
+        worst == 0 ? 0.0 : std::log2(double(worst) + 1.0);
+    return std::max(0.0, limit - used);
+}
+
+} // namespace rpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal symmetric BFV-style RLWE scheme over Z_q[x]/(x^n + 1).
+ *
+ *   sk: ternary polynomial s
+ *   Enc(m): a <- uniform, e <- small;  ct = (c0, c1) with
+ *           c0 = a*s + e + Delta*m,  c1 = -a,  Delta = floor(q/t)
+ *   Dec(ct): m = round(t * (c0 + c1*s) / q) mod t
+ *
+ * Supports homomorphic addition and plaintext multiplication —
+ * exactly the operations whose polynomial products the RPU
+ * accelerates. Polynomial products can be routed through either the
+ * reference NTT or generated B512 kernels (see the he_pipeline
+ * example).
+ */
+
+#ifndef RPU_RLWE_BFV_HH
+#define RPU_RLWE_BFV_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "poly/polynomial.hh"
+#include "rlwe/params.hh"
+
+namespace rpu {
+
+/** A ciphertext: two ring polynomials (the paper's Fig. 1 pair). */
+struct Ciphertext
+{
+    std::vector<u128> c0;
+    std::vector<u128> c1;
+};
+
+/** Secret key. */
+struct SecretKey
+{
+    std::vector<u128> s;
+};
+
+/** Scheme context bound to concrete parameters. */
+class BfvContext
+{
+  public:
+    /** Generates the NTT-friendly modulus and twiddle tables. */
+    explicit BfvContext(const RlweParams &params, uint64_t seed = 1);
+
+    const RlweParams &params() const { return params_; }
+    const Modulus &modulus() const { return mod_; }
+    const NttContext &ntt() const { return ntt_; }
+    u128 q() const { return mod_.value(); }
+    u128 delta() const { return delta_; }
+
+    SecretKey keygen();
+
+    /** Encrypt a plaintext vector (coefficients mod t). */
+    Ciphertext encrypt(const SecretKey &sk,
+                       const std::vector<uint64_t> &message);
+
+    /** Decrypt back to coefficients mod t. */
+    std::vector<uint64_t> decrypt(const SecretKey &sk,
+                                  const Ciphertext &ct) const;
+
+    /** Homomorphic ciphertext addition. */
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+
+    /**
+     * Multiply a ciphertext by a plaintext polynomial (entries mod t),
+     * using the supplied negacyclic multiplier so callers can route
+     * the products through RPU-generated kernels.
+     */
+    using PolyMul = std::function<std::vector<u128>(
+        const std::vector<u128> &, const std::vector<u128> &)>;
+
+    Ciphertext mulPlain(const Ciphertext &ct,
+                        const std::vector<uint64_t> &plain,
+                        const PolyMul &mul) const;
+
+    /** Default multiplier: reference NTT. */
+    Ciphertext mulPlain(const Ciphertext &ct,
+                        const std::vector<uint64_t> &plain) const;
+
+    /**
+     * Remaining noise budget in bits (log2(q/(2t)) minus the current
+     * noise magnitude); decryption fails when it reaches zero.
+     */
+    double noiseBudgetBits(const SecretKey &sk, const Ciphertext &ct,
+                           const std::vector<uint64_t> &expected) const;
+
+    /** Lift a plaintext vector into the ring (mod q). */
+    std::vector<u128> liftPlain(const std::vector<uint64_t> &plain) const;
+
+  private:
+    std::vector<u128> samplePolyUniform();
+    std::vector<u128> samplePolySmall();
+    std::vector<u128> samplePolyTernary();
+
+    RlweParams params_;
+    Modulus mod_;
+    TwiddleTable tw_;
+    NttContext ntt_;
+    u128 delta_;
+    Rng rng_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_BFV_HH

@@ -1,0 +1,21 @@
+#include "rlwe/params.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+void
+RlweParams::validate() const
+{
+    if (!isPow2(n) || n < 1024)
+        rpu_fatal("ring dimension must be a power of two >= 1024");
+    if (qBits < 40 || qBits > 128)
+        rpu_fatal("qBits must be in [40, 128]");
+    if (plaintextModulus < 2)
+        rpu_fatal("plaintext modulus must be >= 2");
+    if (noiseBound == 0)
+        rpu_fatal("noise bound must be positive");
+}
+
+} // namespace rpu

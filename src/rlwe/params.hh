@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Parameters for the toy RLWE scheme used by the HE example.
+ *
+ * The paper motivates the RPU with homomorphic encryption (Fig. 1:
+ * plaintext -> vectorised encoding -> two ciphertext polynomials).
+ * This module provides a minimal BFV-style symmetric scheme — just
+ * enough structure to run the Fig. 1 pipeline end to end on RPU
+ * kernels. It is a demonstration workload, not a hardened
+ * cryptosystem (no CCA protections, simplistic noise sampling).
+ */
+
+#ifndef RPU_RLWE_PARAMS_HH
+#define RPU_RLWE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace rpu {
+
+/** Scheme parameters. */
+struct RlweParams
+{
+    uint64_t n = 4096;          ///< ring dimension (power of two)
+    unsigned qBits = 124;       ///< ciphertext modulus width
+    uint64_t plaintextModulus = 65537;
+    uint64_t noiseBound = 8;    ///< uniform error in [-B, B]
+
+    /** Fatal on invalid combinations. */
+    void validate() const;
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_PARAMS_HH

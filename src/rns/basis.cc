@@ -1,0 +1,36 @@
+#include "rns/basis.hh"
+
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+
+namespace rpu {
+
+RnsBasis::RnsBasis(const std::vector<u128> &moduli) : q_(1)
+{
+    rpu_assert(!moduli.empty(), "empty RNS basis");
+    for (u128 m : moduli) {
+        mods_.push_back(std::make_unique<Modulus>(m));
+        q_ = q_ * BigUInt::fromU128(m);
+    }
+    // Pairwise co-primality check (cheap: gcd via BigUInt modulo).
+    for (size_t i = 0; i < moduli.size(); ++i) {
+        for (size_t j = i + 1; j < moduli.size(); ++j) {
+            u128 a = moduli[i], b = moduli[j];
+            while (b != 0) {
+                const u128 t = a % b;
+                a = b;
+                b = t;
+            }
+            if (a != 1)
+                rpu_fatal("RNS moduli %zu and %zu are not co-prime", i, j);
+        }
+    }
+}
+
+RnsBasis
+RnsBasis::nttBasis(unsigned bits, uint64_t n, size_t count)
+{
+    return RnsBasis(nttPrimes(bits, n, count));
+}
+
+} // namespace rpu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Residue Number System basis (paper section II-B).
+ *
+ * A large ciphertext modulus Q = q0 * q1 * ... * q(L-1) is represented
+ * by residues modulo pairwise co-prime 128-bit NTT primes ("towers").
+ * Each tower operates independently — which is what lets the RPU's
+ * 128-bit datapath serve arbitrarily wide HE moduli (the paper's
+ * example: a 1600-bit modulus as 13 towers of 128-bit elements).
+ */
+
+#ifndef RPU_RNS_BASIS_HH
+#define RPU_RNS_BASIS_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "modmath/modulus.hh"
+#include "wide/biguint.hh"
+
+namespace rpu {
+
+/** A fixed RNS basis of pairwise co-prime moduli. */
+class RnsBasis
+{
+  public:
+    /** Build from explicit moduli (must be pairwise co-prime). */
+    explicit RnsBasis(const std::vector<u128> &moduli);
+
+    /**
+     * Convenience: @p count NTT-friendly primes of @p bits bits for
+     * ring dimension @p n.
+     */
+    static RnsBasis nttBasis(unsigned bits, uint64_t n, size_t count);
+
+    size_t towers() const { return mods_.size(); }
+    const Modulus &modulus(size_t i) const { return *mods_.at(i); }
+    u128 prime(size_t i) const { return mods_.at(i)->value(); }
+
+    /** The composite modulus Q. */
+    const BigUInt &q() const { return q_; }
+
+    /** Number of bits in Q. */
+    size_t qBits() const { return q_.bitLength(); }
+
+  private:
+    std::vector<std::unique_ptr<Modulus>> mods_;
+    BigUInt q_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RNS_BASIS_HH

@@ -1,0 +1,76 @@
+#include "rns/crt.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+CrtContext::CrtContext(const RnsBasis &basis) : basis_(basis)
+{
+    const size_t L = basis.towers();
+    q_over_qi_.reserve(L);
+    q_over_qi_inv_.reserve(L);
+    for (size_t i = 0; i < L; ++i) {
+        const BigUInt qi = BigUInt::fromU128(basis.prime(i));
+        const BigUInt q_over = basis.q() / qi;
+        // (Q/q_i) mod q_i, then a Fermat inverse in the tower field.
+        const u128 rem = (q_over % qi).low128();
+        q_over_qi_.push_back(q_over);
+        q_over_qi_inv_.push_back(basis.modulus(i).inv(rem));
+    }
+}
+
+std::vector<u128>
+CrtContext::decompose(const BigUInt &value) const
+{
+    const BigUInt reduced = value % basis_.q();
+    std::vector<u128> residues(basis_.towers());
+    for (size_t i = 0; i < basis_.towers(); ++i)
+        residues[i] =
+            (reduced % BigUInt::fromU128(basis_.prime(i))).low128();
+    return residues;
+}
+
+BigUInt
+CrtContext::reconstruct(const std::vector<u128> &residues) const
+{
+    rpu_assert(residues.size() == basis_.towers(),
+               "residue count mismatch");
+    BigUInt acc;
+    for (size_t i = 0; i < basis_.towers(); ++i) {
+        // term_i = r_i * (Q/q_i)^-1 mod q_i, then * (Q/q_i).
+        const u128 scaled =
+            basis_.modulus(i).mul(residues[i], q_over_qi_inv_[i]);
+        acc = acc + q_over_qi_[i] * BigUInt::fromU128(scaled);
+    }
+    return acc % basis_.q();
+}
+
+CrtContext::TowerPoly
+CrtContext::decomposePoly(const std::vector<BigUInt> &coeffs) const
+{
+    TowerPoly towers(basis_.towers(),
+                     std::vector<u128>(coeffs.size(), 0));
+    for (size_t c = 0; c < coeffs.size(); ++c) {
+        const auto residues = decompose(coeffs[c]);
+        for (size_t t = 0; t < basis_.towers(); ++t)
+            towers[t][c] = residues[t];
+    }
+    return towers;
+}
+
+std::vector<BigUInt>
+CrtContext::reconstructPoly(const TowerPoly &towers) const
+{
+    rpu_assert(!towers.empty(), "empty tower polynomial");
+    const size_t n = towers[0].size();
+    std::vector<BigUInt> coeffs(n);
+    std::vector<u128> residues(basis_.towers());
+    for (size_t c = 0; c < n; ++c) {
+        for (size_t t = 0; t < basis_.towers(); ++t)
+            residues[t] = towers[t][c];
+        coeffs[c] = reconstruct(residues);
+    }
+    return coeffs;
+}
+
+} // namespace rpu

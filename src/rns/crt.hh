@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Chinese Remainder Theorem conversions between a big integer modulo
+ * Q and its RNS residue vector, plus tower-wise ring arithmetic.
+ */
+
+#ifndef RPU_RNS_CRT_HH
+#define RPU_RNS_CRT_HH
+
+#include <vector>
+
+#include "rns/basis.hh"
+
+namespace rpu {
+
+/** Precomputed CRT reconstruction constants for one basis. */
+class CrtContext
+{
+  public:
+    explicit CrtContext(const RnsBasis &basis);
+
+    const RnsBasis &basis() const { return basis_; }
+
+    /** Residues of @p value (reduced mod Q first). */
+    std::vector<u128> decompose(const BigUInt &value) const;
+
+    /** The unique x in [0, Q) with x == residues[i] (mod q_i). */
+    BigUInt reconstruct(const std::vector<u128> &residues) const;
+
+    /**
+     * Tower-wise operations on residue vectors of polynomials:
+     * element [t][i] is coefficient i in tower t.
+     */
+    using TowerPoly = std::vector<std::vector<u128>>;
+
+    /** Split a vector of big coefficients into towers. */
+    TowerPoly decomposePoly(const std::vector<BigUInt> &coeffs) const;
+
+    /** Reassemble big coefficients from towers. */
+    std::vector<BigUInt> reconstructPoly(const TowerPoly &towers) const;
+
+  private:
+    const RnsBasis &basis_;
+    std::vector<BigUInt> q_over_qi_;   ///< Q / q_i
+    std::vector<u128> q_over_qi_inv_;  ///< (Q/q_i)^-1 mod q_i
+};
+
+} // namespace rpu
+
+#endif // RPU_RNS_CRT_HH

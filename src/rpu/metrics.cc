@@ -1,0 +1,35 @@
+#include "rpu/metrics.hh"
+
+#include <sstream>
+
+#include "model/frequency.hh"
+
+namespace rpu {
+
+KernelMetrics
+computeMetrics(const CycleStats &stats, const RpuConfig &cfg)
+{
+    KernelMetrics m;
+    m.cycle = stats;
+    m.freqGhz = rpuFrequencyGhz(cfg);
+    m.runtimeUs = stats.runtimeUs(m.freqGhz);
+    m.area = rpuArea(cfg);
+    m.energy = kernelEnergy(stats);
+    m.powerW = averagePowerW(m.energy.totalUj(), m.runtimeUs);
+    return m;
+}
+
+std::string
+KernelMetrics::report() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << cycle.cycles << " cycles @ " << freqGhz << " GHz = "
+       << runtimeUs << " us | " << area.total() << " mm^2 | "
+       << energy.totalUj() << " uJ | " << powerW << " W | P/A "
+       << perfPerArea();
+    return os.str();
+}
+
+} // namespace rpu

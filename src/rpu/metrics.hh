@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aggregated design-point metrics: timing from the cycle simulator
+ * combined with the frequency, area and energy models — the quantities
+ * every figure in the paper's evaluation reports.
+ */
+
+#ifndef RPU_RPU_METRICS_HH
+#define RPU_RPU_METRICS_HH
+
+#include <string>
+
+#include "model/area.hh"
+#include "model/energy.hh"
+#include "sim/cycle/stats.hh"
+
+namespace rpu {
+
+/** Everything measured for one (kernel, design point) pair. */
+struct KernelMetrics
+{
+    CycleStats cycle;
+    double freqGhz = 0;
+    double runtimeUs = 0;
+    AreaBreakdown area;
+    EnergyBreakdown energy;
+    double powerW = 0;
+
+    /** The paper's Fig. 4 metric: higher is better. */
+    double
+    perfPerArea() const
+    {
+        return runtimeUs == 0 ? 0 : 1.0 / (runtimeUs * area.total());
+    }
+
+    std::string report() const;
+};
+
+/** Combine a timing result with the analytical models. */
+KernelMetrics computeMetrics(const CycleStats &stats,
+                             const RpuConfig &cfg);
+
+} // namespace rpu
+
+#endif // RPU_RPU_METRICS_HH

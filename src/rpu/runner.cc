@@ -1,0 +1,119 @@
+#include "rpu/runner.hh"
+
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+#include "sim/cycle/simulator.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+
+NttRunner::NttRunner(uint64_t n, unsigned q_bits) : n_(n)
+{
+    mod_ = std::make_unique<Modulus>(nttPrime(q_bits, n));
+    tw_ = std::make_unique<TwiddleTable>(*mod_, n);
+    ref_ = std::make_unique<NttContext>(*tw_);
+}
+
+NttRunner
+NttRunner::withModulus(uint64_t n, u128 modulus)
+{
+    NttRunner runner;
+    runner.n_ = n;
+    runner.mod_ = std::make_unique<Modulus>(modulus);
+    runner.tw_ = std::make_unique<TwiddleTable>(*runner.mod_, n);
+    runner.ref_ = std::make_unique<NttContext>(*runner.tw_);
+    return runner;
+}
+
+NttKernel
+NttRunner::makeKernel(const NttCodegenOptions &opts) const
+{
+    return generateNttKernel(*tw_, opts);
+}
+
+std::vector<u128>
+NttRunner::execute(const NttKernel &kernel,
+                   const std::vector<u128> &input) const
+{
+    rpu_assert(input.size() == n_, "input size mismatch");
+
+    // Launch code: stage constants and data into the scratchpads.
+    ArchState state(kernel.vdmBytesRequired);
+    for (size_t i = 0; i < kernel.sdmImage.size(); ++i)
+        state.writeSdm(i, kernel.sdmImage[i]);
+    state.loadVdm(kernel.twPlanBase, kernel.twPlanImage);
+    state.loadVdm(kernel.dataBase, input);
+
+    FunctionalSimulator sim(state);
+    sim.run(kernel.program);
+    return state.dumpVdm(kernel.dataBase, n_);
+}
+
+bool
+NttRunner::verify(const NttKernel &kernel, uint64_t seed) const
+{
+    Rng rng(seed);
+    const std::vector<u128> input = randomPoly(*mod_, n_, rng);
+
+    std::vector<u128> expected = input;
+    if (kernel.inverse)
+        ref_->inverse(expected);
+    else
+        ref_->forward(expected);
+
+    const std::vector<u128> actual = execute(kernel, input);
+    return actual == expected;
+}
+
+KernelMetrics
+NttRunner::evaluate(const NttKernel &kernel, const RpuConfig &cfg) const
+{
+    return evaluateProgram(kernel.program, kernel.vdmBytesRequired, cfg);
+}
+
+KernelMetrics
+NttRunner::evaluateProgram(const Program &program,
+                           size_t vdm_bytes_required,
+                           const RpuConfig &cfg) const
+{
+    RpuConfig run_cfg = cfg;
+    run_cfg.vdmBytes = std::max(run_cfg.vdmBytes, vdm_bytes_required);
+    const CycleStats stats = simulateCycles(program, run_cfg);
+    return computeMetrics(stats, run_cfg);
+}
+
+PolyMulKernel
+NttRunner::makePolyMulKernel(const NttCodegenOptions &opts) const
+{
+    return generatePolyMulKernel(*tw_, opts);
+}
+
+std::vector<u128>
+NttRunner::executePolyMul(const PolyMulKernel &kernel,
+                          const std::vector<u128> &a,
+                          const std::vector<u128> &b) const
+{
+    rpu_assert(a.size() == n_ && b.size() == n_, "input size mismatch");
+    ArchState state(kernel.vdmBytesRequired);
+    for (size_t i = 0; i < kernel.sdmImage.size(); ++i)
+        state.writeSdm(i, kernel.sdmImage[i]);
+    state.loadVdm(kernel.twPlanBase, kernel.twPlanImage);
+    state.loadVdm(kernel.aBase, a);
+    state.loadVdm(kernel.bBase, b);
+
+    FunctionalSimulator sim(state);
+    sim.run(kernel.program);
+    return state.dumpVdm(kernel.aBase, n_);
+}
+
+bool
+NttRunner::verifyPolyMul(const PolyMulKernel &kernel, uint64_t seed) const
+{
+    Rng rng(seed);
+    const std::vector<u128> a = randomPoly(*mod_, n_, rng);
+    const std::vector<u128> b = randomPoly(*mod_, n_, rng);
+    const std::vector<u128> expected = negacyclicMulNtt(*ref_, a, b);
+    return executePolyMul(kernel, a, b) == expected;
+}
+
+} // namespace rpu

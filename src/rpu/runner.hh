@@ -1,0 +1,95 @@
+/**
+ * @file
+ * End-to-end NTT workbench: the "host side" of the RPU.
+ *
+ * Owns the ring (modulus + twiddle tables), generates B512 kernels,
+ * launches them on the functional simulator (modelling the paper's
+ * launch code that stages host data into the scratchpads), verifies
+ * outputs against the reference NTT, and evaluates design points with
+ * the cycle simulator and analytical models.
+ */
+
+#ifndef RPU_RPU_RUNNER_HH
+#define RPU_RPU_RUNNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "codegen/ntt_codegen.hh"
+#include "poly/polynomial.hh"
+#include "rpu/metrics.hh"
+
+namespace rpu {
+
+/** Workbench for one ring (n, q). */
+class NttRunner
+{
+  public:
+    /**
+     * Build the ring: finds the largest @p q_bits-bit NTT prime for
+     * dimension @p n and precomputes twiddle tables.
+     */
+    explicit NttRunner(uint64_t n, unsigned q_bits = 128);
+
+    /**
+     * Build the ring over an explicit NTT-friendly prime (e.g. to
+     * share a modulus with an RLWE context).
+     */
+    static NttRunner withModulus(uint64_t n, u128 modulus);
+
+    uint64_t n() const { return n_; }
+    const Modulus &modulus() const { return *mod_; }
+    const TwiddleTable &table() const { return *tw_; }
+    const NttContext &reference() const { return *ref_; }
+
+    /** Generate a kernel (see NttCodegenOptions). */
+    NttKernel makeKernel(const NttCodegenOptions &opts = {}) const;
+
+    /**
+     * Launch a kernel on the functional simulator: stage @p input at
+     * the kernel's data region, execute, and return the data region.
+     */
+    std::vector<u128> execute(const NttKernel &kernel,
+                              const std::vector<u128> &input) const;
+
+    /**
+     * Check a kernel end-to-end against the reference transform on a
+     * deterministic random input. Returns true on bit-exact match.
+     */
+    bool verify(const NttKernel &kernel, uint64_t seed = 42) const;
+
+    /** Cycle-simulate a kernel at a design point and apply the models. */
+    KernelMetrics evaluate(const NttKernel &kernel,
+                           const RpuConfig &cfg) const;
+
+    // -- Fused polynomial multiplication --------------------------------
+
+    PolyMulKernel
+    makePolyMulKernel(const NttCodegenOptions &opts = {}) const;
+
+    /** Full negacyclic product of @p a and @p b in one kernel launch. */
+    std::vector<u128> executePolyMul(const PolyMulKernel &kernel,
+                                     const std::vector<u128> &a,
+                                     const std::vector<u128> &b) const;
+
+    /** Check the fused kernel against the naive negacyclic product. */
+    bool verifyPolyMul(const PolyMulKernel &kernel,
+                       uint64_t seed = 42) const;
+
+    /** Timing/area/energy for a fused kernel. */
+    KernelMetrics evaluateProgram(const Program &program,
+                                  size_t vdm_bytes_required,
+                                  const RpuConfig &cfg) const;
+
+  private:
+    NttRunner() = default;
+
+    uint64_t n_ = 0;
+    std::unique_ptr<Modulus> mod_;
+    std::unique_ptr<TwiddleTable> tw_;
+    std::unique_ptr<NttContext> ref_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RPU_RUNNER_HH

@@ -1,0 +1,36 @@
+#include "sim/arch_config.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+void
+RpuConfig::validate() const
+{
+    if (!isPow2(numHples) || numHples < 1 ||
+        numHples > arch::kVectorLength) {
+        rpu_fatal("numHples must be a power of two in [1, %u], got %u",
+                  arch::kVectorLength, numHples);
+    }
+    if (!isPow2(numBanks) || numBanks < 1)
+        rpu_fatal("numBanks must be a power of two >= 1, got %u", numBanks);
+    if (vdmBytes > arch::kVdmMaxBytes || vdmBytes % arch::kWordBytes != 0)
+        rpu_fatal("vdmBytes invalid (max %zu)", arch::kVdmMaxBytes);
+    if (mulII < 1 || mulLatency < 1)
+        rpu_fatal("multiplier latency and II must be >= 1");
+    if (dispatchWidth < 1 || queueDepth < 1)
+        rpu_fatal("dispatchWidth and queueDepth must be >= 1");
+}
+
+std::string
+RpuConfig::name() const
+{
+    std::ostringstream os;
+    os << "(" << numHples << ", " << numBanks << ")";
+    return os.str();
+}
+
+} // namespace rpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Architectural constants of B512 and the microarchitectural
+ * configuration knobs of the RPU (paper sections III-A and VI-A).
+ */
+
+#ifndef RPU_SIM_ARCH_CONFIG_HH
+#define RPU_SIM_ARCH_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rpu {
+
+/** Fixed B512 architectural parameters (paper section III-A). */
+namespace arch {
+
+constexpr unsigned kVectorLength = 512; ///< lanes per vector register
+constexpr unsigned kNumVregs = 64;
+constexpr unsigned kNumSregs = 64;
+constexpr unsigned kNumAregs = 64;
+constexpr unsigned kNumMregs = 64;
+constexpr unsigned kWordBytes = 16; ///< 128-bit elements
+
+constexpr size_t kVdmDefaultBytes = 4ull << 20;  ///< 4 MiB default
+constexpr size_t kVdmMaxBytes = 32ull << 20;     ///< 32 MiB ISA maximum
+constexpr size_t kSdmBytes = 32ull << 10;        ///< 32 KiB
+constexpr size_t kImBytes = 512ull << 10;        ///< 512 KiB
+constexpr unsigned kInstrBytes = 8;              ///< 64-bit instructions
+
+constexpr size_t kVdmDefaultWords = kVdmDefaultBytes / kWordBytes;
+constexpr size_t kSdmWords = kSdmBytes / kWordBytes;
+constexpr size_t kImMaxInstrs = kImBytes / kInstrBytes;
+
+} // namespace arch
+
+/**
+ * One RPU design point. The paper's design-space exploration sweeps
+ * the number of HPLEs, the number of VDM banks, the multiplier
+ * pipeline (latency and initiation interval), and the crossbar
+ * latencies (Figs. 3, 4, 7, 8).
+ */
+struct RpuConfig
+{
+    unsigned numHples = 128;
+    unsigned numBanks = 128;
+    size_t vdmBytes = arch::kVdmDefaultBytes;
+
+    // HPLE modular-multiplier pipeline (Fig. 7 sweeps these).
+    unsigned mulLatency = 5;
+    unsigned mulII = 1;
+    unsigned addLatency = 2; ///< modular adder/subtractor depth
+
+    // Crossbar / memory latencies (Fig. 8 sweeps these).
+    unsigned shuffleLatency = 4; ///< SBAR traversal
+    unsigned lsLatency = 4;      ///< VBAR + VDM access
+    unsigned sdmLatency = 2;     ///< scalar memory access
+
+    // Front-end / queue sizing.
+    unsigned queueDepth = 8;     ///< per decoupled queue
+    unsigned dispatchWidth = 1;  ///< instructions dispatched per cycle
+
+    /**
+     * If true, an in-flight reader also blocks later readers of the
+     * same register (strictest reading of the paper's "tracks all the
+     * vector registers being used"). Default allows concurrent
+     * readers, which twiddle-register reuse depends on.
+     */
+    bool exclusiveReaders = false;
+
+    /** Fatal on invalid combinations (user configuration error). */
+    void validate() const;
+
+    /** e.g. "(128, 128)" — the paper's (HPLEs, banks) notation. */
+    std::string name() const;
+
+    size_t vdmWords() const { return vdmBytes / arch::kWordBytes; }
+};
+
+} // namespace rpu
+
+#endif // RPU_SIM_ARCH_CONFIG_HH

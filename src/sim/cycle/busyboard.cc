@@ -1,0 +1,122 @@
+#include "sim/cycle/busyboard.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+RegUse
+regUses(const Instruction &instr)
+{
+    RegUse u;
+    switch (instr.op) {
+      case Opcode::VLOAD:
+        u.addRead(RegClass::Address, instr.rm);
+        u.addWrite(RegClass::Vector, instr.vd);
+        break;
+      case Opcode::VSTORE:
+        u.addRead(RegClass::Address, instr.rm);
+        u.addRead(RegClass::Vector, instr.vs);
+        break;
+      case Opcode::VBCAST:
+        u.addRead(RegClass::Address, instr.rm);
+        u.addWrite(RegClass::Vector, instr.vd);
+        break;
+      case Opcode::SLOAD:
+        u.addWrite(RegClass::Scalar, instr.rt);
+        break;
+      case Opcode::MLOAD:
+        u.addWrite(RegClass::Modulus, instr.rt);
+        break;
+      case Opcode::ALOAD:
+        u.addWrite(RegClass::Address, instr.rt);
+        break;
+      case Opcode::VADDMOD:
+      case Opcode::VSUBMOD:
+      case Opcode::VMULMOD:
+        u.addRead(RegClass::Vector, instr.vs);
+        u.addRead(RegClass::Vector, instr.vt);
+        u.addRead(RegClass::Modulus, instr.rm);
+        u.addWrite(RegClass::Vector, instr.vd);
+        if (instr.bfly) {
+            u.addRead(RegClass::Vector, instr.vt1);
+            u.addWrite(RegClass::Vector, instr.vd1);
+        }
+        break;
+      case Opcode::VSADDMOD:
+      case Opcode::VSSUBMOD:
+      case Opcode::VSMULMOD:
+        u.addRead(RegClass::Vector, instr.vs);
+        u.addRead(RegClass::Scalar, instr.rt);
+        u.addRead(RegClass::Modulus, instr.rm);
+        u.addWrite(RegClass::Vector, instr.vd);
+        break;
+      case Opcode::UNPKLO:
+      case Opcode::UNPKHI:
+      case Opcode::PKLO:
+      case Opcode::PKHI:
+        u.addRead(RegClass::Vector, instr.vs);
+        u.addRead(RegClass::Vector, instr.vt);
+        u.addWrite(RegClass::Vector, instr.vd);
+        break;
+    }
+    return u;
+}
+
+bool
+Busyboard::canIssue(const RegUse &use) const
+{
+    for (unsigned i = 0; i < use.numWrites; ++i) {
+        const auto &r = use.writes[i];
+        const unsigned c = unsigned(r.cls);
+        if (write_count_[c][r.idx] != 0 || read_count_[c][r.idx] != 0)
+            return false;
+    }
+    for (unsigned i = 0; i < use.numReads; ++i) {
+        const auto &r = use.reads[i];
+        const unsigned c = unsigned(r.cls);
+        if (write_count_[c][r.idx] != 0)
+            return false;
+        if (exclusive_readers_ && read_count_[c][r.idx] != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+Busyboard::acquire(const RegUse &use)
+{
+    for (unsigned i = 0; i < use.numReads; ++i)
+        ++read_count_[unsigned(use.reads[i].cls)][use.reads[i].idx];
+    for (unsigned i = 0; i < use.numWrites; ++i)
+        ++write_count_[unsigned(use.writes[i].cls)][use.writes[i].idx];
+}
+
+void
+Busyboard::release(const RegUse &use)
+{
+    for (unsigned i = 0; i < use.numReads; ++i) {
+        auto &cnt = read_count_[unsigned(use.reads[i].cls)][use.reads[i].idx];
+        rpu_assert(cnt > 0, "busyboard read underflow");
+        --cnt;
+    }
+    for (unsigned i = 0; i < use.numWrites; ++i) {
+        auto &cnt =
+            write_count_[unsigned(use.writes[i].cls)][use.writes[i].idx];
+        rpu_assert(cnt > 0, "busyboard write underflow");
+        --cnt;
+    }
+}
+
+bool
+Busyboard::idle() const
+{
+    for (unsigned c = 0; c < kClasses; ++c) {
+        for (unsigned r = 0; r < kRegs; ++r) {
+            if (read_count_[c][r] != 0 || write_count_[c][r] != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace rpu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The busyboard: the RPU's lightweight scoreboarding mechanism
+ * (paper section IV-A).
+ *
+ * The front-end is in-order with no renaming. A bit array tracks the
+ * registers used by all in-flight instructions; a decoded instruction
+ * whose registers conflict stalls the entire front-end until the
+ * in-flight users complete. Once dispatched, instructions are known
+ * dependence-free and the three pipelines may execute and complete
+ * out of order.
+ *
+ * We refine "being used" into read-use and write-use so that multiple
+ * in-flight readers of one register (e.g. a twiddle vector shared by
+ * many butterflies) do not serialise; RpuConfig::exclusiveReaders
+ * selects the stricter any-use-blocks interpretation.
+ */
+
+#ifndef RPU_SIM_CYCLE_BUSYBOARD_HH
+#define RPU_SIM_CYCLE_BUSYBOARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hh"
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** Architected register classes tracked by the busyboard. */
+enum class RegClass : uint8_t
+{
+    Vector = 0,
+    Scalar,
+    Address,
+    Modulus,
+};
+
+/** Source/destination registers of one instruction. */
+struct RegUse
+{
+    static constexpr unsigned kMaxReads = 4;
+    static constexpr unsigned kMaxWrites = 2;
+
+    struct Ref
+    {
+        RegClass cls;
+        uint8_t idx;
+    };
+
+    std::array<Ref, kMaxReads> reads;
+    std::array<Ref, kMaxWrites> writes;
+    unsigned numReads = 0;
+    unsigned numWrites = 0;
+
+    void
+    addRead(RegClass c, uint8_t i)
+    {
+        reads[numReads++] = {c, i};
+    }
+
+    void
+    addWrite(RegClass c, uint8_t i)
+    {
+        writes[numWrites++] = {c, i};
+    }
+};
+
+/** Compute the registers an instruction reads and writes. */
+RegUse regUses(const Instruction &instr);
+
+/** In-flight register usage tracker. */
+class Busyboard
+{
+  public:
+    explicit Busyboard(bool exclusive_readers = false)
+        : exclusive_readers_(exclusive_readers)
+    {
+        for (auto &cls : read_count_)
+            cls.fill(0);
+        for (auto &cls : write_count_)
+            cls.fill(0);
+    }
+
+    /**
+     * True if @p use has no hazard against in-flight instructions:
+     * no write to a register being read or written, and no read of a
+     * register being written.
+     */
+    bool canIssue(const RegUse &use) const;
+
+    /** Mark the registers of a dispatching instruction in flight. */
+    void acquire(const RegUse &use);
+
+    /** Clear the registers of a completing instruction. */
+    void release(const RegUse &use);
+
+    /** True when no registers are in flight (end-of-program check). */
+    bool idle() const;
+
+  private:
+    static constexpr unsigned kClasses = 4;
+    static constexpr unsigned kRegs = 64;
+
+    std::array<std::array<uint16_t, kRegs>, kClasses> read_count_;
+    std::array<std::array<uint16_t, kRegs>, kClasses> write_count_;
+    bool exclusive_readers_;
+};
+
+} // namespace rpu
+
+#endif // RPU_SIM_CYCLE_BUSYBOARD_HH

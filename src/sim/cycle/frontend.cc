@@ -1,0 +1,43 @@
+#include "sim/cycle/frontend.hh"
+
+namespace rpu {
+
+Frontend::Frontend(const Program &prog, const RpuConfig &cfg)
+    : prog_(prog), cfg_(cfg)
+{
+    infos_.reserve(prog.size());
+    for (const auto &instr : prog.instructions()) {
+        DecodedInfo d;
+        d.use = regUses(instr);
+        d.beats = instrBeats(instr, cfg);
+        d.latency = instrLatency(instr, cfg);
+        d.cls = instr.pipeClass();
+        infos_.push_back(d);
+    }
+}
+
+StallReason
+Frontend::dispatchCycle(Busyboard &bb, Pipeline &ls, Pipeline &compute,
+                        Pipeline &shuffle,
+                        std::vector<uint32_t> &dispatched)
+{
+    for (unsigned slot = 0; slot < cfg_.dispatchWidth; ++slot) {
+        if (done())
+            return StallReason::None;
+        const DecodedInfo &d = infos_[pc_];
+        if (!bb.canIssue(d.use))
+            return StallReason::Busyboard;
+        Pipeline &pipe = d.cls == InstrClass::LoadStore ? ls
+                         : d.cls == InstrClass::Compute ? compute
+                                                        : shuffle;
+        if (pipe.queueFull())
+            return StallReason::QueueFull;
+        bb.acquire(d.use);
+        pipe.enqueue(pc_, d.beats);
+        dispatched.push_back(pc_);
+        ++pc_;
+    }
+    return StallReason::None;
+}
+
+} // namespace rpu

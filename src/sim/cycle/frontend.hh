@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The RPU front-end: in-order fetch/decode, busyboard hazard check,
+ * dispatch into the three decoupled queues (paper section IV-A).
+ *
+ * "No renaming is supported, and whenever a decoded instruction
+ *  register is busy, the entire front-end stalls."
+ */
+
+#ifndef RPU_SIM_CYCLE_FRONTEND_HH
+#define RPU_SIM_CYCLE_FRONTEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/cycle/busyboard.hh"
+#include "sim/cycle/pipelines.hh"
+
+namespace rpu {
+
+/** Static per-instruction dispatch information, precomputed once. */
+struct DecodedInfo
+{
+    RegUse use;
+    uint64_t beats;
+    uint64_t latency;
+    InstrClass cls;
+};
+
+/** Why the front-end could not dispatch this cycle. */
+enum class StallReason : uint8_t
+{
+    None,      ///< dispatched (or program drained)
+    Busyboard, ///< register hazard against an in-flight instruction
+    QueueFull, ///< target pipeline queue has no space
+};
+
+/** In-order single-issue front-end. */
+class Frontend
+{
+  public:
+    Frontend(const Program &prog, const RpuConfig &cfg);
+
+    bool done() const { return pc_ >= infos_.size(); }
+
+    const DecodedInfo &info(uint32_t idx) const { return infos_[idx]; }
+
+    /**
+     * Try to dispatch up to dispatchWidth instructions this cycle.
+     * Returns the number dispatched (their indices appended to
+     * @p dispatched) and the reason the slot was lost, if any.
+     */
+    StallReason dispatchCycle(Busyboard &bb, Pipeline &ls, Pipeline &compute,
+                              Pipeline &shuffle,
+                              std::vector<uint32_t> &dispatched);
+
+  private:
+    const Program &prog_;
+    const RpuConfig &cfg_;
+    std::vector<DecodedInfo> infos_;
+    uint32_t pc_ = 0;
+};
+
+} // namespace rpu
+
+#endif // RPU_SIM_CYCLE_FRONTEND_HH

@@ -1,0 +1,214 @@
+#include "sim/cycle/simulator.hh"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "sim/cycle/frontend.hh"
+
+namespace rpu {
+
+namespace {
+
+/** Structural access accounting for one executed instruction. */
+void
+countAccesses(const Instruction &instr, CycleStats &s)
+{
+    constexpr uint64_t VL = arch::kVectorLength;
+    switch (instr.op) {
+      case Opcode::VLOAD:
+        s.vdmWordsRead += VL;
+        s.vbarWords += VL;
+        s.vrfWordWrites += VL;
+        break;
+      case Opcode::VSTORE:
+        s.vrfWordReads += VL;
+        s.vbarWords += VL;
+        s.vdmWordsWritten += VL;
+        break;
+      case Opcode::VBCAST:
+        s.sdmReads += 1;
+        s.vrfWordWrites += VL;
+        break;
+      case Opcode::SLOAD:
+      case Opcode::MLOAD:
+      case Opcode::ALOAD:
+        s.sdmReads += 1;
+        break;
+      case Opcode::VADDMOD:
+      case Opcode::VSUBMOD:
+        s.vrfWordReads += 2 * VL;
+        s.vrfWordWrites += VL;
+        s.addLaneOps += VL;
+        break;
+      case Opcode::VMULMOD:
+        if (instr.bfly) {
+            s.vrfWordReads += 3 * VL;
+            s.vrfWordWrites += 2 * VL;
+            s.mulLaneOps += VL;
+            s.addLaneOps += 2 * VL;
+        } else {
+            s.vrfWordReads += 2 * VL;
+            s.vrfWordWrites += VL;
+            s.mulLaneOps += VL;
+        }
+        break;
+      case Opcode::VSADDMOD:
+      case Opcode::VSSUBMOD:
+        s.vrfWordReads += VL;
+        s.vrfWordWrites += VL;
+        s.addLaneOps += VL;
+        break;
+      case Opcode::VSMULMOD:
+        s.vrfWordReads += VL;
+        s.vrfWordWrites += VL;
+        s.mulLaneOps += VL;
+        break;
+      case Opcode::UNPKLO:
+      case Opcode::UNPKHI:
+      case Opcode::PKLO:
+      case Opcode::PKHI:
+        s.vrfWordReads += 2 * VL;
+        s.vrfWordWrites += VL;
+        s.sbarWords += VL;
+        break;
+    }
+}
+
+} // namespace
+
+CycleStats
+simulateCycles(const Program &prog, const RpuConfig &cfg)
+{
+    cfg.validate();
+    if (prog.size() > arch::kImMaxInstrs)
+        rpu_fatal("program '%s' exceeds the 512 KiB instruction memory",
+                  prog.name().c_str());
+
+    CycleStats stats;
+    stats.mix = prog.mix();
+    stats.instructions = prog.size();
+    if (prog.empty())
+        return stats;
+
+    Frontend frontend(prog, cfg);
+    Busyboard busyboard(cfg.exclusiveReaders);
+    Pipeline ls_pipe(cfg.queueDepth);
+    Pipeline compute_pipe(cfg.queueDepth);
+    Pipeline shuffle_pipe(cfg.queueDepth);
+
+    // Completion events: (cycle, instruction index), soonest first.
+    using Event = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> inflight;
+
+    uint64_t now = 0;
+    uint64_t retired = 0;
+    std::vector<uint32_t> dispatched;
+    // A generous progress guard: every instruction must retire within
+    // this many cycles of simulation or the model has deadlocked.
+    const uint64_t limit = 1000ull * prog.size() *
+                               (arch::kVectorLength / cfg.numHples + 1) +
+                           1000000ull;
+
+    while (retired < prog.size()) {
+        ++now;
+        rpu_assert(now < limit, "cycle simulator deadlock in '%s'",
+                   prog.name().c_str());
+
+        // 1. Retire instructions completing by this cycle, releasing
+        //    their busyboard claims.
+        while (!inflight.empty() && inflight.top().first <= now) {
+            const uint32_t idx = inflight.top().second;
+            inflight.pop();
+            busyboard.release(frontend.info(idx).use);
+            ++retired;
+        }
+
+        // 2. Each pipeline starts its queue head if the previous
+        //    occupant's beats have drained.
+        const auto pump = [&](Pipeline &pipe, PipeStats &ps) {
+            uint32_t idx;
+            uint64_t beats;
+            if (pipe.tryIssue(now, idx, beats)) {
+                const DecodedInfo &d = frontend.info(idx);
+                inflight.emplace(now + beats + d.latency, idx);
+                ps.instrs += 1;
+                ps.busyBeats += beats;
+                countAccesses(prog[idx], stats);
+            }
+        };
+        pump(ls_pipe, stats.ls);
+        pump(compute_pipe, stats.compute);
+        pump(shuffle_pipe, stats.shuffle);
+
+        // 3. Front-end fetch/decode/dispatch.
+        if (!frontend.done()) {
+            const size_t before = dispatched.size();
+            const StallReason reason = frontend.dispatchCycle(
+                busyboard, ls_pipe, compute_pipe, shuffle_pipe, dispatched);
+            stats.imFetches += dispatched.size() - before;
+            if (reason == StallReason::Busyboard)
+                ++stats.busyboardStallCycles;
+            else if (reason == StallReason::QueueFull)
+                ++stats.queueFullStallCycles;
+        }
+    }
+
+    stats.cycles = now;
+    return stats;
+}
+
+uint64_t
+cycleLowerBound(const Program &prog, const RpuConfig &cfg)
+{
+    uint64_t ls_beats = 0, compute_beats = 0, shuffle_beats = 0;
+    for (const auto &instr : prog.instructions()) {
+        const uint64_t b = instrBeats(instr, cfg);
+        switch (instr.pipeClass()) {
+          case InstrClass::LoadStore:
+            ls_beats += b;
+            break;
+          case InstrClass::Compute:
+            compute_beats += b;
+            break;
+          case InstrClass::Shuffle:
+            shuffle_beats += b;
+            break;
+        }
+    }
+    const uint64_t dispatch_floor =
+        divCeil(prog.size(), cfg.dispatchWidth);
+    uint64_t bound = std::max({ls_beats, compute_beats, shuffle_beats,
+                               dispatch_floor});
+    return bound;
+}
+
+std::string
+CycleStats::report() const
+{
+    std::ostringstream os;
+    os << "cycles: " << cycles << "  instructions: " << instructions
+       << "\n";
+    os << "stalls: busyboard " << busyboardStallCycles << ", queue-full "
+       << queueFullStallCycles << "\n";
+    const auto pct = [&](const PipeStats &p) {
+        return cycles == 0 ? 0.0 : 100.0 * double(p.busyBeats) /
+                                        double(cycles);
+    };
+    os << "ls pipeline:      " << ls.instrs << " instrs, " << ls.busyBeats
+       << " busy beats (" << pct(ls) << "%)\n";
+    os << "compute pipeline: " << compute.instrs << " instrs, "
+       << compute.busyBeats << " busy beats (" << pct(compute) << "%)\n";
+    os << "shuffle pipeline: " << shuffle.instrs << " instrs, "
+       << shuffle.busyBeats << " busy beats (" << pct(shuffle) << "%)\n";
+    os << "mix: " << mix.loads << " loads, " << mix.stores << " stores, "
+       << mix.broadcasts << " broadcasts, " << mix.compute << " compute ("
+       << mix.butterflies << " butterflies), " << mix.shuffles
+       << " shuffles\n";
+    return os.str();
+}
+
+} // namespace rpu

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The RPU cycle-level performance simulator (paper section VI-A).
+ *
+ * Timing-only: functional correctness is established separately by the
+ * FunctionalSimulator; this model accounts for every cycle of the
+ * front-end, busyboard, queues, and the three decoupled pipelines.
+ * The paper validated its simulator against an RTL implementation on
+ * a Palladium emulator at 97% accuracy; here the model is validated
+ * against closed-form bounds and hand-computed micro-programs
+ * (see tests/test_cycle_sim.cc and DESIGN.md section 7).
+ */
+
+#ifndef RPU_SIM_CYCLE_SIMULATOR_HH
+#define RPU_SIM_CYCLE_SIMULATOR_HH
+
+#include "isa/program.hh"
+#include "sim/arch_config.hh"
+#include "sim/cycle/stats.hh"
+
+namespace rpu {
+
+/** Simulate @p prog on design point @p cfg and return its timing. */
+CycleStats simulateCycles(const Program &prog, const RpuConfig &cfg);
+
+/**
+ * Closed-form lower bound on the cycle count: each pipeline's total
+ * busy beats, the dispatch throughput, and the critical-path drain
+ * are all hard floors. Used to sanity-check the simulator (our
+ * substitute for the paper's RTL validation).
+ */
+uint64_t cycleLowerBound(const Program &prog, const RpuConfig &cfg);
+
+} // namespace rpu
+
+#endif // RPU_SIM_CYCLE_SIMULATOR_HH

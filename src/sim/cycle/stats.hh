@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-simulation statistics: timing, stall attribution, and the
+ * structural access counts that feed the energy model (Fig. 5c).
+ */
+
+#ifndef RPU_SIM_CYCLE_STATS_HH
+#define RPU_SIM_CYCLE_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace rpu {
+
+/** Per-pipeline activity. */
+struct PipeStats
+{
+    uint64_t instrs = 0;
+    uint64_t busyBeats = 0; ///< cycles the pipeline issued work
+
+    double
+    utilisation(uint64_t cycles) const
+    {
+        return cycles == 0 ? 0.0 : double(busyBeats) / double(cycles);
+    }
+};
+
+/** Results of one cycle-level simulation. */
+struct CycleStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+
+    // Front-end stall attribution (cycles the dispatch slot was lost).
+    uint64_t busyboardStallCycles = 0;
+    uint64_t queueFullStallCycles = 0;
+
+    PipeStats ls;
+    PipeStats compute;
+    PipeStats shuffle;
+
+    // Structural access counts for the energy model.
+    uint64_t vrfWordReads = 0;
+    uint64_t vrfWordWrites = 0;
+    uint64_t vdmWordsRead = 0;
+    uint64_t vdmWordsWritten = 0;
+    uint64_t vbarWords = 0; ///< words through the vector crossbar
+    uint64_t sbarWords = 0; ///< words through the shuffle crossbar
+    uint64_t sdmReads = 0;
+    uint64_t imFetches = 0;
+    uint64_t mulLaneOps = 0; ///< modular multiplier activations
+    uint64_t addLaneOps = 0; ///< modular adder/subtractor activations
+
+    InstructionMix mix;
+
+    /** Wall-clock time at @p freq_ghz. */
+    double
+    runtimeUs(double freq_ghz) const
+    {
+        return double(cycles) / (freq_ghz * 1e3);
+    }
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+} // namespace rpu
+
+#endif // RPU_SIM_CYCLE_STATS_HH

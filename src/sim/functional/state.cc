@@ -1,0 +1,75 @@
+#include "sim/functional/state.hh"
+
+#include "common/logging.hh"
+
+namespace rpu {
+
+ArchState::ArchState(size_t vdm_bytes)
+    : vdm_(vdm_bytes / arch::kWordBytes, 0),
+      sdm_(arch::kSdmWords, 0),
+      vrf_(arch::kNumVregs),
+      srf_(arch::kNumSregs, 0),
+      arf_(arch::kNumAregs, 0),
+      mrf_(arch::kNumMregs, 0)
+{
+    rpu_assert(vdm_bytes % arch::kWordBytes == 0 &&
+               vdm_bytes <= arch::kVdmMaxBytes,
+               "invalid VDM size %zu", vdm_bytes);
+    for (auto &reg : vrf_)
+        reg.fill(0);
+}
+
+u128
+ArchState::readVdm(uint64_t word_addr) const
+{
+    if (word_addr >= vdm_.size())
+        rpu_fatal("VDM read out of bounds: word %llu of %zu",
+                  (unsigned long long)word_addr, vdm_.size());
+    return vdm_[word_addr];
+}
+
+void
+ArchState::writeVdm(uint64_t word_addr, u128 value)
+{
+    if (word_addr >= vdm_.size())
+        rpu_fatal("VDM write out of bounds: word %llu of %zu",
+                  (unsigned long long)word_addr, vdm_.size());
+    vdm_[word_addr] = value;
+}
+
+void
+ArchState::loadVdm(uint64_t word_addr, const std::vector<u128> &data)
+{
+    if (word_addr + data.size() > vdm_.size())
+        rpu_fatal("VDM bulk load out of bounds");
+    for (size_t i = 0; i < data.size(); ++i)
+        vdm_[word_addr + i] = data[i];
+}
+
+std::vector<u128>
+ArchState::dumpVdm(uint64_t word_addr, size_t count) const
+{
+    if (word_addr + count > vdm_.size())
+        rpu_fatal("VDM bulk dump out of bounds");
+    return {vdm_.begin() + word_addr, vdm_.begin() + word_addr + count};
+}
+
+u128
+ArchState::readSdm(uint64_t word_addr) const
+{
+    if (word_addr >= sdm_.size())
+        rpu_fatal("SDM read out of bounds: word %llu",
+                  (unsigned long long)word_addr);
+    return sdm_[word_addr];
+}
+
+void
+ArchState::writeSdm(uint64_t word_addr, u128 value)
+{
+    if (word_addr >= sdm_.size())
+        rpu_fatal("SDM write out of bounds: word %llu",
+                  (unsigned long long)word_addr);
+    sdm_[word_addr] = value;
+}
+
+} // namespace rpu

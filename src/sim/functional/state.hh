@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Architectural state of the RPU: data memories and register files.
+ *
+ * The host-facing accessors model the paper's "launch code", which
+ * converts host data structures into scratchpad-based data structures
+ * before a kernel runs (paper section V).
+ */
+
+#ifndef RPU_SIM_FUNCTIONAL_STATE_HH
+#define RPU_SIM_FUNCTIONAL_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/arch_config.hh"
+
+namespace rpu {
+
+/** All architecturally visible RPU state. */
+class ArchState
+{
+  public:
+    /** Allocate memories; @p vdm_bytes defaults to the 4 MiB design. */
+    explicit ArchState(size_t vdm_bytes = arch::kVdmDefaultBytes);
+
+    // -- Vector data memory (word addressed, 128b words) ---------------
+
+    size_t vdmWords() const { return vdm_.size(); }
+    u128 readVdm(uint64_t word_addr) const;
+    void writeVdm(uint64_t word_addr, u128 value);
+
+    /** Bulk host copy-in starting at @p word_addr. */
+    void loadVdm(uint64_t word_addr, const std::vector<u128> &data);
+
+    /** Bulk host copy-out of @p count words. */
+    std::vector<u128> dumpVdm(uint64_t word_addr, size_t count) const;
+
+    // -- Scalar data memory ---------------------------------------------
+
+    u128 readSdm(uint64_t word_addr) const;
+    void writeSdm(uint64_t word_addr, u128 value);
+
+    // -- Register files --------------------------------------------------
+
+    /** One full 512-lane vector register. */
+    using Vreg = std::array<u128, arch::kVectorLength>;
+
+    const Vreg &vreg(unsigned idx) const { return vrf_.at(idx); }
+    Vreg &vreg(unsigned idx) { return vrf_.at(idx); }
+
+    u128 sreg(unsigned idx) const { return srf_.at(idx); }
+    void setSreg(unsigned idx, u128 v) { srf_.at(idx) = v; }
+
+    uint64_t areg(unsigned idx) const { return arf_.at(idx); }
+    void setAreg(unsigned idx, uint64_t v) { arf_.at(idx) = v; }
+
+    u128 mreg(unsigned idx) const { return mrf_.at(idx); }
+    void setMreg(unsigned idx, u128 v) { mrf_.at(idx) = v; }
+
+  private:
+    std::vector<u128> vdm_;
+    std::vector<u128> sdm_;
+    std::vector<Vreg> vrf_;
+    std::vector<u128> srf_;
+    std::vector<uint64_t> arf_;
+    std::vector<u128> mrf_;
+};
+
+} // namespace rpu
+
+#endif // RPU_SIM_FUNCTIONAL_STATE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * 256-bit unsigned arithmetic built on the compiler's native u128.
+ *
+ * The RPU's LAW engines operate on 128-bit ring elements, so products
+ * are 256 bits wide. This header provides exactly the operations the
+ * modular-arithmetic layer needs: full multiplication, addition with
+ * carry, shifts and comparison.
+ */
+
+#ifndef RPU_WIDE_U256_HH
+#define RPU_WIDE_U256_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace rpu {
+
+/** A 256-bit unsigned integer as a (hi, lo) pair of native u128. */
+struct U256
+{
+    u128 lo = 0;
+    u128 hi = 0;
+
+    constexpr U256() = default;
+    constexpr U256(u128 high, u128 low) : lo(low), hi(high) {}
+
+    /** Widen a 128-bit value. */
+    static constexpr U256 fromU128(u128 x) { return {0, x}; }
+
+    constexpr bool operator==(const U256 &o) const = default;
+
+    constexpr bool
+    operator<(const U256 &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    constexpr bool operator>=(const U256 &o) const { return !(*this < o); }
+};
+
+/** Full 128x128 -> 256-bit product. */
+U256 mulWide(u128 a, u128 b);
+
+/** 256-bit addition; returns the carry-out (0 or 1). */
+unsigned addWithCarry(U256 &acc, const U256 &x);
+
+/** 256-bit subtraction acc -= x; returns the borrow-out (0 or 1). */
+unsigned subWithBorrow(U256 &acc, const U256 &x);
+
+/** Logical right shift by s in [0, 255]. */
+U256 shiftRight(const U256 &x, unsigned s);
+
+/** Logical left shift by s in [0, 255]. */
+U256 shiftLeft(const U256 &x, unsigned s);
+
+/**
+ * Remainder of a 256-bit value modulo a 128-bit modulus, by binary
+ * long division. Slow; used only at setup time (e.g. computing
+ * Montgomery constants) and as an independent oracle in tests.
+ */
+u128 mod256by128(const U256 &x, u128 q);
+
+/**
+ * Full quotient and remainder of a 256-bit value by a 128-bit
+ * divisor (binary long division; setup/oracle path).
+ */
+U256 divmod256by128(const U256 &x, u128 q, u128 &remainder);
+
+} // namespace rpu
+
+#endif // RPU_WIDE_U256_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CPU-baseline tests: the 64-bit Harvey/Shoup NTT against its naive
+ * oracle, the 128-bit baseline against the reference transform, and
+ * thread-count independence of results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_ntt128.hh"
+#include "baseline/cpu_ntt64.hh"
+#include "modmath/primegen.hh"
+#include "poly/polynomial.hh"
+
+namespace rpu {
+namespace {
+
+TEST(CpuNtt64, RoundTrip)
+{
+    const uint64_t q = uint64_t(nttPrime(60, 4096));
+    const CpuNtt64 ntt(q, 4096);
+    Rng rng(1);
+    std::vector<uint64_t> original(4096);
+    for (auto &v : original)
+        v = rng.below64(q);
+    std::vector<uint64_t> x = original;
+    ntt.forward(x);
+    EXPECT_NE(x, original);
+    ntt.inverse(x);
+    EXPECT_EQ(x, original);
+}
+
+TEST(CpuNtt64, ConvolutionAgainstNaive)
+{
+    const uint64_t q = uint64_t(nttPrime(58, 256));
+    const CpuNtt64 ntt(q, 256);
+    const Modulus64 mod(q);
+    Rng rng(2);
+    std::vector<uint64_t> a(256), b(256);
+    for (auto &v : a)
+        v = rng.below64(q);
+    for (auto &v : b)
+        v = rng.below64(q);
+
+    std::vector<uint64_t> fa = a, fb = b;
+    ntt.forward(fa);
+    ntt.forward(fb);
+    std::vector<uint64_t> prod(256);
+    for (size_t i = 0; i < prod.size(); ++i)
+        prod[i] = mod.mul(fa[i], fb[i]);
+    ntt.inverse(prod);
+
+    EXPECT_EQ(prod, ntt.mulNaive(a, b));
+}
+
+TEST(CpuNtt64, ThreadCountDoesNotChangeResults)
+{
+    const uint64_t q = uint64_t(nttPrime(60, 8192));
+    const CpuNtt64 ntt(q, 8192);
+    Rng rng(3);
+    std::vector<uint64_t> x(8192);
+    for (auto &v : x)
+        v = rng.below64(q);
+    std::vector<uint64_t> a = x, b = x, c = x;
+    ntt.forward(a, 1);
+    ntt.forward(b, 2);
+    ntt.forward(c, 4);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+    ntt.inverse(b, 4);
+    EXPECT_EQ(b, x);
+}
+
+TEST(CpuNtt128, MatchesReferenceTransform)
+{
+    const Modulus mod(nttPrime(124, 4096));
+    const TwiddleTable tw(mod, 4096);
+    const NttContext ref(tw);
+    const CpuNtt128 cpu(tw);
+
+    Rng rng(4);
+    std::vector<u128> a = randomPoly(mod, 4096, rng);
+    std::vector<u128> b = a;
+    ref.forward(a);
+    cpu.forward(b, 2);
+    EXPECT_EQ(a, b);
+    ref.inverse(a);
+    cpu.inverse(b, 2);
+    EXPECT_EQ(a, b);
+}
+
+TEST(CpuNtt128, RoundTripLarge)
+{
+    const Modulus mod(nttPrime(124, 32768));
+    const TwiddleTable tw(mod, 32768);
+    const CpuNtt128 cpu(tw);
+    Rng rng(5);
+    const std::vector<u128> original = randomPoly(mod, 32768, rng);
+    std::vector<u128> x = original;
+    cpu.forward(x, 2);
+    cpu.inverse(x, 2);
+    EXPECT_EQ(x, original);
+}
+
+TEST(Baseline, SixtyFourBitIsFasterThan128Bit)
+{
+    // The premise of Fig. 10's two CPU series: native 64-bit NTTs are
+    // substantially faster than 128-bit ones on a 64-bit CPU.
+    const uint64_t n = 16384;
+    const uint64_t q64 = uint64_t(nttPrime(60, n));
+    const CpuNtt64 ntt64(q64, n);
+    const Modulus mod(nttPrime(124, n));
+    const TwiddleTable tw(mod, n);
+    const CpuNtt128 ntt128(tw);
+
+    Rng rng(6);
+    std::vector<uint64_t> x64(n);
+    for (auto &v : x64)
+        v = rng.below64(q64);
+    std::vector<u128> x128 = randomPoly(mod, n, rng);
+
+    const double t64 = medianRuntimeUs(5, [&] { ntt64.forward(x64); });
+    const double t128 =
+        medianRuntimeUs(5, [&] { ntt128.forward(x128); });
+    EXPECT_LT(t64, t128);
+}
+
+TEST(MedianRuntime, ReturnsPlausibleValues)
+{
+    volatile uint64_t sink = 0;
+    const double t = medianRuntimeUs(3, [&] {
+        for (int i = 0; i < 1000; ++i)
+            sink = sink + i;
+    });
+    EXPECT_GT(t, 0.0);
+    EXPECT_LT(t, 1e5);
+}
+
+} // namespace
+} // namespace rpu

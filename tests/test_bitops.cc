@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bit-utility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/random.hh"
+
+namespace rpu {
+namespace {
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(uint64_t(1) << 63));
+    EXPECT_FALSE(isPow2((uint64_t(1) << 63) + 1));
+}
+
+TEST(Bitops, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_EQ(log2Floor(1025), 10u);
+    EXPECT_EQ(log2Floor(UINT64_MAX), 63u);
+}
+
+TEST(Bitops, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(Bitops, BitReverseSmall)
+{
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b011, 3), 0b110u);
+    EXPECT_EQ(bitReverse(0b101, 3), 0b101u);
+    EXPECT_EQ(bitReverse(1, 16), uint64_t(1) << 15);
+}
+
+TEST(Bitops, BitReverseIsInvolution)
+{
+    Rng rng(1);
+    for (unsigned bits = 1; bits <= 20; ++bits) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const uint64_t x = rng.next64() & ((uint64_t(1) << bits) - 1);
+            EXPECT_EQ(bitReverse(bitReverse(x, bits), bits), x);
+        }
+    }
+}
+
+TEST(Bitops, BitReversePermutes)
+{
+    // Over a full power-of-two range, bit reversal is a bijection.
+    constexpr unsigned bits = 8;
+    std::vector<bool> seen(1 << bits, false);
+    for (uint64_t x = 0; x < (1u << bits); ++x) {
+        const uint64_t r = bitReverse(x, bits);
+        ASSERT_LT(r, seen.size());
+        EXPECT_FALSE(seen[r]);
+        seen[r] = true;
+    }
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 5), 2u);
+    EXPECT_EQ(divCeil(11, 5), 3u);
+    EXPECT_EQ(divCeil(1, 512), 1u);
+    EXPECT_EQ(divCeil(512, 128), 4u);
+    EXPECT_EQ(divCeil(513, 128), 5u);
+}
+
+TEST(Bitops, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+    EXPECT_EQ(roundUp(1, 4096), 4096u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, Below64InRange)
+{
+    Rng rng(5);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 50; ++i)
+            EXPECT_LT(rng.below64(bound), bound);
+    }
+}
+
+TEST(Rng, Below128InRange)
+{
+    Rng rng(6);
+    const u128 bound = (u128(1) << 100) + 12345;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(rng.below128(bound), bound);
+}
+
+} // namespace
+} // namespace rpu

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Busyboard tests: register-use extraction per instruction format and
+ * hazard semantics (RAW/WAR/WAW blocking, concurrent readers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cycle/busyboard.hh"
+
+namespace rpu {
+namespace {
+
+bool
+hasRead(const RegUse &u, RegClass c, uint8_t idx)
+{
+    for (unsigned i = 0; i < u.numReads; ++i) {
+        if (u.reads[i].cls == c && u.reads[i].idx == idx)
+            return true;
+    }
+    return false;
+}
+
+bool
+hasWrite(const RegUse &u, RegClass c, uint8_t idx)
+{
+    for (unsigned i = 0; i < u.numWrites; ++i) {
+        if (u.writes[i].cls == c && u.writes[i].idx == idx)
+            return true;
+    }
+    return false;
+}
+
+TEST(RegUse, VectorLoad)
+{
+    const RegUse u = regUses(Instruction::vload(5, 2, 100));
+    EXPECT_TRUE(hasRead(u, RegClass::Address, 2));
+    EXPECT_TRUE(hasWrite(u, RegClass::Vector, 5));
+    EXPECT_EQ(u.numReads, 1u);
+    EXPECT_EQ(u.numWrites, 1u);
+}
+
+TEST(RegUse, VectorStore)
+{
+    const RegUse u = regUses(Instruction::vstore(5, 2, 100));
+    EXPECT_TRUE(hasRead(u, RegClass::Address, 2));
+    EXPECT_TRUE(hasRead(u, RegClass::Vector, 5));
+    EXPECT_EQ(u.numWrites, 0u);
+}
+
+TEST(RegUse, Butterfly)
+{
+    const RegUse u = regUses(Instruction::butterfly(1, 2, 3, 4, 5, 6));
+    EXPECT_TRUE(hasWrite(u, RegClass::Vector, 1));
+    EXPECT_TRUE(hasWrite(u, RegClass::Vector, 2));
+    EXPECT_TRUE(hasRead(u, RegClass::Vector, 3));
+    EXPECT_TRUE(hasRead(u, RegClass::Vector, 4));
+    EXPECT_TRUE(hasRead(u, RegClass::Vector, 5));
+    EXPECT_TRUE(hasRead(u, RegClass::Modulus, 6));
+}
+
+TEST(RegUse, VectorScalarCompute)
+{
+    const RegUse u =
+        regUses(Instruction::vs_(Opcode::VSMULMOD, 1, 2, 3, 4));
+    EXPECT_TRUE(hasWrite(u, RegClass::Vector, 1));
+    EXPECT_TRUE(hasRead(u, RegClass::Vector, 2));
+    EXPECT_TRUE(hasRead(u, RegClass::Scalar, 3));
+    EXPECT_TRUE(hasRead(u, RegClass::Modulus, 4));
+}
+
+TEST(RegUse, ScalarUnitLoads)
+{
+    EXPECT_TRUE(hasWrite(regUses(Instruction::sload(7, 0)),
+                         RegClass::Scalar, 7));
+    EXPECT_TRUE(hasWrite(regUses(Instruction::mload(8, 0)),
+                         RegClass::Modulus, 8));
+    EXPECT_TRUE(hasWrite(regUses(Instruction::aload(9, 0)),
+                         RegClass::Address, 9));
+}
+
+// ----------------------------------------------------------------------
+
+TEST(Busyboard, RawHazardBlocks)
+{
+    Busyboard bb;
+    const auto writer = regUses(Instruction::vload(3, 0, 0));
+    const auto reader =
+        regUses(Instruction::vv(Opcode::VADDMOD, 4, 3, 5, 0));
+    EXPECT_TRUE(bb.canIssue(writer));
+    bb.acquire(writer);
+    EXPECT_FALSE(bb.canIssue(reader)); // v3 is being written
+    bb.release(writer);
+    EXPECT_TRUE(bb.canIssue(reader));
+}
+
+TEST(Busyboard, WawHazardBlocks)
+{
+    Busyboard bb;
+    const auto w1 = regUses(Instruction::vload(3, 0, 0));
+    const auto w2 = regUses(Instruction::vload(3, 1, 0));
+    bb.acquire(w1);
+    EXPECT_FALSE(bb.canIssue(w2));
+}
+
+TEST(Busyboard, WarHazardBlocks)
+{
+    Busyboard bb;
+    const auto reader =
+        regUses(Instruction::vv(Opcode::VADDMOD, 4, 3, 5, 0));
+    const auto writer = regUses(Instruction::vload(3, 0, 0));
+    bb.acquire(reader);
+    EXPECT_FALSE(bb.canIssue(writer)); // v3 has an in-flight reader
+    bb.release(reader);
+    EXPECT_TRUE(bb.canIssue(writer));
+}
+
+TEST(Busyboard, ConcurrentReadersAllowed)
+{
+    Busyboard bb;
+    // Two butterflies sharing a twiddle register (v5) must co-issue:
+    // this is what twiddle-register reuse depends on.
+    const auto b1 = regUses(Instruction::butterfly(1, 2, 3, 4, 5, 0));
+    const auto b2 = regUses(Instruction::butterfly(6, 7, 8, 9, 5, 0));
+    bb.acquire(b1);
+    EXPECT_TRUE(bb.canIssue(b2));
+    bb.acquire(b2);
+    // A writer to v5 stays blocked until both readers release.
+    const auto w = regUses(Instruction::vload(5, 0, 0));
+    EXPECT_FALSE(bb.canIssue(w));
+    bb.release(b1);
+    EXPECT_FALSE(bb.canIssue(w));
+    bb.release(b2);
+    EXPECT_TRUE(bb.canIssue(w));
+}
+
+TEST(Busyboard, ExclusiveReadersOptionBlocksSharing)
+{
+    Busyboard bb(true);
+    const auto b1 = regUses(Instruction::butterfly(1, 2, 3, 4, 5, 0));
+    const auto b2 = regUses(Instruction::butterfly(6, 7, 8, 9, 5, 0));
+    bb.acquire(b1);
+    EXPECT_FALSE(bb.canIssue(b2));
+}
+
+TEST(Busyboard, IndependentInstructionsCoexist)
+{
+    Busyboard bb;
+    const auto a = regUses(Instruction::vload(1, 0, 0));
+    const auto b = regUses(Instruction::vload(2, 0, 0)); // shares ARF a0
+    bb.acquire(a);
+    EXPECT_TRUE(bb.canIssue(b)); // concurrent ARF readers are fine
+    bb.acquire(b);
+    const auto c = regUses(Instruction::shuffle(Opcode::PKLO, 3, 4, 5));
+    EXPECT_TRUE(bb.canIssue(c));
+}
+
+TEST(Busyboard, RegisterClassesAreSeparate)
+{
+    Busyboard bb;
+    // Writing v3 must not block writing m3 / a3 / s3.
+    bb.acquire(regUses(Instruction::vload(3, 0, 0)));
+    EXPECT_TRUE(bb.canIssue(regUses(Instruction::mload(3, 0))));
+    EXPECT_TRUE(bb.canIssue(regUses(Instruction::aload(3, 0))));
+    EXPECT_TRUE(bb.canIssue(regUses(Instruction::sload(3, 0))));
+}
+
+TEST(Busyboard, IdleAfterAllReleases)
+{
+    Busyboard bb;
+    EXPECT_TRUE(bb.idle());
+    const auto a = regUses(Instruction::butterfly(1, 2, 3, 4, 5, 0));
+    bb.acquire(a);
+    EXPECT_FALSE(bb.idle());
+    bb.release(a);
+    EXPECT_TRUE(bb.idle());
+}
+
+TEST(Busyboard, ReleaseUnderflowPanics)
+{
+    Busyboard bb;
+    const auto a = regUses(Instruction::vload(1, 0, 0));
+    EXPECT_DEATH(bb.release(a), "underflow");
+}
+
+} // namespace
+} // namespace rpu

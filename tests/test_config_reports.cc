@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Configuration validation and report-formatting tests: RpuConfig
+ * guard rails, instruction-memory capacity limits, and the
+ * human-readable summaries every bench prints.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rpu/runner.hh"
+#include "sim/cycle/simulator.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+namespace {
+
+TEST(RpuConfig, DefaultIsFlagship)
+{
+    const RpuConfig cfg;
+    EXPECT_EQ(cfg.numHples, 128u);
+    EXPECT_EQ(cfg.numBanks, 128u);
+    EXPECT_EQ(cfg.name(), "(128, 128)");
+    cfg.validate(); // must not exit
+}
+
+TEST(RpuConfig, RejectsNonPowerOfTwoHples)
+{
+    RpuConfig cfg;
+    cfg.numHples = 100;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "numHples");
+}
+
+TEST(RpuConfig, RejectsOversizedHples)
+{
+    RpuConfig cfg;
+    cfg.numHples = 1024; // more than one per lane
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "numHples");
+}
+
+TEST(RpuConfig, RejectsBadBanks)
+{
+    RpuConfig cfg;
+    cfg.numBanks = 48;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "numBanks");
+}
+
+TEST(RpuConfig, RejectsOversizedVdm)
+{
+    RpuConfig cfg;
+    cfg.vdmBytes = arch::kVdmMaxBytes + arch::kWordBytes;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "vdmBytes");
+}
+
+TEST(RpuConfig, RejectsZeroLatencyMultiplier)
+{
+    RpuConfig cfg;
+    cfg.mulII = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "II");
+}
+
+TEST(InstructionMemory, CycleSimRejectsOversizedPrograms)
+{
+    Program big("huge");
+    const Instruction nop = Instruction::sload(1, 0);
+    for (size_t i = 0; i < arch::kImMaxInstrs + 1; ++i)
+        big.append(nop);
+    EXPECT_EXIT(simulateCycles(big, RpuConfig{}),
+                testing::ExitedWithCode(1), "instruction memory");
+}
+
+TEST(InstructionMemory, FunctionalSimRejectsOversizedPrograms)
+{
+    Program big("huge");
+    const Instruction nop = Instruction::sload(1, 0);
+    for (size_t i = 0; i < arch::kImMaxInstrs + 1; ++i)
+        big.append(nop);
+    ArchState state;
+    FunctionalSimulator sim(state);
+    EXPECT_EXIT(sim.run(big), testing::ExitedWithCode(1),
+                "instruction memory");
+}
+
+TEST(Reports, KernelMetricsMentionsEverything)
+{
+    NttRunner runner(1024, 60);
+    const RpuConfig cfg;
+    const KernelMetrics m = runner.evaluate(runner.makeKernel(), cfg);
+    const std::string r = m.report();
+    EXPECT_NE(r.find("cycles"), std::string::npos);
+    EXPECT_NE(r.find("GHz"), std::string::npos);
+    EXPECT_NE(r.find("mm^2"), std::string::npos);
+    EXPECT_NE(r.find("uJ"), std::string::npos);
+    EXPECT_NE(r.find("P/A"), std::string::npos);
+}
+
+TEST(Reports, CycleStatsReport)
+{
+    NttRunner runner(1024, 60);
+    const NttKernel k = runner.makeKernel();
+    const CycleStats s = simulateCycles(k.program, RpuConfig{});
+    const std::string r = s.report();
+    EXPECT_NE(r.find("busyboard"), std::string::npos);
+    EXPECT_NE(r.find("ls pipeline"), std::string::npos);
+    EXPECT_NE(r.find("butterflies"), std::string::npos);
+}
+
+TEST(Reports, AreaAndEnergyBreakdowns)
+{
+    const AreaBreakdown a = rpuArea(RpuConfig{});
+    EXPECT_NE(a.report().find("VDM"), std::string::npos);
+    EXPECT_NE(a.report().find("total"), std::string::npos);
+    EXPECT_NEAR(a.total(), a.im + a.vdm + a.vrf + a.lawEngine + a.vbar +
+                               a.sbar + a.scalarUnit,
+                1e-12);
+
+    CycleStats s;
+    s.mulLaneOps = 1000;
+    s.vrfWordReads = 500;
+    const EnergyBreakdown e = kernelEnergy(s);
+    EXPECT_GT(e.lawUj, 0.0);
+    EXPECT_GT(e.vrfUj, 0.0);
+    EXPECT_EQ(e.vdmUj, 0.0);
+    EXPECT_NEAR(e.share(e.lawUj) + e.share(e.vrfUj), 100.0, 1e-9);
+    EXPECT_NE(e.report().find("LAW"), std::string::npos);
+}
+
+TEST(Reports, UtilisationBounds)
+{
+    NttRunner runner(2048, 60);
+    const NttKernel k = runner.makeKernel();
+    const CycleStats s = simulateCycles(k.program, RpuConfig{});
+    for (const PipeStats *p : {&s.ls, &s.compute, &s.shuffle}) {
+        EXPECT_GE(p->utilisation(s.cycles), 0.0);
+        EXPECT_LE(p->utilisation(s.cycles), 1.0);
+    }
+    // Dispatch accounting: every instruction was fetched exactly once.
+    EXPECT_EQ(s.imFetches, k.program.size());
+    EXPECT_EQ(s.ls.instrs + s.compute.instrs + s.shuffle.instrs,
+              k.program.size());
+}
+
+TEST(Reports, FunctionalAndCycleCountsAgree)
+{
+    // The two simulators count the same physical events.
+    NttRunner runner(2048, 60);
+    const NttKernel k = runner.makeKernel();
+
+    ArchState state(k.vdmBytesRequired);
+    for (size_t i = 0; i < k.sdmImage.size(); ++i)
+        state.writeSdm(i, k.sdmImage[i]);
+    state.loadVdm(k.twPlanBase, k.twPlanImage);
+    FunctionalSimulator fsim(state);
+    fsim.run(k.program);
+
+    const CycleStats cs = simulateCycles(k.program, RpuConfig{});
+    EXPECT_EQ(fsim.counts().instructions, cs.instructions);
+    EXPECT_EQ(fsim.counts().vdmWordsRead, cs.vdmWordsRead);
+    EXPECT_EQ(fsim.counts().vdmWordsWritten, cs.vdmWordsWritten);
+    EXPECT_EQ(fsim.counts().laneMuls, cs.mulLaneOps);
+    EXPECT_EQ(fsim.counts().laneAdds, cs.addLaneOps);
+    EXPECT_EQ(fsim.counts().shuffleWords, cs.sbarWords);
+}
+
+} // namespace
+} // namespace rpu

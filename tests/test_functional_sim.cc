@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Functional simulator tests: exact semantics of every B512
+ * instruction, all four addressing modes, destination aliasing, and
+ * bounds faulting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "modmath/primegen.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+namespace {
+
+constexpr unsigned VL = arch::kVectorLength;
+
+class FunctionalSim : public testing::Test
+{
+  protected:
+    FunctionalSim() : state(arch::kVdmDefaultBytes), sim(state)
+    {
+        // A small NTT prime keeps arithmetic checkable by hand.
+        q = nttPrime(60, 1024);
+        state.setMreg(1, q);
+        state.setAreg(0, 0);
+        for (unsigned i = 0; i < 4096; ++i)
+            state.writeVdm(i, u128(i) % q);
+    }
+
+    ArchState state;
+    FunctionalSimulator sim;
+    u128 q;
+};
+
+TEST_F(FunctionalSim, VloadContiguous)
+{
+    sim.step(Instruction::vload(2, 0, 100));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.vreg(2)[i], u128(100 + i));
+}
+
+TEST_F(FunctionalSim, VloadStrided)
+{
+    sim.step(Instruction::vload(2, 0, 0, AddrMode::STRIDED, 2));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.vreg(2)[i], u128(4 * i));
+}
+
+TEST_F(FunctionalSim, VloadStridedSkip)
+{
+    // Runs of 4, skipping 4: lanes 0..3 -> words 0..3, lanes 4..7 ->
+    // words 8..11, ...
+    sim.step(Instruction::vload(2, 0, 0, AddrMode::STRIDED_SKIP, 2));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.vreg(2)[i], u128((i / 4) * 8 + i % 4));
+}
+
+TEST_F(FunctionalSim, VloadRepeated)
+{
+    // Each word replicated 8 times.
+    sim.step(Instruction::vload(2, 0, 0, AddrMode::REPEATED, 3));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.vreg(2)[i], u128(i / 8));
+}
+
+TEST_F(FunctionalSim, VloadUsesArfBase)
+{
+    state.setAreg(5, 1000);
+    sim.step(Instruction::vload(2, 5, 24));
+    EXPECT_EQ(state.vreg(2)[0], u128(1024));
+}
+
+TEST_F(FunctionalSim, VstoreContiguousAndStrided)
+{
+    sim.step(Instruction::vload(2, 0, 0));
+    sim.step(Instruction::vstore(2, 0, 2048));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.readVdm(2048 + i), u128(i));
+
+    sim.step(Instruction::vstore(2, 0, 3000, AddrMode::STRIDED, 1));
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.readVdm(3000 + 2 * i), u128(i));
+}
+
+TEST_F(FunctionalSim, RepeatedStoreFaults)
+{
+    sim.step(Instruction::vload(2, 0, 0));
+    EXPECT_EXIT(sim.step(Instruction::vstore(2, 0, 0,
+                                             AddrMode::REPEATED, 1)),
+                testing::ExitedWithCode(1), "REPEATED");
+}
+
+TEST_F(FunctionalSim, VdmOutOfBoundsFaults)
+{
+    state.setAreg(7, state.vdmWords());
+    EXPECT_EXIT(sim.step(Instruction::vload(2, 7, 0)),
+                testing::ExitedWithCode(1), "out of bounds");
+}
+
+TEST_F(FunctionalSim, ScalarLoads)
+{
+    state.writeSdm(10, 777);
+    state.writeSdm(11, 888);
+    state.writeSdm(12, 999);
+    sim.step(Instruction::sload(3, 10));
+    sim.step(Instruction::mload(4, 11));
+    sim.step(Instruction::aload(5, 12));
+    EXPECT_EQ(state.sreg(3), u128(777));
+    EXPECT_EQ(state.mreg(4), u128(888));
+    EXPECT_EQ(state.areg(5), 999u);
+}
+
+TEST_F(FunctionalSim, Broadcast)
+{
+    state.writeSdm(20, 4242);
+    state.setAreg(3, 16);
+    sim.step(Instruction::vbcast(6, 3, 4)); // SDM[16 + 4]
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.vreg(6)[i], u128(4242));
+}
+
+TEST_F(FunctionalSim, VectorVectorArithmetic)
+{
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vload(2, 0, 512));
+    sim.step(Instruction::vv(Opcode::VADDMOD, 3, 1, 2, 1));
+    sim.step(Instruction::vv(Opcode::VSUBMOD, 4, 2, 1, 1));
+    sim.step(Instruction::vv(Opcode::VMULMOD, 5, 1, 2, 1));
+    const Modulus mod(q);
+    for (unsigned i = 0; i < VL; ++i) {
+        EXPECT_EQ(state.vreg(3)[i], mod.add(i, 512 + i));
+        EXPECT_EQ(state.vreg(4)[i], u128(512));
+        EXPECT_EQ(state.vreg(5)[i], mod.mul(i, 512 + i));
+    }
+}
+
+TEST_F(FunctionalSim, VectorScalarArithmetic)
+{
+    state.setSreg(9, 7);
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vs_(Opcode::VSADDMOD, 2, 1, 9, 1));
+    sim.step(Instruction::vs_(Opcode::VSSUBMOD, 3, 1, 9, 1));
+    sim.step(Instruction::vs_(Opcode::VSMULMOD, 4, 1, 9, 1));
+    const Modulus mod(q);
+    for (unsigned i = 0; i < VL; ++i) {
+        EXPECT_EQ(state.vreg(2)[i], mod.add(i, 7));
+        EXPECT_EQ(state.vreg(3)[i], mod.sub(i, 7));
+        EXPECT_EQ(state.vreg(4)[i], mod.mul(i, 7));
+    }
+}
+
+TEST_F(FunctionalSim, ButterflySemantics)
+{
+    sim.step(Instruction::vload(1, 0, 0));    // a
+    sim.step(Instruction::vload(2, 0, 512));  // b
+    sim.step(Instruction::vload(3, 0, 1024)); // w
+    sim.step(Instruction::butterfly(4, 5, 1, 2, 3, 1));
+    const Modulus mod(q);
+    for (unsigned i = 0; i < VL; ++i) {
+        const u128 t = mod.mul(u128(1024 + i), u128(512 + i));
+        EXPECT_EQ(state.vreg(4)[i], mod.add(i, t));
+        EXPECT_EQ(state.vreg(5)[i], mod.sub(i, t));
+    }
+}
+
+TEST_F(FunctionalSim, ButterflyInPlaceAliasing)
+{
+    // vd == vs and vd1 == vt: hardware reads before writing.
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vload(2, 0, 512));
+    sim.step(Instruction::vload(3, 0, 1024));
+    sim.step(Instruction::butterfly(1, 2, 1, 2, 3, 1));
+    const Modulus mod(q);
+    for (unsigned i = 0; i < VL; ++i) {
+        const u128 t = mod.mul(u128(1024 + i), u128(512 + i));
+        EXPECT_EQ(state.vreg(1)[i], mod.add(i, t));
+        EXPECT_EQ(state.vreg(2)[i], mod.sub(i, t));
+    }
+}
+
+TEST_F(FunctionalSim, ShuffleSemantics)
+{
+    sim.step(Instruction::vload(1, 0, 0));   // 0..511
+    sim.step(Instruction::vload(2, 0, 512)); // 512..1023
+    sim.step(Instruction::shuffle(Opcode::UNPKLO, 3, 1, 2));
+    sim.step(Instruction::shuffle(Opcode::UNPKHI, 4, 1, 2));
+    sim.step(Instruction::shuffle(Opcode::PKLO, 5, 1, 2));
+    sim.step(Instruction::shuffle(Opcode::PKHI, 6, 1, 2));
+    for (unsigned i = 0; i < VL / 2; ++i) {
+        EXPECT_EQ(state.vreg(3)[2 * i], u128(i));
+        EXPECT_EQ(state.vreg(3)[2 * i + 1], u128(512 + i));
+        EXPECT_EQ(state.vreg(4)[2 * i], u128(256 + i));
+        EXPECT_EQ(state.vreg(4)[2 * i + 1], u128(768 + i));
+        EXPECT_EQ(state.vreg(5)[i], u128(2 * i));
+        EXPECT_EQ(state.vreg(5)[VL / 2 + i], u128(512 + 2 * i));
+        EXPECT_EQ(state.vreg(6)[i], u128(2 * i + 1));
+        EXPECT_EQ(state.vreg(6)[VL / 2 + i], u128(512 + 2 * i + 1));
+    }
+}
+
+TEST_F(FunctionalSim, PackUndoesUnpack)
+{
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vload(2, 0, 512));
+    sim.step(Instruction::shuffle(Opcode::UNPKLO, 3, 1, 2));
+    sim.step(Instruction::shuffle(Opcode::UNPKHI, 4, 1, 2));
+    sim.step(Instruction::shuffle(Opcode::PKLO, 5, 3, 4));
+    sim.step(Instruction::shuffle(Opcode::PKHI, 6, 3, 4));
+    EXPECT_EQ(state.vreg(5), state.vreg(1));
+    EXPECT_EQ(state.vreg(6), state.vreg(2));
+}
+
+TEST_F(FunctionalSim, ShuffleSelfAliasing)
+{
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vload(2, 0, 512));
+    sim.step(Instruction::shuffle(Opcode::UNPKLO, 1, 1, 2)); // vd == vs
+    for (unsigned i = 0; i < VL / 2; ++i) {
+        EXPECT_EQ(state.vreg(1)[2 * i], u128(i));
+        EXPECT_EQ(state.vreg(1)[2 * i + 1], u128(512 + i));
+    }
+}
+
+TEST_F(FunctionalSim, CountsAreTracked)
+{
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vload(2, 0, 512));
+    sim.step(Instruction::butterfly(3, 4, 1, 2, 2, 1));
+    sim.step(Instruction::shuffle(Opcode::PKLO, 5, 3, 4));
+    sim.step(Instruction::vstore(5, 0, 2048));
+    const FunctionalCounts &c = sim.counts();
+    EXPECT_EQ(c.instructions, 5u);
+    EXPECT_EQ(c.vdmWordsRead, 2u * VL);
+    EXPECT_EQ(c.vdmWordsWritten, VL);
+    EXPECT_EQ(c.laneMuls, VL);
+    EXPECT_EQ(c.laneAdds, 2u * VL);
+    EXPECT_EQ(c.shuffleWords, VL);
+}
+
+// -- Parameterised load/store round trips over the mode grid -----------
+
+struct ModeCase
+{
+    AddrMode mode;
+    unsigned value;
+};
+
+class LoadStoreModes : public testing::TestWithParam<ModeCase>
+{
+  protected:
+    LoadStoreModes() : state(arch::kVdmDefaultBytes), sim(state)
+    {
+        state.setAreg(0, 0);
+        for (unsigned i = 0; i < 65536; ++i)
+            state.writeVdm(i, u128(i) * 3 + 1);
+    }
+
+    ArchState state;
+    FunctionalSimulator sim;
+};
+
+TEST_P(LoadStoreModes, LoadMatchesLaneOffsets)
+{
+    const auto &c = GetParam();
+    sim.step(Instruction::vload(1, 0, 64, c.mode, uint8_t(c.value)));
+    for (unsigned i = 0; i < VL; ++i) {
+        const uint64_t addr =
+            64 + FunctionalSimulator::laneOffset(c.mode, c.value, i);
+        EXPECT_EQ(state.vreg(1)[i], u128(addr) * 3 + 1) << "lane " << i;
+    }
+}
+
+TEST_P(LoadStoreModes, StoreThenLoadRoundTrips)
+{
+    const auto &c = GetParam();
+    if (c.mode == AddrMode::REPEATED)
+        GTEST_SKIP() << "stores do not support REPEATED";
+    sim.step(Instruction::vload(1, 0, 0));
+    sim.step(Instruction::vstore(1, 0, 32768, c.mode, uint8_t(c.value)));
+    sim.step(Instruction::vload(2, 0, 32768, c.mode, uint8_t(c.value)));
+    EXPECT_EQ(state.vreg(2), state.vreg(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, LoadStoreModes,
+    testing::Values(ModeCase{AddrMode::CONTIGUOUS, 0},
+                    ModeCase{AddrMode::STRIDED, 1},
+                    ModeCase{AddrMode::STRIDED, 3},
+                    ModeCase{AddrMode::STRIDED, 6},
+                    ModeCase{AddrMode::STRIDED_SKIP, 1},
+                    ModeCase{AddrMode::STRIDED_SKIP, 4},
+                    ModeCase{AddrMode::STRIDED_SKIP, 8},
+                    ModeCase{AddrMode::REPEATED, 1},
+                    ModeCase{AddrMode::REPEATED, 5},
+                    ModeCase{AddrMode::REPEATED, 9}),
+    [](const auto &info) {
+        return addrModeName(info.param.mode) + "_v" +
+               std::to_string(info.param.value);
+    });
+
+TEST_F(FunctionalSim, ModulusSwitchingMidProgram)
+{
+    // The MRF allows per-instruction modulus selection: the same
+    // (reduced) operands multiplied under two different moduli in
+    // consecutive instructions. Operands must be reduced with respect
+    // to the modulus used — the architectural contract.
+    const u128 q2 = 257;
+    state.setMreg(2, q2);
+    for (unsigned i = 0; i < VL; ++i) {
+        state.writeVdm(8000 + i, (i * 7 + 3) % 200);
+        state.writeVdm(9000 + i, (i * 11 + 5) % 200);
+    }
+    sim.step(Instruction::vload(1, 0, 8000));
+    sim.step(Instruction::vload(2, 0, 9000));
+    sim.step(Instruction::vv(Opcode::VMULMOD, 3, 1, 2, 1));
+    sim.step(Instruction::vv(Opcode::VMULMOD, 4, 1, 2, 2));
+    const Modulus m1(q), m2(q2);
+    for (unsigned i = 0; i < VL; ++i) {
+        const u128 a = state.vreg(1)[i];
+        const u128 b = state.vreg(2)[i];
+        EXPECT_EQ(state.vreg(3)[i], m1.mul(a, b));
+        EXPECT_EQ(state.vreg(4)[i], m2.mul(a, b));
+    }
+}
+
+TEST_F(FunctionalSim, AssembledProgramRuns)
+{
+    const Program p = assemble("vload v1, a0, 0, contig\n"
+                               "vload v2, a0, 512, contig\n"
+                               "vaddmod v3, v1, v2, m1\n"
+                               "vstore v3, a0, 2048, contig\n");
+    sim.run(p);
+    const Modulus mod(q);
+    for (unsigned i = 0; i < VL; ++i)
+        EXPECT_EQ(state.readVdm(2048 + i), mod.add(i, 512 + i));
+}
+
+} // namespace
+} // namespace rpu

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Modular-arithmetic tests: the Montgomery fast path against the
+ * binary-long-division oracle, primality testing against known
+ * primes/composites, and NTT-friendly prime generation invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "modmath/mod64.hh"
+#include "modmath/modulus.hh"
+#include "modmath/primality.hh"
+#include "modmath/primegen.hh"
+#include "wide/u256.hh"
+
+namespace rpu {
+namespace {
+
+/** Independent multiply oracle: full product then long division. */
+u128
+mulOracle(u128 a, u128 b, u128 q)
+{
+    return mod256by128(mulWide(a % q, b % q), q);
+}
+
+class ModulusWidths : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ModulusWidths, MulMatchesOracle)
+{
+    const unsigned bits = GetParam();
+    Rng rng(bits);
+    for (int trial = 0; trial < 20; ++trial) {
+        u128 q = rng.next128() | 1;
+        if (bits < 128)
+            q = (q % ((u128(1) << bits) - 3)) + 3;
+        q |= 1;
+        const Modulus mod(q);
+        for (int i = 0; i < 50; ++i) {
+            const u128 a = rng.below128(q);
+            const u128 b = rng.below128(q);
+            EXPECT_EQ(mod.mul(a, b), mulOracle(a, b, q));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModulusWidths,
+                         testing::Values(8u, 16u, 31u, 62u, 64u, 100u,
+                                         127u, 128u));
+
+TEST(Modulus, AddSub)
+{
+    Rng rng(3);
+    for (int t = 0; t < 50; ++t) {
+        const u128 q = rng.next128() | 1;
+        const Modulus mod(q);
+        const u128 a = rng.below128(q);
+        const u128 b = rng.below128(q);
+        const u128 s = mod.add(a, b);
+        EXPECT_LT(s, q);
+        EXPECT_EQ(mod.sub(s, b), a);
+        EXPECT_EQ(mod.sub(a, a), u128(0));
+        EXPECT_EQ(mod.add(a, mod.neg(a)), u128(0));
+    }
+}
+
+TEST(Modulus, AddHandles128BitOverflow)
+{
+    // q close to 2^128: a + b wraps the native type.
+    const u128 q = ~u128(0) - 158; // odd
+    const Modulus mod(q);
+    const u128 a = q - 1;
+    const u128 b = q - 2;
+    EXPECT_EQ(mod.add(a, b), mulOracle(1, (q - 3) % q, q));
+}
+
+TEST(Modulus, EvenModulusGenericPath)
+{
+    Rng rng(4);
+    for (int t = 0; t < 10; ++t) {
+        const u128 q = (rng.next128() | 2) & ~u128(1);
+        const Modulus mod(q);
+        for (int i = 0; i < 20; ++i) {
+            const u128 a = rng.below128(q);
+            const u128 b = rng.below128(q);
+            EXPECT_EQ(mod.mul(a, b), mulOracle(a, b, q));
+        }
+    }
+}
+
+TEST(Modulus, PowMatchesRepeatedMul)
+{
+    const Modulus mod((u128(1) << 61) - 1); // Mersenne prime
+    Rng rng(5);
+    const u128 a = rng.below128(mod.value());
+    u128 acc = 1;
+    for (unsigned e = 0; e < 30; ++e) {
+        EXPECT_EQ(mod.pow(a, e), acc);
+        acc = mod.mul(acc, a);
+    }
+}
+
+TEST(Modulus, FermatInverse)
+{
+    const u128 q = nttPrime(80, 1024);
+    const Modulus mod(q);
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        const u128 a = 1 + rng.below128(q - 1);
+        EXPECT_EQ(mod.mul(a, mod.inv(a)), u128(1));
+    }
+}
+
+TEST(Modulus, MontgomeryFormRoundTrip)
+{
+    const u128 q = nttPrime(120, 2048);
+    const Modulus mod(q);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const u128 a = rng.below128(q);
+        const u128 b = rng.below128(q);
+        // mulMontNormal(toMont(a), b) == a*b mod q
+        EXPECT_EQ(mod.mulMontNormal(mod.toMont(a), b), mod.mul(a, b));
+    }
+}
+
+// ----------------------------------------------------------------------
+
+TEST(Modulus64, MulShoupMatchesPlain)
+{
+    const Modulus64 mod((uint64_t(1) << 61) - 1);
+    Rng rng(8);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t w = rng.below64(mod.value());
+        const uint64_t a = rng.below64(mod.value());
+        const uint64_t ws = mod.shoupPrecompute(w);
+        EXPECT_EQ(mod.mulShoup(w, ws, a), mod.mul(w, a));
+    }
+}
+
+TEST(Modulus64, PowAndInverse)
+{
+    const Modulus64 mod(0x1fffffffffe00001ull); // 61-bit NTT prime
+    Rng rng(9);
+    for (int i = 0; i < 20; ++i) {
+        const uint64_t a = 1 + rng.below64(mod.value() - 1);
+        EXPECT_EQ(mod.mul(a, mod.inv(a)), 1ull);
+    }
+}
+
+// ----------------------------------------------------------------------
+
+TEST(Primality, KnownSmallPrimes)
+{
+    for (uint64_t p : {2ull, 3ull, 5ull, 97ull, 101ull, 65537ull})
+        EXPECT_TRUE(isPrime(p)) << p;
+    for (uint64_t c : {1ull, 4ull, 91ull, 561ull, 41041ull, 825265ull})
+        EXPECT_FALSE(isPrime(c)) << c; // includes Carmichael numbers
+}
+
+TEST(Primality, KnownLargePrimes)
+{
+    EXPECT_TRUE(isPrime((u128(1) << 61) - 1));  // Mersenne 61
+    EXPECT_TRUE(isPrime((u128(1) << 89) - 1));  // Mersenne 89
+    EXPECT_TRUE(isPrime((u128(1) << 107) - 1)); // Mersenne 107
+    EXPECT_TRUE(isPrime((u128(1) << 127) - 1)); // Mersenne 127
+    EXPECT_FALSE(isPrime((u128(1) << 67) - 1)); // 2^67-1 is composite
+    EXPECT_FALSE(isPrime((u128(1) << 83) - 1));
+}
+
+TEST(Primality, ProductsOfLargePrimes)
+{
+    const u128 p1 = (u128(1) << 61) - 1;
+    const u128 p2 = (u128(1) << 59) - 55; // random-ish odd composite base
+    EXPECT_FALSE(isPrime(p1 * p1));
+    EXPECT_FALSE(isPrime(p1 * 3));
+    (void)p2;
+}
+
+// ----------------------------------------------------------------------
+
+class PrimegenSizes
+    : public testing::TestWithParam<std::pair<unsigned, uint64_t>>
+{
+};
+
+TEST_P(PrimegenSizes, PrimeHasNttForm)
+{
+    const auto [bits, n] = GetParam();
+    const u128 q = nttPrime(bits, n);
+    EXPECT_TRUE(isPrime(q));
+    EXPECT_EQ((q - 1) % (u128(2) * n), u128(0));
+    EXPECT_LT(q, bits == 128 ? ~u128(0) : u128(1) << bits);
+    EXPECT_GE(q, u128(1) << (bits - 1)); // full requested width
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PrimegenSizes,
+    testing::Values(std::pair{20u, 1024ull}, std::pair{60u, 1024ull},
+                    std::pair{60u, 65536ull}, std::pair{124u, 4096ull},
+                    std::pair{124u, 65536ull}, std::pair{128u, 65536ull}));
+
+TEST(Primegen, DistinctPrimes)
+{
+    const auto primes = nttPrimes(62, 4096, 5);
+    ASSERT_EQ(primes.size(), 5u);
+    for (size_t i = 0; i < primes.size(); ++i) {
+        EXPECT_TRUE(isPrime(primes[i]));
+        for (size_t j = i + 1; j < primes.size(); ++j)
+            EXPECT_NE(primes[i], primes[j]);
+    }
+}
+
+TEST(Primegen, PrimitiveRootOrder)
+{
+    for (uint64_t n : {1024ull, 4096ull}) {
+        const u128 q = nttPrime(90, n);
+        const Modulus mod(q);
+        const u128 psi = primitiveRoot2n(q, n);
+        // psi^n == -1 and psi^2n == 1: exact order 2n.
+        EXPECT_EQ(mod.pow(psi, n), q - 1);
+        EXPECT_EQ(mod.pow(psi, u128(2) * n), u128(1));
+        EXPECT_NE(mod.pow(psi, n / 2), q - 1);
+    }
+}
+
+} // namespace
+} // namespace rpu

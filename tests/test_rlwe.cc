@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Toy BFV scheme tests: encrypt/decrypt round trips, homomorphic
+ * addition, plaintext multiplication, and noise-budget behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rlwe/bfv.hh"
+
+namespace rpu {
+namespace {
+
+RlweParams
+smallParams()
+{
+    RlweParams p;
+    p.n = 1024;
+    p.qBits = 100;
+    p.plaintextModulus = 65537;
+    p.noiseBound = 4;
+    return p;
+}
+
+std::vector<uint64_t>
+randomMessage(const RlweParams &p, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> m(p.n);
+    for (auto &v : m)
+        v = rng.below64(p.plaintextModulus);
+    return m;
+}
+
+TEST(Bfv, EncryptDecryptRoundTrip)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto msg = randomMessage(ctx.params(), seed);
+        const Ciphertext ct = ctx.encrypt(sk, msg);
+        EXPECT_EQ(ctx.decrypt(sk, ct), msg);
+    }
+}
+
+TEST(Bfv, CiphertextIsNotPlaintext)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto msg = randomMessage(ctx.params(), 4);
+    const Ciphertext ct = ctx.encrypt(sk, msg);
+    // c0 alone must not decode to the message (it is masked by a*s).
+    size_t matches = 0;
+    const u128 delta = ctx.delta();
+    for (size_t i = 0; i < msg.size(); ++i) {
+        if (ct.c0[i] / delta == u128(msg[i]))
+            ++matches;
+    }
+    EXPECT_LT(matches, msg.size() / 4);
+}
+
+TEST(Bfv, WrongKeyFails)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const SecretKey other = ctx.keygen();
+    const auto msg = randomMessage(ctx.params(), 5);
+    const Ciphertext ct = ctx.encrypt(sk, msg);
+    EXPECT_NE(ctx.decrypt(other, ct), msg);
+}
+
+TEST(Bfv, HomomorphicAddition)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto a = randomMessage(ctx.params(), 6);
+    const auto b = randomMessage(ctx.params(), 7);
+    const Ciphertext sum = ctx.add(ctx.encrypt(sk, a), ctx.encrypt(sk, b));
+
+    std::vector<uint64_t> expected(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expected[i] = (a[i] + b[i]) % ctx.params().plaintextModulus;
+    EXPECT_EQ(ctx.decrypt(sk, sum), expected);
+}
+
+TEST(Bfv, ManyAdditionsStayDecryptable)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto base = randomMessage(ctx.params(), 8);
+    Ciphertext acc = ctx.encrypt(sk, base);
+    std::vector<uint64_t> expected = base;
+    for (int round = 0; round < 16; ++round) {
+        const auto m = randomMessage(ctx.params(), 100 + round);
+        acc = ctx.add(acc, ctx.encrypt(sk, m));
+        for (size_t i = 0; i < expected.size(); ++i)
+            expected[i] =
+                (expected[i] + m[i]) % ctx.params().plaintextModulus;
+    }
+    EXPECT_EQ(ctx.decrypt(sk, acc), expected);
+}
+
+TEST(Bfv, PlaintextMultiplyByMonomial)
+{
+    // Multiplying by x rotates coefficients with a negacyclic sign
+    // flip; with messages reduced mod t the wrap becomes t - m.
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto msg = randomMessage(ctx.params(), 9);
+
+    std::vector<uint64_t> monomial(ctx.params().n, 0);
+    monomial[1] = 1; // x
+    const Ciphertext prod =
+        ctx.mulPlain(ctx.encrypt(sk, msg), monomial);
+    const auto got = ctx.decrypt(sk, prod);
+
+    const uint64_t t = ctx.params().plaintextModulus;
+    for (size_t i = 1; i < msg.size(); ++i)
+        EXPECT_EQ(got[i], msg[i - 1]) << i;
+    EXPECT_EQ(got[0], (t - msg.back()) % t);
+}
+
+TEST(Bfv, PlaintextMultiplyByConstant)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto msg = randomMessage(ctx.params(), 10);
+
+    std::vector<uint64_t> three(ctx.params().n, 0);
+    three[0] = 3;
+    const auto got = ctx.decrypt(sk, ctx.mulPlain(ctx.encrypt(sk, msg),
+                                                  three));
+    for (size_t i = 0; i < msg.size(); ++i)
+        EXPECT_EQ(got[i], (3 * msg[i]) % ctx.params().plaintextModulus);
+}
+
+TEST(Bfv, NoiseBudgetDecreasesWithWork)
+{
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+    const auto msg = randomMessage(ctx.params(), 11);
+    const Ciphertext fresh = ctx.encrypt(sk, msg);
+    const double fresh_budget = ctx.noiseBudgetBits(sk, fresh, msg);
+    EXPECT_GT(fresh_budget, 20.0);
+
+    // Plaintext multiplication grows noise by ~log2(n * t) bits.
+    const auto plain = randomMessage(ctx.params(), 12);
+    const Ciphertext worked = ctx.mulPlain(fresh, plain);
+    std::vector<u128> m_lift = ctx.liftPlain(msg);
+    std::vector<u128> p_lift = ctx.liftPlain(plain);
+    auto prod = negacyclicMulNtt(ctx.ntt(), m_lift, p_lift);
+    // The integer product has negative coefficients represented as
+    // q - |c|; reduce mod t through the centred representative.
+    const u128 q = ctx.q();
+    const uint64_t t = ctx.params().plaintextModulus;
+    std::vector<uint64_t> expected(prod.size());
+    for (size_t i = 0; i < prod.size(); ++i) {
+        if (prod[i] > q / 2)
+            expected[i] = uint64_t((u128(t) - (q - prod[i]) % t) % t);
+        else
+            expected[i] = uint64_t(prod[i] % t);
+    }
+
+    const double worked_budget =
+        ctx.noiseBudgetBits(sk, worked, expected);
+    EXPECT_LT(worked_budget, fresh_budget);
+    EXPECT_GT(worked_budget, 0.0); // still decryptable
+    EXPECT_EQ(ctx.decrypt(sk, worked), expected);
+}
+
+TEST(RlweParams, Validation)
+{
+    RlweParams p = smallParams();
+    p.n = 1000; // not a power of two
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "power of two");
+    p = smallParams();
+    p.qBits = 130;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "qBits");
+}
+
+} // namespace
+} // namespace rpu

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * RNS/CRT tests: decompose/reconstruct round trips and ring
+ * homomorphism across towers (paper section II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rns/crt.hh"
+
+namespace rpu {
+namespace {
+
+TEST(RnsBasis, CompositeModulus)
+{
+    const RnsBasis basis({u128(7), u128(11), u128(13)});
+    EXPECT_EQ(basis.towers(), 3u);
+    EXPECT_EQ(basis.q().toDecimal(), "1001");
+}
+
+TEST(RnsBasis, RejectsNonCoprime)
+{
+    EXPECT_EXIT(RnsBasis({u128(6), u128(9)}),
+                testing::ExitedWithCode(1), "co-prime");
+}
+
+TEST(RnsBasis, NttBasisWidth)
+{
+    // The paper's example: wide moduli out of many 128-bit towers.
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024, 4);
+    EXPECT_EQ(basis.towers(), 4u);
+    EXPECT_GE(basis.qBits(), 4 * 123u);
+}
+
+TEST(Crt, SmallHandComputed)
+{
+    const RnsBasis basis({u128(3), u128(5), u128(7)});
+    const CrtContext crt(basis);
+    // x = 23: residues (2, 3, 2).
+    const auto res = crt.decompose(BigUInt(23));
+    EXPECT_EQ(res[0], u128(2));
+    EXPECT_EQ(res[1], u128(3));
+    EXPECT_EQ(res[2], u128(2));
+    EXPECT_EQ(crt.reconstruct(res).toDecimal(), "23");
+}
+
+TEST(Crt, RoundTripWideValues)
+{
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024, 5);
+    const CrtContext crt(basis);
+    Rng rng(20);
+    for (int i = 0; i < 50; ++i) {
+        BigUInt x = BigUInt::fromU128(rng.next128());
+        for (int k = 0; k < 4; ++k)
+            x = x * BigUInt::fromU128(rng.next128());
+        x = x % basis.q();
+        EXPECT_EQ(crt.reconstruct(crt.decompose(x)), x);
+    }
+}
+
+TEST(Crt, AdditionHomomorphism)
+{
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024, 3);
+    const CrtContext crt(basis);
+    Rng rng(21);
+    for (int i = 0; i < 30; ++i) {
+        const BigUInt a =
+            (BigUInt::fromU128(rng.next128()) * BigUInt::fromU128(
+                 rng.next128())) % basis.q();
+        const BigUInt b =
+            (BigUInt::fromU128(rng.next128()) * BigUInt::fromU128(
+                 rng.next128())) % basis.q();
+        auto ra = crt.decompose(a);
+        const auto rb = crt.decompose(b);
+        for (size_t t = 0; t < basis.towers(); ++t)
+            ra[t] = basis.modulus(t).add(ra[t], rb[t]);
+        EXPECT_EQ(crt.reconstruct(ra), (a + b) % basis.q());
+    }
+}
+
+TEST(Crt, MultiplicationHomomorphism)
+{
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024, 3);
+    const CrtContext crt(basis);
+    Rng rng(22);
+    for (int i = 0; i < 30; ++i) {
+        const BigUInt a =
+            BigUInt::fromU128(rng.next128()) % basis.q();
+        const BigUInt b =
+            BigUInt::fromU128(rng.next128()) % basis.q();
+        auto ra = crt.decompose(a);
+        const auto rb = crt.decompose(b);
+        for (size_t t = 0; t < basis.towers(); ++t)
+            ra[t] = basis.modulus(t).mul(ra[t], rb[t]);
+        EXPECT_EQ(crt.reconstruct(ra), (a * b) % basis.q());
+    }
+}
+
+TEST(Crt, PolyDecomposeReconstruct)
+{
+    const RnsBasis basis = RnsBasis::nttBasis(124, 1024, 3);
+    const CrtContext crt(basis);
+    Rng rng(23);
+    std::vector<BigUInt> coeffs(64);
+    for (auto &c : coeffs) {
+        c = (BigUInt::fromU128(rng.next128()) *
+             BigUInt::fromU128(rng.next128())) % basis.q();
+    }
+    const auto towers = crt.decomposePoly(coeffs);
+    EXPECT_EQ(towers.size(), 3u);
+    EXPECT_EQ(towers[0].size(), 64u);
+    EXPECT_EQ(crt.reconstructPoly(towers), coeffs);
+}
+
+TEST(Crt, TowerIndependence)
+{
+    // The paper's point: each tower operates independently. Perturb
+    // one tower's residue and only that residue class changes.
+    const RnsBasis basis = RnsBasis::nttBasis(60, 1024, 3);
+    const CrtContext crt(basis);
+    auto res = crt.decompose(BigUInt(12345));
+    res[1] = basis.modulus(1).add(res[1], 1);
+    const BigUInt x = crt.reconstruct(res);
+    EXPECT_EQ((x % BigUInt::fromU128(basis.prime(0))).low128(),
+              u128(12345 % basis.prime(0)));
+    EXPECT_EQ((x % BigUInt::fromU128(basis.prime(1))).low128(),
+              basis.modulus(1).add(u128(12345 % basis.prime(1)), 1));
+    EXPECT_EQ((x % BigUInt::fromU128(basis.prime(2))).low128(),
+              u128(12345 % basis.prime(2)));
+}
+
+} // namespace
+} // namespace rpu

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * List-scheduler tests: semantics preservation (register and memory
+ * dependences), instruction conservation, and that scheduling never
+ * hurts the in-order machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "codegen/scheduler.hh"
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+#include "modmath/primegen.hh"
+#include "rpu/runner.hh"
+#include "sim/cycle/simulator.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+namespace {
+
+TEST(Scheduler, PreservesInstructionMultiset)
+{
+    NttRunner runner(4096, 124);
+    const NttKernel naive = runner.makeKernel({.optimized = false});
+    const Program scheduled = scheduleProgram(naive.program, RpuConfig{});
+    ASSERT_EQ(scheduled.size(), naive.program.size());
+
+    std::map<uint64_t, int> counts;
+    for (const auto &i : naive.program.instructions())
+        ++counts[encode(i)];
+    for (const auto &i : scheduled.instructions())
+        --counts[encode(i)];
+    for (const auto &[word, count] : counts)
+        EXPECT_EQ(count, 0);
+}
+
+TEST(Scheduler, PreservesFunctionalSemantics)
+{
+    // Schedule the unoptimized kernel ourselves and check the result
+    // still computes the exact reference NTT.
+    NttRunner runner(4096, 124);
+    NttKernel kernel = runner.makeKernel({.optimized = false});
+    kernel.program = scheduleProgram(kernel.program, RpuConfig{});
+    EXPECT_TRUE(runner.verify(kernel));
+}
+
+TEST(Scheduler, PreservesSemanticsAcrossDesignPoints)
+{
+    NttRunner runner(2048, 124);
+    for (unsigned h : {4u, 32u, 256u}) {
+        RpuConfig cfg;
+        cfg.numHples = h;
+        NttKernel kernel = runner.makeKernel({.optimized = false});
+        kernel.program = scheduleProgram(kernel.program, cfg);
+        EXPECT_TRUE(runner.verify(kernel)) << "H=" << h;
+    }
+}
+
+TEST(Scheduler, KeepsStoreLoadOrder)
+{
+    // v1 <- mem[0..511]; mem[600] <- v1; v2 <- mem[600..]; the load
+    // of 600 must stay after the store to 600.
+    const Program p = assemble("vload v1, a0, 0, contig\n"
+                               "vstore v1, a0, 600, contig\n"
+                               "vload v2, a0, 600, contig\n"
+                               "vstore v2, a0, 1200, contig\n");
+    const Program s = scheduleProgram(p, RpuConfig{});
+    size_t store600 = SIZE_MAX, load600 = SIZE_MAX, store1200 = SIZE_MAX;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i].op == Opcode::VSTORE && s[i].address == 600)
+            store600 = i;
+        if (s[i].op == Opcode::VLOAD && s[i].address == 600)
+            load600 = i;
+        if (s[i].op == Opcode::VSTORE && s[i].address == 1200)
+            store1200 = i;
+    }
+    ASSERT_NE(store600, SIZE_MAX);
+    ASSERT_NE(load600, SIZE_MAX);
+    EXPECT_LT(store600, load600);
+    EXPECT_LT(load600, store1200);
+}
+
+TEST(Scheduler, KeepsRegisterDependences)
+{
+    // RAW chain must stay ordered even though it is the whole program.
+    const Program p = assemble("vload v1, a0, 0, contig\n"
+                               "vaddmod v2, v1, v1, m0\n"
+                               "vmulmod v3, v2, v2, m0\n"
+                               "vstore v3, a0, 512, contig\n");
+    const Program s = scheduleProgram(p, RpuConfig{});
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(s[0].op, Opcode::VLOAD);
+    EXPECT_EQ(s[1].op, Opcode::VADDMOD);
+    EXPECT_EQ(s[2].op, Opcode::VMULMOD);
+    EXPECT_EQ(s[3].op, Opcode::VSTORE);
+}
+
+TEST(Scheduler, InterleavesIndependentChains)
+{
+    // Two independent dependence chains: scheduling must interleave
+    // them so the second chain does not wait for the first.
+    const Program p = assemble("vload v1, a0, 0, contig\n"
+                               "vaddmod v2, v1, v1, m0\n"
+                               "vstore v2, a0, 1024, contig\n"
+                               "vload v3, a0, 512, contig\n"
+                               "vaddmod v4, v3, v3, m0\n"
+                               "vstore v4, a0, 2048, contig\n");
+    const RpuConfig cfg;
+    const Program s = scheduleProgram(p, cfg);
+    const auto serial = simulateCycles(p, cfg);
+    const auto inter = simulateCycles(s, cfg);
+    EXPECT_LT(inter.cycles, serial.cycles);
+}
+
+TEST(Scheduler, SchedulingHelpsTheNttKernel)
+{
+    NttRunner runner(8192, 124);
+    const RpuConfig cfg;
+    const NttKernel naive = runner.makeKernel({.optimized = false});
+    const Program scheduled = scheduleProgram(naive.program, cfg);
+    const auto before = simulateCycles(naive.program, cfg);
+    const auto after = simulateCycles(scheduled, cfg);
+    EXPECT_LT(after.cycles, before.cycles);
+}
+
+TEST(Scheduler, EmptyAndSingleton)
+{
+    EXPECT_EQ(scheduleProgram(Program("e"), RpuConfig{}).size(), 0u);
+    const Program one = assemble("vload v1, a0, 0, contig");
+    const Program s = scheduleProgram(one, RpuConfig{});
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0], one[0]);
+}
+
+// -- Property test: random programs survive scheduling ------------------
+
+/** Generate a random but well-defined program (bounded addresses). */
+Program
+randomProgram(Rng &rng, size_t length)
+{
+    Program p("fuzz");
+    const auto vreg = [&] { return uint8_t(rng.below64(16)); };
+    for (size_t i = 0; i < length; ++i) {
+        switch (rng.below64(6)) {
+          case 0:
+            p.append(Instruction::vload(
+                vreg(), 0, uint32_t(rng.below64(8)) * 512));
+            break;
+          case 1:
+            p.append(Instruction::vstore(
+                vreg(), 0, uint32_t(rng.below64(8)) * 512));
+            break;
+          case 2:
+            p.append(Instruction::vv(
+                rng.below64(2) ? Opcode::VADDMOD : Opcode::VMULMOD,
+                vreg(), vreg(), vreg(), 1));
+            break;
+          case 3:
+            p.append(Instruction::butterfly(vreg(), vreg(), vreg(),
+                                            vreg(), vreg(), 1));
+            break;
+          case 4:
+            p.append(Instruction::shuffle(
+                rng.below64(2) ? Opcode::UNPKLO : Opcode::PKHI, vreg(),
+                vreg(), vreg()));
+            break;
+          default:
+            p.append(Instruction::vbcast(vreg(), 3,
+                                         uint32_t(rng.below64(16))));
+            break;
+        }
+    }
+    return p;
+}
+
+/** Run a program on a deterministic initial state; return the VDM. */
+std::vector<u128>
+runOnFreshState(const Program &p, u128 q)
+{
+    ArchState state;
+    state.setMreg(1, q);
+    state.setAreg(0, 0);
+    state.setAreg(3, 0);
+    for (unsigned i = 0; i < 16; ++i)
+        state.writeSdm(i, u128(1000 + i));
+    for (unsigned i = 0; i < 8 * 512; ++i)
+        state.writeVdm(i, u128(i) % q);
+    FunctionalSimulator sim(state);
+    sim.run(p);
+    std::vector<u128> out = state.dumpVdm(0, 8 * 512);
+    // Registers are architecturally visible too.
+    for (unsigned r = 0; r < 16; ++r) {
+        for (unsigned lane = 0; lane < 4; ++lane)
+            out.push_back(state.vreg(r)[lane]);
+    }
+    return out;
+}
+
+class SchedulerFuzz : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SchedulerFuzz, RandomProgramsKeepSemantics)
+{
+    const u128 q = nttPrime(60, 1024);
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 10; ++trial) {
+        const Program p = randomProgram(rng, 60);
+        const Program s = scheduleProgram(p, RpuConfig{});
+        ASSERT_EQ(s.size(), p.size());
+        EXPECT_EQ(runOnFreshState(s, q), runOnFreshState(p, q))
+            << "seed " << GetParam() << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                         6ull, 7ull, 8ull));
+
+} // namespace
+} // namespace rpu

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Wide-arithmetic tests: U256 primitives against native-precision
+ * oracles, BigUInt against U256 and against algebraic properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "wide/biguint.hh"
+#include "wide/u256.hh"
+
+namespace rpu {
+namespace {
+
+TEST(U256, MulWideSmall)
+{
+    const U256 r = mulWide(u128(3), u128(5));
+    EXPECT_EQ(r.lo, u128(15));
+    EXPECT_EQ(r.hi, u128(0));
+}
+
+TEST(U256, MulWideCarriesAcrossHalves)
+{
+    // (2^64)^2 = 2^128 -> exactly into the high word.
+    const U256 r = mulWide(u128(1) << 64, u128(1) << 64);
+    EXPECT_EQ(r.lo, u128(0));
+    EXPECT_EQ(r.hi, u128(1));
+}
+
+TEST(U256, MulWideMaxOperands)
+{
+    // (2^128 - 1)^2 = 2^256 - 2^129 + 1.
+    const u128 maxv = ~u128(0);
+    const U256 r = mulWide(maxv, maxv);
+    EXPECT_EQ(r.lo, u128(1));
+    EXPECT_EQ(r.hi, maxv - 1);
+}
+
+TEST(U256, MulWideMatchesNativeOn64BitInputs)
+{
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t a = rng.next64();
+        const uint64_t b = rng.next64();
+        const U256 r = mulWide(a, b);
+        EXPECT_EQ(r.lo, u128(a) * b);
+        EXPECT_EQ(r.hi, u128(0));
+    }
+}
+
+TEST(U256, MulWideMatchesBigUInt)
+{
+    Rng rng(12);
+    for (int i = 0; i < 200; ++i) {
+        const u128 a = rng.next128();
+        const u128 b = rng.next128();
+        const U256 r = mulWide(a, b);
+        const BigUInt expected =
+            BigUInt::fromU128(a) * BigUInt::fromU128(b);
+        const BigUInt got =
+            (BigUInt::fromU128(r.hi) << 128) + BigUInt::fromU128(r.lo);
+        EXPECT_EQ(got, expected);
+    }
+}
+
+TEST(U256, AddWithCarry)
+{
+    U256 acc{0, ~u128(0)};
+    const unsigned carry = addWithCarry(acc, U256::fromU128(1));
+    EXPECT_EQ(carry, 0u);
+    EXPECT_EQ(acc.lo, u128(0));
+    EXPECT_EQ(acc.hi, u128(1));
+
+    U256 full{~u128(0), ~u128(0)};
+    const unsigned carry2 = addWithCarry(full, U256::fromU128(1));
+    EXPECT_EQ(carry2, 1u);
+    EXPECT_EQ(full.lo, u128(0));
+    EXPECT_EQ(full.hi, u128(0));
+}
+
+TEST(U256, SubWithBorrow)
+{
+    U256 acc{1, 0};
+    const unsigned borrow = subWithBorrow(acc, U256::fromU128(1));
+    EXPECT_EQ(borrow, 0u);
+    EXPECT_EQ(acc.hi, u128(0));
+    EXPECT_EQ(acc.lo, ~u128(0));
+
+    U256 zero{0, 0};
+    EXPECT_EQ(subWithBorrow(zero, U256::fromU128(1)), 1u);
+}
+
+TEST(U256, AddSubRoundTrip)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        const U256 a{rng.next128(), rng.next128()};
+        const U256 b{rng.next128(), rng.next128()};
+        U256 acc = a;
+        addWithCarry(acc, b);
+        subWithBorrow(acc, b);
+        EXPECT_EQ(acc, a);
+    }
+}
+
+TEST(U256, Shifts)
+{
+    const U256 one = U256::fromU128(1);
+    EXPECT_EQ(shiftLeft(one, 128).hi, u128(1));
+    EXPECT_EQ(shiftLeft(one, 128).lo, u128(0));
+    EXPECT_EQ(shiftRight(shiftLeft(one, 200), 200), one);
+    const U256 x{0x123456789abcdef0, 0xfedcba9876543210};
+    EXPECT_EQ(shiftLeft(shiftRight(x, 0), 0), x);
+}
+
+TEST(U256, DivModAgainstMultiplyBack)
+{
+    Rng rng(14);
+    for (int i = 0; i < 100; ++i) {
+        const U256 x{rng.next128(), rng.next128()};
+        const u128 q = rng.next128() | 1;
+        u128 rem;
+        const U256 quot = divmod256by128(x, q, rem);
+        EXPECT_LT(rem, q);
+        // Reconstruct x = quot*q + rem in BigUInt space.
+        const BigUInt big_x =
+            (BigUInt::fromU128(x.hi) << 128) + BigUInt::fromU128(x.lo);
+        const BigUInt big_q =
+            ((BigUInt::fromU128(quot.hi) << 128) +
+             BigUInt::fromU128(quot.lo)) *
+            BigUInt::fromU128(q);
+        EXPECT_EQ(big_q + BigUInt::fromU128(rem), big_x);
+    }
+}
+
+TEST(U256, Mod256MatchesNativeFor128BitInputs)
+{
+    Rng rng(15);
+    for (int i = 0; i < 200; ++i) {
+        const u128 x = rng.next128();
+        const u128 q = (rng.next128() | 1);
+        EXPECT_EQ(mod256by128(U256::fromU128(x), q), x % q);
+    }
+}
+
+// ----------------------------------------------------------------------
+
+TEST(BigUInt, DecimalRoundTrip)
+{
+    const char *cases[] = {
+        "0", "1", "42", "18446744073709551615", "18446744073709551616",
+        "340282366920938463463374607431768211456",
+        "123456789012345678901234567890123456789012345678901234567890",
+    };
+    for (const char *s : cases)
+        EXPECT_EQ(BigUInt::fromDecimal(s).toDecimal(), s);
+}
+
+TEST(BigUInt, AddSubProperties)
+{
+    Rng rng(16);
+    for (int i = 0; i < 100; ++i) {
+        BigUInt a = BigUInt::fromU128(rng.next128()) *
+                    BigUInt::fromU128(rng.next128());
+        BigUInt b = BigUInt::fromU128(rng.next128());
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ(a + b, b + a);
+    }
+}
+
+TEST(BigUInt, MulDistributes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        const BigUInt a = BigUInt::fromU128(rng.next128());
+        const BigUInt b = BigUInt::fromU128(rng.next128());
+        const BigUInt c = BigUInt::fromU128(rng.next128());
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+    }
+}
+
+TEST(BigUInt, DivModIdentity)
+{
+    Rng rng(18);
+    for (int i = 0; i < 100; ++i) {
+        // Dividend up to ~512 bits, divisor up to ~256 bits.
+        BigUInt a = BigUInt::fromU128(rng.next128());
+        for (int k = 0; k < 3; ++k)
+            a = a * BigUInt::fromU128(rng.next128() | 1);
+        const BigUInt d = BigUInt::fromU128(rng.next128()) *
+                              BigUInt::fromU128(rng.next64() | 1) +
+                          BigUInt(1);
+        const auto [q, r] = a.divmod(d);
+        EXPECT_LT(r, d);
+        EXPECT_EQ(q * d + r, a);
+    }
+}
+
+TEST(BigUInt, DivByLargerGivesZero)
+{
+    const BigUInt small(5);
+    const BigUInt big = BigUInt::fromDecimal("123456789123456789123456789");
+    EXPECT_EQ(small / big, BigUInt());
+    EXPECT_EQ(small % big, small);
+}
+
+TEST(BigUInt, SingleLimbFastPathMatchesGeneral)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        BigUInt a = BigUInt::fromU128(rng.next128()) *
+                    BigUInt::fromU128(rng.next128());
+        const uint64_t d64 = rng.next64() | 1;
+        const auto [q, r] = a.divmod(BigUInt(d64));
+        EXPECT_EQ(q * BigUInt(d64) + r, a);
+        EXPECT_LT(r, BigUInt(d64));
+    }
+}
+
+TEST(BigUInt, Shifts)
+{
+    const BigUInt one(1);
+    EXPECT_EQ((one << 200) >> 200, one);
+    EXPECT_EQ((one << 64).limbs().size(), 2u);
+    EXPECT_EQ(((one << 130) >> 2).bitLength(), 129u);
+}
+
+TEST(BigUInt, BitLength)
+{
+    EXPECT_EQ(BigUInt().bitLength(), 0u);
+    EXPECT_EQ(BigUInt(1).bitLength(), 1u);
+    EXPECT_EQ(BigUInt(255).bitLength(), 8u);
+    EXPECT_EQ(BigUInt(256).bitLength(), 9u);
+    EXPECT_EQ((BigUInt(1) << 1000).bitLength(), 1001u);
+}
+
+TEST(BigUInt, Low128)
+{
+    const u128 v = (u128(0xdead) << 64) | 0xbeef;
+    EXPECT_EQ(BigUInt::fromU128(v).low128(), v);
+    EXPECT_EQ(((BigUInt::fromU128(v) << 128) +
+               BigUInt::fromU128(v)).low128(),
+              v);
+}
+
+} // namespace
+} // namespace rpu
