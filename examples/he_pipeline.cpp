@@ -2,20 +2,23 @@
  * @file
  * The paper's Fig. 1 pipeline, end to end: a synthetic "image" is
  * vectorised, RLWE-encrypted into two ciphertext polynomials, and
- * computed on homomorphically — with every polynomial product routed
- * through generated B512 kernels running on the RPU functional
- * simulator.
+ * computed on homomorphically — with every homomorphic polynomial
+ * product decomposed into RNS towers and executed on the RPU
+ * functional simulator through the RpuDevice layer, as one batched
+ * per-tower kernel launch per product.
  *
  * Workload: brighten an encrypted image (homomorphic add) and apply a
  * 2x scaling (plaintext multiply), then decrypt and check against the
  * plaintext computation.
  *
- * Build & run:   ./build/examples/he_pipeline
+ * Build & run:   ./build/he_pipeline
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "rlwe/bfv.hh"
+#include "rpu/device.hh"
 #include "rpu/runner.hh"
 
 using namespace rpu;
@@ -35,26 +38,13 @@ main()
                 (unsigned long long)params.n, params.qBits,
                 (unsigned long long)params.plaintextModulus);
 
-    // RPU kernels over the scheme's modulus.
-    NttRunner rpu = NttRunner::withModulus(params.n, ctx.q());
-    const NttKernel fwd = rpu.makeKernel();
-    const NttKernel inv = rpu.makeKernel({.inverse = true});
-    std::printf("RPU kernels generated: %zu + %zu instructions, "
-                "verified %s\n",
-                fwd.program.size(), inv.program.size(),
-                rpu.verify(fwd) && rpu.verify(inv) ? "ok" : "FAILED");
-
-    uint64_t rpu_ntts = 0;
-    const BfvContext::PolyMul rpu_mul =
-        [&](const std::vector<u128> &a, const std::vector<u128> &b) {
-            const auto fa = rpu.execute(fwd, a);
-            const auto fb = rpu.execute(fwd, b);
-            rpu_ntts += 2;
-            auto prod = polyPointwise(rpu.modulus(), fa, fb);
-            prod = rpu.execute(inv, prod);
-            ++rpu_ntts;
-            return prod;
-        };
+    // One RPU serves the whole pipeline: the scheme's homomorphic
+    // products and the workbench share its kernel and context caches.
+    const auto device = std::make_shared<RpuDevice>();
+    ctx.attachDevice(device);
+    std::printf("RPU device attached (%s backend): q split into %zu "
+                "RNS towers of <=120-bit NTT primes\n",
+                device->backend().name(), ctx.rnsBasis().towers());
 
     // --- Fig. 1: image -> vector -> two ciphertext polynomials --------
     const unsigned side = 64; // 64x64 = 4096 pixels
@@ -78,12 +68,21 @@ main()
     const Ciphertext brightened = ctx.add(ct, ctx.encrypt(sk, bright));
 
     // --- Homomorphic 2x scaling via plaintext multiply on the RPU -----
+    // mulPlain routes both ciphertext polynomials through the device:
+    // CRT-decompose, one batched tower polymul launch each,
+    // reconstruct.
     std::vector<uint64_t> two(params.n, 0);
     two[0] = 2;
-    const Ciphertext scaled = ctx.mulPlain(brightened, two, rpu_mul);
+    const Ciphertext scaled = ctx.mulPlain(brightened, two);
+    const DeviceCounters &counters = device->counters();
     std::printf("homomorphic ops done: 1 ciphertext add + 1 plaintext "
-                "multiply (%llu RPU NTT launches)\n",
-                (unsigned long long)rpu_ntts);
+                "multiply\n");
+    std::printf("RPU activity: %llu kernel launches (%llu tower "
+                "products), %llu kernel-cache miss(es), %llu hit(s)\n",
+                (unsigned long long)counters.launches,
+                (unsigned long long)counters.towerLaunches,
+                (unsigned long long)counters.kernelMisses,
+                (unsigned long long)counters.kernelHits);
 
     // --- Decrypt & check ----------------------------------------------
     const std::vector<uint64_t> result = ctx.decrypt(sk, scaled);
@@ -105,13 +104,21 @@ main()
                 errors == 0 ? "PASS" : "FAIL");
 
     // --- What would this cost on silicon? ------------------------------
+    // Cycle-model the batched tower kernel the multiply actually used.
+    const std::vector<u128> tower_moduli = ctx.rnsBasis().primes();
+    const KernelImage &batched = device->kernel(
+        KernelKind::BatchedPolyMul, params.n, tower_moduli);
     RpuConfig cfg;
-    const KernelMetrics m = rpu.evaluate(fwd, cfg);
-    std::printf("\neach forward NTT on the (128,128) RPU: %llu cycles "
-                "= %.2f us @ %.2f GHz\n",
+    const KernelMetrics m = evaluateProgram(
+        batched.program, batched.vdmBytesRequired, cfg);
+    std::printf("\none batched %zu-tower polymul on the (128,128) "
+                "RPU: %llu cycles = %.2f us @ %.2f GHz\n",
+                tower_moduli.size(),
                 (unsigned long long)m.cycle.cycles, m.runtimeUs,
                 m.freqGhz);
-    std::printf("pipeline total: %llu NTTs ~= %.1f us of RPU time\n",
-                (unsigned long long)rpu_ntts, rpu_ntts * m.runtimeUs);
+    std::printf("pipeline total: %llu launches ~= %.1f us of RPU "
+                "time\n",
+                (unsigned long long)counters.launches,
+                counters.launches * m.runtimeUs);
     return errors == 0 ? 0 : 1;
 }

@@ -121,6 +121,15 @@ KernelBuilder::beginTower(u128 modulus, unsigned modreg)
 }
 
 void
+KernelBuilder::beginTowerNinv(u128 ninv, unsigned sreg)
+{
+    rpu_assert(sreg < arch::kNumSregs, "bad scalar register %u", sreg);
+    const uint64_t addr = sdmScalar(ninv);
+    prog_.append(Instruction::sload(uint8_t(sreg), uint32_t(addr)));
+    ninv_sreg_ = sreg;
+}
+
+void
 KernelBuilder::emitDataLoad(unsigned reg, uint32_t vreg_index)
 {
     const uint64_t offset = uint64_t(vreg_index) * VL;
@@ -325,7 +334,7 @@ void
 KernelBuilder::emitScaleByNinv(unsigned reg)
 {
     prog_.append(Instruction::vs_(Opcode::VSMULMOD, uint8_t(reg),
-                                  uint8_t(reg), kNinvSreg,
+                                  uint8_t(reg), uint8_t(ninv_sreg_),
                                   uint8_t(mod_reg_)));
     // Positions are unchanged by scaling; oracle state stays valid.
 }

@@ -110,7 +110,15 @@ class KernelBuilder
      */
     void beginTower(u128 modulus, unsigned modreg);
 
+    /**
+     * Load a tower's n^-1 into SRF @p sreg and use it for subsequent
+     * emitScaleByNinv calls (batched kernels whose inverse phases run
+     * under different moduli need one scalar per tower).
+     */
+    void beginTowerNinv(u128 ninv, unsigned sreg);
+
     unsigned modReg() const { return mod_reg_; }
+    unsigned ninvSreg() const { return ninv_sreg_; }
 
     /** Load data vector-register index @p vreg_index (contiguous). */
     void emitDataLoad(unsigned reg, uint32_t vreg_index);
@@ -182,6 +190,7 @@ class KernelBuilder
     unsigned data_areg_ = kDataAreg;
     uint64_t data_base_ = 0;
     unsigned mod_reg_ = kModReg;
+    unsigned ninv_sreg_ = kNinvSreg;
     Program prog_;
     LayoutOracle oracle_;
 

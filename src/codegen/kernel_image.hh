@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The common launch state shared by every generated B512 kernel.
+ *
+ * A KernelImage is everything the host needs to launch a program on
+ * an execution backend: the program itself, the SDM constant image,
+ * the precomputed twiddle-plan vectors, the named data regions the
+ * launch code stages host polynomials into (the paper's section V
+ * "launch code" that converts host data structures into
+ * scratchpad-based data structures), and the VDM capacity floor.
+ *
+ * The image also carries a semantic descriptor (kind + per-tower
+ * moduli) so backends that do not execute B512 programs — e.g. the
+ * CPU reference baseline — can compute the same function and be
+ * checked bit-for-bit against the functional simulator.
+ */
+
+#ifndef RPU_CODEGEN_KERNEL_IMAGE_HH
+#define RPU_CODEGEN_KERNEL_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh" // u128
+#include "isa/program.hh"
+
+namespace rpu {
+
+/** What a generated kernel computes (per staged region). */
+enum class KernelKind
+{
+    ForwardNtt,        ///< data <- NTT(data)
+    InverseNtt,        ///< data <- INTT(data)
+    PolyMul,           ///< a <- INTT(NTT(a) .* NTT(b))
+    BatchedForwardNtt, ///< t.data <- NTT_t(t.data) for every tower
+    BatchedPolyMul,    ///< t.a <- INTT_t(NTT_t(t.a) .* NTT_t(t.b))
+};
+
+/** A named VDM window the launch code stages host data through. */
+struct DataRegion
+{
+    std::string name;    ///< e.g. "data", "a", "b", "t2.a"
+    uint64_t base = 0;   ///< VDM word address
+    uint64_t words = 0;  ///< region length in words
+    bool input = false;  ///< staged from the host before the launch
+    bool output = false; ///< dumped back to the host afterwards
+};
+
+/** A generated kernel plus everything needed to launch it. */
+struct KernelImage
+{
+    Program program;
+    KernelKind kind = KernelKind::ForwardNtt;
+    uint64_t n = 0;            ///< ring dimension (shared by all towers)
+    std::vector<u128> moduli;  ///< one working modulus per tower
+
+    /** Host-visible data windows, in staging order. */
+    std::vector<DataRegion> regions;
+
+    /** Twiddle-plan vectors occupy [twPlanBase, ...). */
+    uint64_t twPlanBase = 0;
+    std::vector<u128> twPlanImage;
+
+    /** SDM constants (dense from word 0). */
+    std::vector<u128> sdmImage;
+
+    /** Minimum VDM capacity the kernel needs, in bytes. */
+    size_t vdmBytesRequired = 0;
+
+    std::vector<const DataRegion *>
+    inputRegions() const
+    {
+        std::vector<const DataRegion *> v;
+        for (const auto &r : regions) {
+            if (r.input)
+                v.push_back(&r);
+        }
+        return v;
+    }
+
+    std::vector<const DataRegion *>
+    outputRegions() const
+    {
+        std::vector<const DataRegion *> v;
+        for (const auto &r : regions) {
+            if (r.output)
+                v.push_back(&r);
+        }
+        return v;
+    }
+};
+
+} // namespace rpu
+
+#endif // RPU_CODEGEN_KERNEL_IMAGE_HH

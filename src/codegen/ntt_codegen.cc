@@ -292,6 +292,35 @@ checkRingSize(uint64_t n)
                   2 * VL, (unsigned long long)n);
 }
 
+/**
+ * Shared epilogue: collect the builder's memory images, size the VDM,
+ * schedule (optimized) and name the program.
+ */
+void
+finalizeImage(KernelImage &image, KernelBuilder &builder,
+              const NttCodegenOptions &opts, const std::string &name)
+{
+    image.twPlanBase = builder.twPlanBase();
+    image.twPlanImage = builder.twPlanImage();
+    image.sdmImage = builder.sdmImage();
+
+    const size_t words = image.twPlanBase + image.twPlanImage.size();
+    image.vdmBytesRequired =
+        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
+    if (image.vdmBytesRequired > arch::kVdmMaxBytes)
+        rpu_fatal("kernel '%s' needs %zu bytes of VDM, above the 32 MiB "
+                  "limit",
+                  name.c_str(), image.vdmBytesRequired);
+
+    if (opts.optimized) {
+        image.program =
+            scheduleProgram(builder.program(), opts.scheduleConfig);
+    } else {
+        image.program = std::move(builder.program());
+    }
+    image.program.setName(name);
+}
+
 } // namespace
 
 NttKernel
@@ -311,32 +340,20 @@ generateNttKernel(const TwiddleTable &tw, const NttCodegenOptions &opts)
         gen.emitForward(plan);
 
     NttKernel kernel;
+    kernel.kind =
+        opts.inverse ? KernelKind::InverseNtt : KernelKind::ForwardNtt;
     kernel.n = n;
     kernel.modulus = tw.modulus().value();
+    kernel.moduli = {kernel.modulus};
     kernel.inverse = opts.inverse;
     kernel.optimized = opts.optimized;
     kernel.dataBase = builder.dataBase();
-    kernel.twPlanBase = builder.twPlanBase();
-    kernel.twPlanImage = builder.twPlanImage();
-    kernel.sdmImage = builder.sdmImage();
+    kernel.regions = {{"data", kernel.dataBase, n, true, true}};
 
-    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
-    kernel.vdmBytesRequired =
-        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
-    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
-        rpu_fatal("kernel needs %zu bytes of VDM, above the 32 MiB limit",
-                  kernel.vdmBytesRequired);
-
-    std::string name = (opts.inverse ? "intt" : "ntt") +
-                       std::to_string(n) +
-                       (opts.optimized ? "_opt" : "_naive");
-    if (opts.optimized) {
-        kernel.program =
-            scheduleProgram(builder.program(), opts.scheduleConfig);
-    } else {
-        kernel.program = std::move(builder.program());
-    }
-    kernel.program.setName(name);
+    const std::string name = (opts.inverse ? "intt" : "ntt") +
+                             std::to_string(n) +
+                             (opts.optimized ? "_opt" : "_naive");
+    finalizeImage(kernel, builder, opts, name);
     return kernel;
 }
 
@@ -352,11 +369,15 @@ generatePolyMulKernel(const TwiddleTable &tw,
     // Regions: a at [0, n), b at [n, 2n), twiddle plan after both.
     constexpr unsigned kBAreg = 4;
     PolyMulKernel kernel;
+    kernel.kind = KernelKind::PolyMul;
     kernel.n = n;
     kernel.modulus = tw.modulus().value();
+    kernel.moduli = {kernel.modulus};
     kernel.optimized = opts.optimized;
     kernel.aBase = 0;
     kernel.bBase = n;
+    kernel.regions = {{"a", kernel.aBase, n, true, true},
+                      {"b", kernel.bBase, n, true, false}};
 
     KernelBuilder builder(tw, opts.optimized, 2 * n,
                           opts.twiddleCompose);
@@ -395,23 +416,9 @@ generatePolyMulKernel(const TwiddleTable &tw,
         gen.emitInverse(plan);
     }
 
-    kernel.twPlanBase = builder.twPlanBase();
-    kernel.twPlanImage = builder.twPlanImage();
-    kernel.sdmImage = builder.sdmImage();
-    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
-    kernel.vdmBytesRequired =
-        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
-    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
-        rpu_fatal("polymul kernel exceeds the 32 MiB VDM limit");
-
-    if (opts.optimized) {
-        kernel.program =
-            scheduleProgram(builder.program(), opts.scheduleConfig);
-    } else {
-        kernel.program = std::move(builder.program());
-    }
-    kernel.program.setName("polymul" + std::to_string(n) +
-                           (opts.optimized ? "_opt" : "_naive"));
+    finalizeImage(kernel, builder, opts,
+                  "polymul" + std::to_string(n) +
+                      (opts.optimized ? "_opt" : "_naive"));
     return kernel;
 }
 
@@ -433,6 +440,7 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
         rpu_fatal("batched generation is forward-only");
 
     BatchedNttKernel kernel;
+    kernel.kind = KernelKind::BatchedForwardNtt;
     kernel.n = n;
 
     KernelBuilder builder(*towers[0], opts.optimized,
@@ -443,6 +451,8 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
     for (size_t t = 0; t < towers.size(); ++t) {
         kernel.moduli.push_back(towers[t]->modulus().value());
         kernel.dataBases.push_back(t * n);
+        kernel.regions.push_back(
+            {"t" + std::to_string(t), t * n, n, true, true});
         if (t > 0) {
             // Per-tower modulus register and data region: towers are
             // fully independent, so the scheduler interleaves them.
@@ -454,23 +464,99 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
         gen.emitForward(plan);
     }
 
-    kernel.twPlanBase = builder.twPlanBase();
-    kernel.twPlanImage = builder.twPlanImage();
-    kernel.sdmImage = builder.sdmImage();
-    const size_t words = kernel.twPlanBase + kernel.twPlanImage.size();
-    kernel.vdmBytesRequired =
-        std::max<size_t>(words * arch::kWordBytes, arch::kVdmDefaultBytes);
-    if (kernel.vdmBytesRequired > arch::kVdmMaxBytes)
-        rpu_fatal("batched kernel exceeds the 32 MiB VDM limit");
+    finalizeImage(kernel, builder, opts,
+                  "batched_ntt" + std::to_string(n) + "x" +
+                      std::to_string(towers.size()));
+    return kernel;
+}
 
-    if (opts.optimized) {
-        kernel.program =
-            scheduleProgram(builder.program(), opts.scheduleConfig);
-    } else {
-        kernel.program = std::move(builder.program());
+KernelImage
+generateBatchedPolyMul(const std::vector<const TwiddleTable *> &towers,
+                       const NttCodegenOptions &opts)
+{
+    rpu_assert(!towers.empty(), "no towers");
+    const uint64_t n = towers[0]->n();
+    checkRingSize(n);
+    for (const auto *t : towers) {
+        if (t->n() != n)
+            rpu_fatal("all towers must share the ring dimension");
     }
-    kernel.program.setName("batched_ntt" + std::to_string(n) + "x" +
-                           std::to_string(towers.size()));
+    // Register budget: modulus registers m1.., n^-1 scalars s2.., and
+    // two data ARFs per tower starting at a0/a4.
+    if (towers.size() > 16)
+        rpu_fatal("batched polymul supports at most 16 towers");
+    if (opts.inverse)
+        rpu_fatal("a polymul kernel has no inverse variant");
+
+    KernelImage kernel;
+    kernel.kind = KernelKind::BatchedPolyMul;
+    kernel.n = n;
+
+    // Tower t's operands: a at [2tn, 2tn + n), b right behind it.
+    // ARF conventions mirror the single-ring polymul (a0/a4 for tower
+    // 0) and extend pairwise for the rest.
+    const auto a_areg = [](size_t t) {
+        return t == 0 ? unsigned(KernelBuilder::kDataAreg)
+                      : unsigned(3 + 2 * t);
+    };
+    const auto b_areg = [](size_t t) { return unsigned(4 + 2 * t); };
+
+    KernelBuilder builder(*towers[0], opts.optimized,
+                          2 * towers.size() * n, opts.twiddleCompose);
+    builder.emitPrologue(true); // tower 0's inverse phase scales by n^-1
+    const KernelPlan plan = planPasses(n / VL);
+
+    for (size_t t = 0; t < towers.size(); ++t) {
+        const uint64_t a_base = 2 * t * n;
+        const uint64_t b_base = a_base + n;
+        kernel.moduli.push_back(towers[t]->modulus().value());
+        kernel.regions.push_back(
+            {"t" + std::to_string(t) + ".a", a_base, n, true, true});
+        kernel.regions.push_back(
+            {"t" + std::to_string(t) + ".b", b_base, n, true, false});
+
+        if (t > 0) {
+            builder.beginTower(towers[t]->modulus().value(),
+                               unsigned(1 + t));
+            builder.beginTowerNinv(towers[t]->nInv(), unsigned(2 + t));
+        }
+
+        // Forward transform of both operands, each through its own
+        // ARF base so the scheduler can interleave them.
+        builder.beginDataRegion(a_areg(t), a_base);
+        {
+            NttGenerator gen(*towers[t], builder, false);
+            gen.emitForward(plan);
+        }
+        builder.beginDataRegion(b_areg(t), b_base);
+        {
+            NttGenerator gen(*towers[t], builder, false);
+            gen.emitForward(plan);
+        }
+
+        // Dyadic product into region a.
+        for (uint32_t j = 0; j < n / VL; ++j) {
+            const unsigned xa = builder.allocReg();
+            builder.emitRegionLoad(xa, a_areg(t), j);
+            const unsigned xb = builder.allocReg();
+            builder.emitRegionLoad(xb, b_areg(t), j);
+            builder.emitPointwiseMul(xa, xa, xb);
+            builder.freeReg(xb);
+            builder.emitRegionStore(xa, a_areg(t));
+            builder.freeReg(xa);
+        }
+
+        // Inverse transform of the product, back in region a.
+        builder.beginDataRegion(a_areg(t), a_base);
+        {
+            NttGenerator gen(*towers[t], builder, true);
+            gen.emitInverse(plan);
+        }
+    }
+
+    finalizeImage(kernel, builder, opts,
+                  "batched_polymul" + std::to_string(n) + "x" +
+                      std::to_string(towers.size()));
     return kernel;
 }
 

@@ -31,7 +31,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "isa/program.hh"
+#include "codegen/kernel_image.hh"
 #include "poly/twiddle.hh"
 #include "sim/arch_config.hh"
 
@@ -65,27 +65,19 @@ struct NttCodegenOptions
     RpuConfig scheduleConfig{};
 };
 
-/** A generated kernel plus everything needed to launch it. */
-struct NttKernel
+/**
+ * A single-ring transform kernel. The launch state (program, memory
+ * images, regions) lives in the KernelImage base shared by every
+ * kernel flavour; the region named "data" holds the ring.
+ */
+struct NttKernel : KernelImage
 {
-    Program program;
-    uint64_t n = 0;
     u128 modulus = 0;
     bool inverse = false;
     bool optimized = false;
 
     /** Ring data occupies VDM words [dataBase, dataBase + n). */
     uint64_t dataBase = 0;
-
-    /** Twiddle-plan vectors occupy [twPlanBase, ...). */
-    uint64_t twPlanBase = 0;
-    std::vector<u128> twPlanImage;
-
-    /** SDM constants (dense from word 0). */
-    std::vector<u128> sdmImage;
-
-    /** Minimum VDM capacity the kernel needs, in bytes. */
-    size_t vdmBytesRequired = 0;
 };
 
 /**
@@ -103,19 +95,13 @@ NttKernel generateNttKernel(const TwiddleTable &tw,
  * through different ARF bases, so the scheduler overlaps them across
  * the decoupled pipelines; the product lands in region A.
  */
-struct PolyMulKernel
+struct PolyMulKernel : KernelImage
 {
-    Program program;
-    uint64_t n = 0;
     u128 modulus = 0;
     bool optimized = false;
 
     uint64_t aBase = 0; ///< input a; the product overwrites it
     uint64_t bBase = 0; ///< input b
-    uint64_t twPlanBase = 0;
-    std::vector<u128> twPlanImage;
-    std::vector<u128> sdmImage;
-    size_t vdmBytesRequired = 0;
 };
 
 PolyMulKernel generatePolyMulKernel(const TwiddleTable &tw,
@@ -129,21 +115,26 @@ PolyMulKernel generatePolyMulKernel(const TwiddleTable &tw,
  * dataBases[t]; towers are register- and memory-independent, so the
  * scheduler interleaves them freely.
  */
-struct BatchedNttKernel
+struct BatchedNttKernel : KernelImage
 {
-    Program program;
-    uint64_t n = 0;
-    std::vector<u128> moduli;
     std::vector<uint64_t> dataBases;
-    uint64_t twPlanBase = 0;
-    std::vector<u128> twPlanImage;
-    std::vector<u128> sdmImage;
-    size_t vdmBytesRequired = 0;
 };
 
 BatchedNttKernel
 generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
                           const NttCodegenOptions &opts = {});
+
+/**
+ * A batched negacyclic-product kernel: the fused PolyMul flow
+ * replicated across several RNS towers in a single program, each
+ * tower on its own modulus register, n^-1 scalar, and pair of data
+ * regions ("t<i>.a" / "t<i>.b"; the product overwrites t<i>.a).
+ * This is the kernel behind the RLWE layer's RNS-tower multiply: one
+ * launch computes a whole wide-modulus polynomial product.
+ */
+KernelImage
+generateBatchedPolyMul(const std::vector<const TwiddleTable *> &towers,
+                       const NttCodegenOptions &opts = {});
 
 } // namespace rpu
 

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "modmath/primegen.hh"
+#include "rpu/device.hh"
 
 namespace rpu {
 
@@ -134,10 +136,116 @@ Ciphertext
 BfvContext::mulPlain(const Ciphertext &ct,
                      const std::vector<uint64_t> &plain) const
 {
+    if (device_)
+        return mulPlainRns(ct, plain);
     return mulPlain(ct, plain, [this](const std::vector<u128> &a,
                                       const std::vector<u128> &b) {
         return negacyclicMulNtt(ntt_, a, b);
     });
+}
+
+void
+BfvContext::attachDevice(std::shared_ptr<RpuDevice> device,
+                         unsigned tower_bits)
+{
+    rpu_assert(device != nullptr, "no device");
+    rpu_assert(tower_bits >= 30 && tower_bits <= 128,
+               "tower width %u out of range", tower_bits);
+    rpu_assert(params_.n >= 1024,
+               "RPU kernels need n >= 1024, scheme has n=%llu",
+               (unsigned long long)params_.n);
+
+    // The integer negacyclic product of two polynomials with
+    // coefficients in [0, q) has coefficients of magnitude below
+    // n * q^2. The basis modulus Q must exceed twice that so the
+    // centred representative is unambiguous. Primes from nttBasis
+    // have tower_bits bits, i.e. each contributes > tower_bits - 1
+    // bits to Q.
+    const size_t product_bits =
+        2 * mod_.bits() + log2Ceil(params_.n) + 2;
+    const size_t towers =
+        (product_bits + tower_bits - 2) / (tower_bits - 1);
+
+    device_ = std::move(device);
+    rns_basis_ = std::make_unique<RnsBasis>(
+        RnsBasis::nttBasis(tower_bits, params_.n, towers));
+    rns_crt_ = std::make_unique<CrtContext>(*rns_basis_);
+}
+
+CrtContext::TowerPoly
+BfvContext::rnsTowers(const std::vector<u128> &poly) const
+{
+    std::vector<BigUInt> wide(params_.n);
+    for (size_t i = 0; i < params_.n; ++i)
+        wide[i] = BigUInt::fromU128(poly[i]);
+    return rns_crt_->decomposePoly(wide);
+}
+
+std::vector<u128>
+BfvContext::rnsReduceCentred(const CrtContext::TowerPoly &towers) const
+{
+    // Reconstruct the exact integer product (centred mod Q), then
+    // reduce mod q.
+    const std::vector<BigUInt> wide = rns_crt_->reconstructPoly(towers);
+    const BigUInt &big_q = rns_basis_->q();
+    const BigUInt half_q = big_q >> 1;
+    const BigUInt scheme_q = BigUInt::fromU128(mod_.value());
+
+    std::vector<u128> out(params_.n);
+    for (size_t i = 0; i < params_.n; ++i) {
+        if (wide[i] > half_q) {
+            // Negative coefficient: v - Q in [-nq^2, 0).
+            const u128 mag = ((big_q - wide[i]) % scheme_q).low128();
+            out[i] = mag == 0 ? 0 : mod_.value() - mag;
+        } else {
+            out[i] = (wide[i] % scheme_q).low128();
+        }
+    }
+    return out;
+}
+
+std::vector<u128>
+BfvContext::negacyclicMulRns(const std::vector<u128> &a,
+                             const std::vector<u128> &b) const
+{
+    rpu_assert(device_ != nullptr, "no device attached");
+    rpu_assert(a.size() == params_.n && b.size() == params_.n,
+               "operand size mismatch");
+
+    // All towers' fused negacyclic products in one kernel launch.
+    const CrtContext::TowerPoly tr =
+        device_->mulTowers(params_.n, rns_basis_->primes(),
+                           rnsTowers(a), rnsTowers(b));
+    return rnsReduceCentred(tr);
+}
+
+Ciphertext
+BfvContext::mulPlainRns(const Ciphertext &ct,
+                        const std::vector<uint64_t> &plain) const
+{
+    // The plaintext is shared by both component products: lift and
+    // CRT-decompose it once, then push both launches through the
+    // backend as one batch against the same cached kernel.
+    const size_t towers = rns_basis_->towers();
+    const KernelImage &kernel = device_->kernel(
+        KernelKind::BatchedPolyMul, params_.n, rns_basis_->primes());
+
+    const CrtContext::TowerPoly tp = rnsTowers(liftPlain(plain));
+    std::vector<LaunchRequest> batch;
+    for (const std::vector<u128> *component : {&ct.c0, &ct.c1}) {
+        const CrtContext::TowerPoly tc = rnsTowers(*component);
+        LaunchRequest req;
+        req.image = &kernel;
+        for (size_t t = 0; t < towers; ++t) {
+            req.inputs.push_back(tc[t]);
+            req.inputs.push_back(tp[t]);
+        }
+        batch.push_back(std::move(req));
+    }
+
+    const auto results = device_->launchAll(batch);
+    return Ciphertext{rnsReduceCentred(results[0]),
+                      rnsReduceCentred(results[1])};
 }
 
 double

@@ -9,9 +9,12 @@
  *
  * Supports homomorphic addition and plaintext multiplication —
  * exactly the operations whose polynomial products the RPU
- * accelerates. Polynomial products can be routed through either the
- * reference NTT or generated B512 kernels (see the he_pipeline
- * example).
+ * accelerates. With an RpuDevice attached, every homomorphic
+ * polynomial product is decomposed into RNS towers (the paper's
+ * section II-B wide-arithmetic strategy), executed on the device as
+ * one batched per-tower kernel launch, and CRT-reconstructed — the
+ * simulated RPU is then the actual execution engine of the pipeline.
+ * Without a device, products run on the host reference NTT.
  */
 
 #ifndef RPU_RLWE_BFV_HH
@@ -19,12 +22,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/logging.hh"
 #include "poly/polynomial.hh"
 #include "rlwe/params.hh"
+#include "rns/crt.hh"
 
 namespace rpu {
+
+class RpuDevice;
 
 /** A ciphertext: two ring polynomials (the paper's Fig. 1 pair). */
 struct Ciphertext
@@ -77,9 +85,44 @@ class BfvContext
                         const std::vector<uint64_t> &plain,
                         const PolyMul &mul) const;
 
-    /** Default multiplier: reference NTT. */
+    /**
+     * Default multiplier: the attached device's RNS-tower path when
+     * one is attached (see attachDevice), else the reference NTT.
+     */
     Ciphertext mulPlain(const Ciphertext &ct,
                         const std::vector<uint64_t> &plain) const;
+
+    // -- RPU execution ---------------------------------------------------
+
+    /**
+     * Route homomorphic polynomial products through @p device. The
+     * scheme modulus q is wider than any single tower, so products
+     * are computed exactly over an RNS basis of @p tower_bits-bit
+     * NTT primes sized so the integer negacyclic product cannot wrap
+     * (|coeff| < n*q^2 << Q), one batched kernel launch per product.
+     */
+    void attachDevice(std::shared_ptr<RpuDevice> device,
+                      unsigned tower_bits = 120);
+
+    bool deviceAttached() const { return device_ != nullptr; }
+    std::shared_ptr<RpuDevice> device() const { return device_; }
+
+    /** The RNS basis products run over (device attached only). */
+    const RnsBasis &
+    rnsBasis() const
+    {
+        rpu_assert(rns_basis_ != nullptr, "no device attached");
+        return *rns_basis_;
+    }
+
+    /**
+     * Exact negacyclic product of two ring polynomials mod q,
+     * computed on the attached device: CRT-decompose both operands
+     * into towers, run all towers' fused negacyclic products in one
+     * batched kernel launch, reconstruct, centre, and reduce mod q.
+     */
+    std::vector<u128> negacyclicMulRns(const std::vector<u128> &a,
+                                       const std::vector<u128> &b) const;
 
     /**
      * Remaining noise budget in bits (log2(q/(2t)) minus the current
@@ -96,12 +139,32 @@ class BfvContext
     std::vector<u128> samplePolySmall();
     std::vector<u128> samplePolyTernary();
 
+    /** CRT-split a ring polynomial (mod q) into RNS towers. */
+    CrtContext::TowerPoly rnsTowers(const std::vector<u128> &poly) const;
+
+    /** Reconstruct a tower product, centre it, and reduce mod q. */
+    std::vector<u128>
+    rnsReduceCentred(const CrtContext::TowerPoly &towers) const;
+
+    /**
+     * Device path of mulPlain: decompose the plaintext once, run both
+     * ciphertext components' tower products through one batched
+     * launchAll, reconstruct.
+     */
+    Ciphertext mulPlainRns(const Ciphertext &ct,
+                           const std::vector<uint64_t> &plain) const;
+
     RlweParams params_;
     Modulus mod_;
     TwiddleTable tw_;
     NttContext ntt_;
     u128 delta_;
     Rng rng_;
+
+    // RNS-tower execution state (set by attachDevice).
+    std::shared_ptr<RpuDevice> device_;
+    std::unique_ptr<RnsBasis> rns_basis_;
+    std::unique_ptr<CrtContext> rns_crt_;
 };
 
 } // namespace rpu

@@ -38,6 +38,16 @@ class RnsBasis
     const Modulus &modulus(size_t i) const { return *mods_.at(i); }
     u128 prime(size_t i) const { return mods_.at(i)->value(); }
 
+    /** All tower primes, in basis order. */
+    std::vector<u128>
+    primes() const
+    {
+        std::vector<u128> v(mods_.size());
+        for (size_t i = 0; i < mods_.size(); ++i)
+            v[i] = mods_[i]->value();
+        return v;
+    }
+
     /** The composite modulus Q. */
     const BigUInt &q() const { return q_; }
 

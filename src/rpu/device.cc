@@ -1,0 +1,281 @@
+#include "rpu/device.hh"
+
+#include "common/logging.hh"
+#include "sim/functional/state.hh"
+
+namespace rpu {
+
+// ----------------------------------------------------------------------
+// Backends
+// ----------------------------------------------------------------------
+
+std::vector<std::vector<u128>>
+FunctionalSimBackend::execute(RpuDevice &dev, const KernelImage &image,
+                              const std::vector<std::vector<u128>> &inputs)
+{
+    // Launch code: stage constants and data into the scratchpads.
+    ArchState state(image.vdmBytesRequired);
+    for (size_t i = 0; i < image.sdmImage.size(); ++i)
+        state.writeSdm(i, image.sdmImage[i]);
+    state.loadVdm(image.twPlanBase, image.twPlanImage);
+
+    const auto in_regions = image.inputRegions();
+    for (size_t i = 0; i < in_regions.size(); ++i)
+        state.loadVdm(in_regions[i]->base, inputs[i]);
+
+    FunctionalSimulator sim(state, dev.modulusCache());
+    sim.run(image.program);
+
+    std::vector<std::vector<u128>> outputs;
+    for (const DataRegion *r : image.outputRegions())
+        outputs.push_back(state.dumpVdm(r->base, r->words));
+    return outputs;
+}
+
+std::vector<std::vector<u128>>
+CpuReferenceBackend::execute(RpuDevice &dev, const KernelImage &image,
+                             const std::vector<std::vector<u128>> &inputs)
+{
+    std::vector<std::vector<u128>> outputs;
+    switch (image.kind) {
+      case KernelKind::ForwardNtt:
+      case KernelKind::InverseNtt: {
+        std::vector<u128> x = inputs[0];
+        const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
+        if (image.kind == KernelKind::InverseNtt)
+            ntt.inverse(x);
+        else
+            ntt.forward(x);
+        outputs.push_back(std::move(x));
+        break;
+      }
+      case KernelKind::PolyMul: {
+        const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
+        outputs.push_back(negacyclicMulNtt(ntt, inputs[0], inputs[1]));
+        break;
+      }
+      case KernelKind::BatchedForwardNtt: {
+        for (size_t t = 0; t < image.moduli.size(); ++t) {
+            std::vector<u128> x = inputs[t];
+            dev.nttContext(image.n, image.moduli[t]).forward(x);
+            outputs.push_back(std::move(x));
+        }
+        break;
+      }
+      case KernelKind::BatchedPolyMul: {
+        for (size_t t = 0; t < image.moduli.size(); ++t) {
+            const NttContext &ntt =
+                dev.nttContext(image.n, image.moduli[t]);
+            outputs.push_back(
+                negacyclicMulNtt(ntt, inputs[2 * t], inputs[2 * t + 1]));
+        }
+        break;
+      }
+    }
+    return outputs;
+}
+
+// ----------------------------------------------------------------------
+// RpuDevice
+// ----------------------------------------------------------------------
+
+RpuDevice::RpuDevice(std::unique_ptr<ExecutionBackend> backend)
+    : backend_(std::move(backend))
+{
+    rpu_assert(backend_ != nullptr, "device needs a backend");
+}
+
+const Modulus &
+RpuDevice::modulusContext(u128 q)
+{
+    auto it = modulus_cache_.find(q);
+    if (it == modulus_cache_.end())
+        it = modulus_cache_.emplace(q, Modulus(q)).first;
+    return it->second;
+}
+
+const TwiddleTable &
+RpuDevice::twiddleTable(uint64_t n, u128 q)
+{
+    const auto key = std::make_pair(n, q);
+    auto it = twiddle_cache_.find(key);
+    if (it == twiddle_cache_.end()) {
+        // The table holds a reference to the modulus context; both
+        // caches only ever grow, so the reference stays valid.
+        it = twiddle_cache_
+                 .emplace(key, std::make_unique<TwiddleTable>(
+                                   modulusContext(q), n))
+                 .first;
+    }
+    return *it->second;
+}
+
+const NttContext &
+RpuDevice::nttContext(uint64_t n, u128 q)
+{
+    const auto key = std::make_pair(n, q);
+    auto it = ntt_cache_.find(key);
+    if (it == ntt_cache_.end()) {
+        it = ntt_cache_
+                 .emplace(key, std::make_unique<NttContext>(
+                                   twiddleTable(n, q)))
+                 .first;
+    }
+    return *it->second;
+}
+
+std::string
+RpuDevice::kernelKey(KernelKind kind, uint64_t n,
+                     const std::vector<u128> &moduli,
+                     const NttCodegenOptions &opts) const
+{
+    // Everything that changes the generated/scheduled program.
+    std::string key = std::to_string(int(kind)) + ":" +
+                      std::to_string(n) + ":";
+    for (u128 q : moduli) {
+        key += std::to_string(uint64_t(q >> 64)) + "_" +
+               std::to_string(uint64_t(q)) + ",";
+    }
+    key += ":" + std::to_string(opts.optimized) +
+           std::to_string(opts.twiddleCompose);
+    // The design point only shapes the program through the list
+    // scheduler, which unoptimized generation skips.
+    if (opts.optimized) {
+        const RpuConfig &c = opts.scheduleConfig;
+        for (unsigned v :
+             {c.numHples, c.numBanks, c.mulLatency, c.mulII,
+              c.addLatency, c.shuffleLatency, c.lsLatency, c.sdmLatency,
+              c.queueDepth, c.dispatchWidth,
+              unsigned(c.exclusiveReaders)}) {
+            key += ":" + std::to_string(v);
+        }
+    }
+    return key;
+}
+
+const KernelImage &
+RpuDevice::kernel(KernelKind kind, uint64_t n,
+                  const std::vector<u128> &moduli,
+                  const NttCodegenOptions &opts)
+{
+    rpu_assert(!moduli.empty(), "kernel needs at least one modulus");
+
+    const std::string key = kernelKey(kind, n, moduli, opts);
+    auto it = kernels_.find(key);
+    if (it != kernels_.end()) {
+        ++counters_.kernelHits;
+        return *it->second;
+    }
+    ++counters_.kernelMisses;
+
+    NttCodegenOptions gen_opts = opts;
+    gen_opts.inverse = kind == KernelKind::InverseNtt;
+
+    std::vector<const TwiddleTable *> towers;
+    towers.reserve(moduli.size());
+    for (u128 q : moduli)
+        towers.push_back(&twiddleTable(n, q));
+
+    auto image = std::make_unique<KernelImage>();
+    switch (kind) {
+      case KernelKind::ForwardNtt:
+      case KernelKind::InverseNtt:
+        rpu_assert(moduli.size() == 1, "single-ring kernel");
+        *image = static_cast<KernelImage &&>(
+            generateNttKernel(*towers[0], gen_opts));
+        break;
+      case KernelKind::PolyMul:
+        rpu_assert(moduli.size() == 1, "single-ring kernel");
+        *image = static_cast<KernelImage &&>(
+            generatePolyMulKernel(*towers[0], gen_opts));
+        break;
+      case KernelKind::BatchedForwardNtt:
+        *image = static_cast<KernelImage &&>(
+            generateBatchedForwardNtt(towers, gen_opts));
+        break;
+      case KernelKind::BatchedPolyMul:
+        *image = generateBatchedPolyMul(towers, gen_opts);
+        break;
+    }
+
+    it = kernels_.emplace(key, std::move(image)).first;
+    return *it->second;
+}
+
+std::vector<std::vector<u128>>
+RpuDevice::launch(const KernelImage &image,
+                  const std::vector<std::vector<u128>> &inputs)
+{
+    const auto in_regions = image.inputRegions();
+    if (inputs.size() != in_regions.size()) {
+        rpu_fatal("kernel '%s' takes %zu inputs, got %zu",
+                  image.program.name().c_str(), in_regions.size(),
+                  inputs.size());
+    }
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (inputs[i].size() != in_regions[i]->words) {
+            rpu_fatal("input '%s' wants %llu words, got %zu",
+                      in_regions[i]->name.c_str(),
+                      (unsigned long long)in_regions[i]->words,
+                      inputs[i].size());
+        }
+    }
+
+    ++counters_.launches;
+    counters_.towerLaunches += image.moduli.size();
+    return backend_->execute(*this, image, inputs);
+}
+
+std::vector<std::vector<std::vector<u128>>>
+RpuDevice::launchAll(const std::vector<LaunchRequest> &batch)
+{
+    std::vector<std::vector<std::vector<u128>>> results;
+    results.reserve(batch.size());
+    for (const LaunchRequest &req : batch) {
+        rpu_assert(req.image != nullptr, "launch without a kernel");
+        results.push_back(launch(*req.image, req.inputs));
+    }
+    return results;
+}
+
+std::vector<u128>
+RpuDevice::ntt(uint64_t n, u128 q, const std::vector<u128> &x,
+               bool inverse, const NttCodegenOptions &opts)
+{
+    const KernelImage &k = kernel(
+        inverse ? KernelKind::InverseNtt : KernelKind::ForwardNtt, n,
+        {q}, opts);
+    return launch(k, {x})[0];
+}
+
+std::vector<u128>
+RpuDevice::negacyclicMul(uint64_t n, u128 q, const std::vector<u128> &a,
+                         const std::vector<u128> &b,
+                         const NttCodegenOptions &opts)
+{
+    const KernelImage &k = kernel(KernelKind::PolyMul, n, {q}, opts);
+    return launch(k, {a, b})[0];
+}
+
+std::vector<std::vector<u128>>
+RpuDevice::mulTowers(uint64_t n, const std::vector<u128> &moduli,
+                     const std::vector<std::vector<u128>> &a,
+                     const std::vector<std::vector<u128>> &b,
+                     const NttCodegenOptions &opts)
+{
+    rpu_assert(a.size() == moduli.size() && b.size() == moduli.size(),
+               "tower count mismatch");
+    const KernelImage &k =
+        kernel(KernelKind::BatchedPolyMul, n, moduli, opts);
+
+    // Region order is t0.a, t0.b, t1.a, t1.b, ...
+    std::vector<std::vector<u128>> inputs;
+    inputs.reserve(2 * moduli.size());
+    for (size_t t = 0; t < moduli.size(); ++t) {
+        inputs.push_back(a[t]);
+        inputs.push_back(b[t]);
+    }
+    return launch(k, inputs);
+}
+
+} // namespace rpu

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * RpuDevice: the host-side device layer every kernel launch goes
+ * through.
+ *
+ * The paper's flow (section V) stages host polynomials into the
+ * scratchpads, runs a SPIRAL-generated B512 program on the functional
+ * simulator, and reads the result back. This layer centralises that
+ * launch path behind one object:
+ *
+ *  - a kernel cache keyed by (kind, n, moduli, codegen options), so a
+ *    ring's kernels are generated and scheduled once and reused across
+ *    launches;
+ *  - shared numeric context caches (Montgomery modulus contexts,
+ *    twiddle tables, reference NTT contexts) that are expensive to
+ *    build and were previously rebuilt per launch;
+ *  - a pluggable ExecutionBackend, with two implementations: the
+ *    bit-exact functional simulator and the CPU reference baseline.
+ *    Both consume the same KernelImage, so any kernel can be checked
+ *    bit-for-bit across backends;
+ *  - batched launches (launchAll) that push many independent tower
+ *    launches through one backend, the software counterpart of the
+ *    paper's "process different towers simultaneously".
+ */
+
+#ifndef RPU_RPU_DEVICE_HH
+#define RPU_RPU_DEVICE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/ntt_codegen.hh"
+#include "poly/polynomial.hh"
+#include "sim/functional/executor.hh"
+
+namespace rpu {
+
+class RpuDevice;
+
+/**
+ * Executes staged kernel launches. Backends receive the device so
+ * they can use its shared numeric caches.
+ */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Run @p image with @p inputs bound to its input regions (in
+     * region order); return the output regions' contents (in region
+     * order).
+     */
+    virtual std::vector<std::vector<u128>>
+    execute(RpuDevice &dev, const KernelImage &image,
+            const std::vector<std::vector<u128>> &inputs) = 0;
+};
+
+/**
+ * Bit-exact functional simulation of the B512 program — the paper's
+ * verification path and this repository's default execution engine.
+ */
+class FunctionalSimBackend : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "functional-sim"; }
+
+    std::vector<std::vector<u128>>
+    execute(RpuDevice &dev, const KernelImage &image,
+            const std::vector<std::vector<u128>> &inputs) override;
+};
+
+/**
+ * CPU reference baseline: computes the kernel's function with the
+ * golden-model NTT instead of executing the program. Launch-for-launch
+ * bit-identical to the functional simulator (backend equivalence is a
+ * tier-1 test), and the natural A/B harness for new kernels.
+ */
+class CpuReferenceBackend : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "cpu-reference"; }
+
+    std::vector<std::vector<u128>>
+    execute(RpuDevice &dev, const KernelImage &image,
+            const std::vector<std::vector<u128>> &inputs) override;
+};
+
+/** Launch and cache activity since construction / resetCounters(). */
+struct DeviceCounters
+{
+    uint64_t launches = 0;      ///< kernel launches issued to the backend
+    uint64_t towerLaunches = 0; ///< tower transforms inside those launches
+    uint64_t kernelHits = 0;    ///< kernel-cache hits
+    uint64_t kernelMisses = 0;  ///< kernel-cache misses (generations)
+};
+
+/** One element of a batched launchAll(). */
+struct LaunchRequest
+{
+    const KernelImage *image = nullptr;
+    std::vector<std::vector<u128>> inputs;
+};
+
+/** An RPU: kernel cache + context caches + execution backend. */
+class RpuDevice
+{
+  public:
+    /** Default device: functional-simulator backend. */
+    RpuDevice() : RpuDevice(std::make_unique<FunctionalSimBackend>()) {}
+
+    explicit RpuDevice(std::unique_ptr<ExecutionBackend> backend);
+
+    ExecutionBackend &backend() { return *backend_; }
+    const DeviceCounters &counters() const { return counters_; }
+    void resetCounters() { counters_ = DeviceCounters(); }
+
+    // -- Shared numeric context caches ---------------------------------
+
+    /** Montgomery context for @p q, built once per device. */
+    const Modulus &modulusContext(u128 q);
+
+    /** The cache itself (shared with every functional-sim launch). */
+    ModulusContextCache &modulusCache() { return modulus_cache_; }
+
+    /** Twiddle tables / reference transforms for one (n, q) ring. */
+    const TwiddleTable &twiddleTable(uint64_t n, u128 q);
+    const NttContext &nttContext(uint64_t n, u128 q);
+
+    // -- Kernel cache ----------------------------------------------------
+
+    /**
+     * The cached kernel for (kind, n, moduli, opts); generated (and
+     * scheduled) on first use. Single-tower kinds take one modulus.
+     * The reference stays valid for the device's lifetime.
+     */
+    const KernelImage &kernel(KernelKind kind, uint64_t n,
+                              const std::vector<u128> &moduli,
+                              const NttCodegenOptions &opts = {});
+
+    size_t cachedKernels() const { return kernels_.size(); }
+
+    // -- Launches --------------------------------------------------------
+
+    /**
+     * Stage @p inputs into the image's input regions (in region
+     * order), execute on the backend, and return the output regions'
+     * contents (in region order).
+     */
+    std::vector<std::vector<u128>>
+    launch(const KernelImage &image,
+           const std::vector<std::vector<u128>> &inputs);
+
+    /**
+     * Run many independent launches through the backend in one batch
+     * (e.g. all towers of an RNS multiply). Results are returned in
+     * request order.
+     */
+    std::vector<std::vector<std::vector<u128>>>
+    launchAll(const std::vector<LaunchRequest> &batch);
+
+    // -- Convenience ring operations -------------------------------------
+
+    /** Transform @p x on the device via the cached (n, q) kernel. */
+    std::vector<u128> ntt(uint64_t n, u128 q, const std::vector<u128> &x,
+                          bool inverse = false,
+                          const NttCodegenOptions &opts = {});
+
+    /** Fused negacyclic product of @p a and @p b in one launch. */
+    std::vector<u128> negacyclicMul(uint64_t n, u128 q,
+                                    const std::vector<u128> &a,
+                                    const std::vector<u128> &b,
+                                    const NttCodegenOptions &opts = {});
+
+    /**
+     * All towers' negacyclic products in one batched kernel launch:
+     * result[t] = INTT_t(NTT_t(a[t]) .* NTT_t(b[t])) mod moduli[t].
+     */
+    std::vector<std::vector<u128>>
+    mulTowers(uint64_t n, const std::vector<u128> &moduli,
+              const std::vector<std::vector<u128>> &a,
+              const std::vector<std::vector<u128>> &b,
+              const NttCodegenOptions &opts = {});
+
+  private:
+    std::string kernelKey(KernelKind kind, uint64_t n,
+                          const std::vector<u128> &moduli,
+                          const NttCodegenOptions &opts) const;
+
+    std::unique_ptr<ExecutionBackend> backend_;
+    DeviceCounters counters_;
+
+    ModulusContextCache modulus_cache_;
+    std::map<std::pair<uint64_t, u128>, std::unique_ptr<TwiddleTable>>
+        twiddle_cache_;
+    std::map<std::pair<uint64_t, u128>, std::unique_ptr<NttContext>>
+        ntt_cache_;
+    std::map<std::string, std::unique_ptr<KernelImage>> kernels_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RPU_DEVICE_HH

@@ -3,11 +3,13 @@
 #include "common/logging.hh"
 #include "modmath/primegen.hh"
 #include "sim/cycle/simulator.hh"
-#include "sim/functional/executor.hh"
 
 namespace rpu {
 
-NttRunner::NttRunner(uint64_t n, unsigned q_bits) : n_(n)
+NttRunner::NttRunner(uint64_t n, unsigned q_bits,
+                     std::shared_ptr<RpuDevice> device)
+    : n_(n), device_(device ? std::move(device)
+                            : std::make_shared<RpuDevice>())
 {
     mod_ = std::make_unique<Modulus>(nttPrime(q_bits, n));
     tw_ = std::make_unique<TwiddleTable>(*mod_, n);
@@ -15,10 +17,13 @@ NttRunner::NttRunner(uint64_t n, unsigned q_bits) : n_(n)
 }
 
 NttRunner
-NttRunner::withModulus(uint64_t n, u128 modulus)
+NttRunner::withModulus(uint64_t n, u128 modulus,
+                       std::shared_ptr<RpuDevice> device)
 {
     NttRunner runner;
     runner.n_ = n;
+    runner.device_ = device ? std::move(device)
+                            : std::make_shared<RpuDevice>();
     runner.mod_ = std::make_unique<Modulus>(modulus);
     runner.tw_ = std::make_unique<TwiddleTable>(*runner.mod_, n);
     runner.ref_ = std::make_unique<NttContext>(*runner.tw_);
@@ -36,17 +41,7 @@ NttRunner::execute(const NttKernel &kernel,
                    const std::vector<u128> &input) const
 {
     rpu_assert(input.size() == n_, "input size mismatch");
-
-    // Launch code: stage constants and data into the scratchpads.
-    ArchState state(kernel.vdmBytesRequired);
-    for (size_t i = 0; i < kernel.sdmImage.size(); ++i)
-        state.writeSdm(i, kernel.sdmImage[i]);
-    state.loadVdm(kernel.twPlanBase, kernel.twPlanImage);
-    state.loadVdm(kernel.dataBase, input);
-
-    FunctionalSimulator sim(state);
-    sim.run(kernel.program);
-    return state.dumpVdm(kernel.dataBase, n_);
+    return device_->launch(kernel, {input})[0];
 }
 
 bool
@@ -72,14 +67,21 @@ NttRunner::evaluate(const NttKernel &kernel, const RpuConfig &cfg) const
 }
 
 KernelMetrics
-NttRunner::evaluateProgram(const Program &program,
-                           size_t vdm_bytes_required,
-                           const RpuConfig &cfg) const
+evaluateProgram(const Program &program, size_t vdm_bytes_required,
+                const RpuConfig &cfg)
 {
     RpuConfig run_cfg = cfg;
     run_cfg.vdmBytes = std::max(run_cfg.vdmBytes, vdm_bytes_required);
     const CycleStats stats = simulateCycles(program, run_cfg);
     return computeMetrics(stats, run_cfg);
+}
+
+KernelMetrics
+NttRunner::evaluateProgram(const Program &program,
+                           size_t vdm_bytes_required,
+                           const RpuConfig &cfg) const
+{
+    return rpu::evaluateProgram(program, vdm_bytes_required, cfg);
 }
 
 PolyMulKernel
@@ -94,16 +96,7 @@ NttRunner::executePolyMul(const PolyMulKernel &kernel,
                           const std::vector<u128> &b) const
 {
     rpu_assert(a.size() == n_ && b.size() == n_, "input size mismatch");
-    ArchState state(kernel.vdmBytesRequired);
-    for (size_t i = 0; i < kernel.sdmImage.size(); ++i)
-        state.writeSdm(i, kernel.sdmImage[i]);
-    state.loadVdm(kernel.twPlanBase, kernel.twPlanImage);
-    state.loadVdm(kernel.aBase, a);
-    state.loadVdm(kernel.bBase, b);
-
-    FunctionalSimulator sim(state);
-    sim.run(kernel.program);
-    return state.dumpVdm(kernel.aBase, n_);
+    return device_->launch(kernel, {a, b})[0];
 }
 
 bool

@@ -1,12 +1,14 @@
 /**
  * @file
- * End-to-end NTT workbench: the "host side" of the RPU.
+ * End-to-end NTT workbench: the "host side" of the RPU, now a thin
+ * façade over RpuDevice.
  *
  * Owns the ring (modulus + twiddle tables), generates B512 kernels,
- * launches them on the functional simulator (modelling the paper's
- * launch code that stages host data into the scratchpads), verifies
+ * launches them through the device layer (which stages host data into
+ * the scratchpads and runs the configured execution backend), verifies
  * outputs against the reference NTT, and evaluates design points with
- * the cycle simulator and analytical models.
+ * the cycle simulator and analytical models. Several runners can share
+ * one RpuDevice to pool its kernel and Montgomery-context caches.
  */
 
 #ifndef RPU_RPU_RUNNER_HH
@@ -17,9 +19,15 @@
 
 #include "codegen/ntt_codegen.hh"
 #include "poly/polynomial.hh"
+#include "rpu/device.hh"
 #include "rpu/metrics.hh"
 
 namespace rpu {
+
+/** Cycle-simulate any program at a design point and apply the models. */
+KernelMetrics evaluateProgram(const Program &program,
+                              size_t vdm_bytes_required,
+                              const RpuConfig &cfg);
 
 /** Workbench for one ring (n, q). */
 class NttRunner
@@ -27,27 +35,35 @@ class NttRunner
   public:
     /**
      * Build the ring: finds the largest @p q_bits-bit NTT prime for
-     * dimension @p n and precomputes twiddle tables.
+     * dimension @p n and precomputes twiddle tables. Launches run on
+     * @p device (a fresh functional-simulator device when null).
      */
-    explicit NttRunner(uint64_t n, unsigned q_bits = 128);
+    explicit NttRunner(uint64_t n, unsigned q_bits = 128,
+                       std::shared_ptr<RpuDevice> device = nullptr);
 
     /**
      * Build the ring over an explicit NTT-friendly prime (e.g. to
      * share a modulus with an RLWE context).
      */
-    static NttRunner withModulus(uint64_t n, u128 modulus);
+    static NttRunner withModulus(uint64_t n, u128 modulus,
+                                 std::shared_ptr<RpuDevice> device =
+                                     nullptr);
 
     uint64_t n() const { return n_; }
     const Modulus &modulus() const { return *mod_; }
     const TwiddleTable &table() const { return *tw_; }
     const NttContext &reference() const { return *ref_; }
 
+    /** The device this runner launches through. */
+    RpuDevice &device() const { return *device_; }
+    std::shared_ptr<RpuDevice> deviceHandle() const { return device_; }
+
     /** Generate a kernel (see NttCodegenOptions). */
     NttKernel makeKernel(const NttCodegenOptions &opts = {}) const;
 
     /**
-     * Launch a kernel on the functional simulator: stage @p input at
-     * the kernel's data region, execute, and return the data region.
+     * Launch a kernel on the device: stage @p input at the kernel's
+     * data region, execute, and return the data region.
      */
     std::vector<u128> execute(const NttKernel &kernel,
                               const std::vector<u128> &input) const;
@@ -88,6 +104,7 @@ class NttRunner
     std::unique_ptr<Modulus> mod_;
     std::unique_ptr<TwiddleTable> tw_;
     std::unique_ptr<NttContext> ref_;
+    std::shared_ptr<RpuDevice> device_;
 };
 
 } // namespace rpu

@@ -27,9 +27,11 @@ FunctionalSimulator::laneOffset(AddrMode mode, unsigned value,
 const Modulus &
 FunctionalSimulator::modulusFor(u128 q)
 {
-    auto it = modulus_cache_.find(q);
-    if (it == modulus_cache_.end())
-        it = modulus_cache_.emplace(q, Modulus(q)).first;
+    ModulusContextCache &cache =
+        shared_cache_ ? *shared_cache_ : modulus_cache_;
+    auto it = cache.find(q);
+    if (it == cache.end())
+        it = cache.emplace(q, Modulus(q)).first;
     return it->second;
 }
 

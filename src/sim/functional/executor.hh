@@ -33,12 +33,25 @@ struct FunctionalCounts
 };
 
 /**
+ * Montgomery contexts are expensive to build; launches that share a
+ * modulus should share a cache (RpuDevice owns one per device so the
+ * cost is paid once, not per launch).
+ */
+using ModulusContextCache = std::map<u128, Modulus>;
+
+/**
  * Executes B512 programs against an ArchState.
  */
 class FunctionalSimulator
 {
   public:
     explicit FunctionalSimulator(ArchState &state) : state_(state) {}
+
+    /** Share a modulus-context cache owned by the caller. */
+    FunctionalSimulator(ArchState &state, ModulusContextCache &shared)
+        : state_(state), shared_cache_(&shared)
+    {
+    }
 
     /** Execute one instruction. */
     void step(const Instruction &instr);
@@ -67,8 +80,9 @@ class FunctionalSimulator
     ArchState &state_;
     FunctionalCounts counts_;
 
-    /** Montgomery contexts are expensive to build; cache per value. */
-    std::map<u128, Modulus> modulus_cache_;
+    /** Per-simulator fallback cache when no shared one is supplied. */
+    ModulusContextCache modulus_cache_;
+    ModulusContextCache *shared_cache_ = nullptr;
 };
 
 } // namespace rpu

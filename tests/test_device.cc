@@ -1,0 +1,295 @@
+/**
+ * @file
+ * The RpuDevice backend layer: kernel-cache semantics, shared numeric
+ * context caches, backend equivalence (functional simulator vs CPU
+ * reference baseline), batched tower launches, and the BFV RNS-tower
+ * multiply path that makes the simulated RPU the execution engine of
+ * the HE pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "modmath/primegen.hh"
+#include "rlwe/bfv.hh"
+#include "rpu/device.hh"
+#include "rpu/runner.hh"
+
+namespace rpu {
+namespace {
+
+TEST(KernelCache, HitMissSemantics)
+{
+    RpuDevice dev;
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+
+    const KernelImage &fwd = dev.kernel(KernelKind::ForwardNtt, n, {q});
+    EXPECT_EQ(dev.counters().kernelMisses, 1u);
+    EXPECT_EQ(dev.counters().kernelHits, 0u);
+
+    // Same spec: a hit, and the very same image.
+    const KernelImage &again =
+        dev.kernel(KernelKind::ForwardNtt, n, {q});
+    EXPECT_EQ(&fwd, &again);
+    EXPECT_EQ(dev.counters().kernelMisses, 1u);
+    EXPECT_EQ(dev.counters().kernelHits, 1u);
+
+    // Different kind, codegen flavour, or modulus: all misses.
+    dev.kernel(KernelKind::InverseNtt, n, {q});
+    dev.kernel(KernelKind::ForwardNtt, n, {q}, {.optimized = false});
+    dev.kernel(KernelKind::ForwardNtt, n, {nttPrime(59, n)});
+    EXPECT_EQ(dev.counters().kernelMisses, 4u);
+    EXPECT_EQ(dev.cachedKernels(), 4u);
+
+    // A different design point reschedules, so it is a distinct kernel.
+    NttCodegenOptions opts;
+    opts.scheduleConfig.numHples = 32;
+    dev.kernel(KernelKind::ForwardNtt, n, {q}, opts);
+    EXPECT_EQ(dev.counters().kernelMisses, 5u);
+
+    // ... but unoptimized generation never consults the design point,
+    // so sweeping it must keep hitting the one unoptimized kernel.
+    NttCodegenOptions unopt;
+    unopt.optimized = false;
+    unopt.scheduleConfig.numHples = 32;
+    dev.kernel(KernelKind::ForwardNtt, n, {q}, unopt);
+    EXPECT_EQ(dev.counters().kernelMisses, 5u);
+    EXPECT_EQ(dev.counters().kernelHits, 2u);
+}
+
+TEST(KernelCache, LaunchesShareKernelsAndModulusContexts)
+{
+    RpuDevice dev;
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+    Rng rng(7);
+    const auto x = randomPoly(Modulus(q), n, rng);
+
+    dev.ntt(n, q, x);
+    const size_t contexts_after_first = dev.modulusCache().size();
+    EXPECT_GT(contexts_after_first, 0u);
+
+    dev.ntt(n, q, x);
+    // Second launch: kernel cache hit, and no Montgomery context is
+    // rebuilt (the per-launch rebuild this layer was added to fix).
+    EXPECT_EQ(dev.counters().launches, 2u);
+    EXPECT_EQ(dev.counters().kernelMisses, 1u);
+    EXPECT_EQ(dev.counters().kernelHits, 1u);
+    EXPECT_EQ(dev.modulusCache().size(), contexts_after_first);
+}
+
+class BackendEquivalence : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BackendEquivalence, FunctionalSimMatchesCpuReference)
+{
+    const uint64_t n = GetParam();
+    const u128 q = nttPrime(100, n);
+    RpuDevice sim; // default: functional simulator
+    RpuDevice ref(std::make_unique<CpuReferenceBackend>());
+
+    Rng rng(n);
+    const auto a = randomPoly(Modulus(q), n, rng);
+    const auto b = randomPoly(Modulus(q), n, rng);
+
+    // Forward, inverse, and the fused negacyclic product must be
+    // bit-identical across backends.
+    const auto fwd_sim = sim.ntt(n, q, a);
+    EXPECT_EQ(fwd_sim, ref.ntt(n, q, a));
+    EXPECT_EQ(sim.ntt(n, q, fwd_sim, true),
+              ref.ntt(n, q, fwd_sim, true));
+    EXPECT_EQ(sim.negacyclicMul(n, q, a, b),
+              ref.negacyclicMul(n, q, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BackendEquivalence,
+                         testing::Values(1024ull, 2048ull, 4096ull));
+
+TEST(BatchedPolyMul, MatchesPerTowerReference)
+{
+    const uint64_t n = 1024;
+    const size_t towers = 3;
+    const auto primes = nttPrimes(60, n, towers);
+
+    RpuDevice dev;
+    Rng rng(21);
+    std::vector<std::vector<u128>> a, b;
+    for (u128 q : primes) {
+        const Modulus mod(q);
+        a.push_back(randomPoly(mod, n, rng));
+        b.push_back(randomPoly(mod, n, rng));
+    }
+
+    const auto products = dev.mulTowers(n, primes, a, b);
+    ASSERT_EQ(products.size(), towers);
+    EXPECT_EQ(dev.counters().launches, 1u);
+    EXPECT_EQ(dev.counters().towerLaunches, towers);
+
+    for (size_t t = 0; t < towers; ++t) {
+        const Modulus mod(primes[t]);
+        const TwiddleTable tw(mod, n);
+        const NttContext ntt(tw);
+        EXPECT_EQ(products[t], negacyclicMulNtt(ntt, a[t], b[t]))
+            << "tower " << t;
+    }
+}
+
+TEST(BatchedPolyMul, EquivalentAcrossBackends)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(58, n, 2);
+    RpuDevice sim;
+    RpuDevice ref(std::make_unique<CpuReferenceBackend>());
+
+    Rng rng(5);
+    std::vector<std::vector<u128>> a, b;
+    for (u128 q : primes) {
+        const Modulus mod(q);
+        a.push_back(randomPoly(mod, n, rng));
+        b.push_back(randomPoly(mod, n, rng));
+    }
+    EXPECT_EQ(sim.mulTowers(n, primes, a, b),
+              ref.mulTowers(n, primes, a, b));
+}
+
+TEST(LaunchAll, MatchesIndividualLaunches)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(60, n, 2);
+    RpuDevice dev;
+
+    Rng rng(9);
+    std::vector<LaunchRequest> batch;
+    for (u128 q : primes) {
+        const KernelImage &k =
+            dev.kernel(KernelKind::PolyMul, n, {q});
+        const Modulus mod(q);
+        batch.push_back(
+            {&k, {randomPoly(mod, n, rng), randomPoly(mod, n, rng)}});
+    }
+
+    const auto results = dev.launchAll(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(results[i],
+                  dev.launch(*batch[i].image, batch[i].inputs));
+    }
+}
+
+// ----------------------------------------------------------------------
+// BFV on the device
+// ----------------------------------------------------------------------
+
+RlweParams
+smallParams()
+{
+    RlweParams p;
+    p.n = 1024;
+    p.qBits = 100;
+    p.plaintextModulus = 65537;
+    p.noiseBound = 4;
+    return p;
+}
+
+TEST(BfvOnDevice, RnsProductMatchesReferenceNtt)
+{
+    BfvContext ctx(smallParams());
+    ctx.attachDevice(std::make_shared<RpuDevice>());
+
+    Rng rng(31);
+    const auto a = randomPoly(ctx.modulus(), ctx.params().n, rng);
+    const auto b = randomPoly(ctx.modulus(), ctx.params().n, rng);
+    EXPECT_EQ(ctx.negacyclicMulRns(a, b),
+              negacyclicMulNtt(ctx.ntt(), a, b));
+}
+
+TEST(BfvOnDevice, PlaintextMultiplyExecutesOnTheRpu)
+{
+    // The acceptance check: an HE multiply must actually run on the
+    // simulated RPU through the device (non-zero launch and cache
+    // counters) and produce ciphertexts identical to the
+    // reference-NTT path.
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+
+    Rng rng(33);
+    std::vector<uint64_t> msg(ctx.params().n), plain(ctx.params().n);
+    for (auto &v : msg)
+        v = rng.below64(ctx.params().plaintextModulus);
+    for (auto &v : plain)
+        v = rng.below64(ctx.params().plaintextModulus);
+    const Ciphertext ct = ctx.encrypt(sk, msg);
+
+    // Reference path first (no device attached yet).
+    const Ciphertext via_ntt = ctx.mulPlain(ct, plain);
+
+    const auto device = std::make_shared<RpuDevice>();
+    ctx.attachDevice(device);
+    const Ciphertext via_rpu = ctx.mulPlain(ct, plain);
+
+    // Identical ciphertexts, bit for bit.
+    EXPECT_EQ(via_rpu.c0, via_ntt.c0);
+    EXPECT_EQ(via_rpu.c1, via_ntt.c1);
+
+    // The device really did the work: one batched tower launch per
+    // ciphertext polynomial, one kernel generation.
+    const DeviceCounters &c = device->counters();
+    EXPECT_EQ(c.launches, 2u);
+    EXPECT_EQ(c.kernelMisses, 1u);
+    EXPECT_EQ(c.towerLaunches, 2 * ctx.rnsBasis().towers());
+
+    // A second multiply reuses the cached kernel.
+    const Ciphertext again = ctx.mulPlain(ct, plain);
+    EXPECT_EQ(again.c0, via_ntt.c0);
+    EXPECT_EQ(c.launches, 4u);
+    EXPECT_EQ(c.kernelMisses, 1u);
+    EXPECT_EQ(c.kernelHits, 1u);
+
+    // And the result still decrypts correctly.
+    std::vector<uint64_t> expected(ctx.params().n);
+    {
+        const u128 t = ctx.params().plaintextModulus;
+        // plain(x) * msg(x) mod (x^n + 1, t) via the naive rule.
+        std::vector<int64_t> acc(ctx.params().n, 0);
+        for (size_t i = 0; i < msg.size(); ++i) {
+            for (size_t j = 0; j < plain.size(); ++j) {
+                const size_t k = (i + j) % msg.size();
+                const int64_t sign =
+                    (i + j) < msg.size() ? 1 : -1;
+                acc[k] += sign *
+                          int64_t((msg[i] * plain[j]) % uint64_t(t));
+                acc[k] %= int64_t(uint64_t(t));
+            }
+        }
+        for (size_t k = 0; k < acc.size(); ++k) {
+            expected[k] = uint64_t((acc[k] + int64_t(uint64_t(t))) %
+                                   int64_t(uint64_t(t)));
+        }
+    }
+    EXPECT_EQ(ctx.decrypt(sk, via_rpu), expected);
+}
+
+TEST(BfvOnDevice, SharedDeviceAccumulatesAcrossContexts)
+{
+    // One device can serve several scheme contexts (and NttRunner
+    // workbenches); its caches are shared.
+    const auto device = std::make_shared<RpuDevice>();
+    BfvContext ctx(smallParams());
+    ctx.attachDevice(device);
+    NttRunner runner =
+        NttRunner::withModulus(ctx.params().n, ctx.q(), device);
+
+    Rng rng(41);
+    const auto a = randomPoly(ctx.modulus(), ctx.params().n, rng);
+    const auto b = randomPoly(ctx.modulus(), ctx.params().n, rng);
+    ctx.negacyclicMulRns(a, b);
+
+    const NttKernel fwd = runner.makeKernel();
+    runner.execute(fwd, a);
+    EXPECT_EQ(device->counters().launches, 2u);
+    EXPECT_GT(device->modulusCache().size(), 0u);
+}
+
+} // namespace
+} // namespace rpu
