@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_microarch.dir/bench/abl01_microarch.cc.o"
+  "CMakeFiles/abl01_microarch.dir/bench/abl01_microarch.cc.o.d"
+  "abl01_microarch"
+  "abl01_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_perf_per_area.dir/bench/fig04_perf_per_area.cc.o"
+  "CMakeFiles/fig04_perf_per_area.dir/bench/fig04_perf_per_area.cc.o.d"
+  "fig04_perf_per_area"
+  "fig04_perf_per_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_perf_per_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_breakdowns.dir/bench/fig05_breakdowns.cc.o"
+  "CMakeFiles/fig05_breakdowns.dir/bench/fig05_breakdowns.cc.o.d"
+  "fig05_breakdowns"
+  "fig05_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

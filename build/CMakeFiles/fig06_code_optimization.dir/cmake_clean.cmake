@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_code_optimization.dir/bench/fig06_code_optimization.cc.o"
+  "CMakeFiles/fig06_code_optimization.dir/bench/fig06_code_optimization.cc.o.d"
+  "fig06_code_optimization"
+  "fig06_code_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_code_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

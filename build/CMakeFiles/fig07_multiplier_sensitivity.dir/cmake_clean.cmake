@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_multiplier_sensitivity.dir/bench/fig07_multiplier_sensitivity.cc.o"
+  "CMakeFiles/fig07_multiplier_sensitivity.dir/bench/fig07_multiplier_sensitivity.cc.o.d"
+  "fig07_multiplier_sensitivity"
+  "fig07_multiplier_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_multiplier_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

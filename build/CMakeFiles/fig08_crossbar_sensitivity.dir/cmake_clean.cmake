@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_crossbar_sensitivity.dir/bench/fig08_crossbar_sensitivity.cc.o"
+  "CMakeFiles/fig08_crossbar_sensitivity.dir/bench/fig08_crossbar_sensitivity.cc.o.d"
+  "fig08_crossbar_sensitivity"
+  "fig08_crossbar_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_crossbar_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hbm_theoretical.dir/bench/fig09_hbm_theoretical.cc.o"
+  "CMakeFiles/fig09_hbm_theoretical.dir/bench/fig09_hbm_theoretical.cc.o.d"
+  "fig09_hbm_theoretical"
+  "fig09_hbm_theoretical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hbm_theoretical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_speedup.dir/bench/fig10_cpu_speedup.cc.o"
+  "CMakeFiles/fig10_cpu_speedup.dir/bench/fig10_cpu_speedup.cc.o.d"
+  "fig10_cpu_speedup"
+  "fig10_cpu_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/he_pipeline.dir/examples/he_pipeline.cpp.o"
+  "CMakeFiles/he_pipeline.dir/examples/he_pipeline.cpp.o.d"
+  "he_pipeline"
+  "he_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/he_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntt_codegen_tour.dir/examples/ntt_codegen_tour.cpp.o"
+  "CMakeFiles/ntt_codegen_tour.dir/examples/ntt_codegen_tour.cpp.o.d"
+  "ntt_codegen_tour"
+  "ntt_codegen_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntt_codegen_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

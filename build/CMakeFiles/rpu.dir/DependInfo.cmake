@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu_ntt128.cc" "CMakeFiles/rpu.dir/src/baseline/cpu_ntt128.cc.o" "gcc" "CMakeFiles/rpu.dir/src/baseline/cpu_ntt128.cc.o.d"
+  "/root/repo/src/baseline/cpu_ntt64.cc" "CMakeFiles/rpu.dir/src/baseline/cpu_ntt64.cc.o" "gcc" "CMakeFiles/rpu.dir/src/baseline/cpu_ntt64.cc.o.d"
+  "/root/repo/src/codegen/builder.cc" "CMakeFiles/rpu.dir/src/codegen/builder.cc.o" "gcc" "CMakeFiles/rpu.dir/src/codegen/builder.cc.o.d"
+  "/root/repo/src/codegen/layout_oracle.cc" "CMakeFiles/rpu.dir/src/codegen/layout_oracle.cc.o" "gcc" "CMakeFiles/rpu.dir/src/codegen/layout_oracle.cc.o.d"
+  "/root/repo/src/codegen/ntt_codegen.cc" "CMakeFiles/rpu.dir/src/codegen/ntt_codegen.cc.o" "gcc" "CMakeFiles/rpu.dir/src/codegen/ntt_codegen.cc.o.d"
+  "/root/repo/src/codegen/scheduler.cc" "CMakeFiles/rpu.dir/src/codegen/scheduler.cc.o" "gcc" "CMakeFiles/rpu.dir/src/codegen/scheduler.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/rpu.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/rpu.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/rpu.dir/src/common/random.cc.o" "gcc" "CMakeFiles/rpu.dir/src/common/random.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "CMakeFiles/rpu.dir/src/isa/assembler.cc.o" "gcc" "CMakeFiles/rpu.dir/src/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "CMakeFiles/rpu.dir/src/isa/encoding.cc.o" "gcc" "CMakeFiles/rpu.dir/src/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "CMakeFiles/rpu.dir/src/isa/instruction.cc.o" "gcc" "CMakeFiles/rpu.dir/src/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/program.cc" "CMakeFiles/rpu.dir/src/isa/program.cc.o" "gcc" "CMakeFiles/rpu.dir/src/isa/program.cc.o.d"
+  "/root/repo/src/model/area.cc" "CMakeFiles/rpu.dir/src/model/area.cc.o" "gcc" "CMakeFiles/rpu.dir/src/model/area.cc.o.d"
+  "/root/repo/src/model/comparisons.cc" "CMakeFiles/rpu.dir/src/model/comparisons.cc.o" "gcc" "CMakeFiles/rpu.dir/src/model/comparisons.cc.o.d"
+  "/root/repo/src/model/energy.cc" "CMakeFiles/rpu.dir/src/model/energy.cc.o" "gcc" "CMakeFiles/rpu.dir/src/model/energy.cc.o.d"
+  "/root/repo/src/model/frequency.cc" "CMakeFiles/rpu.dir/src/model/frequency.cc.o" "gcc" "CMakeFiles/rpu.dir/src/model/frequency.cc.o.d"
+  "/root/repo/src/model/hbm.cc" "CMakeFiles/rpu.dir/src/model/hbm.cc.o" "gcc" "CMakeFiles/rpu.dir/src/model/hbm.cc.o.d"
+  "/root/repo/src/modmath/mod64.cc" "CMakeFiles/rpu.dir/src/modmath/mod64.cc.o" "gcc" "CMakeFiles/rpu.dir/src/modmath/mod64.cc.o.d"
+  "/root/repo/src/modmath/modulus.cc" "CMakeFiles/rpu.dir/src/modmath/modulus.cc.o" "gcc" "CMakeFiles/rpu.dir/src/modmath/modulus.cc.o.d"
+  "/root/repo/src/modmath/primality.cc" "CMakeFiles/rpu.dir/src/modmath/primality.cc.o" "gcc" "CMakeFiles/rpu.dir/src/modmath/primality.cc.o.d"
+  "/root/repo/src/modmath/primegen.cc" "CMakeFiles/rpu.dir/src/modmath/primegen.cc.o" "gcc" "CMakeFiles/rpu.dir/src/modmath/primegen.cc.o.d"
+  "/root/repo/src/poly/ntt.cc" "CMakeFiles/rpu.dir/src/poly/ntt.cc.o" "gcc" "CMakeFiles/rpu.dir/src/poly/ntt.cc.o.d"
+  "/root/repo/src/poly/polynomial.cc" "CMakeFiles/rpu.dir/src/poly/polynomial.cc.o" "gcc" "CMakeFiles/rpu.dir/src/poly/polynomial.cc.o.d"
+  "/root/repo/src/poly/twiddle.cc" "CMakeFiles/rpu.dir/src/poly/twiddle.cc.o" "gcc" "CMakeFiles/rpu.dir/src/poly/twiddle.cc.o.d"
+  "/root/repo/src/rlwe/bfv.cc" "CMakeFiles/rpu.dir/src/rlwe/bfv.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rlwe/bfv.cc.o.d"
+  "/root/repo/src/rlwe/params.cc" "CMakeFiles/rpu.dir/src/rlwe/params.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rlwe/params.cc.o.d"
+  "/root/repo/src/rns/basis.cc" "CMakeFiles/rpu.dir/src/rns/basis.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rns/basis.cc.o.d"
+  "/root/repo/src/rns/crt.cc" "CMakeFiles/rpu.dir/src/rns/crt.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rns/crt.cc.o.d"
+  "/root/repo/src/rpu/device.cc" "CMakeFiles/rpu.dir/src/rpu/device.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rpu/device.cc.o.d"
+  "/root/repo/src/rpu/metrics.cc" "CMakeFiles/rpu.dir/src/rpu/metrics.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rpu/metrics.cc.o.d"
+  "/root/repo/src/rpu/runner.cc" "CMakeFiles/rpu.dir/src/rpu/runner.cc.o" "gcc" "CMakeFiles/rpu.dir/src/rpu/runner.cc.o.d"
+  "/root/repo/src/sim/arch_config.cc" "CMakeFiles/rpu.dir/src/sim/arch_config.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/arch_config.cc.o.d"
+  "/root/repo/src/sim/cycle/busyboard.cc" "CMakeFiles/rpu.dir/src/sim/cycle/busyboard.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/cycle/busyboard.cc.o.d"
+  "/root/repo/src/sim/cycle/frontend.cc" "CMakeFiles/rpu.dir/src/sim/cycle/frontend.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/cycle/frontend.cc.o.d"
+  "/root/repo/src/sim/cycle/pipelines.cc" "CMakeFiles/rpu.dir/src/sim/cycle/pipelines.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/cycle/pipelines.cc.o.d"
+  "/root/repo/src/sim/cycle/simulator.cc" "CMakeFiles/rpu.dir/src/sim/cycle/simulator.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/cycle/simulator.cc.o.d"
+  "/root/repo/src/sim/functional/executor.cc" "CMakeFiles/rpu.dir/src/sim/functional/executor.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/functional/executor.cc.o.d"
+  "/root/repo/src/sim/functional/state.cc" "CMakeFiles/rpu.dir/src/sim/functional/state.cc.o" "gcc" "CMakeFiles/rpu.dir/src/sim/functional/state.cc.o.d"
+  "/root/repo/src/wide/biguint.cc" "CMakeFiles/rpu.dir/src/wide/biguint.cc.o" "gcc" "CMakeFiles/rpu.dir/src/wide/biguint.cc.o.d"
+  "/root/repo/src/wide/u256.cc" "CMakeFiles/rpu.dir/src/wide/u256.cc.o" "gcc" "CMakeFiles/rpu.dir/src/wide/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_isa.dir/bench/tab01_isa.cc.o"
+  "CMakeFiles/tab01_isa.dir/bench/tab01_isa.cc.o.d"
+  "tab01_isa"
+  "tab01_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

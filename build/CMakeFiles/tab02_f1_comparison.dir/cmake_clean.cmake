@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_f1_comparison.dir/bench/tab02_f1_comparison.cc.o"
+  "CMakeFiles/tab02_f1_comparison.dir/bench/tab02_f1_comparison.cc.o.d"
+  "tab02_f1_comparison"
+  "tab02_f1_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_f1_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

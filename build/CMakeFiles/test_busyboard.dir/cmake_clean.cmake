@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_busyboard.dir/tests/test_busyboard.cc.o"
+  "CMakeFiles/test_busyboard.dir/tests/test_busyboard.cc.o.d"
+  "test_busyboard"
+  "test_busyboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_busyboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_reports.dir/tests/test_config_reports.cc.o"
+  "CMakeFiles/test_config_reports.dir/tests/test_config_reports.cc.o.d"
+  "test_config_reports"
+  "test_config_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

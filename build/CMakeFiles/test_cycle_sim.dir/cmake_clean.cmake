@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycle_sim.dir/tests/test_cycle_sim.cc.o"
+  "CMakeFiles/test_cycle_sim.dir/tests/test_cycle_sim.cc.o.d"
+  "test_cycle_sim"
+  "test_cycle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_sim.dir/tests/test_functional_sim.cc.o"
+  "CMakeFiles/test_functional_sim.dir/tests/test_functional_sim.cc.o.d"
+  "test_functional_sim"
+  "test_functional_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

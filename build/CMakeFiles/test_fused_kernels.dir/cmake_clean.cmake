@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused_kernels.dir/tests/test_fused_kernels.cc.o"
+  "CMakeFiles/test_fused_kernels.dir/tests/test_fused_kernels.cc.o.d"
+  "test_fused_kernels"
+  "test_fused_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_oracle.dir/tests/test_layout_oracle.cc.o"
+  "CMakeFiles/test_layout_oracle.dir/tests/test_layout_oracle.cc.o.d"
+  "test_layout_oracle"
+  "test_layout_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modmath.dir/tests/test_modmath.cc.o"
+  "CMakeFiles/test_modmath.dir/tests/test_modmath.cc.o.d"
+  "test_modmath"
+  "test_modmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

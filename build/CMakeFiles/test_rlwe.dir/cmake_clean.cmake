@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rlwe.dir/tests/test_rlwe.cc.o"
+  "CMakeFiles/test_rlwe.dir/tests/test_rlwe.cc.o.d"
+  "test_rlwe"
+  "test_rlwe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rlwe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

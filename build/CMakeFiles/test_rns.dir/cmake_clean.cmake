@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns.dir/tests/test_rns.cc.o"
+  "CMakeFiles/test_rns.dir/tests/test_rns.cc.o.d"
+  "test_rns"
+  "test_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

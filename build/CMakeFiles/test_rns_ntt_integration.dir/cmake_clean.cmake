@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns_ntt_integration.dir/tests/test_rns_ntt_integration.cc.o"
+  "CMakeFiles/test_rns_ntt_integration.dir/tests/test_rns_ntt_integration.cc.o.d"
+  "test_rns_ntt_integration"
+  "test_rns_ntt_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns_ntt_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
