@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Serial vs parallel launchAll throughput across tower counts and
+ * worker counts.
+ *
+ * The paper's RPU hides latency by processing independent RNS towers
+ * simultaneously; on the host side, RpuDevice::setParallelism fans a
+ * batch of independent tower launches across a worker pool. This
+ * bench measures what that dispatch concurrency is actually worth in
+ * wall-clock terms: one fused negacyclic-product launch per tower,
+ * batch sizes 1..16 towers, worker counts 1..8.
+ *
+ * Results are workload-true (each launch runs the full functional
+ * simulation of a generated B512 program) but host-dependent: the
+ * speedup ceiling is min(workers, towers, host cores). Parallel
+ * results are asserted bit-identical to serial before any number is
+ * reported.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "modmath/primegen.hh"
+#include "poly/polynomial.hh"
+#include "rpu/device.hh"
+
+namespace rpu {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Workload
+{
+    std::vector<LaunchRequest> batch;
+    std::vector<std::vector<std::vector<u128>>> expected;
+};
+
+/** One fused per-tower product per request, kernels pre-generated. */
+Workload
+makeWorkload(RpuDevice &dev, uint64_t n, size_t towers)
+{
+    const auto primes = nttPrimes(60, n, towers);
+    Rng rng(uint64_t(towers) * 977 + 11);
+    Workload w;
+    for (u128 q : primes) {
+        const KernelImage &k = dev.kernel(KernelKind::PolyMul, n, {q});
+        const Modulus mod(q);
+        w.batch.push_back(
+            {&k, {randomPoly(mod, n, rng), randomPoly(mod, n, rng)}});
+    }
+    w.expected = dev.launchAll(w.batch); // serial golden results
+    return w;
+}
+
+/** Batches/second of launchAll over @p w at the current parallelism. */
+double
+throughput(RpuDevice &dev, const Workload &w, int reps)
+{
+    // Warm-up run doubles as the bit-identity check.
+    if (dev.launchAll(w.batch) != w.expected) {
+        std::fprintf(stderr,
+                     "FAIL: parallel results diverge from serial\n");
+        std::exit(1);
+    }
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        dev.launchAll(w.batch);
+    return reps / secondsSince(t0);
+}
+
+} // namespace
+} // namespace rpu
+
+int
+main()
+{
+    using namespace rpu;
+
+    const uint64_t n = 1024;
+    const int reps = 5;
+    const std::vector<size_t> tower_counts = {1, 2, 4, 8, 16};
+    const std::vector<unsigned> worker_counts = {1, 2, 4, 8};
+
+    bench::header("launchAll throughput: serial vs worker pool");
+    std::printf("n = %llu, %d reps/cell, host cores = %u\n",
+                (unsigned long long)n, reps,
+                std::thread::hardware_concurrency());
+    std::printf("cells: batches/s (speedup vs 1 worker)\n\n");
+
+    std::printf("%8s", "towers");
+    for (unsigned wkr : worker_counts)
+        std::printf("  %18u", wkr);
+    std::printf("\n");
+    bench::rule('-', 8 + 20 * int(worker_counts.size()));
+
+    RpuDevice dev;
+    for (size_t towers : tower_counts) {
+        const Workload w = makeWorkload(dev, n, towers);
+        std::printf("%8zu", towers);
+        double serial = 0.0;
+        for (unsigned wkr : worker_counts) {
+            dev.setParallelism(wkr);
+            const double bps = throughput(dev, w, reps);
+            if (wkr == 1)
+                serial = bps;
+            std::printf("  %10.2f (%4.2fx)", bps,
+                        serial > 0 ? bps / serial : 0.0);
+        }
+        dev.setParallelism(1);
+        std::printf("\n");
+    }
+
+    std::printf("\nPASS: every parallel batch bit-identical to serial\n");
+    return 0;
+}

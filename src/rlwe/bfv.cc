@@ -184,6 +184,7 @@ BfvContext::rnsTowers(const std::vector<u128> &poly) const
 std::vector<u128>
 BfvContext::rnsReduceCentred(const CrtContext::TowerPoly &towers) const
 {
+    rpu_assert(rns_crt_ != nullptr, "no device attached");
     // Reconstruct the exact integer product (centred mod Q), then
     // reduce mod q.
     const std::vector<BigUInt> wide = rns_crt_->reconstructPoly(towers);
@@ -224,28 +225,26 @@ BfvContext::mulPlainRns(const Ciphertext &ct,
                         const std::vector<uint64_t> &plain) const
 {
     // The plaintext is shared by both component products: lift and
-    // CRT-decompose it once, then push both launches through the
-    // backend as one batch against the same cached kernel.
-    const size_t towers = rns_basis_->towers();
-    const KernelImage &kernel = device_->kernel(
-        KernelKind::BatchedPolyMul, params_.n, rns_basis_->primes());
-
-    const CrtContext::TowerPoly tp = rnsTowers(liftPlain(plain));
-    std::vector<LaunchRequest> batch;
-    for (const std::vector<u128> *component : {&ct.c0, &ct.c1}) {
-        const CrtContext::TowerPoly tc = rnsTowers(*component);
-        LaunchRequest req;
-        req.image = &kernel;
-        for (size_t t = 0; t < towers; ++t) {
-            req.inputs.push_back(tc[t]);
-            req.inputs.push_back(tp[t]);
-        }
-        batch.push_back(std::move(req));
-    }
-
-    const auto results = device_->launchAll(batch);
-    return Ciphertext{rnsReduceCentred(results[0]),
-                      rnsReduceCentred(results[1])};
+    // CRT-decompose it once, then hand both components to the device
+    // in a single dispatch, so every (component, tower) product can
+    // overlap. The *device* decides how: one batched all-towers
+    // kernel per component when serial, one single-ring launch per
+    // product fanned across the worker pool when parallel —
+    // bit-identical results either way.
+    CrtContext::TowerPoly tp = rnsTowers(liftPlain(plain));
+    std::vector<CrtContext::TowerPoly> as;
+    as.reserve(2);
+    as.push_back(rnsTowers(ct.c0));
+    as.push_back(rnsTowers(ct.c1));
+    std::vector<CrtContext::TowerPoly> bs;
+    bs.reserve(2);
+    bs.push_back(tp); // the shared plaintext: one copy, one move
+    bs.push_back(std::move(tp));
+    const auto products = device_->mulTowersBatch(
+        params_.n, rns_basis_->primes(), std::move(as),
+        std::move(bs));
+    return Ciphertext{rnsReduceCentred(products[0]),
+                      rnsReduceCentred(products[1])};
 }
 
 double

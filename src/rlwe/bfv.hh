@@ -134,6 +134,16 @@ class BfvContext
     /** Lift a plaintext vector into the ring (mod q). */
     std::vector<u128> liftPlain(const std::vector<uint64_t> &plain) const;
 
+    /**
+     * Reconstruct a tower product, centre it, and reduce mod q.
+     * A reconstructed value w maps to the centred representative
+     * w - Q when w > Q/2 and to w itself otherwise; for the odd
+     * basis product Q, w == (Q-1)/2 is exactly the largest positive
+     * representative (device attached only).
+     */
+    std::vector<u128>
+    rnsReduceCentred(const CrtContext::TowerPoly &towers) const;
+
   private:
     std::vector<u128> samplePolyUniform();
     std::vector<u128> samplePolySmall();
@@ -142,14 +152,11 @@ class BfvContext
     /** CRT-split a ring polynomial (mod q) into RNS towers. */
     CrtContext::TowerPoly rnsTowers(const std::vector<u128> &poly) const;
 
-    /** Reconstruct a tower product, centre it, and reduce mod q. */
-    std::vector<u128>
-    rnsReduceCentred(const CrtContext::TowerPoly &towers) const;
-
     /**
      * Device path of mulPlain: decompose the plaintext once, run both
-     * ciphertext components' tower products through one batched
-     * launchAll, reconstruct.
+     * ciphertext components' tower products through one device
+     * dispatch (mulTowersBatch — the device picks serial-batched or
+     * per-tower-parallel execution), reconstruct.
      */
     Ciphertext mulPlainRns(const Ciphertext &ct,
                            const std::vector<uint64_t> &plain) const;

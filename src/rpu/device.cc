@@ -71,7 +71,13 @@ CpuReferenceBackend::execute(RpuDevice &dev, const KernelImage &image,
         }
         break;
       }
+      default:
+        rpu_fatal("cpu-reference backend cannot execute kernel '%s' "
+                  "(unhandled kind %d)",
+                  image.program.name().c_str(), int(image.kind));
     }
+    // Output-region count/size validation happens once for every
+    // backend in RpuDevice::executeValidated.
     return outputs;
 }
 
@@ -85,17 +91,34 @@ RpuDevice::RpuDevice(std::unique_ptr<ExecutionBackend> backend)
     rpu_assert(backend_ != nullptr, "device needs a backend");
 }
 
+void
+RpuDevice::setParallelism(unsigned workers)
+{
+    if (workers <= 1) {
+        pool_.reset();
+        return;
+    }
+    if (!pool_ || pool_->workers() != workers)
+        pool_ = std::make_unique<ThreadPool>(workers);
+}
+
+void
+RpuDevice::resetCounters()
+{
+    counters_.launches = 0;
+    counters_.towerLaunches = 0;
+    counters_.kernelHits = 0;
+    counters_.kernelMisses = 0;
+}
+
 const Modulus &
 RpuDevice::modulusContext(u128 q)
 {
-    auto it = modulus_cache_.find(q);
-    if (it == modulus_cache_.end())
-        it = modulus_cache_.emplace(q, Modulus(q)).first;
-    return it->second;
+    return modulus_cache_.get(q);
 }
 
 const TwiddleTable &
-RpuDevice::twiddleTable(uint64_t n, u128 q)
+RpuDevice::twiddleTableLocked(uint64_t n, u128 q)
 {
     const auto key = std::make_pair(n, q);
     auto it = twiddle_cache_.find(key);
@@ -110,15 +133,23 @@ RpuDevice::twiddleTable(uint64_t n, u128 q)
     return *it->second;
 }
 
+const TwiddleTable &
+RpuDevice::twiddleTable(uint64_t n, u128 q)
+{
+    std::lock_guard<std::mutex> lock(context_mutex_);
+    return twiddleTableLocked(n, q);
+}
+
 const NttContext &
 RpuDevice::nttContext(uint64_t n, u128 q)
 {
+    std::lock_guard<std::mutex> lock(context_mutex_);
     const auto key = std::make_pair(n, q);
     auto it = ntt_cache_.find(key);
     if (it == ntt_cache_.end()) {
         it = ntt_cache_
                  .emplace(key, std::make_unique<NttContext>(
-                                   twiddleTable(n, q)))
+                                   twiddleTableLocked(n, q)))
                  .first;
     }
     return *it->second;
@@ -129,24 +160,31 @@ RpuDevice::kernelKey(KernelKind kind, uint64_t n,
                      const std::vector<u128> &moduli,
                      const NttCodegenOptions &opts) const
 {
-    // Everything that changes the generated/scheduled program.
-    std::string key = std::to_string(int(kind)) + ":" +
-                      std::to_string(n) + ":";
+    // Everything that changes the generated/scheduled program, each
+    // field behind its own delimiter so no two specs can collide.
+    std::string key = "k" + std::to_string(int(kind)) + ":n" +
+                      std::to_string(n) + ":m";
     for (u128 q : moduli) {
         key += std::to_string(uint64_t(q >> 64)) + "_" +
                std::to_string(uint64_t(q)) + ",";
     }
-    key += ":" + std::to_string(opts.optimized) +
+    key += ":o" + std::to_string(opts.optimized) + ":w" +
            std::to_string(opts.twiddleCompose);
     // The design point only shapes the program through the list
-    // scheduler, which unoptimized generation skips.
+    // scheduler, which unoptimized generation skips. Every RpuConfig
+    // field is keyed — including ones the scheduler does not consult
+    // today (vdmBytes) — so a future scheduler input can never alias
+    // two design points onto one cached kernel.
     if (opts.optimized) {
         const RpuConfig &c = opts.scheduleConfig;
-        for (unsigned v :
-             {c.numHples, c.numBanks, c.mulLatency, c.mulII,
-              c.addLatency, c.shuffleLatency, c.lsLatency, c.sdmLatency,
-              c.queueDepth, c.dispatchWidth,
-              unsigned(c.exclusiveReaders)}) {
+        for (uint64_t v :
+             {uint64_t(c.numHples), uint64_t(c.numBanks),
+              uint64_t(c.vdmBytes), uint64_t(c.mulLatency),
+              uint64_t(c.mulII), uint64_t(c.addLatency),
+              uint64_t(c.shuffleLatency), uint64_t(c.lsLatency),
+              uint64_t(c.sdmLatency), uint64_t(c.queueDepth),
+              uint64_t(c.dispatchWidth),
+              uint64_t(c.exclusiveReaders)}) {
             key += ":" + std::to_string(v);
         }
     }
@@ -161,6 +199,11 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
     rpu_assert(!moduli.empty(), "kernel needs at least one modulus");
 
     const std::string key = kernelKey(kind, n, moduli, opts);
+    // Generation happens under the cache lock: concurrent launches
+    // requesting the same kernel wait for one generation instead of
+    // racing to duplicate it. Kernels are generated up front on the
+    // caller's thread in every launch path, so workers only ever hit.
+    std::lock_guard<std::mutex> lock(kernel_mutex_);
     auto it = kernels_.find(key);
     if (it != kernels_.end()) {
         ++counters_.kernelHits;
@@ -202,9 +245,10 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
     return *it->second;
 }
 
-std::vector<std::vector<u128>>
-RpuDevice::launch(const KernelImage &image,
-                  const std::vector<std::vector<u128>> &inputs)
+void
+RpuDevice::validateLaunch(const KernelImage &image,
+                          const std::vector<std::vector<u128>> &inputs)
+    const
 {
     const auto in_regions = image.inputRegions();
     if (inputs.size() != in_regions.size()) {
@@ -220,22 +264,111 @@ RpuDevice::launch(const KernelImage &image,
                       inputs[i].size());
         }
     }
+}
 
+std::vector<std::vector<u128>>
+RpuDevice::executeValidated(const KernelImage &image,
+                            const std::vector<std::vector<u128>> &inputs)
+{
     ++counters_.launches;
     counters_.towerLaunches += image.moduli.size();
-    return backend_->execute(*this, image, inputs);
+    auto outputs = backend_->execute(*this, image, inputs);
+
+    // Guard every backend, present and future: an execute() that
+    // under-fills the image's output regions must never hand callers
+    // truncated results.
+    const auto out_regions = image.outputRegions();
+    if (outputs.size() != out_regions.size()) {
+        rpu_fatal("kernel '%s' declares %zu output regions, backend "
+                  "'%s' produced %zu",
+                  image.program.name().c_str(), out_regions.size(),
+                  backend_->name(), outputs.size());
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+        if (outputs[i].size() != out_regions[i]->words) {
+            rpu_fatal("output '%s' wants %llu words, backend '%s' "
+                      "produced %zu",
+                      out_regions[i]->name.c_str(),
+                      (unsigned long long)out_regions[i]->words,
+                      backend_->name(), outputs[i].size());
+        }
+    }
+    return outputs;
+}
+
+std::vector<std::vector<u128>>
+RpuDevice::launch(const KernelImage &image,
+                  const std::vector<std::vector<u128>> &inputs)
+{
+    validateLaunch(image, inputs);
+    return executeValidated(image, inputs);
 }
 
 std::vector<std::vector<std::vector<u128>>>
 RpuDevice::launchAll(const std::vector<LaunchRequest> &batch)
 {
-    std::vector<std::vector<std::vector<u128>>> results;
-    results.reserve(batch.size());
+    // Validate the whole batch on the calling thread so user errors
+    // fire deterministically before any worker starts.
     for (const LaunchRequest &req : batch) {
         rpu_assert(req.image != nullptr, "launch without a kernel");
-        results.push_back(launch(*req.image, req.inputs));
+        validateLaunch(*req.image, req.inputs);
+    }
+
+    std::vector<std::vector<std::vector<u128>>> results(batch.size());
+    if (pool_ && batch.size() > 1) {
+        std::vector<std::future<std::vector<std::vector<u128>>>> futures;
+        futures.reserve(batch.size());
+        for (const LaunchRequest &req : batch) {
+            futures.push_back(pool_->submit([this, &req] {
+                return executeValidated(*req.image, req.inputs);
+            }));
+        }
+        // Collect in request order: results are deterministic no
+        // matter which worker finishes first, and each launch is a
+        // pure function of (image, inputs), so the batch is
+        // bit-identical to the serial path. Join every job before
+        // surfacing any failure — still-queued jobs hold references
+        // into the caller's batch, so unwinding early would free
+        // memory under them.
+        std::exception_ptr first_error;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            try {
+                results[i] = futures[i].get();
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+    } else {
+        for (size_t i = 0; i < batch.size(); ++i)
+            results[i] = executeValidated(*batch[i].image,
+                                          batch[i].inputs);
     }
     return results;
+}
+
+std::future<std::vector<std::vector<u128>>>
+RpuDevice::launchAsync(const KernelImage &image,
+                       std::vector<std::vector<u128>> inputs)
+{
+    validateLaunch(image, inputs);
+    if (pool_) {
+        return pool_->submit(
+            [this, &image, in = std::move(inputs)] {
+                return executeValidated(image, in);
+            });
+    }
+    // Inline execution still reports failure through the future, so
+    // callers handle errors at .get() regardless of the parallelism.
+    std::promise<std::vector<std::vector<u128>>> done;
+    try {
+        done.set_value(executeValidated(image, inputs));
+    } catch (...) {
+        done.set_exception(std::current_exception());
+    }
+    return done.get_future();
 }
 
 std::vector<u128>
@@ -259,23 +392,80 @@ RpuDevice::negacyclicMul(uint64_t n, u128 q, const std::vector<u128> &a,
 
 std::vector<std::vector<u128>>
 RpuDevice::mulTowers(uint64_t n, const std::vector<u128> &moduli,
-                     const std::vector<std::vector<u128>> &a,
-                     const std::vector<std::vector<u128>> &b,
+                     std::vector<std::vector<u128>> a,
+                     std::vector<std::vector<u128>> b,
                      const NttCodegenOptions &opts)
 {
-    rpu_assert(a.size() == moduli.size() && b.size() == moduli.size(),
-               "tower count mismatch");
+    std::vector<std::vector<std::vector<u128>>> as, bs;
+    as.push_back(std::move(a));
+    bs.push_back(std::move(b));
+    return std::move(
+        mulTowersBatch(n, moduli, std::move(as), std::move(bs),
+                       opts)[0]);
+}
+
+std::vector<std::vector<std::vector<u128>>>
+RpuDevice::mulTowersBatch(
+    uint64_t n, const std::vector<u128> &moduli,
+    std::vector<std::vector<std::vector<u128>>> a,
+    std::vector<std::vector<std::vector<u128>>> b,
+    const NttCodegenOptions &opts)
+{
+    rpu_assert(a.size() == b.size(), "operand pair count mismatch");
+    const size_t pairs = a.size();
+    const size_t towers = moduli.size();
+    for (size_t p = 0; p < pairs; ++p) {
+        rpu_assert(a[p].size() == towers && b[p].size() == towers,
+                   "tower count mismatch");
+    }
+
+    std::vector<std::vector<std::vector<u128>>> out(pairs);
+    if (pool_ && pairs * towers > 1) {
+        // One single-ring fused product per (pair, tower), so every
+        // independent product overlaps across the worker pool — the
+        // paper's "process different towers simultaneously", realised
+        // in host wall-clock time.
+        std::vector<const KernelImage *> tower_kernels(towers);
+        for (size_t t = 0; t < towers; ++t) {
+            tower_kernels[t] =
+                &kernel(KernelKind::PolyMul, n, {moduli[t]}, opts);
+        }
+        std::vector<LaunchRequest> batch(pairs * towers);
+        for (size_t p = 0; p < pairs; ++p) {
+            for (size_t t = 0; t < towers; ++t) {
+                LaunchRequest &req = batch[p * towers + t];
+                req.image = tower_kernels[t];
+                req.inputs.reserve(2);
+                req.inputs.push_back(std::move(a[p][t]));
+                req.inputs.push_back(std::move(b[p][t]));
+            }
+        }
+        auto results = launchAll(batch);
+        for (size_t p = 0; p < pairs; ++p) {
+            out[p].resize(towers);
+            for (size_t t = 0; t < towers; ++t)
+                out[p][t] = std::move(results[p * towers + t][0]);
+        }
+        return out;
+    }
+
+    // Serial: one batched all-towers launch per pair. Region order is
+    // t0.a, t0.b, t1.a, t1.b, ...
     const KernelImage &k =
         kernel(KernelKind::BatchedPolyMul, n, moduli, opts);
-
-    // Region order is t0.a, t0.b, t1.a, t1.b, ...
-    std::vector<std::vector<u128>> inputs;
-    inputs.reserve(2 * moduli.size());
-    for (size_t t = 0; t < moduli.size(); ++t) {
-        inputs.push_back(a[t]);
-        inputs.push_back(b[t]);
+    std::vector<LaunchRequest> batch(pairs);
+    for (size_t p = 0; p < pairs; ++p) {
+        batch[p].image = &k;
+        batch[p].inputs.reserve(2 * towers);
+        for (size_t t = 0; t < towers; ++t) {
+            batch[p].inputs.push_back(std::move(a[p][t]));
+            batch[p].inputs.push_back(std::move(b[p][t]));
+        }
     }
-    return launch(k, inputs);
+    auto results = launchAll(batch);
+    for (size_t p = 0; p < pairs; ++p)
+        out[p] = std::move(results[p]);
+    return out;
 }
 
 } // namespace rpu

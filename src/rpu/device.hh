@@ -20,19 +20,26 @@
  *    bit-for-bit across backends;
  *  - batched launches (launchAll) that push many independent tower
  *    launches through one backend, the software counterpart of the
- *    paper's "process different towers simultaneously".
+ *    paper's "process different towers simultaneously" — and, with
+ *    setParallelism(w > 1), actually execute them concurrently on a
+ *    worker pool, with request-ordered results bit-identical to the
+ *    serial path.
  */
 
 #ifndef RPU_RPU_DEVICE_HH
 #define RPU_RPU_DEVICE_HH
 
+#include <atomic>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "codegen/ntt_codegen.hh"
 #include "poly/polynomial.hh"
+#include "rpu/thread_pool.hh"
 #include "sim/functional/executor.hh"
 
 namespace rpu {
@@ -90,13 +97,18 @@ class CpuReferenceBackend : public ExecutionBackend
             const std::vector<std::vector<u128>> &inputs) override;
 };
 
-/** Launch and cache activity since construction / resetCounters(). */
+/**
+ * Launch and cache activity since construction / resetCounters().
+ * Fields are individually atomic (workers bump them concurrently);
+ * cross-counter consistency is only guaranteed while no launches are
+ * in flight.
+ */
 struct DeviceCounters
 {
-    uint64_t launches = 0;      ///< kernel launches issued to the backend
-    uint64_t towerLaunches = 0; ///< tower transforms inside those launches
-    uint64_t kernelHits = 0;    ///< kernel-cache hits
-    uint64_t kernelMisses = 0;  ///< kernel-cache misses (generations)
+    std::atomic<uint64_t> launches{0}; ///< launches issued to the backend
+    std::atomic<uint64_t> towerLaunches{0}; ///< tower transforms inside those
+    std::atomic<uint64_t> kernelHits{0};    ///< kernel-cache hits
+    std::atomic<uint64_t> kernelMisses{0};  ///< kernel-cache misses
 };
 
 /** One element of a batched launchAll(). */
@@ -116,8 +128,23 @@ class RpuDevice
     explicit RpuDevice(std::unique_ptr<ExecutionBackend> backend);
 
     ExecutionBackend &backend() { return *backend_; }
+
     const DeviceCounters &counters() const { return counters_; }
-    void resetCounters() { counters_ = DeviceCounters(); }
+    void resetCounters();
+
+    // -- Concurrency -----------------------------------------------------
+
+    /**
+     * Number of worker threads independent launches fan out across.
+     * 1 (the default) executes every batch serially on the caller's
+     * thread; w > 1 starts a worker pool and launchAll()/launchAsync()
+     * (and the RNS tower paths built on them) overlap independent
+     * launches. Results are request-ordered and bit-identical to the
+     * serial path regardless of the setting. Not thread-safe against
+     * in-flight launches: reconfigure only between batches.
+     */
+    void setParallelism(unsigned workers);
+    unsigned parallelism() const { return pool_ ? pool_->workers() : 1; }
 
     // -- Shared numeric context caches ---------------------------------
 
@@ -142,7 +169,12 @@ class RpuDevice
                               const std::vector<u128> &moduli,
                               const NttCodegenOptions &opts = {});
 
-    size_t cachedKernels() const { return kernels_.size(); }
+    size_t
+    cachedKernels() const
+    {
+        std::lock_guard<std::mutex> lock(kernel_mutex_);
+        return kernels_.size();
+    }
 
     // -- Launches --------------------------------------------------------
 
@@ -158,10 +190,23 @@ class RpuDevice
     /**
      * Run many independent launches through the backend in one batch
      * (e.g. all towers of an RNS multiply). Results are returned in
-     * request order.
+     * request order and are bit-identical whether the batch executes
+     * serially or across the worker pool (see setParallelism).
      */
     std::vector<std::vector<std::vector<u128>>>
     launchAll(const std::vector<LaunchRequest> &batch);
+
+    /**
+     * Asynchronous launch: validates on the calling thread, then
+     * executes on the worker pool (or inline when parallelism() == 1,
+     * in which case the returned future is already ready).
+     * @p image is captured by reference and must stay alive until the
+     * future resolves — kernels from kernel() satisfy this for the
+     * device's lifetime.
+     */
+    std::future<std::vector<std::vector<u128>>>
+    launchAsync(const KernelImage &image,
+                std::vector<std::vector<u128>> inputs);
 
     // -- Convenience ring operations -------------------------------------
 
@@ -177,29 +222,78 @@ class RpuDevice
                                     const NttCodegenOptions &opts = {});
 
     /**
-     * All towers' negacyclic products in one batched kernel launch:
+     * All towers' negacyclic products:
      * result[t] = INTT_t(NTT_t(a[t]) .* NTT_t(b[t])) mod moduli[t].
+     * Serially this is one batched kernel launch; with
+     * parallelism() > 1 each tower becomes its own single-ring launch
+     * and the towers overlap across the worker pool (bit-identical
+     * results either way). Operands are taken by value: pass rvalues
+     * to avoid the copy.
      */
     std::vector<std::vector<u128>>
     mulTowers(uint64_t n, const std::vector<u128> &moduli,
-              const std::vector<std::vector<u128>> &a,
-              const std::vector<std::vector<u128>> &b,
+              std::vector<std::vector<u128>> a,
+              std::vector<std::vector<u128>> b,
               const NttCodegenOptions &opts = {});
+
+    /**
+     * Many independent multi-tower products over one basis in a
+     * single dispatch decision:
+     * result[p][t] = INTT_t(NTT_t(a[p][t]) .* NTT_t(b[p][t])).
+     * Serially each pair is one batched all-towers launch, pushed
+     * through the backend as one batch; with parallelism() > 1 every
+     * (pair, tower) product becomes its own single-ring launch and
+     * they all overlap across the worker pool — keeping the dispatch
+     * policy here rather than in callers. Operand tower sets are
+     * consumed: taken by value and moved into the launch requests, so
+     * rvalue operands are never copied.
+     */
+    std::vector<std::vector<std::vector<u128>>>
+    mulTowersBatch(uint64_t n, const std::vector<u128> &moduli,
+                   std::vector<std::vector<std::vector<u128>>> a,
+                   std::vector<std::vector<std::vector<u128>>> b,
+                   const NttCodegenOptions &opts = {});
 
   private:
     std::string kernelKey(KernelKind kind, uint64_t n,
                           const std::vector<u128> &moduli,
                           const NttCodegenOptions &opts) const;
 
+    /** Fatal unless @p inputs matches the image's input regions. */
+    void validateLaunch(const KernelImage &image,
+                        const std::vector<std::vector<u128>> &inputs)
+        const;
+
+    /** Validated launch body: count, then execute on the backend. */
+    std::vector<std::vector<u128>>
+    executeValidated(const KernelImage &image,
+                     const std::vector<std::vector<u128>> &inputs);
+
+    /** twiddleTable() body; caller holds context_mutex_. */
+    const TwiddleTable &twiddleTableLocked(uint64_t n, u128 q);
+
     std::unique_ptr<ExecutionBackend> backend_;
+
     DeviceCounters counters_;
 
+    // Context/kernel caches and their locks. Lock nesting is always
+    // kernel_mutex_ -> context_mutex_ (kernel generation builds
+    // twiddle tables); modulus_cache_ synchronises itself and sits
+    // below both. All four caches are append-only with node-stable
+    // storage, so returned references never need the lock.
     ModulusContextCache modulus_cache_;
+    mutable std::mutex context_mutex_;
     std::map<std::pair<uint64_t, u128>, std::unique_ptr<TwiddleTable>>
         twiddle_cache_;
     std::map<std::pair<uint64_t, u128>, std::unique_ptr<NttContext>>
         ntt_cache_;
+    mutable std::mutex kernel_mutex_;
     std::map<std::string, std::unique_ptr<KernelImage>> kernels_;
+
+    // Last member on purpose: destroyed first, so the pool drains and
+    // joins any still-queued async launches while the caches, mutexes,
+    // and backend they use are all still alive.
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace rpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool for the host-side dispatch layer.
+ *
+ * The paper's MRF gives the RPU "the potential to process different
+ * towers simultaneously" (section IV-B5); RpuDevice lifts the same
+ * idea to host dispatch by fanning independent kernel launches across
+ * these workers. The pool is deliberately minimal: a FIFO job queue,
+ * N long-lived threads, and futures for results — no work stealing,
+ * no priorities. Launch granularity (a whole B512 program) is coarse
+ * enough that a simple queue never becomes the bottleneck.
+ */
+
+#ifndef RPU_RPU_THREAD_POOL_HH
+#define RPU_RPU_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rpu {
+
+/** N worker threads draining one FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Start @p workers threads (at least one). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Drains the queue: queued jobs run to completion before join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const { return unsigned(threads_.size()); }
+
+    /**
+     * Queue @p fn for execution on a worker; the future carries its
+     * result (or the exception it threw).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        // std::function requires copyable targets; a packaged_task is
+        // move-only, so it rides behind a shared_ptr.
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task] { (*task)(); });
+        return fut;
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RPU_THREAD_POOL_HH

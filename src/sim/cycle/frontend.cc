@@ -18,8 +18,7 @@ Frontend::Frontend(const Program &prog, const RpuConfig &cfg)
 
 StallReason
 Frontend::dispatchCycle(Busyboard &bb, Pipeline &ls, Pipeline &compute,
-                        Pipeline &shuffle,
-                        std::vector<uint32_t> &dispatched)
+                        Pipeline &shuffle, uint64_t &fetched)
 {
     for (unsigned slot = 0; slot < cfg_.dispatchWidth; ++slot) {
         if (done())
@@ -34,7 +33,7 @@ Frontend::dispatchCycle(Busyboard &bb, Pipeline &ls, Pipeline &compute,
             return StallReason::QueueFull;
         bb.acquire(d.use);
         pipe.enqueue(pc_, d.beats);
-        dispatched.push_back(pc_);
+        ++fetched;
         ++pc_;
     }
     return StallReason::None;

@@ -47,13 +47,12 @@ class Frontend
     const DecodedInfo &info(uint32_t idx) const { return infos_[idx]; }
 
     /**
-     * Try to dispatch up to dispatchWidth instructions this cycle.
-     * Returns the number dispatched (their indices appended to
-     * @p dispatched) and the reason the slot was lost, if any.
+     * Try to dispatch up to dispatchWidth instructions this cycle,
+     * adding the number dispatched to @p fetched (a running IM-fetch
+     * counter). Returns the reason the slot was lost, if any.
      */
     StallReason dispatchCycle(Busyboard &bb, Pipeline &ls, Pipeline &compute,
-                              Pipeline &shuffle,
-                              std::vector<uint32_t> &dispatched);
+                              Pipeline &shuffle, uint64_t &fetched);
 
   private:
     const Program &prog_;

@@ -106,7 +106,6 @@ simulateCycles(const Program &prog, const RpuConfig &cfg)
 
     uint64_t now = 0;
     uint64_t retired = 0;
-    std::vector<uint32_t> dispatched;
     // A generous progress guard: every instruction must retire within
     // this many cycles of simulation or the model has deadlocked.
     const uint64_t limit = 1000ull * prog.size() *
@@ -144,16 +143,21 @@ simulateCycles(const Program &prog, const RpuConfig &cfg)
         pump(compute_pipe, stats.compute);
         pump(shuffle_pipe, stats.shuffle);
 
-        // 3. Front-end fetch/decode/dispatch.
+        // 3. Front-end fetch/decode/dispatch. Every cycle lands in
+        //    exactly one attribution bucket: dispatch progress, a
+        //    stall reason, or the post-frontend drain tail.
         if (!frontend.done()) {
-            const size_t before = dispatched.size();
             const StallReason reason = frontend.dispatchCycle(
-                busyboard, ls_pipe, compute_pipe, shuffle_pipe, dispatched);
-            stats.imFetches += dispatched.size() - before;
+                busyboard, ls_pipe, compute_pipe, shuffle_pipe,
+                stats.imFetches);
             if (reason == StallReason::Busyboard)
                 ++stats.busyboardStallCycles;
             else if (reason == StallReason::QueueFull)
                 ++stats.queueFullStallCycles;
+            else
+                ++stats.dispatchCycles;
+        } else {
+            ++stats.drainCycles;
         }
     }
 
@@ -192,8 +196,9 @@ CycleStats::report() const
     std::ostringstream os;
     os << "cycles: " << cycles << "  instructions: " << instructions
        << "\n";
-    os << "stalls: busyboard " << busyboardStallCycles << ", queue-full "
-       << queueFullStallCycles << "\n";
+    os << "front-end: dispatch " << dispatchCycles << ", busyboard stall "
+       << busyboardStallCycles << ", queue-full stall "
+       << queueFullStallCycles << ", drain " << drainCycles << "\n";
     const auto pct = [&](const PipeStats &p) {
         return cycles == 0 ? 0.0 : 100.0 * double(p.busyBeats) /
                                         double(cycles);

@@ -33,9 +33,14 @@ struct CycleStats
     uint64_t cycles = 0;
     uint64_t instructions = 0;
 
-    // Front-end stall attribution (cycles the dispatch slot was lost).
-    uint64_t busyboardStallCycles = 0;
-    uint64_t queueFullStallCycles = 0;
+    // Front-end cycle attribution. Every simulated cycle lands in
+    // exactly one bucket:
+    //   cycles == dispatchCycles + busyboardStallCycles
+    //           + queueFullStallCycles + drainCycles.
+    uint64_t dispatchCycles = 0;       ///< front-end made progress
+    uint64_t busyboardStallCycles = 0; ///< dispatch slot lost to a hazard
+    uint64_t queueFullStallCycles = 0; ///< dispatch slot lost to backpressure
+    uint64_t drainCycles = 0; ///< frontend done, pipelines draining
 
     PipeStats ls;
     PipeStats compute;

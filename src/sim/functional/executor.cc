@@ -27,12 +27,13 @@ FunctionalSimulator::laneOffset(AddrMode mode, unsigned value,
 const Modulus &
 FunctionalSimulator::modulusFor(u128 q)
 {
-    ModulusContextCache &cache =
-        shared_cache_ ? *shared_cache_ : modulus_cache_;
-    auto it = cache.find(q);
-    if (it == cache.end())
-        it = cache.emplace(q, Modulus(q)).first;
-    return it->second;
+    auto it = resolved_.find(q);
+    if (it == resolved_.end()) {
+        const Modulus &m =
+            (shared_cache_ ? *shared_cache_ : modulus_cache_).get(q);
+        it = resolved_.emplace(q, &m).first;
+    }
+    return *it->second;
 }
 
 void

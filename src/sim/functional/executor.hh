@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "isa/program.hh"
 #include "modmath/modulus.hh"
@@ -35,9 +36,39 @@ struct FunctionalCounts
 /**
  * Montgomery contexts are expensive to build; launches that share a
  * modulus should share a cache (RpuDevice owns one per device so the
- * cost is paid once, not per launch).
+ * cost is paid once, not per launch). Thread-safe: a multi-worker
+ * device executes launches concurrently, and every one of them goes
+ * through the shared cache.
  */
-using ModulusContextCache = std::map<u128, Modulus>;
+class ModulusContextCache
+{
+  public:
+    /**
+     * The context for @p q, built on first use. References stay valid
+     * for the cache's lifetime (node-based storage, entries are never
+     * evicted).
+     */
+    const Modulus &
+    get(u128 q)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map_.find(q);
+        if (it == map_.end())
+            it = map_.emplace(q, Modulus(q)).first;
+        return it->second;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<u128, Modulus> map_;
+};
 
 /**
  * Executes B512 programs against an ArchState.
@@ -71,6 +102,12 @@ class FunctionalSimulator
                                unsigned lane);
 
   private:
+    /**
+     * The context for @p q. Resolved pointers are memoized per
+     * simulator so the shared cache's lock is taken O(distinct
+     * moduli) per launch, not once per compute instruction — workers
+     * running concurrent launches would otherwise serialize on it.
+     */
     const Modulus &modulusFor(u128 q);
 
     void execLoadStore(const Instruction &instr);
@@ -83,6 +120,9 @@ class FunctionalSimulator
     /** Per-simulator fallback cache when no shared one is supplied. */
     ModulusContextCache modulus_cache_;
     ModulusContextCache *shared_cache_ = nullptr;
+
+    /** Lock-free memo of contexts this simulator already resolved. */
+    std::map<u128, const Modulus *> resolved_;
 };
 
 } // namespace rpu

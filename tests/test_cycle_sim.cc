@@ -179,6 +179,45 @@ TEST(CycleSim, AccessCounting)
     EXPECT_EQ(s.vrfWordWrites, 512u * 4);
 }
 
+TEST(CycleSim, CycleAttributionReconciles)
+{
+    // Every simulated cycle must land in exactly one front-end
+    // bucket; the drain tail (frontend done, pipelines finishing) was
+    // previously attributed to none of them.
+    const RpuConfig cfg;
+    const std::vector<std::string> programs = {
+        "vload v1, a0, 0, contig",
+        "vaddmod v2, v1, v1, m0\n"
+        "vaddmod v3, v2, v2, m0\n"
+        "vaddmod v4, v3, v3, m0",
+        "vload v1, a0, 0, contig\n"
+        "vbfly v4, v5, v1, v2, v3, m0\n"
+        "pklo v6, v4, v5\n"
+        "vstore v6, a0, 1024, contig",
+    };
+    for (const auto &text : programs) {
+        const auto s = simulateCycles(fromAsm(text), cfg);
+        EXPECT_EQ(s.cycles, s.dispatchCycles + s.busyboardStallCycles +
+                                s.queueFullStallCycles + s.drainCycles)
+            << text;
+        // Any non-empty program has a drain tail: the last
+        // instruction's beats + latency outlive its dispatch cycle.
+        EXPECT_GT(s.drainCycles, 0u) << text;
+        EXPECT_GT(s.dispatchCycles, 0u) << text;
+    }
+
+    // Backpressure run: queue-full stalls join the ledger.
+    RpuConfig narrow;
+    narrow.queueDepth = 1;
+    std::string text;
+    for (int i = 1; i <= 16; ++i)
+        text += "vload v" + std::to_string(i) + ", a0, 0, contig\n";
+    const auto s = simulateCycles(fromAsm(text), narrow);
+    EXPECT_GT(s.queueFullStallCycles, 0u);
+    EXPECT_EQ(s.cycles, s.dispatchCycles + s.busyboardStallCycles +
+                            s.queueFullStallCycles + s.drainCycles);
+}
+
 TEST(CycleSim, Deterministic)
 {
     const RpuConfig cfg;

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <thread>
+
 #include "modmath/primegen.hh"
 #include "rlwe/bfv.hh"
 #include "rpu/device.hh"
@@ -153,6 +157,46 @@ TEST(BatchedPolyMul, EquivalentAcrossBackends)
               ref.mulTowers(n, primes, a, b));
 }
 
+TEST(KernelCache, EveryScheduleFieldIsKeyed)
+{
+    // Regression for a key that omitted an RpuConfig field: two
+    // design points differing in any single field must never alias
+    // to one cached kernel.
+    RpuDevice dev;
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+
+    NttCodegenOptions base;
+    dev.kernel(KernelKind::ForwardNtt, n, {q}, base);
+
+    const std::vector<std::function<void(RpuConfig &)>> mutations = {
+        [](RpuConfig &c) { c.numHples = 64; },
+        [](RpuConfig &c) { c.numBanks = 64; },
+        [](RpuConfig &c) { c.vdmBytes = 8ull << 20; },
+        [](RpuConfig &c) { c.mulLatency = 7; },
+        [](RpuConfig &c) { c.mulII = 2; },
+        [](RpuConfig &c) { c.addLatency = 3; },
+        [](RpuConfig &c) { c.shuffleLatency = 5; },
+        [](RpuConfig &c) { c.lsLatency = 5; },
+        [](RpuConfig &c) { c.sdmLatency = 3; },
+        [](RpuConfig &c) { c.queueDepth = 4; },
+        [](RpuConfig &c) { c.dispatchWidth = 2; },
+        [](RpuConfig &c) { c.exclusiveReaders = true; },
+    };
+    uint64_t expected_misses = 1;
+    for (const auto &mutate : mutations) {
+        NttCodegenOptions opts = base;
+        mutate(opts.scheduleConfig);
+        dev.kernel(KernelKind::ForwardNtt, n, {q}, opts);
+        ++expected_misses;
+        EXPECT_EQ(dev.counters().kernelMisses, expected_misses)
+            << "a scheduleConfig field is missing from the kernel key";
+        // Requesting the same mutated config again must hit.
+        dev.kernel(KernelKind::ForwardNtt, n, {q}, opts);
+    }
+    EXPECT_EQ(dev.counters().kernelHits, mutations.size());
+}
+
 TEST(LaunchAll, MatchesIndividualLaunches)
 {
     const uint64_t n = 1024;
@@ -175,6 +219,146 @@ TEST(LaunchAll, MatchesIndividualLaunches)
         EXPECT_EQ(results[i],
                   dev.launch(*batch[i].image, batch[i].inputs));
     }
+}
+
+// ----------------------------------------------------------------------
+// Parallel launches
+// ----------------------------------------------------------------------
+
+/** A batch of per-tower fused products over distinct moduli. */
+std::vector<LaunchRequest>
+towerBatch(RpuDevice &dev, uint64_t n, const std::vector<u128> &primes,
+           uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<LaunchRequest> batch;
+    for (u128 q : primes) {
+        const KernelImage &k = dev.kernel(KernelKind::PolyMul, n, {q});
+        const Modulus mod(q);
+        batch.push_back(
+            {&k, {randomPoly(mod, n, rng), randomPoly(mod, n, rng)}});
+    }
+    return batch;
+}
+
+TEST(ParallelLaunch, BitIdenticalToSerial)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(60, n, 6);
+    RpuDevice dev;
+    const auto batch = towerBatch(dev, n, primes, 17);
+
+    EXPECT_EQ(dev.parallelism(), 1u);
+    const auto serial = dev.launchAll(batch);
+
+    dev.setParallelism(4);
+    EXPECT_EQ(dev.parallelism(), 4u);
+    const auto parallel = dev.launchAll(batch);
+
+    // Same batch, worker pool on: request-ordered and bit-identical.
+    EXPECT_EQ(parallel, serial);
+
+    // Determinism across repeated parallel runs.
+    EXPECT_EQ(dev.launchAll(batch), serial);
+
+    dev.setParallelism(1);
+    EXPECT_EQ(dev.parallelism(), 1u);
+    EXPECT_EQ(dev.launchAll(batch), serial);
+}
+
+TEST(ParallelLaunch, MulTowersMatchesSerial)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(58, n, 4);
+
+    Rng rng(23);
+    std::vector<std::vector<u128>> a, b;
+    for (u128 q : primes) {
+        const Modulus mod(q);
+        a.push_back(randomPoly(mod, n, rng));
+        b.push_back(randomPoly(mod, n, rng));
+    }
+
+    RpuDevice serial_dev;
+    const auto serial = serial_dev.mulTowers(n, primes, a, b);
+
+    RpuDevice parallel_dev;
+    parallel_dev.setParallelism(4);
+    const auto parallel = parallel_dev.mulTowers(n, primes, a, b);
+    EXPECT_EQ(parallel, serial);
+
+    // The parallel path fans one launch per tower.
+    EXPECT_EQ(parallel_dev.counters().launches, primes.size());
+    EXPECT_EQ(parallel_dev.counters().towerLaunches, primes.size());
+}
+
+TEST(ParallelLaunch, LaunchAsyncMatchesSync)
+{
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+    RpuDevice dev;
+    const KernelImage &k = dev.kernel(KernelKind::PolyMul, n, {q});
+
+    Rng rng(29);
+    const Modulus mod(q);
+    const auto a = randomPoly(mod, n, rng);
+    const auto b = randomPoly(mod, n, rng);
+    const auto expected = dev.launch(k, {a, b});
+
+    // Serial device: the future is already resolved.
+    auto fut = dev.launchAsync(k, {a, b});
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get(), expected);
+
+    // Pooled device: same result through a worker.
+    dev.setParallelism(2);
+    auto pooled = dev.launchAsync(k, {a, b});
+    EXPECT_EQ(pooled.get(), expected);
+}
+
+TEST(ParallelLaunch, ConcurrentCallersStress)
+{
+    // >= 4 host threads hammer one 4-worker device concurrently —
+    // kernel cache, context caches, counters, and the worker pool all
+    // see contention; every result must still be exact.
+    const uint64_t n = 1024;
+    const size_t callers = 4;
+    const size_t rounds = 3;
+    const auto primes = nttPrimes(59, n, callers);
+
+    RpuDevice dev;
+    dev.setParallelism(4);
+
+    std::vector<std::thread> threads;
+    std::vector<int> failures(callers, 0);
+    for (size_t c = 0; c < callers; ++c) {
+        threads.emplace_back([&, c] {
+            // Each caller works a different modulus, so kernel
+            // generation, twiddle tables, and Montgomery contexts are
+            // first touched under contention.
+            const u128 q = primes[c];
+            const Modulus mod(q);
+            const TwiddleTable tw(mod, n);
+            const NttContext ntt(tw);
+            Rng rng(100 + c);
+            for (size_t r = 0; r < rounds; ++r) {
+                const auto a = randomPoly(mod, n, rng);
+                const auto b = randomPoly(mod, n, rng);
+                const auto got = dev.negacyclicMul(n, q, a, b);
+                if (got != negacyclicMulNtt(ntt, a, b))
+                    ++failures[c];
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (size_t c = 0; c < callers; ++c)
+        EXPECT_EQ(failures[c], 0) << "caller " << c;
+
+    // Every launch was counted exactly once despite the contention.
+    EXPECT_EQ(dev.counters().launches, callers * rounds);
+    EXPECT_EQ(dev.counters().kernelMisses, callers);
 }
 
 // ----------------------------------------------------------------------
@@ -268,6 +452,70 @@ TEST(BfvOnDevice, PlaintextMultiplyExecutesOnTheRpu)
         }
     }
     EXPECT_EQ(ctx.decrypt(sk, via_rpu), expected);
+}
+
+TEST(BfvOnDevice, ParallelDeviceBitIdenticalToSerial)
+{
+    // The whole RNS product pipeline — decompose, per-tower products
+    // across the worker pool, CRT reconstruction — must be
+    // bit-identical to both the serial device and the reference NTT.
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+
+    Rng rng(51);
+    std::vector<uint64_t> msg(ctx.params().n), plain(ctx.params().n);
+    for (auto &v : msg)
+        v = rng.below64(ctx.params().plaintextModulus);
+    for (auto &v : plain)
+        v = rng.below64(ctx.params().plaintextModulus);
+    const Ciphertext ct = ctx.encrypt(sk, msg);
+    const Ciphertext via_ntt = ctx.mulPlain(ct, plain); // no device
+
+    const auto device = std::make_shared<RpuDevice>();
+    device->setParallelism(4);
+    ctx.attachDevice(device);
+    const Ciphertext via_pool = ctx.mulPlain(ct, plain);
+    EXPECT_EQ(via_pool.c0, via_ntt.c0);
+    EXPECT_EQ(via_pool.c1, via_ntt.c1);
+
+    // One single-tower launch per (component, tower) pair.
+    EXPECT_EQ(device->counters().launches,
+              2 * ctx.rnsBasis().towers());
+
+    device->setParallelism(1);
+    const Ciphertext via_serial = ctx.mulPlain(ct, plain);
+    EXPECT_EQ(via_serial.c0, via_pool.c0);
+    EXPECT_EQ(via_serial.c1, via_pool.c1);
+}
+
+TEST(BfvOnDevice, RnsPathMatchesMulPlainAcrossBackends)
+{
+    // Backend-equivalence for the full mulPlainRns path: the
+    // functional simulator and the CPU reference baseline must both
+    // reproduce the CPU-only mulPlain ciphertexts bit for bit.
+    BfvContext ctx(smallParams());
+    const SecretKey sk = ctx.keygen();
+
+    Rng rng(53);
+    std::vector<uint64_t> msg(ctx.params().n), plain(ctx.params().n);
+    for (auto &v : msg)
+        v = rng.below64(ctx.params().plaintextModulus);
+    for (auto &v : plain)
+        v = rng.below64(ctx.params().plaintextModulus);
+    const Ciphertext ct = ctx.encrypt(sk, msg);
+    const Ciphertext reference = ctx.mulPlain(ct, plain); // no device
+
+    ctx.attachDevice(
+        std::make_shared<RpuDevice>(
+            std::make_unique<CpuReferenceBackend>()));
+    const Ciphertext via_cpu_ref = ctx.mulPlain(ct, plain);
+    EXPECT_EQ(via_cpu_ref.c0, reference.c0);
+    EXPECT_EQ(via_cpu_ref.c1, reference.c1);
+
+    ctx.attachDevice(std::make_shared<RpuDevice>());
+    const Ciphertext via_sim = ctx.mulPlain(ct, plain);
+    EXPECT_EQ(via_sim.c0, reference.c0);
+    EXPECT_EQ(via_sim.c1, reference.c1);
 }
 
 TEST(BfvOnDevice, SharedDeviceAccumulatesAcrossContexts)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "rlwe/bfv.hh"
+#include "rpu/device.hh"
 
 namespace rpu {
 namespace {
@@ -176,6 +177,41 @@ TEST(RlweParams, Validation)
     p = smallParams();
     p.qBits = 130;
     EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "qBits");
+}
+
+TEST(RnsReduce, CentredRepresentativeBoundary)
+{
+    // Pin the sign convention at the centre of the RNS basis product
+    // Q (odd): a reconstructed value w is positive for w <= (Q-1)/2
+    // — so w == Q>>1 is exactly the largest positive representative —
+    // and negative (w - Q) above it.
+    BfvContext ctx(smallParams());
+    ctx.attachDevice(std::make_shared<RpuDevice>());
+
+    const RnsBasis &basis = ctx.rnsBasis();
+    const CrtContext crt(basis);
+    const BigUInt big_q = basis.q();
+    const BigUInt half_q = big_q >> 1; // (Q-1)/2 for odd Q
+    const BigUInt scheme_q = BigUInt::fromU128(ctx.q());
+
+    std::vector<BigUInt> wide(ctx.params().n); // zero-filled
+    wide[0] = half_q;                     // largest positive value
+    wide[1] = half_q + BigUInt(1);        // smallest negative value
+    wide[2] = big_q - BigUInt(1);         // -1
+    wide[3] = BigUInt(1);                 // +1
+
+    const std::vector<u128> out =
+        ctx.rnsReduceCentred(crt.decomposePoly(wide));
+
+    const u128 half_mod_q = (half_q % scheme_q).low128();
+    EXPECT_EQ(out[0], half_mod_q);
+    // half_q + 1 represents -(Q - half_q - 1) = -half_q: the exact
+    // negation of the boundary value.
+    EXPECT_EQ(out[1], ctx.modulus().neg(half_mod_q));
+    EXPECT_EQ(out[2], ctx.q() - 1);
+    EXPECT_EQ(out[3], u128(1));
+    for (size_t i = 4; i < out.size(); ++i)
+        EXPECT_EQ(out[i], u128(0)) << "coefficient " << i;
 }
 
 } // namespace
