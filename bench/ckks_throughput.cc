@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CKKS pipeline throughput on the device: serial vs worker pool.
+ *
+ * One "op" is the scheme's hot path — a slot-wise plaintext multiply
+ * (both ciphertext components through one mulTowersBatchAsync
+ * dispatch) followed by a rescale (per-tower forward NTT + pointwise
+ * scaling + inverse NTT launches) — measured in ops/s across modulus
+ * chain lengths and worker counts. The sibling launch_throughput
+ * bench measures raw launchAll dispatch; this one measures what that
+ * concurrency buys an actual second-scheme workload end to end.
+ *
+ * Results are workload-true (every launch runs the full functional
+ * simulation of a generated B512 program) but host-dependent: the
+ * speedup ceiling is min(workers, 2 * towers, host cores). Every
+ * parallel ciphertext is asserted bit-identical to the serial one
+ * before any number is reported.
+ */
+
+#include <chrono>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "rlwe/ckks.hh"
+#include "rpu/device.hh"
+
+namespace rpu {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Workload
+{
+    std::unique_ptr<CkksContext> ctx;
+    CkksCiphertext ct;
+    std::vector<std::complex<double>> weights;
+    CkksCiphertext expected; ///< serial golden mulPlain + rescale
+};
+
+Workload
+makeWorkload(const std::shared_ptr<RpuDevice> &device, uint64_t n,
+             size_t towers)
+{
+    CkksParams params;
+    params.n = n;
+    params.towers = towers;
+    params.towerBits = 45;
+    params.scale = 1099511627776.0; // 2^40
+
+    Workload w;
+    w.ctx = std::make_unique<CkksContext>(params, towers);
+    w.ctx->attachDevice(device);
+    const CkksSecretKey sk = w.ctx->keygen();
+
+    Rng rng(uint64_t(towers) * 1031 + 7);
+    std::vector<std::complex<double>> values(w.ctx->slots());
+    w.weights.resize(w.ctx->slots());
+    for (size_t j = 0; j < w.ctx->slots(); ++j) {
+        values[j] = {2.0 * rng.nextDouble() - 1.0,
+                     2.0 * rng.nextDouble() - 1.0};
+        w.weights[j] = {2.0 * rng.nextDouble() - 1.0,
+                        2.0 * rng.nextDouble() - 1.0};
+    }
+    w.ct = w.ctx->encrypt(sk, values);
+    w.expected = w.ctx->rescale(w.ctx->mulPlain(w.ct, w.weights));
+    return w;
+}
+
+bool
+identical(const CkksCiphertext &a, const CkksCiphertext &b)
+{
+    return a.c0 == b.c0 && a.c1 == b.c1;
+}
+
+/** Ops/second of mulPlain + rescale at the current parallelism. */
+double
+throughput(const Workload &w, int reps)
+{
+    // Warm-up run doubles as the bit-identity check.
+    if (!identical(w.ctx->rescale(w.ctx->mulPlain(w.ct, w.weights)),
+                   w.expected)) {
+        std::fprintf(stderr,
+                     "FAIL: parallel CKKS pipeline diverges from "
+                     "serial\n");
+        std::exit(1);
+    }
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        w.ctx->rescale(w.ctx->mulPlain(w.ct, w.weights));
+    return reps / secondsSince(t0);
+}
+
+} // namespace
+} // namespace rpu
+
+int
+main()
+{
+    using namespace rpu;
+
+    const uint64_t n = 1024;
+    const int reps = 3;
+    const std::vector<size_t> tower_counts = {2, 3, 4};
+    const std::vector<unsigned> worker_counts = {1, 2, 4, 8};
+
+    bench::header("CKKS mulPlain+rescale throughput: serial vs pool");
+    std::printf("n = %llu, 45-bit towers, scale 2^40, %d reps/cell, "
+                "host cores = %u\n",
+                (unsigned long long)n, reps,
+                std::thread::hardware_concurrency());
+    std::printf("cells: ops/s (speedup vs 1 worker)\n\n");
+
+    std::printf("%8s", "towers");
+    for (unsigned wkr : worker_counts)
+        std::printf("  %18u", wkr);
+    std::printf("\n");
+    bench::rule('-', 8 + 20 * int(worker_counts.size()));
+
+    const auto device = std::make_shared<RpuDevice>();
+    for (size_t towers : tower_counts) {
+        const Workload w = makeWorkload(device, n, towers);
+        std::printf("%8zu", towers);
+        double serial = 0.0;
+        for (unsigned wkr : worker_counts) {
+            device->setParallelism(wkr);
+            const double ops = throughput(w, reps);
+            if (wkr == 1)
+                serial = ops;
+            std::printf("  %10.2f (%4.2fx)", ops,
+                        serial > 0 ? ops / serial : 0.0);
+        }
+        device->setParallelism(1);
+        std::printf("\n");
+    }
+
+    std::printf("\nPASS: every parallel CKKS pipeline bit-identical "
+                "to serial\n");
+    return 0;
+}

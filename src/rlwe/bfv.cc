@@ -240,11 +240,17 @@ BfvContext::mulPlainRns(const Ciphertext &ct,
     bs.reserve(2);
     bs.push_back(tp); // the shared plaintext: one copy, one move
     bs.push_back(std::move(tp));
-    const auto products = device_->mulTowersBatch(
+    auto pending = device_->mulTowersBatchAsync(
         params_.n, rns_basis_->primes(), std::move(as),
         std::move(bs));
-    return Ciphertext{rnsReduceCentred(products[0]),
-                      rnsReduceCentred(products[1])};
+    // Join per component: c0's CRT reconstruction (host-side BigUInt
+    // arithmetic) overlaps c1's tower launches still running on the
+    // worker pool.
+    std::vector<u128> c0 = rnsReduceCentred(
+        RpuDevice::collectTowers(std::move(pending[0])));
+    std::vector<u128> c1 = rnsReduceCentred(
+        RpuDevice::collectTowers(std::move(pending[1])));
+    return Ciphertext{std::move(c0), std::move(c1)};
 }
 
 double

@@ -155,8 +155,9 @@ class BfvContext
     /**
      * Device path of mulPlain: decompose the plaintext once, run both
      * ciphertext components' tower products through one device
-     * dispatch (mulTowersBatch — the device picks serial-batched or
-     * per-tower-parallel execution), reconstruct.
+     * dispatch (mulTowersBatchAsync — the device picks serial-batched
+     * or per-tower-parallel execution), then reconstruct c0 while
+     * c1's launches are still in flight.
      */
     Ciphertext mulPlainRns(const Ciphertext &ct,
                            const std::vector<uint64_t> &plain) const;

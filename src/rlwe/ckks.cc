@@ -1,0 +1,399 @@
+#include "rlwe/ckks.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "modmath/primegen.hh"
+#include "rpu/device.hh"
+
+namespace rpu {
+
+namespace {
+
+/** Nearest double to a u128 (tower primes, for scale tracking). */
+double
+u128ToDouble(u128 v)
+{
+    return double(uint64_t(v >> 64)) * 18446744073709551616.0 +
+           double(uint64_t(v));
+}
+
+/** Nearest double to a BigUInt (centred decrypt coefficients). */
+double
+bigToDouble(const BigUInt &v)
+{
+    double r = 0.0;
+    const auto &limbs = v.limbs();
+    for (size_t i = limbs.size(); i-- > 0;)
+        r = r * 18446744073709551616.0 + double(limbs[i]);
+    return r;
+}
+
+} // namespace
+
+void
+CkksParams::validate() const
+{
+    if (n < 8 || (n & (n - 1)) != 0)
+        rpu_fatal("CKKS ring dimension must be a power of two >= 8, "
+                  "got %llu",
+                  (unsigned long long)n);
+    if (towers < 1)
+        rpu_fatal("CKKS modulus chain needs at least one tower");
+    if (towerBits < 30 || towerBits > 120)
+        rpu_fatal("tower width %u out of range [30, 120]", towerBits);
+    if (!(scale > 1.0))
+        rpu_fatal("encoding scale must exceed 1");
+}
+
+CkksContext::CkksContext(const CkksParams &params, uint64_t seed)
+    : params_(params), encoder_(params.n), rng_(seed)
+{
+    params_.validate();
+
+    // One prime generation pass; every chain prefix shares it, so a
+    // rescaled ciphertext's towers are exactly the leading towers of
+    // the full chain.
+    const std::vector<u128> primes =
+        nttPrimes(params_.towerBits, params_.n, params_.towers);
+    prefixes_.reserve(params_.towers);
+    crts_.reserve(params_.towers);
+    for (size_t k = 1; k <= params_.towers; ++k) {
+        prefixes_.push_back(std::make_unique<RnsBasis>(std::vector<u128>(
+            primes.begin(), primes.begin() + ptrdiff_t(k))));
+        crts_.push_back(std::make_unique<CrtContext>(*prefixes_.back()));
+    }
+
+    twiddles_.reserve(params_.towers);
+    ntts_.reserve(params_.towers);
+    for (size_t t = 0; t < params_.towers; ++t) {
+        twiddles_.push_back(std::make_unique<TwiddleTable>(
+            basis().modulus(t), params_.n));
+        ntts_.push_back(std::make_unique<NttContext>(*twiddles_[t]));
+    }
+}
+
+const RnsBasis &
+CkksContext::prefixBasis(size_t towers) const
+{
+    rpu_assert(towers >= 1 && towers <= params_.towers,
+               "chain prefix %zu out of range [1, %zu]", towers,
+               params_.towers);
+    return *prefixes_[towers - 1];
+}
+
+const CrtContext &
+CkksContext::crt(size_t towers) const
+{
+    rpu_assert(towers >= 1 && towers <= params_.towers,
+               "chain prefix %zu out of range [1, %zu]", towers,
+               params_.towers);
+    return *crts_[towers - 1];
+}
+
+const NttContext &
+CkksContext::hostNtt(size_t t) const
+{
+    rpu_assert(t < ntts_.size(), "tower %zu out of range", t);
+    return *ntts_[t];
+}
+
+std::vector<u128>
+CkksContext::activePrimes(size_t towers) const
+{
+    return prefixBasis(towers).primes();
+}
+
+CrtContext::TowerPoly
+CkksContext::residuesOfSigned(const std::vector<int64_t> &coeffs,
+                              size_t towers) const
+{
+    rpu_assert(coeffs.size() == params_.n, "coefficient count mismatch");
+    CrtContext::TowerPoly tp(towers, std::vector<u128>(params_.n));
+    for (size_t t = 0; t < towers; ++t) {
+        const Modulus &mod = basis().modulus(t);
+        for (size_t i = 0; i < params_.n; ++i) {
+            const int64_t c = coeffs[i];
+            tp[t][i] = c >= 0 ? mod.reduce(u128(uint64_t(c)))
+                              : mod.neg(mod.reduce(u128(uint64_t(-c))));
+        }
+    }
+    return tp;
+}
+
+u128
+CkksContext::liftCentred(u128 r, const Modulus &mod_l,
+                         const Modulus &mod_t) const
+{
+    // r is a residue mod the odd prime q_l; its centred representative
+    // is r itself up to (q_l - 1)/2 and r - q_l above.
+    if (r <= (mod_l.value() >> 1))
+        return mod_t.reduce(r);
+    return mod_t.neg(mod_t.reduce(mod_l.value() - r));
+}
+
+CkksSecretKey
+CkksContext::keygen()
+{
+    CkksSecretKey sk;
+    sk.s.resize(params_.n);
+    for (auto &v : sk.s) {
+        const uint64_t r = rng_.below64(3);
+        v = r == 0 ? 0 : r == 1 ? 1 : -1;
+    }
+    return sk;
+}
+
+CkksCiphertext
+CkksContext::encrypt(const CkksSecretKey &sk,
+                     const std::vector<std::complex<double>> &values)
+{
+    rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
+    const size_t L = params_.towers;
+
+    // The message, error, and secret are single integer polynomials;
+    // each tower sees their residues. The mask a is one uniform ring
+    // element mod Q — independently uniform residues per tower, by CRT.
+    const std::vector<int64_t> m =
+        encoder_.encode(values, params_.scale);
+    std::vector<int64_t> e(params_.n), s(params_.n);
+    const uint64_t span = 2 * params_.noiseBound + 1;
+    for (auto &v : e)
+        v = int64_t(rng_.below64(span)) - int64_t(params_.noiseBound);
+    for (size_t i = 0; i < params_.n; ++i)
+        s[i] = sk.s[i];
+
+    const CrtContext::TowerPoly mt = residuesOfSigned(m, L);
+    const CrtContext::TowerPoly et = residuesOfSigned(e, L);
+    const CrtContext::TowerPoly st = residuesOfSigned(s, L);
+
+    CkksCiphertext ct;
+    ct.scale = params_.scale;
+    ct.c0.reserve(L);
+    ct.c1.reserve(L);
+    for (size_t t = 0; t < L; ++t) {
+        const Modulus &mod = basis().modulus(t);
+        const std::vector<u128> a = randomPoly(mod, params_.n, rng_);
+        // c0 = a*s + e + m; c1 = -a.
+        std::vector<u128> c0 =
+            negacyclicMulNtt(hostNtt(t), a, st[t]);
+        c0 = polyAdd(mod, c0, et[t]);
+        c0 = polyAdd(mod, c0, mt[t]);
+        std::vector<u128> c1(params_.n);
+        for (size_t i = 0; i < params_.n; ++i)
+            c1[i] = mod.neg(a[i]);
+        ct.c0.push_back(std::move(c0));
+        ct.c1.push_back(std::move(c1));
+    }
+    return ct;
+}
+
+std::vector<std::complex<double>>
+CkksContext::decrypt(const CkksSecretKey &sk,
+                     const CkksCiphertext &ct) const
+{
+    rpu_assert(ct.towers() >= 1, "empty ciphertext");
+    const size_t L = ct.towers();
+
+    std::vector<int64_t> s(params_.n);
+    for (size_t i = 0; i < params_.n; ++i)
+        s[i] = sk.s[i];
+    const CrtContext::TowerPoly st = residuesOfSigned(s, L);
+
+    // v = c0 + c1*s per tower = m + e in RNS.
+    CrtContext::TowerPoly v(L);
+    for (size_t t = 0; t < L; ++t) {
+        const Modulus &mod = basis().modulus(t);
+        const std::vector<u128> c1s =
+            negacyclicMulNtt(hostNtt(t), ct.c1[t], st[t]);
+        v[t] = polyAdd(mod, ct.c0[t], c1s);
+    }
+
+    // Out of RNS exactly once: reconstruct mod the active Q, centre,
+    // and decode at the ciphertext's scale.
+    const std::vector<BigUInt> wide = crt(L).reconstructPoly(v);
+    const BigUInt &big_q = prefixBasis(L).q();
+    const BigUInt half_q = big_q >> 1;
+    std::vector<double> coeffs(params_.n);
+    for (size_t i = 0; i < params_.n; ++i) {
+        coeffs[i] = wide[i] > half_q ? -bigToDouble(big_q - wide[i])
+                                     : bigToDouble(wide[i]);
+    }
+    return encoder_.decode(coeffs, ct.scale);
+}
+
+CkksCiphertext
+CkksContext::add(const CkksCiphertext &a, const CkksCiphertext &b) const
+{
+    rpu_assert(a.towers() == b.towers() && a.towers() >= 1,
+               "level mismatch: %zu vs %zu towers", a.towers(),
+               b.towers());
+    rpu_assert(std::abs(a.scale - b.scale) <= 1e-6 * a.scale,
+               "scale mismatch: %g vs %g", a.scale, b.scale);
+
+    CkksCiphertext out;
+    out.scale = a.scale;
+    out.c0.reserve(a.towers());
+    out.c1.reserve(a.towers());
+    for (size_t t = 0; t < a.towers(); ++t) {
+        const Modulus &mod = basis().modulus(t);
+        out.c0.push_back(polyAdd(mod, a.c0[t], b.c0[t]));
+        out.c1.push_back(polyAdd(mod, a.c1[t], b.c1[t]));
+    }
+    return out;
+}
+
+CkksCiphertext
+CkksContext::mulPlain(const CkksCiphertext &ct,
+                      const std::vector<std::complex<double>> &values)
+    const
+{
+    rpu_assert(ct.towers() >= 1, "empty ciphertext");
+    const size_t L = ct.towers();
+    CrtContext::TowerPoly pt = residuesOfSigned(
+        encoder_.encode(values, params_.scale), L);
+
+    CkksCiphertext out;
+    out.scale = ct.scale * params_.scale;
+    if (device_) {
+        // Both components through one device dispatch: all 2 x L
+        // fused tower products overlap on the worker pool (or run as
+        // one batched all-towers kernel per component when serial),
+        // and component 0's residue assembly overlaps component 1's
+        // still-running launches.
+        std::vector<CrtContext::TowerPoly> as;
+        as.reserve(2);
+        as.push_back(ct.c0);
+        as.push_back(ct.c1);
+        std::vector<CrtContext::TowerPoly> bs;
+        bs.reserve(2);
+        bs.push_back(pt); // the shared plaintext: one copy, one move
+        bs.push_back(std::move(pt));
+        auto pending = device_->mulTowersBatchAsync(
+            params_.n, activePrimes(L), std::move(as), std::move(bs));
+        out.c0 = RpuDevice::collectTowers(std::move(pending[0]));
+        out.c1 = RpuDevice::collectTowers(std::move(pending[1]));
+        return out;
+    }
+
+    out.c0.reserve(L);
+    out.c1.reserve(L);
+    for (size_t t = 0; t < L; ++t) {
+        out.c0.push_back(negacyclicMulNtt(hostNtt(t), ct.c0[t], pt[t]));
+        out.c1.push_back(negacyclicMulNtt(hostNtt(t), ct.c1[t], pt[t]));
+    }
+    return out;
+}
+
+CkksCiphertext
+CkksContext::rescale(const CkksCiphertext &ct) const
+{
+    rpu_assert(ct.towers() >= 2,
+               "rescale needs at least two active towers, have %zu",
+               ct.towers());
+    const size_t l = ct.towers() - 1; // tower being dropped
+    const Modulus &mod_l = basis().modulus(l);
+    const u128 q_l = mod_l.value();
+
+    // Exact RNS rescale: with r the centred lift of [c]_l, every
+    // remaining tower computes c'_t = (c_t - r) * q_l^-1 mod q_t —
+    // the residues of the integer (V - centred(V mod q_l)) / q_l.
+    // The scaling runs in the evaluation domain: forward per-tower
+    // NTT, pointwise multiply by q_l^-1, inverse NTT. The transforms
+    // are exact inverses, so this is bit-identical to coefficient-
+    // domain scaling; what they buy is the dispatch shape — one
+    // independent per-tower NTT launch stream the device overlaps
+    // across its worker pool, the same pattern an evaluation-domain-
+    // resident ciphertext implementation schedules on real RPUs.
+    const std::vector<std::vector<u128>> *comps[2] = {&ct.c0, &ct.c1};
+    std::vector<std::vector<std::vector<u128>>> diffs(2);
+    std::vector<u128> inv_ql(l);
+    for (size_t t = 0; t < l; ++t)
+        inv_ql[t] = basis().modulus(t).inv(
+            basis().modulus(t).reduce(q_l));
+    for (size_t c = 0; c < 2; ++c) {
+        diffs[c].resize(l);
+        const std::vector<u128> &last = (*comps[c])[l];
+        for (size_t t = 0; t < l; ++t) {
+            const Modulus &mod_t = basis().modulus(t);
+            std::vector<u128> d(params_.n);
+            for (size_t i = 0; i < params_.n; ++i)
+                d[i] = mod_t.sub((*comps[c])[t][i],
+                                 liftCentred(last[i], mod_l, mod_t));
+            diffs[c][t] = std::move(d);
+        }
+    }
+
+    CkksCiphertext out;
+    out.scale = ct.scale / u128ToDouble(q_l);
+    out.c0.resize(l);
+    out.c1.resize(l);
+    std::vector<std::vector<u128>> *out_comps[2] = {&out.c0, &out.c1};
+
+    if (device_) {
+        // Forward transforms: one launch per (component, tower), all
+        // in flight together.
+        std::vector<LaunchFuture> fwd;
+        fwd.reserve(2 * l);
+        for (size_t c = 0; c < 2; ++c) {
+            for (size_t t = 0; t < l; ++t) {
+                const KernelImage &k = device_->kernel(
+                    KernelKind::ForwardNtt, params_.n,
+                    {basis().prime(t)});
+                fwd.push_back(device_->launchAsync(
+                    k, {std::move(diffs[c][t])}));
+            }
+        }
+        auto evals = RpuDevice::whenAll(std::move(fwd));
+
+        // Pointwise scaling in the evaluation domain, then the
+        // inverse transforms, again all overlapping.
+        std::vector<LaunchFuture> inv;
+        inv.reserve(2 * l);
+        for (size_t c = 0; c < 2; ++c) {
+            for (size_t t = 0; t < l; ++t) {
+                const Modulus &mod_t = basis().modulus(t);
+                std::vector<u128> scaled = polyScale(
+                    mod_t, inv_ql[t],
+                    evals[c * l + t][0]);
+                const KernelImage &k = device_->kernel(
+                    KernelKind::InverseNtt, params_.n,
+                    {basis().prime(t)});
+                inv.push_back(
+                    device_->launchAsync(k, {std::move(scaled)}));
+            }
+        }
+        auto results = RpuDevice::whenAll(std::move(inv));
+        for (size_t c = 0; c < 2; ++c) {
+            for (size_t t = 0; t < l; ++t)
+                (*out_comps[c])[t] =
+                    std::move(results[c * l + t][0]);
+        }
+        return out;
+    }
+
+    for (size_t c = 0; c < 2; ++c) {
+        for (size_t t = 0; t < l; ++t) {
+            const Modulus &mod_t = basis().modulus(t);
+            std::vector<u128> x = std::move(diffs[c][t]);
+            hostNtt(t).forward(x);
+            x = polyScale(mod_t, inv_ql[t], x);
+            hostNtt(t).inverse(x);
+            (*out_comps[c])[t] = std::move(x);
+        }
+    }
+    return out;
+}
+
+void
+CkksContext::attachDevice(std::shared_ptr<RpuDevice> device)
+{
+    rpu_assert(device != nullptr, "no device");
+    rpu_assert(params_.n >= 1024,
+               "RPU kernels need n >= 1024, scheme has n=%llu",
+               (unsigned long long)params_.n);
+    device_ = std::move(device);
+}
+
+} // namespace rpu

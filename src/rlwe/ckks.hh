@@ -1,0 +1,189 @@
+/**
+ * @file
+ * CKKS approximate-arithmetic RLWE scheme, RNS-native, on the RPU
+ * device layer.
+ *
+ * The second scheme the simulated RPU executes (the paper positions
+ * the RPU as a general ring processor; its OpenFHE-lineage evaluation
+ * targets are CKKS workloads). Where BFV computes exactly on
+ * coefficients mod t, CKKS computes approximately on n/2 complex
+ * slots: messages are fixed-point-scaled evaluations at primitive
+ * 2n-th roots (see CkksEncoder), and every multiplication doubles the
+ * scale until a rescale divides it back down by dropping the last
+ * tower of the RNS modulus chain.
+ *
+ * Ciphertexts live natively in RNS — one residue polynomial per tower
+ * of the modulus chain q_0..q_(L-1) — so homomorphic ops never leave
+ * the towers:
+ *
+ *   add      per-tower coefficient adds (host).
+ *   mulPlain both ciphertext components through one
+ *            RpuDevice::mulTowersBatchAsync dispatch (all 2 x towers
+ *            fused negacyclic products overlap on the worker pool;
+ *            serial devices run one batched all-towers kernel per
+ *            component), host reference NTT without a device.
+ *   rescale  drops tower l: c'_t = (c_t - lift([c]_l)) * q_l^-1,
+ *            computed in the evaluation domain — per-tower forward
+ *            NTT, pointwise scaling, inverse NTT — as device kernel
+ *            launches when attached (the paper's per-tower NTT +
+ *            pointwise pattern), host NTT otherwise. Both paths are
+ *            bit-identical on every tower.
+ *
+ * Only decryption reconstructs out of RNS (CRT over the active
+ * prefix, centre mod Q, decode). Like the BFV sibling this is a
+ * demonstration workload, not a hardened cryptosystem.
+ */
+
+#ifndef RPU_RLWE_CKKS_HH
+#define RPU_RLWE_CKKS_HH
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "poly/polynomial.hh"
+#include "rlwe/ckks_encoder.hh"
+#include "rns/crt.hh"
+
+namespace rpu {
+
+class RpuDevice;
+
+/** CKKS parameters: ring, modulus chain, fixed-point scale. */
+struct CkksParams
+{
+    uint64_t n = 4096;       ///< ring dimension (power of two)
+    size_t towers = 3;       ///< modulus-chain length L
+    unsigned towerBits = 45; ///< bits per chain prime
+    double scale = 1099511627776.0; ///< encoding scale (2^40)
+    uint64_t noiseBound = 4; ///< uniform error in [-B, B]
+
+    /** Fatal on invalid combinations. */
+    void validate() const;
+};
+
+/**
+ * A CKKS ciphertext: two RNS-resident ring polynomials (element
+ * [t][i] is coefficient i in tower t, over the first towers() primes
+ * of the chain) plus the fixed-point scale its slots carry.
+ */
+struct CkksCiphertext
+{
+    std::vector<std::vector<u128>> c0;
+    std::vector<std::vector<u128>> c1;
+    double scale = 1.0;
+
+    /** Active chain length; rescale shrinks it by one. */
+    size_t towers() const { return c0.size(); }
+};
+
+/** Secret key: one ternary integer polynomial, shared by all towers. */
+struct CkksSecretKey
+{
+    std::vector<int8_t> s; ///< coefficients in {-1, 0, 1}
+};
+
+/** Scheme context bound to concrete parameters. */
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params, uint64_t seed = 1);
+
+    const CkksParams &params() const { return params_; }
+    const CkksEncoder &encoder() const { return encoder_; }
+
+    /** Complex values packed per ciphertext: n/2. */
+    size_t slots() const { return encoder_.slots(); }
+
+    /** The full modulus chain (prefix of length params().towers). */
+    const RnsBasis &basis() const { return prefixBasis(params_.towers); }
+
+    /** The chain prefix of @p towers primes (1 <= towers <= L). */
+    const RnsBasis &prefixBasis(size_t towers) const;
+
+    /** CRT context over the chain prefix of @p towers primes. */
+    const CrtContext &crt(size_t towers) const;
+
+    /** Host reference transform for tower @p t's ring. */
+    const NttContext &hostNtt(size_t t) const;
+
+    CkksSecretKey keygen();
+
+    /**
+     * Encode @p values (at most slots() entries) at the context scale
+     * and encrypt over the full chain.
+     */
+    CkksCiphertext encrypt(const CkksSecretKey &sk,
+                           const std::vector<std::complex<double>> &values);
+
+    /**
+     * Decrypt: per-tower c0 + c1*s, CRT-reconstruct over the active
+     * prefix, centre mod Q, decode at the ciphertext's scale.
+     */
+    std::vector<std::complex<double>>
+    decrypt(const CkksSecretKey &sk, const CkksCiphertext &ct) const;
+
+    /** Slot-wise homomorphic addition (same level, same scale). */
+    CkksCiphertext add(const CkksCiphertext &a,
+                       const CkksCiphertext &b) const;
+
+    /**
+     * Slot-wise product with plaintext @p values, encoded at the
+     * context scale; the result's scale is ct.scale * params().scale.
+     * With a device attached both components run through one
+     * mulTowersBatchAsync dispatch; host reference NTT otherwise.
+     */
+    CkksCiphertext
+    mulPlain(const CkksCiphertext &ct,
+             const std::vector<std::complex<double>> &values) const;
+
+    /**
+     * Drop the last active tower q_l and divide the scale by it:
+     * c'_t = (c_t - lift([c]_l)) * q_l^-1 mod q_t, evaluated as
+     * per-tower forward NTT + pointwise scaling + inverse NTT on the
+     * device (host NTT fallback). Exact in RNS: bit-identical to the
+     * wide-integer (V - centred(V mod q_l)) / q_l on every tower.
+     */
+    CkksCiphertext rescale(const CkksCiphertext &ct) const;
+
+    // -- RPU execution ---------------------------------------------------
+
+    /** Route homomorphic tower products/transforms through @p device. */
+    void attachDevice(std::shared_ptr<RpuDevice> device);
+
+    bool deviceAttached() const { return device_ != nullptr; }
+    std::shared_ptr<RpuDevice> device() const { return device_; }
+
+  private:
+    /** First @p towers chain primes, in order. */
+    std::vector<u128> activePrimes(size_t towers) const;
+
+    /** Residues of signed coefficients over the first @p towers. */
+    CrtContext::TowerPoly
+    residuesOfSigned(const std::vector<int64_t> &coeffs,
+                     size_t towers) const;
+
+    /** Residue of tower-l value @p r (centred) in tower @p t. */
+    u128 liftCentred(u128 r, const Modulus &mod_l,
+                     const Modulus &mod_t) const;
+
+    CkksParams params_;
+    CkksEncoder encoder_;
+    Rng rng_;
+
+    // Chain prefixes [0] = {q_0} .. [L-1] = full chain, each with its
+    // CRT constants; node-stable so references stay valid.
+    std::vector<std::unique_ptr<RnsBasis>> prefixes_;
+    std::vector<std::unique_ptr<CrtContext>> crts_;
+
+    // Per-tower host twiddles/transforms (reference path + decrypt).
+    std::vector<std::unique_ptr<TwiddleTable>> twiddles_;
+    std::vector<std::unique_ptr<NttContext>> ntts_;
+
+    std::shared_ptr<RpuDevice> device_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_CKKS_HH

@@ -1,0 +1,147 @@
+#include "rlwe/ckks_encoder.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rpu {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/** Largest coefficient magnitude encode will round to. */
+constexpr double kCoeffLimit = 4.611686018427387904e18; // 2^62
+
+} // namespace
+
+CkksEncoder::CkksEncoder(uint64_t n) : n_(n)
+{
+    rpu_assert(n >= 8 && (n & (n - 1)) == 0,
+               "CKKS ring dimension must be a power of two >= 8, got "
+               "%llu",
+               (unsigned long long)n);
+    log_n_ = log2Ceil(n);
+
+    // zeta^k = e^(i*pi*k/n) for k in [0, 2n): all 2n-th roots of
+    // unity, the primitive ones at odd k.
+    zeta_.resize(2 * n_);
+    for (uint64_t k = 0; k < 2 * n_; ++k) {
+        const double angle = kPi * double(k) / double(n_);
+        zeta_[k] = {std::cos(angle), std::sin(angle)};
+    }
+
+    // Slot j lives at the root zeta^(5^j): exponent e = 5^j mod 2n is
+    // odd, so its index in the odd-exponent evaluation vector is
+    // t = (e - 1) / 2. The powers of 5 enumerate one exponent per
+    // conjugate pair, which is exactly what makes n/2 independent
+    // complex slots.
+    slot_index_.resize(slots());
+    uint64_t power = 1;
+    for (size_t j = 0; j < slots(); ++j) {
+        slot_index_[j] = size_t((power - 1) / 2);
+        power = (power * 5) % (2 * n_);
+    }
+
+    bitrev_.resize(n_);
+    for (uint64_t i = 0; i < n_; ++i)
+        bitrev_[i] = bitReverse(i, log_n_);
+}
+
+void
+CkksEncoder::fft(std::vector<std::complex<double>> &x, bool inverse)
+    const
+{
+    // Iterative radix-2 Cooley-Tukey over the precomputed 2n-th
+    // roots: the size-n twiddle omega^j is zeta^(2j).
+    for (uint64_t i = 0; i < n_; ++i) {
+        if (bitrev_[i] > i)
+            std::swap(x[i], x[bitrev_[i]]);
+    }
+    for (uint64_t len = 2; len <= n_; len <<= 1) {
+        const uint64_t step = 2 * n_ / len; // zeta exponent stride
+        for (uint64_t base = 0; base < n_; base += len) {
+            for (uint64_t j = 0; j < len / 2; ++j) {
+                std::complex<double> w = zeta_[(j * step) % (2 * n_)];
+                if (inverse)
+                    w = std::conj(w);
+                const std::complex<double> lo = x[base + j];
+                const std::complex<double> hi =
+                    x[base + j + len / 2] * w;
+                x[base + j] = lo + hi;
+                x[base + j + len / 2] = lo - hi;
+            }
+        }
+    }
+    if (inverse) {
+        const double inv_n = 1.0 / double(n_);
+        for (auto &v : x)
+            v *= inv_n;
+    }
+}
+
+std::vector<int64_t>
+CkksEncoder::encode(const std::vector<std::complex<double>> &values,
+                    double scale) const
+{
+    rpu_assert(values.size() <= slots(),
+               "%zu values exceed the %zu available slots",
+               values.size(), slots());
+    rpu_assert(scale > 1.0, "encoding scale must exceed 1");
+
+    // Evaluation vector over every odd exponent: slot j at index
+    // (5^j - 1)/2, its conjugate (exponent 2n - 5^j) at the mirrored
+    // index n - 1 - (5^j - 1)/2. Conjugate symmetry makes sigma^-1
+    // land on real coefficients.
+    std::vector<std::complex<double>> y(n_, {0.0, 0.0});
+    for (size_t j = 0; j < values.size(); ++j) {
+        y[slot_index_[j]] = values[j];
+        y[n_ - 1 - slot_index_[j]] = std::conj(values[j]);
+    }
+
+    fft(y, /*inverse=*/true);
+
+    std::vector<int64_t> coeffs(n_);
+    for (uint64_t k = 0; k < n_; ++k) {
+        // Untwist by zeta^-k; the imaginary part is fp noise.
+        const double real =
+            (y[k] * std::conj(zeta_[k])).real() * scale;
+        rpu_assert(std::abs(real) < kCoeffLimit,
+                   "encoded coefficient overflows 62 bits; lower the "
+                   "scale or the slot magnitudes");
+        coeffs[k] = std::llround(real);
+    }
+    return coeffs;
+}
+
+std::vector<std::complex<double>>
+CkksEncoder::decode(const std::vector<double> &coeffs,
+                    double scale) const
+{
+    rpu_assert(coeffs.size() == n_, "coefficient count %zu != n %llu",
+               coeffs.size(), (unsigned long long)n_);
+
+    // Twist then FFT: y[t] = m(zeta^(2t+1)).
+    std::vector<std::complex<double>> y(n_);
+    for (uint64_t k = 0; k < n_; ++k)
+        y[k] = coeffs[k] * zeta_[k];
+    fft(y, /*inverse=*/false);
+
+    std::vector<std::complex<double>> values(slots());
+    for (size_t j = 0; j < slots(); ++j)
+        values[j] = y[slot_index_[j]] / scale;
+    return values;
+}
+
+std::vector<std::complex<double>>
+CkksEncoder::decode(const std::vector<int64_t> &coeffs,
+                    double scale) const
+{
+    std::vector<double> wide(coeffs.size());
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        wide[i] = double(coeffs[i]);
+    return decode(wide, scale);
+}
+
+} // namespace rpu

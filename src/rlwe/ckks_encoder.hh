@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CKKS canonical-embedding encoder/decoder.
+ *
+ * CKKS packs n/2 complex "slots" into one real polynomial of
+ * R = Z[x]/(x^n + 1) via the canonical embedding: a polynomial m is
+ * identified with its evaluations at the primitive 2n-th roots of
+ * unity zeta^(5^j) (one representative per conjugate pair, indexed by
+ * the powers of 5 that generate half of (Z/2n)*). Encoding inverts
+ * that embedding, scales by a fixed-point factor, and rounds to
+ * integer coefficients; decoding evaluates and divides the scale
+ * back out.
+ *
+ * Both directions run in O(n log n): evaluating m at every odd power
+ * zeta^(2t+1) is a twist by zeta^k followed by a standard size-n
+ * complex FFT (m(zeta^(2t+1)) = sum_k (m_k zeta^k) omega^(tk) with
+ * omega = zeta^2), so the embedding is one twisted FFT and its
+ * inverse one inverse FFT plus an untwist — the inverse-FFT-over-
+ * primitive-roots structure that makes CKKS encoding itself a ring
+ * transform the RPU's NTT datapath mirrors in the modular domain.
+ */
+
+#ifndef RPU_RLWE_CKKS_ENCODER_HH
+#define RPU_RLWE_CKKS_ENCODER_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace rpu {
+
+/** Encoder/decoder for one ring dimension n (power of two >= 8). */
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(uint64_t n);
+
+    uint64_t n() const { return n_; }
+
+    /** Complex values packed per ciphertext: n/2. */
+    size_t slots() const { return n_ / 2; }
+
+    /**
+     * Encode @p values (at most slots() entries; missing slots are
+     * zero) at fixed-point @p scale into signed integer ring
+     * coefficients: round(scale * sigma^-1(values)).
+     */
+    std::vector<int64_t>
+    encode(const std::vector<std::complex<double>> &values,
+           double scale) const;
+
+    /**
+     * Decode signed coefficients back into slot values at @p scale:
+     * values[j] = m(zeta^(5^j)) / scale.
+     */
+    std::vector<std::complex<double>> decode(
+        const std::vector<double> &coeffs, double scale) const;
+
+    /** Convenience overload for exact integer coefficients. */
+    std::vector<std::complex<double>> decode(
+        const std::vector<int64_t> &coeffs, double scale) const;
+
+  private:
+    /**
+     * In-place size-n radix-2 FFT. Forward uses e^(+2*pi*i*t*k/n)
+     * (the evaluation direction of the embedding); inverse negates
+     * the exponent and folds in the 1/n.
+     */
+    void fft(std::vector<std::complex<double>> &x, bool inverse) const;
+
+    uint64_t n_;
+    unsigned log_n_;
+    std::vector<std::complex<double>> zeta_; ///< zeta^k = e^(i*pi*k/n)
+    std::vector<size_t> slot_index_;         ///< (5^j - 1)/2 per slot j
+    std::vector<size_t> bitrev_;             ///< size-n bit reversal
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_CKKS_ENCODER_HH

@@ -199,17 +199,25 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
     rpu_assert(!moduli.empty(), "kernel needs at least one modulus");
 
     const std::string key = kernelKey(kind, n, moduli, opts);
-    // Generation happens under the cache lock: concurrent launches
-    // requesting the same kernel wait for one generation instead of
-    // racing to duplicate it. Kernels are generated up front on the
-    // caller's thread in every launch path, so workers only ever hit.
-    std::lock_guard<std::mutex> lock(kernel_mutex_);
-    auto it = kernels_.find(key);
-    if (it != kernels_.end()) {
-        ++counters_.kernelHits;
-        return *it->second;
+    // Single-flight generation per key: the first requester marks the
+    // key in generating_ and builds the kernel *outside* the cache
+    // lock, so distinct kernels generate concurrently (e.g. several
+    // towers' kernels racing in from worker threads); same-key
+    // requesters wait on the condvar for the one generation instead
+    // of duplicating it, and count a cache hit once it lands.
+    std::unique_lock<std::mutex> lock(kernel_mutex_);
+    for (;;) {
+        auto it = kernels_.find(key);
+        if (it != kernels_.end()) {
+            ++counters_.kernelHits;
+            return *it->second;
+        }
+        if (generating_.insert(key).second)
+            break;
+        kernel_cv_.wait(lock);
     }
     ++counters_.kernelMisses;
+    lock.unlock();
 
     NttCodegenOptions gen_opts = opts;
     gen_opts.inverse = kind == KernelKind::InverseNtt;
@@ -241,7 +249,13 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
         break;
     }
 
-    it = kernels_.emplace(key, std::move(image)).first;
+    // Publish and wake every same-key waiter. Generation itself
+    // cannot fail softly (codegen errors are fatal), so the
+    // generating_ entry is always cleared here.
+    lock.lock();
+    auto it = kernels_.emplace(key, std::move(image)).first;
+    generating_.erase(key);
+    kernel_cv_.notify_all();
     return *it->second;
 }
 
@@ -326,21 +340,11 @@ RpuDevice::launchAll(const std::vector<LaunchRequest> &batch)
         // Collect in request order: results are deterministic no
         // matter which worker finishes first, and each launch is a
         // pure function of (image, inputs), so the batch is
-        // bit-identical to the serial path. Join every job before
-        // surfacing any failure — still-queued jobs hold references
-        // into the caller's batch, so unwinding early would free
-        // memory under them.
-        std::exception_ptr first_error;
-        for (size_t i = 0; i < batch.size(); ++i) {
-            try {
-                results[i] = futures[i].get();
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-        if (first_error)
-            std::rethrow_exception(first_error);
+        // bit-identical to the serial path. whenAll joins every job
+        // before surfacing any failure — still-queued jobs hold
+        // references into the caller's batch, so unwinding early
+        // would free memory under them.
+        results = whenAll(std::move(futures));
     } else {
         for (size_t i = 0; i < batch.size(); ++i)
             results[i] = executeValidated(*batch[i].image,
@@ -349,7 +353,28 @@ RpuDevice::launchAll(const std::vector<LaunchRequest> &batch)
     return results;
 }
 
-std::future<std::vector<std::vector<u128>>>
+std::vector<std::vector<std::vector<u128>>>
+RpuDevice::whenAll(std::vector<LaunchFuture> futures)
+{
+    // Request-ordered join. Every future is drained before the first
+    // failure is rethrown: a still-running launch must never outlive
+    // an unwinding caller that owns state it references.
+    std::vector<std::vector<std::vector<u128>>> results(futures.size());
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < futures.size(); ++i) {
+        try {
+            results[i] = futures[i].get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+LaunchFuture
 RpuDevice::launchAsync(const KernelImage &image,
                        std::vector<std::vector<u128>> inputs)
 {
@@ -411,6 +436,21 @@ RpuDevice::mulTowersBatch(
     std::vector<std::vector<std::vector<u128>>> b,
     const NttCodegenOptions &opts)
 {
+    auto pending = mulTowersBatchAsync(n, moduli, std::move(a),
+                                       std::move(b), opts);
+    std::vector<std::vector<std::vector<u128>>> out(pending.size());
+    for (size_t p = 0; p < pending.size(); ++p)
+        out[p] = collectTowers(std::move(pending[p]));
+    return out;
+}
+
+std::vector<PendingTowerProducts>
+RpuDevice::mulTowersBatchAsync(
+    uint64_t n, const std::vector<u128> &moduli,
+    std::vector<std::vector<std::vector<u128>>> a,
+    std::vector<std::vector<std::vector<u128>>> b,
+    const NttCodegenOptions &opts)
+{
     rpu_assert(a.size() == b.size(), "operand pair count mismatch");
     const size_t pairs = a.size();
     const size_t towers = moduli.size();
@@ -419,52 +459,69 @@ RpuDevice::mulTowersBatch(
                    "tower count mismatch");
     }
 
-    std::vector<std::vector<std::vector<u128>>> out(pairs);
+    std::vector<PendingTowerProducts> pending(pairs);
+    for (auto &p : pending)
+        p.towers = towers;
+
     if (pool_ && pairs * towers > 1) {
         // One single-ring fused product per (pair, tower), so every
         // independent product overlaps across the worker pool — the
         // paper's "process different towers simultaneously", realised
-        // in host wall-clock time.
+        // in host wall-clock time. Operand vectors are moved into the
+        // launches, which own them until their futures resolve.
         std::vector<const KernelImage *> tower_kernels(towers);
         for (size_t t = 0; t < towers; ++t) {
             tower_kernels[t] =
                 &kernel(KernelKind::PolyMul, n, {moduli[t]}, opts);
         }
-        std::vector<LaunchRequest> batch(pairs * towers);
         for (size_t p = 0; p < pairs; ++p) {
+            pending[p].futures.reserve(towers);
             for (size_t t = 0; t < towers; ++t) {
-                LaunchRequest &req = batch[p * towers + t];
-                req.image = tower_kernels[t];
-                req.inputs.reserve(2);
-                req.inputs.push_back(std::move(a[p][t]));
-                req.inputs.push_back(std::move(b[p][t]));
+                std::vector<std::vector<u128>> in;
+                in.reserve(2);
+                in.push_back(std::move(a[p][t]));
+                in.push_back(std::move(b[p][t]));
+                pending[p].futures.push_back(
+                    launchAsync(*tower_kernels[t], std::move(in)));
             }
         }
-        auto results = launchAll(batch);
-        for (size_t p = 0; p < pairs; ++p) {
-            out[p].resize(towers);
-            for (size_t t = 0; t < towers; ++t)
-                out[p][t] = std::move(results[p * towers + t][0]);
-        }
-        return out;
+        return pending;
     }
 
-    // Serial: one batched all-towers launch per pair. Region order is
-    // t0.a, t0.b, t1.a, t1.b, ...
+    // Serial: one batched all-towers launch per pair (executed inline
+    // by launchAsync when there is no pool, so the returned futures
+    // are already ready). Region order is t0.a, t0.b, t1.a, t1.b, ...
     const KernelImage &k =
         kernel(KernelKind::BatchedPolyMul, n, moduli, opts);
-    std::vector<LaunchRequest> batch(pairs);
     for (size_t p = 0; p < pairs; ++p) {
-        batch[p].image = &k;
-        batch[p].inputs.reserve(2 * towers);
+        std::vector<std::vector<u128>> in;
+        in.reserve(2 * towers);
         for (size_t t = 0; t < towers; ++t) {
-            batch[p].inputs.push_back(std::move(a[p][t]));
-            batch[p].inputs.push_back(std::move(b[p][t]));
+            in.push_back(std::move(a[p][t]));
+            in.push_back(std::move(b[p][t]));
         }
+        pending[p].futures.push_back(launchAsync(k, std::move(in)));
     }
-    auto results = launchAll(batch);
-    for (size_t p = 0; p < pairs; ++p)
-        out[p] = std::move(results[p]);
+    return pending;
+}
+
+std::vector<std::vector<u128>>
+RpuDevice::collectTowers(PendingTowerProducts pending)
+{
+    // Both dispatch shapes flatten to one region per tower: the
+    // batched kernel is one future whose outputs are the towers'
+    // "t<i>.a" regions in basis order, the per-tower fan-out is one
+    // single-region future per tower in the same order.
+    auto results = whenAll(std::move(pending.futures));
+    std::vector<std::vector<u128>> out;
+    out.reserve(pending.towers);
+    for (auto &regions : results) {
+        for (auto &r : regions)
+            out.push_back(std::move(r));
+    }
+    rpu_assert(out.size() == pending.towers,
+               "pending pair resolved to %zu regions, expected %zu",
+               out.size(), pending.towers);
     return out;
 }
 

@@ -30,10 +30,12 @@
 #define RPU_RPU_DEVICE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -116,6 +118,23 @@ struct LaunchRequest
 {
     const KernelImage *image = nullptr;
     std::vector<std::vector<u128>> inputs;
+};
+
+/** The future every asynchronous launch path resolves to. */
+using LaunchFuture = std::future<std::vector<std::vector<u128>>>;
+
+/**
+ * The still-running tower products of one operand pair, as returned
+ * by mulTowersBatchAsync(). Joining (collectTowers) yields one
+ * product polynomial per tower, in basis order, regardless of whether
+ * the pair ran as one batched all-towers launch (one future, one
+ * output region per tower) or as per-tower launches fanned across the
+ * worker pool (one single-region future per tower).
+ */
+struct PendingTowerProducts
+{
+    std::vector<LaunchFuture> futures;
+    size_t towers = 0;
 };
 
 /** An RPU: kernel cache + context caches + execution backend. */
@@ -204,9 +223,21 @@ class RpuDevice
      * future resolves — kernels from kernel() satisfy this for the
      * device's lifetime.
      */
-    std::future<std::vector<std::vector<u128>>>
-    launchAsync(const KernelImage &image,
-                std::vector<std::vector<u128>> inputs);
+    LaunchFuture launchAsync(const KernelImage &image,
+                             std::vector<std::vector<u128>> inputs);
+
+    /**
+     * Join a batch of asynchronous launches: results in request
+     * order, one entry per future (the launch's output regions).
+     * Every future is joined before the first failure (if any) is
+     * rethrown, so no launch is left running with dangling state.
+     * The building block that lets callers overlap host-side
+     * post-processing (e.g. CRT reconstruction of an early operand
+     * pair) with launches that are still in flight: join one group of
+     * futures while the rest keep running.
+     */
+    static std::vector<std::vector<std::vector<u128>>>
+    whenAll(std::vector<LaunchFuture> futures);
 
     // -- Convenience ring operations -------------------------------------
 
@@ -254,6 +285,25 @@ class RpuDevice
                    std::vector<std::vector<std::vector<u128>>> b,
                    const NttCodegenOptions &opts = {});
 
+    /**
+     * Asynchronous mulTowersBatch: same operands, same dispatch
+     * policy (serial devices stage one batched all-towers launch per
+     * pair, pooled devices one single-ring launch per (pair, tower)),
+     * but returns per-pair pending futures instead of joining. BFV
+     * and CKKS use this to overlap the CRT reconstruction / residue
+     * assembly of early pairs with launches that are still running.
+     * Join each pair with collectTowers, in any order.
+     */
+    std::vector<PendingTowerProducts>
+    mulTowersBatchAsync(uint64_t n, const std::vector<u128> &moduli,
+                        std::vector<std::vector<std::vector<u128>>> a,
+                        std::vector<std::vector<std::vector<u128>>> b,
+                        const NttCodegenOptions &opts = {});
+
+    /** Join one pending pair into its tower products (basis order). */
+    static std::vector<std::vector<u128>>
+    collectTowers(PendingTowerProducts pending);
+
   private:
     std::string kernelKey(KernelKind kind, uint64_t n,
                           const std::vector<u128> &moduli,
@@ -276,11 +326,13 @@ class RpuDevice
 
     DeviceCounters counters_;
 
-    // Context/kernel caches and their locks. Lock nesting is always
-    // kernel_mutex_ -> context_mutex_ (kernel generation builds
-    // twiddle tables); modulus_cache_ synchronises itself and sits
-    // below both. All four caches are append-only with node-stable
-    // storage, so returned references never need the lock.
+    // Context/kernel caches and their locks. Kernel generation runs
+    // outside kernel_mutex_ (the generating_ set + condvar keep it
+    // single-flight per key), so the only nesting left is that
+    // generation takes context_mutex_ for twiddle tables;
+    // modulus_cache_ synchronises itself and sits below everything.
+    // All four caches are append-only with node-stable storage, so
+    // returned references never need the lock.
     ModulusContextCache modulus_cache_;
     mutable std::mutex context_mutex_;
     std::map<std::pair<uint64_t, u128>, std::unique_ptr<TwiddleTable>>
@@ -289,6 +341,11 @@ class RpuDevice
         ntt_cache_;
     mutable std::mutex kernel_mutex_;
     std::map<std::string, std::unique_ptr<KernelImage>> kernels_;
+    /// Keys whose kernels are being generated right now. Guarded by
+    /// kernel_mutex_; kernel_cv_ signals every insertion into
+    /// kernels_ so same-key waiters can re-check the cache.
+    std::set<std::string> generating_;
+    std::condition_variable kernel_cv_;
 
     // Last member on purpose: destroyed first, so the pool drains and
     // joins any still-queued async launches while the caches, mutexes,

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * The CKKS subsystem: canonical-embedding encoder round-trips, the
+ * RNS-native scheme (encrypt/decrypt, add, mulPlain, rescale), exact
+ * RNS rescaling against a wide-integer reference, and device-vs-host
+ * bit-identity for every homomorphic op that dispatches to the RPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "rlwe/ckks.hh"
+#include "rlwe/ckks_encoder.hh"
+#include "rpu/device.hh"
+#include "wide/biguint.hh"
+
+namespace rpu {
+namespace {
+
+using Cplx = std::complex<double>;
+
+/** Deterministic slot values in the unit disc. */
+std::vector<Cplx>
+randomSlots(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Cplx> v(count);
+    for (auto &z : v)
+        z = {2.0 * rng.nextDouble() - 1.0, 2.0 * rng.nextDouble() - 1.0};
+    return v;
+}
+
+double
+maxSlotError(const std::vector<Cplx> &got, const std::vector<Cplx> &want)
+{
+    EXPECT_EQ(got.size(), want.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < want.size(); ++i)
+        worst = std::max(worst, std::abs(got[i] - want[i]));
+    return worst;
+}
+
+// ----------------------------------------------------------------------
+// Encoder
+// ----------------------------------------------------------------------
+
+class EncoderRoundTrip
+    : public testing::TestWithParam<std::tuple<uint64_t, double>>
+{
+};
+
+TEST_P(EncoderRoundTrip, ErrorWithinRoundingBound)
+{
+    const uint64_t n = std::get<0>(GetParam());
+    const double scale = std::get<1>(GetParam());
+    CkksEncoder enc(n);
+    ASSERT_EQ(enc.slots(), n / 2);
+
+    const auto values = randomSlots(enc.slots(), n + uint64_t(scale));
+    const auto coeffs = enc.encode(values, scale);
+    const auto decoded = enc.decode(coeffs, scale);
+
+    // Each coefficient rounds by at most 1/2; decoding sums n of them
+    // against unit-modulus roots, so n/(2*scale) bounds the error
+    // deterministically (the typical error is ~sqrt(n)/(2*scale)).
+    const double bound = double(n) / (2.0 * scale) + 1e-9;
+    EXPECT_LT(maxSlotError(decoded, values), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndScales, EncoderRoundTrip,
+    testing::Combine(testing::Values(1024ull, 2048ull, 4096ull),
+                     testing::Values(1073741824.0,      // 2^30
+                                     1099511627776.0,   // 2^40
+                                     1125899906842624.0 // 2^50
+                                     )));
+
+TEST(CkksEncoder, MatchesNaiveEmbeddingEvaluation)
+{
+    // The twisted-FFT decode must agree with evaluating the
+    // polynomial directly at the primitive roots zeta^(5^j).
+    const uint64_t n = 16;
+    const double scale = 1048576.0; // 2^20
+    CkksEncoder enc(n);
+    const auto values = randomSlots(enc.slots(), 99);
+    const auto coeffs = enc.encode(values, scale);
+
+    const double pi = 3.141592653589793238462643383279502884;
+    uint64_t power = 1;
+    for (size_t j = 0; j < enc.slots(); ++j) {
+        Cplx acc{0.0, 0.0};
+        for (uint64_t k = 0; k < n; ++k) {
+            const double angle =
+                pi * double((power * k) % (2 * n)) / double(n);
+            acc += double(coeffs[k]) *
+                   Cplx{std::cos(angle), std::sin(angle)};
+        }
+        const Cplx direct = acc / scale;
+        const Cplx via_fft = enc.decode(coeffs, scale)[j];
+        EXPECT_LT(std::abs(direct - via_fft), 1e-9)
+            << "slot " << j;
+        power = (power * 5) % (2 * n);
+    }
+}
+
+TEST(CkksEncoder, PartialSlotVectorsPadWithZero)
+{
+    CkksEncoder enc(1024);
+    const std::vector<Cplx> two = {{1.5, -0.25}, {0.0, 2.0}};
+    const auto decoded =
+        enc.decode(enc.encode(two, 1099511627776.0), 1099511627776.0);
+    EXPECT_LT(std::abs(decoded[0] - two[0]), 1e-6);
+    EXPECT_LT(std::abs(decoded[1] - two[1]), 1e-6);
+    for (size_t j = 2; j < enc.slots(); ++j)
+        EXPECT_LT(std::abs(decoded[j]), 1e-6) << "slot " << j;
+}
+
+// ----------------------------------------------------------------------
+// Scheme: host path
+// ----------------------------------------------------------------------
+
+CkksParams
+smallParams()
+{
+    CkksParams p;
+    p.n = 1024;
+    p.towers = 3;
+    p.towerBits = 45;
+    p.scale = 1099511627776.0; // 2^40
+    p.noiseBound = 4;
+    return p;
+}
+
+/** |got - want| <= 2^-20 * max(1, |want|) on every slot. */
+void
+expectWithinRelative(const std::vector<Cplx> &got,
+                     const std::vector<Cplx> &want)
+{
+    const double rel = std::ldexp(1.0, -20);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_LE(std::abs(got[i] - want[i]),
+                  rel * std::max(1.0, std::abs(want[i])))
+            << "slot " << i;
+    }
+}
+
+TEST(Ckks, EncryptDecryptRoundTrip)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto values = randomSlots(ctx.slots(), 7);
+
+    const CkksCiphertext ct = ctx.encrypt(sk, values);
+    EXPECT_EQ(ct.towers(), ctx.params().towers);
+    EXPECT_EQ(ct.scale, ctx.params().scale);
+    expectWithinRelative(ctx.decrypt(sk, ct), values);
+}
+
+TEST(Ckks, HomomorphicAdd)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto za = randomSlots(ctx.slots(), 11);
+    const auto zb = randomSlots(ctx.slots(), 13);
+
+    const CkksCiphertext sum =
+        ctx.add(ctx.encrypt(sk, za), ctx.encrypt(sk, zb));
+    std::vector<Cplx> want(ctx.slots());
+    for (size_t i = 0; i < want.size(); ++i)
+        want[i] = za[i] + zb[i];
+    expectWithinRelative(ctx.decrypt(sk, sum), want);
+}
+
+TEST(Ckks, MulPlainAndRescaleApproximateSlotProducts)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto z = randomSlots(ctx.slots(), 17);
+    const auto w = randomSlots(ctx.slots(), 19);
+
+    const CkksCiphertext ct = ctx.encrypt(sk, z);
+    const CkksCiphertext prod = ctx.mulPlain(ct, w);
+    EXPECT_DOUBLE_EQ(prod.scale,
+                     ctx.params().scale * ctx.params().scale);
+
+    std::vector<Cplx> want(ctx.slots());
+    for (size_t i = 0; i < want.size(); ++i)
+        want[i] = z[i] * w[i];
+    expectWithinRelative(ctx.decrypt(sk, prod), want);
+
+    // Rescale drops one tower and divides the scale back down; the
+    // slots must survive both.
+    const CkksCiphertext dropped = ctx.rescale(prod);
+    EXPECT_EQ(dropped.towers(), prod.towers() - 1);
+    EXPECT_LT(dropped.scale, prod.scale);
+    expectWithinRelative(ctx.decrypt(sk, dropped), want);
+}
+
+TEST(Ckks, RescaleMatchesWideIntegerReference)
+{
+    // The RNS rescale must be the exact per-tower image of the
+    // wide-integer map V -> (V - centred(V mod q_l)) / q_l.
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const CkksCiphertext ct =
+        ctx.mulPlain(ctx.encrypt(sk, randomSlots(ctx.slots(), 23)),
+                     randomSlots(ctx.slots(), 29));
+    const CkksCiphertext scaled = ctx.rescale(ct);
+
+    const size_t L = ct.towers();
+    const CrtContext &crt = ctx.crt(L);
+    const BigUInt &big_q = ctx.prefixBasis(L).q();
+    const BigUInt q_l = BigUInt::fromU128(ctx.basis().prime(L - 1));
+    const BigUInt half_l = q_l >> 1;
+
+    const std::vector<std::vector<u128>> *comps[2] = {&ct.c0, &ct.c1};
+    const std::vector<std::vector<u128>> *outs[2] = {&scaled.c0,
+                                                     &scaled.c1};
+    for (size_t c = 0; c < 2; ++c) {
+        for (size_t i = 0; i < ctx.params().n; ++i) {
+            std::vector<u128> residues(L);
+            for (size_t t = 0; t < L; ++t)
+                residues[t] = (*comps[c])[t][i];
+            const BigUInt v = crt.reconstruct(residues);
+
+            // Centred remainder mod q_l, then exact division.
+            const BigUInt rem = v % q_l;
+            BigUInt shifted = v;
+            if (rem > half_l)
+                shifted = shifted + (q_l - rem);
+            else
+                shifted = (shifted + big_q) - rem; // stay non-negative
+            const auto [quot, exact_rem] = shifted.divmod(q_l);
+            ASSERT_TRUE(exact_rem.isZero())
+                << "component " << c << " coefficient " << i;
+
+            for (size_t t = 0; t + 1 < L; ++t) {
+                const BigUInt qt =
+                    BigUInt::fromU128(ctx.basis().prime(t));
+                EXPECT_EQ((quot % qt).low128(), (*outs[c])[t][i])
+                    << "component " << c << " tower " << t
+                    << " coefficient " << i;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scheme: device path
+// ----------------------------------------------------------------------
+
+TEST(CkksOnDevice, MulPlainBitIdenticalToHostOnEveryTower)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto z = randomSlots(ctx.slots(), 31);
+    const auto w = randomSlots(ctx.slots(), 37);
+    const CkksCiphertext ct = ctx.encrypt(sk, z);
+
+    const CkksCiphertext via_host = ctx.mulPlain(ct, w); // no device
+
+    const auto device = std::make_shared<RpuDevice>();
+    ctx.attachDevice(device);
+    const CkksCiphertext via_rpu = ctx.mulPlain(ct, w);
+
+    ASSERT_EQ(via_rpu.towers(), via_host.towers());
+    for (size_t t = 0; t < via_host.towers(); ++t) {
+        EXPECT_EQ(via_rpu.c0[t], via_host.c0[t]) << "tower " << t;
+        EXPECT_EQ(via_rpu.c1[t], via_host.c1[t]) << "tower " << t;
+    }
+    EXPECT_DOUBLE_EQ(via_rpu.scale, via_host.scale);
+
+    // The device really did the work: one batched all-towers launch
+    // per ciphertext component on a serial device.
+    const DeviceCounters &c = device->counters();
+    EXPECT_EQ(c.launches, 2u);
+    EXPECT_EQ(c.towerLaunches, 2 * ctx.params().towers);
+    EXPECT_EQ(c.kernelMisses, 1u);
+
+    // And the result decrypts to the slot products.
+    std::vector<Cplx> want(ctx.slots());
+    for (size_t i = 0; i < want.size(); ++i)
+        want[i] = z[i] * w[i];
+    expectWithinRelative(ctx.decrypt(sk, via_rpu), want);
+}
+
+TEST(CkksOnDevice, RescaleBitIdenticalToHostOnEveryTower)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const CkksCiphertext prod =
+        ctx.mulPlain(ctx.encrypt(sk, randomSlots(ctx.slots(), 41)),
+                     randomSlots(ctx.slots(), 43));
+
+    const CkksCiphertext via_host = ctx.rescale(prod); // no device
+
+    const auto device = std::make_shared<RpuDevice>();
+    ctx.attachDevice(device);
+    const CkksCiphertext via_rpu = ctx.rescale(prod);
+
+    ASSERT_EQ(via_rpu.towers(), via_host.towers());
+    for (size_t t = 0; t < via_host.towers(); ++t) {
+        EXPECT_EQ(via_rpu.c0[t], via_host.c0[t]) << "tower " << t;
+        EXPECT_EQ(via_rpu.c1[t], via_host.c1[t]) << "tower " << t;
+    }
+    EXPECT_DOUBLE_EQ(via_rpu.scale, via_host.scale);
+
+    // Per remaining tower and component: one forward and one inverse
+    // NTT launch.
+    const size_t remaining = prod.towers() - 1;
+    EXPECT_EQ(device->counters().launches, 2 * remaining * 2);
+    // One forward and one inverse kernel generated per tower.
+    EXPECT_EQ(device->counters().kernelMisses, 2 * remaining);
+}
+
+TEST(CkksOnDevice, ParallelDeviceBitIdenticalToSerial)
+{
+    // The full pipeline — encrypt, device mulPlain, device rescale,
+    // decrypt — across worker pools must match the serial device and
+    // the host path bit for bit.
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto z = randomSlots(ctx.slots(), 47);
+    const auto w = randomSlots(ctx.slots(), 53);
+    const CkksCiphertext ct = ctx.encrypt(sk, z);
+
+    const CkksCiphertext host_prod = ctx.mulPlain(ct, w);
+    const CkksCiphertext host_scaled = ctx.rescale(host_prod);
+
+    const auto device = std::make_shared<RpuDevice>();
+    device->setParallelism(4);
+    ctx.attachDevice(device);
+    const CkksCiphertext pool_prod = ctx.mulPlain(ct, w);
+    const CkksCiphertext pool_scaled = ctx.rescale(pool_prod);
+
+    for (size_t t = 0; t < host_prod.towers(); ++t) {
+        EXPECT_EQ(pool_prod.c0[t], host_prod.c0[t]) << "tower " << t;
+        EXPECT_EQ(pool_prod.c1[t], host_prod.c1[t]) << "tower " << t;
+    }
+    for (size_t t = 0; t < host_scaled.towers(); ++t) {
+        EXPECT_EQ(pool_scaled.c0[t], host_scaled.c0[t])
+            << "tower " << t;
+        EXPECT_EQ(pool_scaled.c1[t], host_scaled.c1[t])
+            << "tower " << t;
+    }
+
+    // Parallel mulPlain fans one launch per (component, tower).
+    device->setParallelism(1);
+    const CkksCiphertext serial_prod = ctx.mulPlain(ct, w);
+    for (size_t t = 0; t < serial_prod.towers(); ++t) {
+        EXPECT_EQ(serial_prod.c0[t], host_prod.c0[t]);
+        EXPECT_EQ(serial_prod.c1[t], host_prod.c1[t]);
+    }
+}
+
+TEST(CkksOnDevice, CpuReferenceBackendMatchesFunctionalSim)
+{
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto z = randomSlots(ctx.slots(), 59);
+    const auto w = randomSlots(ctx.slots(), 61);
+    const CkksCiphertext ct = ctx.encrypt(sk, z);
+
+    ctx.attachDevice(std::make_shared<RpuDevice>());
+    const CkksCiphertext via_sim = ctx.rescale(ctx.mulPlain(ct, w));
+
+    ctx.attachDevice(std::make_shared<RpuDevice>(
+        std::make_unique<CpuReferenceBackend>()));
+    const CkksCiphertext via_ref = ctx.rescale(ctx.mulPlain(ct, w));
+
+    for (size_t t = 0; t < via_sim.towers(); ++t) {
+        EXPECT_EQ(via_sim.c0[t], via_ref.c0[t]) << "tower " << t;
+        EXPECT_EQ(via_sim.c1[t], via_ref.c1[t]) << "tower " << t;
+    }
+}
+
+} // namespace
+} // namespace rpu

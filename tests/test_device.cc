@@ -361,6 +361,128 @@ TEST(ParallelLaunch, ConcurrentCallersStress)
     EXPECT_EQ(dev.counters().kernelMisses, callers);
 }
 
+TEST(WhenAll, JoinsAsyncLaunchesInRequestOrder)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(60, n, 3);
+    RpuDevice dev;
+    dev.setParallelism(2);
+
+    Rng rng(61);
+    std::vector<LaunchFuture> futures;
+    std::vector<std::vector<std::vector<u128>>> expected;
+    for (u128 q : primes) {
+        const KernelImage &k = dev.kernel(KernelKind::PolyMul, n, {q});
+        const Modulus mod(q);
+        const auto a = randomPoly(mod, n, rng);
+        const auto b = randomPoly(mod, n, rng);
+        expected.push_back(dev.launch(k, {a, b}));
+        futures.push_back(dev.launchAsync(k, {a, b}));
+    }
+    EXPECT_EQ(RpuDevice::whenAll(std::move(futures)), expected);
+}
+
+TEST(WhenAll, MulTowersBatchAsyncMatchesSyncBatch)
+{
+    // The async dispatch must resolve, pair by pair in any join
+    // order, to exactly what the synchronous batch returns — on both
+    // a serial device and a pooled one.
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(58, n, 3);
+
+    const auto make_pairs = [&](uint64_t seed) {
+        std::vector<std::vector<std::vector<u128>>> pairs(2);
+        Rng rng(seed);
+        for (auto &towers : pairs) {
+            for (u128 q : primes)
+                towers.push_back(randomPoly(Modulus(q), n, rng));
+        }
+        return pairs;
+    };
+    const auto as = make_pairs(67);
+    const auto bs = make_pairs(71);
+
+    RpuDevice sync_dev;
+    const auto sync = sync_dev.mulTowersBatch(n, primes, as, bs);
+
+    for (unsigned workers : {1u, 4u}) {
+        RpuDevice dev;
+        dev.setParallelism(workers);
+        auto pending = dev.mulTowersBatchAsync(n, primes, as, bs);
+        ASSERT_EQ(pending.size(), 2u);
+        // Join the later pair first: order must not matter.
+        const auto second =
+            RpuDevice::collectTowers(std::move(pending[1]));
+        const auto first =
+            RpuDevice::collectTowers(std::move(pending[0]));
+        EXPECT_EQ(first, sync[0]) << workers << " workers";
+        EXPECT_EQ(second, sync[1]) << workers << " workers";
+    }
+}
+
+TEST(KernelCache, SameKeyRaceGeneratesOnce)
+{
+    // Many threads racing for one kernel: the generation-in-progress
+    // set must hand every waiter the single generated image — one
+    // miss, every other request a hit.
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+    const size_t callers = 4;
+    RpuDevice dev;
+
+    std::vector<std::thread> threads;
+    std::vector<const KernelImage *> images(callers, nullptr);
+    for (size_t c = 0; c < callers; ++c) {
+        threads.emplace_back([&, c] {
+            images[c] = &dev.kernel(KernelKind::ForwardNtt, n, {q});
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (size_t c = 1; c < callers; ++c)
+        EXPECT_EQ(images[c], images[0]) << "caller " << c;
+    EXPECT_EQ(dev.counters().kernelMisses, 1u);
+    EXPECT_EQ(dev.counters().kernelHits, callers - 1);
+    EXPECT_EQ(dev.cachedKernels(), 1u);
+}
+
+TEST(KernelCache, DistinctKeysGenerateConcurrently)
+{
+    // Distinct kernels generated from concurrent threads: every
+    // generation is a miss (no spurious waiting or duplication), and
+    // each thread's kernel computes the right transform.
+    const uint64_t n = 1024;
+    const size_t callers = 3;
+    const auto primes = nttPrimes(57, n, callers);
+    RpuDevice dev;
+
+    std::vector<std::thread> threads;
+    std::vector<int> failures(callers, 0);
+    for (size_t c = 0; c < callers; ++c) {
+        threads.emplace_back([&, c] {
+            const u128 q = primes[c];
+            const KernelImage &k =
+                dev.kernel(KernelKind::ForwardNtt, n, {q});
+            Rng rng(73 + c);
+            std::vector<u128> x = randomPoly(Modulus(q), n, rng);
+            const auto got = dev.launch(k, {x})[0];
+            const Modulus mod(q);
+            const TwiddleTable tw(mod, n);
+            const NttContext ntt(tw);
+            ntt.forward(x);
+            if (got != x)
+                ++failures[c];
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (size_t c = 0; c < callers; ++c)
+        EXPECT_EQ(failures[c], 0) << "caller " << c;
+    EXPECT_EQ(dev.counters().kernelMisses, callers);
+    EXPECT_EQ(dev.cachedKernels(), callers);
+}
+
 // ----------------------------------------------------------------------
 // BFV on the device
 // ----------------------------------------------------------------------
