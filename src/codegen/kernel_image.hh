@@ -30,11 +30,15 @@ namespace rpu {
 /** What a generated kernel computes (per staged region). */
 enum class KernelKind
 {
-    ForwardNtt,        ///< data <- NTT(data)
-    InverseNtt,        ///< data <- INTT(data)
-    PolyMul,           ///< a <- INTT(NTT(a) .* NTT(b))
-    BatchedForwardNtt, ///< t.data <- NTT_t(t.data) for every tower
-    BatchedPolyMul,    ///< t.a <- INTT_t(NTT_t(t.a) .* NTT_t(t.b))
+    ForwardNtt,         ///< data <- NTT(data)
+    InverseNtt,         ///< data <- INTT(data)
+    PolyMul,            ///< a <- INTT(NTT(a) .* NTT(b))
+    BatchedForwardNtt,  ///< t.data <- NTT_t(t.data) for every tower
+    BatchedPolyMul,     ///< t.a <- INTT_t(NTT_t(t.a) .* NTT_t(t.b))
+    BatchedInverseNtt,  ///< t.data <- INTT_t(t.data) for every tower
+    PointwiseMul,       ///< a <- a .* b (evaluation-domain operands)
+    PointwiseMulBatched, ///< t.a <- t.a .* t.b for every tower
+    kCount, ///< sentinel: number of kinds (keep last)
 };
 
 /** A named VDM window the launch code stages host data through. */

@@ -423,8 +423,8 @@ generatePolyMulKernel(const TwiddleTable &tw,
 }
 
 BatchedNttKernel
-generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
-                          const NttCodegenOptions &opts)
+generateBatchedNtt(const std::vector<const TwiddleTable *> &towers,
+                   const NttCodegenOptions &opts)
 {
     rpu_assert(!towers.empty(), "no towers");
     const uint64_t n = towers[0]->n();
@@ -433,19 +433,19 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
         if (t->n() != n)
             rpu_fatal("all towers must share the ring dimension");
     }
-    // Register budget: modulus registers m1.. and data ARFs a0,a4,a5..
+    // Register budget: modulus registers m1.., n^-1 scalars s2..
+    // (inverse only), and data ARFs a0,a4,a5..
     if (towers.size() > 16)
         rpu_fatal("batched kernel supports at most 16 towers");
-    if (opts.inverse)
-        rpu_fatal("batched generation is forward-only");
 
     BatchedNttKernel kernel;
-    kernel.kind = KernelKind::BatchedForwardNtt;
+    kernel.kind = opts.inverse ? KernelKind::BatchedInverseNtt
+                               : KernelKind::BatchedForwardNtt;
     kernel.n = n;
 
     KernelBuilder builder(*towers[0], opts.optimized,
                           towers.size() * n, opts.twiddleCompose);
-    builder.emitPrologue(false);
+    builder.emitPrologue(opts.inverse);
     const KernelPlan plan = planPasses(n / VL);
 
     for (size_t t = 0; t < towers.size(); ++t) {
@@ -458,16 +458,33 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
             // fully independent, so the scheduler interleaves them.
             builder.beginTower(towers[t]->modulus().value(),
                                unsigned(1 + t));
+            if (opts.inverse)
+                builder.beginTowerNinv(towers[t]->nInv(),
+                                       unsigned(2 + t));
             builder.beginDataRegion(unsigned(4 + (t - 1)), t * n);
         }
-        NttGenerator gen(*towers[t], builder, false);
-        gen.emitForward(plan);
+        NttGenerator gen(*towers[t], builder, opts.inverse);
+        if (opts.inverse)
+            gen.emitInverse(plan);
+        else
+            gen.emitForward(plan);
     }
 
     finalizeImage(kernel, builder, opts,
-                  "batched_ntt" + std::to_string(n) + "x" +
+                  std::string("batched_") +
+                      (opts.inverse ? "intt" : "ntt") +
+                      std::to_string(n) + "x" +
                       std::to_string(towers.size()));
     return kernel;
+}
+
+BatchedNttKernel
+generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
+                          const NttCodegenOptions &opts)
+{
+    if (opts.inverse)
+        rpu_fatal("use generateBatchedNtt for the inverse direction");
+    return generateBatchedNtt(towers, opts);
 }
 
 KernelImage
@@ -556,6 +573,122 @@ generateBatchedPolyMul(const std::vector<const TwiddleTable *> &towers,
 
     finalizeImage(kernel, builder, opts,
                   "batched_polymul" + std::to_string(n) + "x" +
+                      std::to_string(towers.size()));
+    return kernel;
+}
+
+namespace {
+
+/**
+ * Shared emission for the pointwise kernels: one load/load/VMULMOD/
+ * store quartet per vector register of the ring, reading regions
+ * through @p a_areg / @p b_areg. The builder's current tower modulus
+ * register supplies the Montgomery reduction; there are no butterfly
+ * stages, twiddles, or n^-1 scalars anywhere in the program.
+ */
+void
+emitPointwiseRegion(KernelBuilder &builder, uint64_t n, unsigned a_areg,
+                    unsigned b_areg)
+{
+    for (uint32_t j = 0; j < n / VL; ++j) {
+        const unsigned xa = builder.allocReg();
+        builder.emitRegionLoad(xa, a_areg, j);
+        const unsigned xb = builder.allocReg();
+        builder.emitRegionLoad(xb, b_areg, j);
+        builder.emitPointwiseMul(xa, xa, xb);
+        builder.freeReg(xb);
+        builder.emitRegionStore(xa, a_areg);
+        builder.freeReg(xa);
+    }
+}
+
+} // namespace
+
+PointwiseMulKernel
+generatePointwiseMulKernel(const TwiddleTable &tw,
+                           const NttCodegenOptions &opts)
+{
+    const uint64_t n = tw.n();
+    checkRingSize(n);
+    if (opts.inverse)
+        rpu_fatal("a pointwise kernel has no inverse variant");
+
+    // Regions mirror the fused polymul: a at [0, n), b at [n, 2n).
+    constexpr unsigned kBAreg = 4;
+    PointwiseMulKernel kernel;
+    kernel.kind = KernelKind::PointwiseMul;
+    kernel.n = n;
+    kernel.modulus = tw.modulus().value();
+    kernel.moduli = {kernel.modulus};
+    kernel.optimized = opts.optimized;
+    kernel.aBase = 0;
+    kernel.bBase = n;
+    kernel.regions = {{"a", kernel.aBase, n, true, true},
+                      {"b", kernel.bBase, n, true, false}};
+
+    KernelBuilder builder(tw, opts.optimized, 2 * n,
+                          opts.twiddleCompose);
+    builder.emitPrologue(false);
+    builder.beginDataRegion(kBAreg, kernel.bBase);
+    emitPointwiseRegion(builder, n, KernelBuilder::kDataAreg, kBAreg);
+
+    finalizeImage(kernel, builder, opts,
+                  "pointwise" + std::to_string(n) +
+                      (opts.optimized ? "_opt" : "_naive"));
+    return kernel;
+}
+
+KernelImage
+generateBatchedPointwiseMul(const std::vector<const TwiddleTable *> &towers,
+                            const NttCodegenOptions &opts)
+{
+    rpu_assert(!towers.empty(), "no towers");
+    const uint64_t n = towers[0]->n();
+    checkRingSize(n);
+    for (const auto *t : towers) {
+        if (t->n() != n)
+            rpu_fatal("all towers must share the ring dimension");
+    }
+    if (towers.size() > 16)
+        rpu_fatal("batched pointwise supports at most 16 towers");
+    if (opts.inverse)
+        rpu_fatal("a pointwise kernel has no inverse variant");
+
+    KernelImage kernel;
+    kernel.kind = KernelKind::PointwiseMulBatched;
+    kernel.n = n;
+
+    // Same layout and ARF conventions as the batched polymul: tower
+    // t's operands at [2tn, 2tn + n) and [2tn + n, 2tn + 2n).
+    const auto a_areg = [](size_t t) {
+        return t == 0 ? unsigned(KernelBuilder::kDataAreg)
+                      : unsigned(3 + 2 * t);
+    };
+    const auto b_areg = [](size_t t) { return unsigned(4 + 2 * t); };
+
+    KernelBuilder builder(*towers[0], opts.optimized,
+                          2 * towers.size() * n, opts.twiddleCompose);
+    builder.emitPrologue(false);
+
+    for (size_t t = 0; t < towers.size(); ++t) {
+        const uint64_t a_base = 2 * t * n;
+        const uint64_t b_base = a_base + n;
+        kernel.moduli.push_back(towers[t]->modulus().value());
+        kernel.regions.push_back(
+            {"t" + std::to_string(t) + ".a", a_base, n, true, true});
+        kernel.regions.push_back(
+            {"t" + std::to_string(t) + ".b", b_base, n, true, false});
+
+        if (t > 0)
+            builder.beginTower(towers[t]->modulus().value(),
+                               unsigned(1 + t));
+        builder.beginDataRegion(a_areg(t), a_base);
+        builder.beginDataRegion(b_areg(t), b_base);
+        emitPointwiseRegion(builder, n, a_areg(t), b_areg(t));
+    }
+
+    finalizeImage(kernel, builder, opts,
+                  "batched_pointwise" + std::to_string(n) + "x" +
                       std::to_string(towers.size()));
     return kernel;
 }

@@ -108,18 +108,26 @@ PolyMulKernel generatePolyMulKernel(const TwiddleTable &tw,
                                     const NttCodegenOptions &opts = {});
 
 /**
- * A batched forward NTT across several RNS towers in a single
- * program, exercising the MRF's instruction-granularity modulus
- * switching (paper section IV-B5: "enabling the potential to process
- * different towers simultaneously"). Tower t's ring lives at
- * dataBases[t]; towers are register- and memory-independent, so the
- * scheduler interleaves them freely.
+ * A batched NTT across several RNS towers in a single program,
+ * exercising the MRF's instruction-granularity modulus switching
+ * (paper section IV-B5: "enabling the potential to process different
+ * towers simultaneously"). Tower t's ring lives at dataBases[t];
+ * towers are register- and memory-independent, so the scheduler
+ * interleaves them freely. `opts.inverse` selects the direction (the
+ * inverse form loads one n^-1 scalar per tower); these are the
+ * kernels domain-resident residue polynomials launch at Coeff<->Eval
+ * boundaries.
  */
 struct BatchedNttKernel : KernelImage
 {
     std::vector<uint64_t> dataBases;
 };
 
+BatchedNttKernel
+generateBatchedNtt(const std::vector<const TwiddleTable *> &towers,
+                   const NttCodegenOptions &opts = {});
+
+/** Forward-only convenience wrapper around generateBatchedNtt. */
 BatchedNttKernel
 generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
                           const NttCodegenOptions &opts = {});
@@ -135,6 +143,39 @@ generateBatchedForwardNtt(const std::vector<const TwiddleTable *> &towers,
 KernelImage
 generateBatchedPolyMul(const std::vector<const TwiddleTable *> &towers,
                        const NttCodegenOptions &opts = {});
+
+/**
+ * A pointwise-product kernel: a <- a .* b, lane-wise Montgomery
+ * products with no butterfly stages at all. This is the entire
+ * homomorphic multiply once both operands are evaluation-domain
+ * resident — the kernel an NTT-amortising ciphertext representation
+ * launches instead of the fused negacyclic product. The program is
+ * ~n/512 load/mul/store triplets, so its runtime is the floor any
+ * transform-elision strategy is chasing.
+ */
+struct PointwiseMulKernel : KernelImage
+{
+    u128 modulus = 0;
+    bool optimized = false;
+
+    uint64_t aBase = 0; ///< input a; the product overwrites it
+    uint64_t bBase = 0; ///< input b
+};
+
+PointwiseMulKernel
+generatePointwiseMulKernel(const TwiddleTable &tw,
+                           const NttCodegenOptions &opts = {});
+
+/**
+ * The pointwise product replicated across several RNS towers in one
+ * program, each tower on its own modulus register and pair of data
+ * regions ("t<i>.a" / "t<i>.b"; the product overwrites t<i>.a) —
+ * one launch multiplies a whole evaluation-domain-resident residue
+ * polynomial by another.
+ */
+KernelImage
+generateBatchedPointwiseMul(const std::vector<const TwiddleTable *> &towers,
+                            const NttCodegenOptions &opts = {});
 
 } // namespace rpu
 

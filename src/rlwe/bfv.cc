@@ -170,6 +170,8 @@ BfvContext::attachDevice(std::shared_ptr<RpuDevice> device,
     rns_basis_ = std::make_unique<RnsBasis>(
         RnsBasis::nttBasis(tower_bits, params_.n, towers));
     rns_crt_ = std::make_unique<CrtContext>(*rns_basis_);
+    rns_ops_ = ResidueOps(params_.n, rns_basis_.get());
+    rns_ops_.setDevice(device_);
 }
 
 CrtContext::TowerPoly
@@ -224,28 +226,35 @@ Ciphertext
 BfvContext::mulPlainRns(const Ciphertext &ct,
                         const std::vector<uint64_t> &plain) const
 {
-    // The plaintext is shared by both component products: lift and
-    // CRT-decompose it once, then hand both components to the device
-    // in a single dispatch, so every (component, tower) product can
-    // overlap. The *device* decides how: one batched all-towers
-    // kernel per component when serial, one single-ring launch per
-    // product fanned across the worker pool when parallel —
-    // bit-identical results either way.
-    CrtContext::TowerPoly tp = rnsTowers(liftPlain(plain));
-    std::vector<CrtContext::TowerPoly> as;
-    as.reserve(2);
-    as.push_back(rnsTowers(ct.c0));
-    as.push_back(rnsTowers(ct.c1));
-    std::vector<CrtContext::TowerPoly> bs;
-    bs.reserve(2);
-    bs.push_back(tp); // the shared plaintext: one copy, one move
-    bs.push_back(std::move(tp));
-    auto pending = device_->mulTowersBatchAsync(
-        params_.n, rns_basis_->primes(), std::move(as),
-        std::move(bs));
-    // Join per component: c0's CRT reconstruction (host-side BigUInt
-    // arithmetic) overlaps c1's tower launches still running on the
-    // worker pool.
+    // Domain-tagged residue polynomials: CRT-decompose the plaintext
+    // and both ciphertext components, enter the evaluation domain in
+    // one batched-transform dispatch (three forward passes over the
+    // basis — the fused per-component kernels transformed the shared
+    // plaintext twice), take both tower products as pure pointwise
+    // launches, and leave the evaluation domain once for CRT
+    // reconstruction. The device still decides the dispatch shape:
+    // batched all-towers kernels when serial, per-tower launches
+    // fanned across the worker pool when parallel — bit-identical
+    // results either way.
+    ResiduePoly pt(ResidueDomain::Coeff, rnsTowers(liftPlain(plain)));
+    std::vector<ResiduePoly> comps(2);
+    comps[0] = ResiduePoly(ResidueDomain::Coeff, rnsTowers(ct.c0));
+    comps[1] = ResiduePoly(ResidueDomain::Coeff, rnsTowers(ct.c1));
+    rns_ops_.convert({&comps[0], &comps[1], &pt}, ResidueDomain::Eval);
+
+    std::vector<ResiduePoly> prods =
+        rns_ops_.mulEvalShared(std::move(comps), std::move(pt));
+
+    // Leave the evaluation domain through the async dispatch so
+    // component 0's host-side BigUInt reconstruction overlaps
+    // component 1's inverse launches still running on the worker
+    // pool (the same join-order overlap the fused path had).
+    std::vector<std::vector<std::vector<u128>>> sets;
+    sets.reserve(2);
+    sets.push_back(std::move(prods[0].towers));
+    sets.push_back(std::move(prods[1].towers));
+    auto pending = device_->transformTowersBatchAsync(
+        params_.n, rns_basis_->primes(), std::move(sets), true);
     std::vector<u128> c0 = rnsReduceCentred(
         RpuDevice::collectTowers(std::move(pending[0])));
     std::vector<u128> c1 = rnsReduceCentred(

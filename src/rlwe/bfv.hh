@@ -28,6 +28,7 @@
 #include "common/logging.hh"
 #include "poly/polynomial.hh"
 #include "rlwe/params.hh"
+#include "rlwe/residue_poly.hh"
 #include "rns/crt.hh"
 
 namespace rpu {
@@ -153,11 +154,16 @@ class BfvContext
     CrtContext::TowerPoly rnsTowers(const std::vector<u128> &poly) const;
 
     /**
-     * Device path of mulPlain: decompose the plaintext once, run both
-     * ciphertext components' tower products through one device
-     * dispatch (mulTowersBatchAsync — the device picks serial-batched
-     * or per-tower-parallel execution), then reconstruct c0 while
-     * c1's launches are still in flight.
+     * Device path of mulPlain, on domain-tagged residue polynomials:
+     * decompose the plaintext and both ciphertext components once,
+     * enter the evaluation domain in one batched-NTT dispatch (the
+     * plaintext is transformed a single time and shared — the fused
+     * per-component kernels used to transform it twice), take the
+     * tower products as pure pointwise launches, and return to
+     * coefficients for CRT reconstruction. BFV's wide-modulus
+     * ciphertexts live outside the tower basis, so Coeff->Eval->Coeff
+     * per multiply is this scheme's floor; the elision win belongs to
+     * the RNS-native CKKS sibling.
      */
     Ciphertext mulPlainRns(const Ciphertext &ct,
                            const std::vector<uint64_t> &plain) const;
@@ -173,6 +179,7 @@ class BfvContext
     std::shared_ptr<RpuDevice> device_;
     std::unique_ptr<RnsBasis> rns_basis_;
     std::unique_ptr<CrtContext> rns_crt_;
+    ResidueOps rns_ops_;
 };
 
 } // namespace rpu

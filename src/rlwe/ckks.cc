@@ -72,6 +72,14 @@ CkksContext::CkksContext(const CkksParams &params, uint64_t seed)
             basis().modulus(t), params_.n));
         ntts_.push_back(std::make_unique<NttContext>(*twiddles_[t]));
     }
+
+    // Domain transitions over the full chain: host transforms by
+    // default, rerouted through the device by attachDevice.
+    ops_ = ResidueOps(params_.n, prefixes_.back().get());
+    std::vector<const NttContext *> host(params_.towers);
+    for (size_t t = 0; t < params_.towers; ++t)
+        host[t] = ntts_[t].get();
+    ops_.setHostTransforms(std::move(host));
 }
 
 const RnsBasis &
@@ -97,12 +105,6 @@ CkksContext::hostNtt(size_t t) const
 {
     rpu_assert(t < ntts_.size(), "tower %zu out of range", t);
     return *ntts_[t];
-}
-
-std::vector<u128>
-CkksContext::activePrimes(size_t towers) const
-{
-    return prefixBasis(towers).primes();
 }
 
 CrtContext::TowerPoly
@@ -145,6 +147,27 @@ CkksContext::keygen()
     return sk;
 }
 
+CkksPlaintext
+CkksContext::encodePlain(
+    const std::vector<std::complex<double>> &values,
+    size_t towers) const
+{
+    if (towers == 0)
+        towers = params_.towers;
+    rpu_assert(towers <= params_.towers,
+               "encode over %zu towers, chain has %zu", towers,
+               params_.towers);
+    CkksPlaintext pt;
+    pt.scale = params_.scale;
+    pt.rp.domain = ResidueDomain::Coeff;
+    pt.rp.towers = residuesOfSigned(
+        encoder_.encode(values, params_.scale), towers);
+    // The one forward transform the plaintext ever pays: a batched
+    // device dispatch when attached, host transforms otherwise.
+    ops_.toEval(pt.rp);
+    return pt;
+}
+
 CkksCiphertext
 CkksContext::encrypt(const CkksSecretKey &sk,
                      const std::vector<std::complex<double>> &values)
@@ -152,39 +175,48 @@ CkksContext::encrypt(const CkksSecretKey &sk,
     rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
     const size_t L = params_.towers;
 
-    // The message, error, and secret are single integer polynomials;
-    // each tower sees their residues. The mask a is one uniform ring
-    // element mod Q — independently uniform residues per tower, by CRT.
+    // The message+error and secret are single integer polynomials;
+    // each tower sees their residues, forward-transformed on the host
+    // (encryption-side arithmetic stays off the device, like decrypt).
+    // The mask a is one uniform ring element mod Q sampled directly
+    // in *evaluation* form — uniform residues are uniform in either
+    // domain, so the ciphertext is born Eval-resident with no
+    // transform spent on the mask at all.
     const std::vector<int64_t> m =
         encoder_.encode(values, params_.scale);
-    std::vector<int64_t> e(params_.n), s(params_.n);
+    std::vector<int64_t> em(params_.n), s(params_.n);
     const uint64_t span = 2 * params_.noiseBound + 1;
-    for (auto &v : e)
-        v = int64_t(rng_.below64(span)) - int64_t(params_.noiseBound);
-    for (size_t i = 0; i < params_.n; ++i)
+    for (size_t i = 0; i < params_.n; ++i) {
+        const int64_t e = int64_t(rng_.below64(span)) -
+                          int64_t(params_.noiseBound);
+        em[i] = m[i] + e;
         s[i] = sk.s[i];
+    }
 
-    const CrtContext::TowerPoly mt = residuesOfSigned(m, L);
-    const CrtContext::TowerPoly et = residuesOfSigned(e, L);
+    const CrtContext::TowerPoly emt = residuesOfSigned(em, L);
     const CrtContext::TowerPoly st = residuesOfSigned(s, L);
 
     CkksCiphertext ct;
     ct.scale = params_.scale;
-    ct.c0.reserve(L);
-    ct.c1.reserve(L);
+    ct.c0.domain = ResidueDomain::Eval;
+    ct.c1.domain = ResidueDomain::Eval;
+    ct.c0.towers.reserve(L);
+    ct.c1.towers.reserve(L);
     for (size_t t = 0; t < L; ++t) {
         const Modulus &mod = basis().modulus(t);
         const std::vector<u128> a = randomPoly(mod, params_.n, rng_);
-        // c0 = a*s + e + m; c1 = -a.
+        std::vector<u128> s_eval = st[t];
+        hostNtt(t).forward(s_eval);
+        std::vector<u128> em_eval = emt[t];
+        hostNtt(t).forward(em_eval);
+        // c0 = a*s + (e + m); c1 = -a — all pointwise in Eval.
         std::vector<u128> c0 =
-            negacyclicMulNtt(hostNtt(t), a, st[t]);
-        c0 = polyAdd(mod, c0, et[t]);
-        c0 = polyAdd(mod, c0, mt[t]);
+            polyAdd(mod, polyPointwise(mod, a, s_eval), em_eval);
         std::vector<u128> c1(params_.n);
         for (size_t i = 0; i < params_.n; ++i)
             c1[i] = mod.neg(a[i]);
-        ct.c0.push_back(std::move(c0));
-        ct.c1.push_back(std::move(c1));
+        ct.c0.towers.push_back(std::move(c0));
+        ct.c1.towers.push_back(std::move(c1));
     }
     return ct;
 }
@@ -194,6 +226,8 @@ CkksContext::decrypt(const CkksSecretKey &sk,
                      const CkksCiphertext &ct) const
 {
     rpu_assert(ct.towers() >= 1, "empty ciphertext");
+    rpu_assert(ct.c0.domain == ct.c1.domain,
+               "ciphertext components in different domains");
     const size_t L = ct.towers();
 
     std::vector<int64_t> s(params_.n);
@@ -201,13 +235,25 @@ CkksContext::decrypt(const CkksSecretKey &sk,
         s[i] = sk.s[i];
     const CrtContext::TowerPoly st = residuesOfSigned(s, L);
 
-    // v = c0 + c1*s per tower = m + e in RNS.
+    // v = c0 + c1*s per tower = m + e in RNS; this is the scheme's
+    // forced return to coefficients (Eval-resident ciphertexts pay
+    // one inverse transform per tower, never a forward one).
     CrtContext::TowerPoly v(L);
     for (size_t t = 0; t < L; ++t) {
         const Modulus &mod = basis().modulus(t);
-        const std::vector<u128> c1s =
-            negacyclicMulNtt(hostNtt(t), ct.c1[t], st[t]);
-        v[t] = polyAdd(mod, ct.c0[t], c1s);
+        if (ct.c0.inEval()) {
+            std::vector<u128> s_eval = st[t];
+            hostNtt(t).forward(s_eval);
+            std::vector<u128> ve = polyAdd(
+                mod, ct.c0.towers[t],
+                polyPointwise(mod, ct.c1.towers[t], s_eval));
+            hostNtt(t).inverse(ve);
+            v[t] = std::move(ve);
+        } else {
+            const std::vector<u128> c1s = negacyclicMulNtt(
+                hostNtt(t), ct.c1.towers[t], st[t]);
+            v[t] = polyAdd(mod, ct.c0.towers[t], c1s);
+        }
     }
 
     // Out of RNS exactly once: reconstruct mod the active Q, centre,
@@ -231,16 +277,52 @@ CkksContext::add(const CkksCiphertext &a, const CkksCiphertext &b) const
                b.towers());
     rpu_assert(std::abs(a.scale - b.scale) <= 1e-6 * a.scale,
                "scale mismatch: %g vs %g", a.scale, b.scale);
+    rpu_assert(a.domain() == b.domain(),
+               "residency mismatch: convert one operand first");
 
     CkksCiphertext out;
     out.scale = a.scale;
-    out.c0.reserve(a.towers());
-    out.c1.reserve(a.towers());
-    for (size_t t = 0; t < a.towers(); ++t) {
-        const Modulus &mod = basis().modulus(t);
-        out.c0.push_back(polyAdd(mod, a.c0[t], b.c0[t]));
-        out.c1.push_back(polyAdd(mod, a.c1[t], b.c1[t]));
+    out.c0 = ops_.add(a.c0, b.c0);
+    out.c1 = ops_.add(a.c1, b.c1);
+    return out;
+}
+
+CkksCiphertext
+CkksContext::mulPlain(const CkksCiphertext &ct,
+                      const CkksPlaintext &pt) const
+{
+    rpu_assert(ct.towers() >= 1, "empty ciphertext");
+    rpu_assert(pt.towers() >= ct.towers(),
+               "plaintext spans %zu towers, ciphertext needs %zu",
+               pt.towers(), ct.towers());
+    rpu_assert(pt.rp.inEval(), "plaintext must be encoded (Eval)");
+    rpu_assert(ct.c0.domain == ct.c1.domain,
+               "ciphertext components in different domains");
+    const size_t L = ct.towers();
+
+    // Steady state (Eval-resident ciphertext): the components are
+    // read in place — no copy, no transform, just the pointwise
+    // dispatch — and the conversions a coefficient-resident system
+    // would have paid land in the elision ledger. A Coeff-resident
+    // ciphertext converts on copies so the input stays untouched.
+    std::vector<ResiduePoly> owned;
+    std::vector<const ResiduePoly *> comps;
+    if (ct.domain() == ResidueDomain::Eval) {
+        ops_.noteElidedConversions(2 * L);
+        comps = {&ct.c0, &ct.c1};
+    } else {
+        owned.reserve(2);
+        owned.push_back(ct.c0);
+        owned.push_back(ct.c1);
+        ops_.convert({&owned[0], &owned[1]}, ResidueDomain::Eval);
+        comps = {&owned[0], &owned[1]};
     }
+
+    auto prods = ops_.mulEvalShared(comps, pt.rp, L);
+    CkksCiphertext out;
+    out.scale = ct.scale * pt.scale;
+    out.c0 = std::move(prods[0]);
+    out.c1 = std::move(prods[1]);
     return out;
 }
 
@@ -249,41 +331,9 @@ CkksContext::mulPlain(const CkksCiphertext &ct,
                       const std::vector<std::complex<double>> &values)
     const
 {
-    rpu_assert(ct.towers() >= 1, "empty ciphertext");
-    const size_t L = ct.towers();
-    CrtContext::TowerPoly pt = residuesOfSigned(
-        encoder_.encode(values, params_.scale), L);
-
-    CkksCiphertext out;
-    out.scale = ct.scale * params_.scale;
-    if (device_) {
-        // Both components through one device dispatch: all 2 x L
-        // fused tower products overlap on the worker pool (or run as
-        // one batched all-towers kernel per component when serial),
-        // and component 0's residue assembly overlaps component 1's
-        // still-running launches.
-        std::vector<CrtContext::TowerPoly> as;
-        as.reserve(2);
-        as.push_back(ct.c0);
-        as.push_back(ct.c1);
-        std::vector<CrtContext::TowerPoly> bs;
-        bs.reserve(2);
-        bs.push_back(pt); // the shared plaintext: one copy, one move
-        bs.push_back(std::move(pt));
-        auto pending = device_->mulTowersBatchAsync(
-            params_.n, activePrimes(L), std::move(as), std::move(bs));
-        out.c0 = RpuDevice::collectTowers(std::move(pending[0]));
-        out.c1 = RpuDevice::collectTowers(std::move(pending[1]));
-        return out;
-    }
-
-    out.c0.reserve(L);
-    out.c1.reserve(L);
-    for (size_t t = 0; t < L; ++t) {
-        out.c0.push_back(negacyclicMulNtt(hostNtt(t), ct.c0[t], pt[t]));
-        out.c1.push_back(negacyclicMulNtt(hostNtt(t), ct.c1[t], pt[t]));
-    }
-    return out;
+    // Single-use plaintext: encode only the towers this ciphertext's
+    // level actually multiplies.
+    return mulPlain(ct, encodePlain(values, ct.towers()));
 }
 
 CkksCiphertext
@@ -292,98 +342,104 @@ CkksContext::rescale(const CkksCiphertext &ct) const
     rpu_assert(ct.towers() >= 2,
                "rescale needs at least two active towers, have %zu",
                ct.towers());
+    rpu_assert(ct.c0.domain == ct.c1.domain,
+               "ciphertext components in different domains");
     const size_t l = ct.towers() - 1; // tower being dropped
     const Modulus &mod_l = basis().modulus(l);
     const u128 q_l = mod_l.value();
 
-    // Exact RNS rescale: with r the centred lift of [c]_l, every
-    // remaining tower computes c'_t = (c_t - r) * q_l^-1 mod q_t —
-    // the residues of the integer (V - centred(V mod q_l)) / q_l.
-    // The scaling runs in the evaluation domain: forward per-tower
-    // NTT, pointwise multiply by q_l^-1, inverse NTT. The transforms
-    // are exact inverses, so this is bit-identical to coefficient-
-    // domain scaling; what they buy is the dispatch shape — one
-    // independent per-tower NTT launch stream the device overlaps
-    // across its worker pool, the same pattern an evaluation-domain-
-    // resident ciphertext implementation schedules on real RPUs.
-    const std::vector<std::vector<u128>> *comps[2] = {&ct.c0, &ct.c1};
-    std::vector<std::vector<std::vector<u128>>> diffs(2);
     std::vector<u128> inv_ql(l);
     for (size_t t = 0; t < l; ++t)
         inv_ql[t] = basis().modulus(t).inv(
             basis().modulus(t).reduce(q_l));
-    for (size_t c = 0; c < 2; ++c) {
-        diffs[c].resize(l);
-        const std::vector<u128> &last = (*comps[c])[l];
-        for (size_t t = 0; t < l; ++t) {
-            const Modulus &mod_t = basis().modulus(t);
-            std::vector<u128> d(params_.n);
-            for (size_t i = 0; i < params_.n; ++i)
-                d[i] = mod_t.sub((*comps[c])[t][i],
-                                 liftCentred(last[i], mod_l, mod_t));
-            diffs[c][t] = std::move(d);
-        }
-    }
 
     CkksCiphertext out;
     out.scale = ct.scale / u128ToDouble(q_l);
-    out.c0.resize(l);
-    out.c1.resize(l);
-    std::vector<std::vector<u128>> *out_comps[2] = {&out.c0, &out.c1};
+    const ResiduePoly *comps[2] = {&ct.c0, &ct.c1};
+    ResiduePoly *out_comps[2] = {&out.c0, &out.c1};
 
-    if (device_) {
-        // Forward transforms: one launch per (component, tower), all
-        // in flight together.
-        std::vector<LaunchFuture> fwd;
-        fwd.reserve(2 * l);
-        for (size_t c = 0; c < 2; ++c) {
-            for (size_t t = 0; t < l; ++t) {
-                const KernelImage &k = device_->kernel(
-                    KernelKind::ForwardNtt, params_.n,
-                    {basis().prime(t)});
-                fwd.push_back(device_->launchAsync(
-                    k, {std::move(diffs[c][t])}));
+    // Exact RNS rescale: with r the centred lift of [c]_l, every
+    // remaining tower computes c'_t = (c_t - r) * q_l^-1 mod q_t —
+    // the residues of the integer (V - centred(V mod q_l)) / q_l.
+
+    if (ct.c0.inEval()) {
+        // The scheme's one forced Coeff boundary: only the *dropped*
+        // tower leaves the evaluation domain, as an inverse-NTT
+        // launch on the attached device (host transform otherwise).
+        std::vector<std::vector<u128>> r(2);
+        if (device_) {
+            const KernelImage &k = device_->kernel(
+                KernelKind::InverseNtt, params_.n, {q_l});
+            std::vector<LaunchFuture> futures;
+            futures.reserve(2);
+            for (size_t c = 0; c < 2; ++c)
+                futures.push_back(device_->launchAsync(
+                    k, {comps[c]->towers[l]}));
+            auto results = RpuDevice::whenAll(std::move(futures));
+            for (size_t c = 0; c < 2; ++c)
+                r[c] = std::move(results[c][0]);
+        } else {
+            for (size_t c = 0; c < 2; ++c) {
+                r[c] = comps[c]->towers[l];
+                hostNtt(l).inverse(r[c]);
             }
         }
-        auto evals = RpuDevice::whenAll(std::move(fwd));
 
-        // Pointwise scaling in the evaluation domain, then the
-        // inverse transforms, again all overlapping.
-        std::vector<LaunchFuture> inv;
-        inv.reserve(2 * l);
+        // Re-enter the lift into each remaining tower's evaluation
+        // domain via the host transform — the same plaintext-sized
+        // side engine encrypt and decrypt use — then subtract and
+        // scale pointwise. The ciphertext towers themselves never
+        // see a forward transform, so the device's forward-NTT
+        // counter stays at zero across a whole rescale chain.
         for (size_t c = 0; c < 2; ++c) {
+            out_comps[c]->domain = ResidueDomain::Eval;
+            out_comps[c]->towers.resize(l);
             for (size_t t = 0; t < l; ++t) {
                 const Modulus &mod_t = basis().modulus(t);
-                std::vector<u128> scaled = polyScale(
+                std::vector<u128> d(params_.n);
+                for (size_t i = 0; i < params_.n; ++i)
+                    d[i] = liftCentred(r[c][i], mod_l, mod_t);
+                hostNtt(t).forward(d);
+                out_comps[c]->towers[t] = polyScale(
                     mod_t, inv_ql[t],
-                    evals[c * l + t][0]);
-                const KernelImage &k = device_->kernel(
-                    KernelKind::InverseNtt, params_.n,
-                    {basis().prime(t)});
-                inv.push_back(
-                    device_->launchAsync(k, {std::move(scaled)}));
+                    polySub(mod_t, comps[c]->towers[t], d));
             }
-        }
-        auto results = RpuDevice::whenAll(std::move(inv));
-        for (size_t c = 0; c < 2; ++c) {
-            for (size_t t = 0; t < l; ++t)
-                (*out_comps[c])[t] =
-                    std::move(results[c * l + t][0]);
         }
         return out;
     }
 
+    // Coefficient-resident input: the same map is plain coefficient
+    // arithmetic — no transform at all (the forward/pointwise/inverse
+    // sandwich an earlier revision launched here was pure dispatch
+    // shape; the transforms cancelled exactly). Bit-identical to
+    // toCoeff(rescale(toEval(ct))) on every tower.
     for (size_t c = 0; c < 2; ++c) {
+        out_comps[c]->domain = ResidueDomain::Coeff;
+        out_comps[c]->towers.resize(l);
+        const std::vector<u128> &last = comps[c]->towers[l];
         for (size_t t = 0; t < l; ++t) {
             const Modulus &mod_t = basis().modulus(t);
-            std::vector<u128> x = std::move(diffs[c][t]);
-            hostNtt(t).forward(x);
-            x = polyScale(mod_t, inv_ql[t], x);
-            hostNtt(t).inverse(x);
-            (*out_comps[c])[t] = std::move(x);
+            std::vector<u128> d(params_.n);
+            for (size_t i = 0; i < params_.n; ++i)
+                d[i] = mod_t.sub(comps[c]->towers[t][i],
+                                 liftCentred(last[i], mod_l, mod_t));
+            out_comps[c]->towers[t] =
+                polyScale(mod_t, inv_ql[t], d);
         }
     }
     return out;
+}
+
+void
+CkksContext::toCoeff(CkksCiphertext &ct) const
+{
+    ops_.convert({&ct.c0, &ct.c1}, ResidueDomain::Coeff);
+}
+
+void
+CkksContext::toEval(CkksCiphertext &ct) const
+{
+    ops_.convert({&ct.c0, &ct.c1}, ResidueDomain::Eval);
 }
 
 void
@@ -394,6 +450,7 @@ CkksContext::attachDevice(std::shared_ptr<RpuDevice> device)
                "RPU kernels need n >= 1024, scheme has n=%llu",
                (unsigned long long)params_.n);
     device_ = std::move(device);
+    ops_.setDevice(device_);
 }
 
 } // namespace rpu

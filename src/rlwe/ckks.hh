@@ -1,7 +1,7 @@
 /**
  * @file
- * CKKS approximate-arithmetic RLWE scheme, RNS-native, on the RPU
- * device layer.
+ * CKKS approximate-arithmetic RLWE scheme, RNS-native and
+ * evaluation-domain resident, on the RPU device layer.
  *
  * The second scheme the simulated RPU executes (the paper positions
  * the RPU as a general ring processor; its OpenFHE-lineage evaluation
@@ -12,26 +12,37 @@
  * scale until a rescale divides it back down by dropping the last
  * tower of the RNS modulus chain.
  *
- * Ciphertexts live natively in RNS — one residue polynomial per tower
- * of the modulus chain q_0..q_(L-1) — so homomorphic ops never leave
- * the towers:
+ * Ciphertexts are domain-tagged ResiduePoly pairs and live in the
+ * *evaluation* (NTT) domain from encryption onward — the paper's
+ * amortise-the-NTT strategy made structural:
  *
- *   add      per-tower coefficient adds (host).
- *   mulPlain both ciphertext components through one
- *            RpuDevice::mulTowersBatchAsync dispatch (all 2 x towers
- *            fused negacyclic products overlap on the worker pool;
- *            serial devices run one batched all-towers kernel per
- *            component), host reference NTT without a device.
- *   rescale  drops tower l: c'_t = (c_t - lift([c]_l)) * q_l^-1,
- *            computed in the evaluation domain — per-tower forward
- *            NTT, pointwise scaling, inverse NTT — as device kernel
- *            launches when attached (the paper's per-tower NTT +
- *            pointwise pattern), host NTT otherwise. Both paths are
- *            bit-identical on every tower.
+ *   encrypt  produces Eval-resident components (the uniform mask is
+ *            sampled directly in evaluation form).
+ *   encode   (encodePlain) produces an Eval-resident plaintext,
+ *            forward-transformed once and reusable across ops and
+ *            levels (a rescaled ciphertext uses its tower prefix).
+ *   add      per-tower coefficient adds, domain-preserving (host).
+ *   mulPlain a pure pointwise dispatch: both components against the
+ *            shared plaintext through one
+ *            RpuDevice::pointwiseTowersBatchAsync — zero transforms.
+ *   rescale  the only forced (partial) return to Coeff: the dropped
+ *            tower is inverse-transformed (a device launch when
+ *            attached), its centred lift is re-entered into the
+ *            remaining towers via the host transform (the same
+ *            engine encrypt/decrypt use), and the subtraction and
+ *            q_l^-1 scaling happen pointwise in the evaluation
+ *            domain. The ciphertext towers themselves are never
+ *            forward-transformed again — the device issues zero
+ *            forward-NTT launches across a mulPlain->rescale->
+ *            mulPlain chain, which DeviceStats proves.
  *
- * Only decryption reconstructs out of RNS (CRT over the active
- * prefix, centre mod Q, decode). Like the BFV sibling this is a
- * demonstration workload, not a hardened cryptosystem.
+ * Coefficient-resident ciphertexts (after an explicit toCoeff) stay
+ * fully supported: every op is domain-aware, and rescaling a Coeff
+ * ciphertext is plain host coefficient arithmetic, bit-identical to
+ * toCoeff(rescale(Eval)). Only decryption reconstructs out of RNS
+ * (CRT over the active prefix, centre mod Q, decode). Like the BFV
+ * sibling this is a demonstration workload, not a hardened
+ * cryptosystem.
  */
 
 #ifndef RPU_RLWE_CKKS_HH
@@ -44,6 +55,7 @@
 
 #include "poly/polynomial.hh"
 #include "rlwe/ckks_encoder.hh"
+#include "rlwe/residue_poly.hh"
 #include "rns/crt.hh"
 
 namespace rpu {
@@ -64,18 +76,38 @@ struct CkksParams
 };
 
 /**
- * A CKKS ciphertext: two RNS-resident ring polynomials (element
- * [t][i] is coefficient i in tower t, over the first towers() primes
- * of the chain) plus the fixed-point scale its slots carry.
+ * A CKKS ciphertext: two domain-tagged RNS ring polynomials over the
+ * first towers() primes of the chain, plus the fixed-point scale its
+ * slots carry. Freshly encrypted ciphertexts are Eval-resident and
+ * every homomorphic op keeps them there; toCoeff/toEval move both
+ * components together.
  */
 struct CkksCiphertext
 {
-    std::vector<std::vector<u128>> c0;
-    std::vector<std::vector<u128>> c1;
+    ResiduePoly c0;
+    ResiduePoly c1;
     double scale = 1.0;
 
     /** Active chain length; rescale shrinks it by one. */
-    size_t towers() const { return c0.size(); }
+    size_t towers() const { return c0.towerCount(); }
+
+    /** The components' shared residency (they always move together). */
+    ResidueDomain domain() const { return c0.domain; }
+};
+
+/**
+ * An encoded plaintext: Eval-resident residues of the encoder output
+ * over the full modulus chain, transformed once at encode time. A
+ * ciphertext at any level multiplies against the matching tower
+ * prefix, so one encoded plaintext serves a whole rescale chain with
+ * no further transforms.
+ */
+struct CkksPlaintext
+{
+    ResiduePoly rp;
+    double scale = 1.0;
+
+    size_t towers() const { return rp.towerCount(); }
 };
 
 /** Secret key: one ternary integer polynomial, shared by all towers. */
@@ -108,44 +140,78 @@ class CkksContext
     /** Host reference transform for tower @p t's ring. */
     const NttContext &hostNtt(size_t t) const;
 
+    /** Domain transitions / pointwise algebra over the full chain. */
+    const ResidueOps &residueOps() const { return ops_; }
+
     CkksSecretKey keygen();
 
     /**
      * Encode @p values (at most slots() entries) at the context scale
-     * and encrypt over the full chain.
+     * over the first @p towers chain primes (0 = the full chain) and
+     * enter the evaluation domain — one batched forward-NTT dispatch
+     * on the attached device (host transform otherwise). A full-chain
+     * encoding is reusable across ops and levels through its tower
+     * prefix; pass a ciphertext's level to encode a single-use
+     * plaintext without transforming towers it will never touch.
+     */
+    CkksPlaintext
+    encodePlain(const std::vector<std::complex<double>> &values,
+                size_t towers = 0) const;
+
+    /**
+     * Encode @p values (at most slots() entries) at the context scale
+     * and encrypt over the full chain. The ciphertext is Eval-resident:
+     * the uniform mask is sampled in evaluation form and the message
+     * enters through one host forward transform per tower.
      */
     CkksCiphertext encrypt(const CkksSecretKey &sk,
                            const std::vector<std::complex<double>> &values);
 
     /**
-     * Decrypt: per-tower c0 + c1*s, CRT-reconstruct over the active
-     * prefix, centre mod Q, decode at the ciphertext's scale.
+     * Decrypt: per-tower c0 + c1*s (pointwise in Eval, negacyclic in
+     * Coeff), the forced return to coefficients, CRT-reconstruct over
+     * the active prefix, centre mod Q, decode at the ciphertext's
+     * scale.
      */
     std::vector<std::complex<double>>
     decrypt(const CkksSecretKey &sk, const CkksCiphertext &ct) const;
 
-    /** Slot-wise homomorphic addition (same level, same scale). */
+    /**
+     * Slot-wise homomorphic addition (same level, same scale, same
+     * residency).
+     */
     CkksCiphertext add(const CkksCiphertext &a,
                        const CkksCiphertext &b) const;
 
     /**
-     * Slot-wise product with plaintext @p values, encoded at the
-     * context scale; the result's scale is ct.scale * params().scale.
-     * With a device attached both components run through one
-     * mulTowersBatchAsync dispatch; host reference NTT otherwise.
+     * Slot-wise product with an encoded plaintext (tower prefix
+     * matched to the ciphertext's level); the result's scale is
+     * ct.scale * pt.scale. Both components run through one pointwise
+     * dispatch — no transform is issued when the ciphertext is
+     * already Eval-resident (the elision lands in DeviceStats).
      */
+    CkksCiphertext mulPlain(const CkksCiphertext &ct,
+                            const CkksPlaintext &pt) const;
+
+    /** Convenience: encodePlain + mulPlain in one call. */
     CkksCiphertext
     mulPlain(const CkksCiphertext &ct,
              const std::vector<std::complex<double>> &values) const;
 
     /**
      * Drop the last active tower q_l and divide the scale by it:
-     * c'_t = (c_t - lift([c]_l)) * q_l^-1 mod q_t, evaluated as
-     * per-tower forward NTT + pointwise scaling + inverse NTT on the
-     * device (host NTT fallback). Exact in RNS: bit-identical to the
-     * wide-integer (V - centred(V mod q_l)) / q_l on every tower.
+     * c'_t = (c_t - lift([c]_l)) * q_l^-1 mod q_t. Exact in RNS:
+     * bit-identical to the wide-integer (V - centred(V mod q_l)) / q_l
+     * on every tower, in either residency. Eval-resident input keeps
+     * the remaining towers in the evaluation domain — only the
+     * dropped tower is inverse-transformed (the scheme's one forced
+     * Coeff boundary) and no forward-NTT launch is issued.
      */
     CkksCiphertext rescale(const CkksCiphertext &ct) const;
+
+    /** Move both components to the target residency (see ResidueOps). */
+    void toCoeff(CkksCiphertext &ct) const;
+    void toEval(CkksCiphertext &ct) const;
 
     // -- RPU execution ---------------------------------------------------
 
@@ -156,9 +222,6 @@ class CkksContext
     std::shared_ptr<RpuDevice> device() const { return device_; }
 
   private:
-    /** First @p towers chain primes, in order. */
-    std::vector<u128> activePrimes(size_t towers) const;
-
     /** Residues of signed coefficients over the first @p towers. */
     CrtContext::TowerPoly
     residuesOfSigned(const std::vector<int64_t> &coeffs,
@@ -177,10 +240,12 @@ class CkksContext
     std::vector<std::unique_ptr<RnsBasis>> prefixes_;
     std::vector<std::unique_ptr<CrtContext>> crts_;
 
-    // Per-tower host twiddles/transforms (reference path + decrypt).
+    // Per-tower host twiddles/transforms (reference path, encrypt/
+    // decrypt, and rescale's lift re-entry).
     std::vector<std::unique_ptr<TwiddleTable>> twiddles_;
     std::vector<std::unique_ptr<NttContext>> ntts_;
 
+    ResidueOps ops_;
     std::shared_ptr<RpuDevice> device_;
 };
 

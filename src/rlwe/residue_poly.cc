@@ -1,0 +1,241 @@
+#include "rlwe/residue_poly.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "poly/polynomial.hh"
+#include "rpu/device.hh"
+
+namespace rpu {
+
+ResiduePoly
+ResiduePoly::prefix(size_t count) const
+{
+    rpu_assert(count >= 1 && count <= towers.size(),
+               "prefix %zu out of range [1, %zu]", count, towers.size());
+    return ResiduePoly(domain,
+                       std::vector<std::vector<u128>>(
+                           towers.begin(),
+                           towers.begin() + ptrdiff_t(count)));
+}
+
+const RnsBasis &
+ResidueOps::basis() const
+{
+    rpu_assert(basis_ != nullptr, "ResidueOps has no basis bound");
+    return *basis_;
+}
+
+std::vector<u128>
+ResidueOps::prefixPrimes(size_t towers) const
+{
+    rpu_assert(towers >= 1 && towers <= basis().towers(),
+               "tower count %zu out of range [1, %zu]", towers,
+               basis().towers());
+    std::vector<u128> primes(towers);
+    for (size_t t = 0; t < towers; ++t)
+        primes[t] = basis().prime(t);
+    return primes;
+}
+
+void
+ResidueOps::hostTransform(std::vector<u128> &tower, size_t t,
+                          ResidueDomain target) const
+{
+    rpu_assert(t < host_ntts_.size() && host_ntts_[t] != nullptr,
+               "no host transform for tower %zu", t);
+    if (target == ResidueDomain::Eval)
+        host_ntts_[t]->forward(tower);
+    else
+        host_ntts_[t]->inverse(tower);
+}
+
+void
+ResidueOps::convert(const std::vector<ResiduePoly *> &polys,
+                    ResidueDomain target) const
+{
+    // Split residents from movers. The residents are the lazy win:
+    // each would have been transformed by a domain-oblivious caller,
+    // so their towers land in the elision ledger.
+    std::map<size_t, std::vector<ResiduePoly *>> groups;
+    uint64_t elided = 0;
+    for (ResiduePoly *p : polys) {
+        rpu_assert(p != nullptr, "null polynomial");
+        rpu_assert(p->towerCount() >= 1 &&
+                       p->towerCount() <= basis().towers(),
+                   "polynomial spans %zu towers, basis has %zu",
+                   p->towerCount(), basis().towers());
+        if (p->domain == target)
+            elided += p->towerCount();
+        else
+            groups[p->towerCount()].push_back(p);
+    }
+    if (elided > 0 && device_)
+        device_->noteElidedTransforms(elided);
+    if (groups.empty())
+        return;
+
+    const bool inverse = target == ResidueDomain::Coeff;
+    for (auto &[towers, movers] : groups) {
+        if (device_) {
+            // One dispatch per tower-count group: all movers' towers
+            // through transformTowersBatchAsync (batched all-towers
+            // kernels serially, per-tower fan-out on a pooled device).
+            std::vector<std::vector<std::vector<u128>>> xs;
+            xs.reserve(movers.size());
+            for (ResiduePoly *p : movers)
+                xs.push_back(std::move(p->towers));
+            auto pending = device_->transformTowersBatchAsync(
+                n_, prefixPrimes(towers), std::move(xs), inverse);
+            for (size_t i = 0; i < movers.size(); ++i) {
+                movers[i]->towers =
+                    RpuDevice::collectTowers(std::move(pending[i]));
+            }
+        } else {
+            for (ResiduePoly *p : movers) {
+                for (size_t t = 0; t < towers; ++t)
+                    hostTransform(p->towers[t], t, target);
+            }
+        }
+        for (ResiduePoly *p : movers)
+            p->domain = target;
+    }
+}
+
+void
+ResidueOps::noteElidedConversions(uint64_t towers) const
+{
+    if (device_)
+        device_->noteElidedTransforms(towers);
+}
+
+void
+ResidueOps::checkEvalOperands(const std::vector<const ResiduePoly *> &as,
+                              const ResiduePoly &b,
+                              size_t &towers) const
+{
+    rpu_assert(!as.empty(), "no left operands");
+    if (towers == 0)
+        towers = as[0]->towerCount();
+    rpu_assert(b.inEval(), "right operand must be evaluation-resident");
+    rpu_assert(b.towerCount() >= towers,
+               "right operand spans %zu towers, need %zu",
+               b.towerCount(), towers);
+    for (const ResiduePoly *a : as) {
+        rpu_assert(a != nullptr, "null operand");
+        rpu_assert(a->inEval(),
+                   "left operand must be evaluation-resident");
+        rpu_assert(a->towerCount() == towers, "tower count mismatch");
+    }
+}
+
+std::vector<ResiduePoly>
+ResidueOps::mulEvalHost(const std::vector<const ResiduePoly *> &as,
+                        const ResiduePoly &b, size_t towers) const
+{
+    std::vector<ResiduePoly> out(as.size());
+    for (size_t i = 0; i < as.size(); ++i) {
+        out[i].domain = ResidueDomain::Eval;
+        out[i].towers.reserve(towers);
+        for (size_t t = 0; t < towers; ++t) {
+            out[i].towers.push_back(polyPointwise(
+                basis().modulus(t), as[i]->towers[t], b.towers[t]));
+        }
+    }
+    return out;
+}
+
+std::vector<ResiduePoly>
+ResidueOps::collectEvalProducts(
+    std::vector<std::vector<std::vector<u128>>> lhs,
+    std::vector<std::vector<std::vector<u128>>> rhs,
+    size_t towers) const
+{
+    auto pending = device_->pointwiseTowersBatchAsync(
+        n_, prefixPrimes(towers), std::move(lhs), std::move(rhs));
+    std::vector<ResiduePoly> out(pending.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i].domain = ResidueDomain::Eval;
+        out[i].towers =
+            RpuDevice::collectTowers(std::move(pending[i]));
+    }
+    return out;
+}
+
+std::vector<ResiduePoly>
+ResidueOps::mulEvalShared(const std::vector<const ResiduePoly *> &as,
+                          const ResiduePoly &b, size_t towers) const
+{
+    checkEvalOperands(as, b, towers);
+    if (!device_)
+        return mulEvalHost(as, b, towers);
+
+    // All pairs through one dispatch. The launches consume their
+    // inputs, so the operands' towers are copied in — the read-only
+    // view keeps the callers' values intact.
+    std::vector<std::vector<std::vector<u128>>> lhs, rhs;
+    lhs.reserve(as.size());
+    rhs.reserve(as.size());
+    for (const ResiduePoly *a : as) {
+        lhs.emplace_back(a->towers.begin(),
+                         a->towers.begin() + ptrdiff_t(towers));
+        rhs.emplace_back(b.towers.begin(),
+                         b.towers.begin() + ptrdiff_t(towers));
+    }
+    return collectEvalProducts(std::move(lhs), std::move(rhs), towers);
+}
+
+std::vector<ResiduePoly>
+ResidueOps::mulEvalShared(std::vector<ResiduePoly> as, ResiduePoly b,
+                          size_t towers) const
+{
+    std::vector<const ResiduePoly *> views;
+    views.reserve(as.size());
+    for (const ResiduePoly &a : as)
+        views.push_back(&a);
+    checkEvalOperands(views, b, towers);
+    if (!device_)
+        return mulEvalHost(views, b, towers);
+
+    // The caller relinquished the operands: move every left tower
+    // set into its launch, copy the shared right operand for all
+    // pairs but the last, which takes the move.
+    std::vector<std::vector<std::vector<u128>>> lhs, rhs;
+    lhs.reserve(as.size());
+    rhs.reserve(as.size());
+    for (ResiduePoly &a : as)
+        lhs.push_back(std::move(a.towers));
+    for (size_t i = 0; i + 1 < lhs.size(); ++i) {
+        rhs.emplace_back(b.towers.begin(),
+                         b.towers.begin() + ptrdiff_t(towers));
+    }
+    b.towers.resize(towers);
+    rhs.push_back(std::move(b.towers));
+    return collectEvalProducts(std::move(lhs), std::move(rhs), towers);
+}
+
+ResiduePoly
+ResidueOps::mulEval(const ResiduePoly &a, const ResiduePoly &b) const
+{
+    auto out = mulEvalShared({&a}, b);
+    return std::move(out[0]);
+}
+
+ResiduePoly
+ResidueOps::add(const ResiduePoly &a, const ResiduePoly &b) const
+{
+    rpu_assert(a.domain == b.domain,
+               "domain mismatch: addition needs both operands in the "
+               "same representation");
+    rpu_assert(a.towerCount() == b.towerCount(), "tower count mismatch");
+    ResiduePoly out;
+    out.domain = a.domain;
+    out.towers.reserve(a.towerCount());
+    for (size_t t = 0; t < a.towerCount(); ++t) {
+        out.towers.push_back(
+            polyAdd(basis().modulus(t), a.towers[t], b.towers[t]));
+    }
+    return out;
+}
+
+} // namespace rpu

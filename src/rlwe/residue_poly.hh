@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Domain-tagged RNS residue polynomials, shared by BFV and CKKS.
+ *
+ * The RPU paper's premise is that NTTs dominate RLWE workloads; the
+ * corollary is that a scheme which re-enters coefficient form after
+ * every homomorphic op pays the headline cost over and over. A
+ * ResiduePoly records which domain its towers currently live in
+ * (coefficient or evaluation/NTT form), and ResidueOps issues the
+ * forward/inverse transform launches *only at domain boundaries*:
+ * once a ciphertext is evaluation-domain resident, a plaintext
+ * multiply is a pointwise kernel launch and no transform runs at all.
+ * Every conversion a domain-aware caller skips is reported to the
+ * device's issued-vs-elided transform ledger (DeviceStats), so the
+ * amortisation is observable, not just asserted.
+ *
+ * Transitions route through an attached RpuDevice when one is set
+ * (serial devices launch one batched all-towers kernel per polynomial,
+ * pooled devices fan per-tower launches across workers) and through
+ * host reference transforms otherwise — bit-identical either way,
+ * which the round-trip tests pin down on every backend.
+ */
+
+#ifndef RPU_RLWE_RESIDUE_POLY_HH
+#define RPU_RLWE_RESIDUE_POLY_HH
+
+#include <memory>
+#include <vector>
+
+#include "poly/ntt.hh"
+#include "rns/basis.hh"
+
+namespace rpu {
+
+class RpuDevice;
+
+/** Which representation a residue polynomial's towers are in. */
+enum class ResidueDomain
+{
+    Coeff, ///< coefficient form: towers[t][i] is coefficient i mod q_t
+    Eval,  ///< evaluation (NTT) form: towers[t] = NTT_t(coefficients)
+};
+
+/**
+ * One ring polynomial in RNS representation — towers[t][i] over the
+ * first towerCount() primes of a basis — tagged with the domain the
+ * residues currently live in. The tag is what lets the scheme layers
+ * chain homomorphic ops without redundant transforms: ops consume and
+ * produce Eval-resident polynomials, and only decrypt / rescale's
+ * lift force a return to Coeff.
+ */
+struct ResiduePoly
+{
+    ResidueDomain domain = ResidueDomain::Coeff;
+    std::vector<std::vector<u128>> towers;
+
+    ResiduePoly() = default;
+    ResiduePoly(ResidueDomain d, std::vector<std::vector<u128>> t)
+        : domain(d), towers(std::move(t))
+    {
+    }
+
+    size_t towerCount() const { return towers.size(); }
+    bool inEval() const { return domain == ResidueDomain::Eval; }
+
+    bool operator==(const ResiduePoly &o) const
+    {
+        return domain == o.domain && towers == o.towers;
+    }
+    bool operator!=(const ResiduePoly &o) const { return !(*this == o); }
+
+    /** The first @p count towers, same domain (count <= towerCount). */
+    ResiduePoly prefix(size_t count) const;
+};
+
+/**
+ * Domain transitions and evaluation-domain algebra for ResiduePoly
+ * values over (a prefix of) one RNS basis. Bound to the basis by
+ * reference; the device and host transform tables are optional, but
+ * at least one must be set before any domain conversion.
+ */
+class ResidueOps
+{
+  public:
+    ResidueOps() = default;
+    ResidueOps(uint64_t n, const RnsBasis *basis) : n_(n), basis_(basis)
+    {
+    }
+
+    /** Route conversions and pointwise products through @p device. */
+    void setDevice(std::shared_ptr<RpuDevice> device)
+    {
+        device_ = std::move(device);
+    }
+
+    /** Host reference transform for tower t (fallback + no-device). */
+    void setHostTransforms(std::vector<const NttContext *> ntts)
+    {
+        host_ntts_ = std::move(ntts);
+    }
+
+    bool deviceAttached() const { return device_ != nullptr; }
+    uint64_t ringDim() const { return n_; }
+    const RnsBasis &basis() const;
+
+    /**
+     * Bring every polynomial to @p target in one device dispatch per
+     * tower-count group (host loop otherwise). Polynomials already
+     * resident in the target domain are skipped, and the skip is
+     * recorded in the device's transformsElided ledger — this lazy
+     * boundary is the whole point of the domain tag.
+     */
+    void convert(const std::vector<ResiduePoly *> &polys,
+                 ResidueDomain target) const;
+
+    void toEval(ResiduePoly &p) const { convert({&p}, ResidueDomain::Eval); }
+    void toCoeff(ResiduePoly &p) const
+    {
+        convert({&p}, ResidueDomain::Coeff);
+    }
+
+    /**
+     * Record @p towers conversions a caller skipped after verifying
+     * residency itself (forwarded to the device's transformsElided
+     * ledger when one is attached). convert() does this bookkeeping
+     * automatically; this is for hot paths that branch on the domain
+     * tag directly to avoid even the copy a convert would need.
+     */
+    void noteElidedConversions(uint64_t towers) const;
+
+    /**
+     * Pointwise products against one shared right operand:
+     * result[i] = as[i] .* b over the first @p towers primes (0 =
+     * as[0]'s tower count; b may span more — a full-chain plaintext
+     * serves any level). Both ciphertext components against one
+     * encoded plaintext go through a single device dispatch
+     * (PointwiseMulBatched per pair serially, per-tower PointwiseMul
+     * launches on a pooled device). All operands must be Eval; the
+     * results are Eval. No transform runs anywhere on this path, and
+     * operands are only read — the host path copies nothing.
+     */
+    std::vector<ResiduePoly>
+    mulEvalShared(const std::vector<const ResiduePoly *> &as,
+                  const ResiduePoly &b, size_t towers = 0) const;
+
+    /**
+     * Owning variant for callers relinquishing their operands (e.g.
+     * BFV's function-local decompositions): the towers are moved
+     * into the device launches instead of copied.
+     */
+    std::vector<ResiduePoly> mulEvalShared(std::vector<ResiduePoly> as,
+                                           ResiduePoly b,
+                                           size_t towers = 0) const;
+
+    /** Single-pair convenience over mulEvalShared. */
+    ResiduePoly mulEval(const ResiduePoly &a, const ResiduePoly &b) const;
+
+    /** Tower-wise a + b (host); domains must match and are kept. */
+    ResiduePoly add(const ResiduePoly &a, const ResiduePoly &b) const;
+
+  private:
+    /** Shared operand validation for the mulEvalShared variants;
+     *  resolves towers == 0 to the left operands' count. */
+    void checkEvalOperands(const std::vector<const ResiduePoly *> &as,
+                           const ResiduePoly &b, size_t &towers) const;
+
+    /** Host pointwise body shared by the mulEvalShared variants. */
+    std::vector<ResiduePoly>
+    mulEvalHost(const std::vector<const ResiduePoly *> &as,
+                const ResiduePoly &b, size_t towers) const;
+
+    /** Join one dispatched pair batch into Eval-resident results. */
+    std::vector<ResiduePoly>
+    collectEvalProducts(std::vector<std::vector<std::vector<u128>>> lhs,
+                        std::vector<std::vector<std::vector<u128>>> rhs,
+                        size_t towers) const;
+
+    /** Primes for the first @p towers of the basis. */
+    std::vector<u128> prefixPrimes(size_t towers) const;
+
+    /** Host-transform tower @p t of @p p in place toward @p target. */
+    void hostTransform(std::vector<u128> &tower, size_t t,
+                       ResidueDomain target) const;
+
+    uint64_t n_ = 0;
+    const RnsBasis *basis_ = nullptr;
+    std::shared_ptr<RpuDevice> device_;
+    std::vector<const NttContext *> host_ntts_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_RESIDUE_POLY_HH

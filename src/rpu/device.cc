@@ -1,5 +1,7 @@
 #include "rpu/device.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "sim/functional/state.hh"
 
@@ -32,53 +34,133 @@ FunctionalSimBackend::execute(RpuDevice &dev, const KernelImage &image,
     return outputs;
 }
 
+namespace {
+
+/** One reference handler per KernelKind (see refHandlers). */
+using RefInputs = std::vector<std::vector<u128>>;
+using RefHandler = RefInputs (*)(RpuDevice &, const KernelImage &,
+                                 const RefInputs &);
+
+RefInputs
+refSingleNtt(RpuDevice &dev, const KernelImage &image,
+             const RefInputs &inputs)
+{
+    std::vector<u128> x = inputs[0];
+    const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
+    if (image.kind == KernelKind::InverseNtt)
+        ntt.inverse(x);
+    else
+        ntt.forward(x);
+    RefInputs out;
+    out.push_back(std::move(x));
+    return out;
+}
+
+RefInputs
+refPolyMul(RpuDevice &dev, const KernelImage &image,
+           const RefInputs &inputs)
+{
+    const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
+    RefInputs out;
+    out.push_back(negacyclicMulNtt(ntt, inputs[0], inputs[1]));
+    return out;
+}
+
+RefInputs
+refBatchedNtt(RpuDevice &dev, const KernelImage &image,
+              const RefInputs &inputs)
+{
+    RefInputs out;
+    for (size_t t = 0; t < image.moduli.size(); ++t) {
+        std::vector<u128> x = inputs[t];
+        const NttContext &ntt = dev.nttContext(image.n, image.moduli[t]);
+        if (image.kind == KernelKind::BatchedInverseNtt)
+            ntt.inverse(x);
+        else
+            ntt.forward(x);
+        out.push_back(std::move(x));
+    }
+    return out;
+}
+
+RefInputs
+refBatchedPolyMul(RpuDevice &dev, const KernelImage &image,
+                  const RefInputs &inputs)
+{
+    RefInputs out;
+    for (size_t t = 0; t < image.moduli.size(); ++t) {
+        const NttContext &ntt = dev.nttContext(image.n, image.moduli[t]);
+        out.push_back(
+            negacyclicMulNtt(ntt, inputs[2 * t], inputs[2 * t + 1]));
+    }
+    return out;
+}
+
+RefInputs
+refPointwiseMul(RpuDevice &dev, const KernelImage &image,
+                const RefInputs &inputs)
+{
+    RefInputs out;
+    out.push_back(polyPointwise(dev.modulusContext(image.moduli[0]),
+                                inputs[0], inputs[1]));
+    return out;
+}
+
+RefInputs
+refBatchedPointwiseMul(RpuDevice &dev, const KernelImage &image,
+                       const RefInputs &inputs)
+{
+    RefInputs out;
+    for (size_t t = 0; t < image.moduli.size(); ++t) {
+        out.push_back(polyPointwise(dev.modulusContext(image.moduli[t]),
+                                    inputs[2 * t], inputs[2 * t + 1]));
+    }
+    return out;
+}
+
+/**
+ * The kind -> handler table. This is data, not a switch, so coverage
+ * is testable: the tier-1 handler-coverage test walks every
+ * KernelKind through CpuReferenceBackend::handles and fails when a
+ * new kind lands without a reference implementation.
+ */
+const std::map<KernelKind, RefHandler> &
+refHandlers()
+{
+    static const std::map<KernelKind, RefHandler> table = {
+        {KernelKind::ForwardNtt, &refSingleNtt},
+        {KernelKind::InverseNtt, &refSingleNtt},
+        {KernelKind::PolyMul, &refPolyMul},
+        {KernelKind::BatchedForwardNtt, &refBatchedNtt},
+        {KernelKind::BatchedInverseNtt, &refBatchedNtt},
+        {KernelKind::BatchedPolyMul, &refBatchedPolyMul},
+        {KernelKind::PointwiseMul, &refPointwiseMul},
+        {KernelKind::PointwiseMulBatched, &refBatchedPointwiseMul},
+    };
+    return table;
+}
+
+} // namespace
+
+bool
+CpuReferenceBackend::handles(KernelKind kind)
+{
+    return refHandlers().count(kind) != 0;
+}
+
 std::vector<std::vector<u128>>
 CpuReferenceBackend::execute(RpuDevice &dev, const KernelImage &image,
                              const std::vector<std::vector<u128>> &inputs)
 {
-    std::vector<std::vector<u128>> outputs;
-    switch (image.kind) {
-      case KernelKind::ForwardNtt:
-      case KernelKind::InverseNtt: {
-        std::vector<u128> x = inputs[0];
-        const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
-        if (image.kind == KernelKind::InverseNtt)
-            ntt.inverse(x);
-        else
-            ntt.forward(x);
-        outputs.push_back(std::move(x));
-        break;
-      }
-      case KernelKind::PolyMul: {
-        const NttContext &ntt = dev.nttContext(image.n, image.moduli[0]);
-        outputs.push_back(negacyclicMulNtt(ntt, inputs[0], inputs[1]));
-        break;
-      }
-      case KernelKind::BatchedForwardNtt: {
-        for (size_t t = 0; t < image.moduli.size(); ++t) {
-            std::vector<u128> x = inputs[t];
-            dev.nttContext(image.n, image.moduli[t]).forward(x);
-            outputs.push_back(std::move(x));
-        }
-        break;
-      }
-      case KernelKind::BatchedPolyMul: {
-        for (size_t t = 0; t < image.moduli.size(); ++t) {
-            const NttContext &ntt =
-                dev.nttContext(image.n, image.moduli[t]);
-            outputs.push_back(
-                negacyclicMulNtt(ntt, inputs[2 * t], inputs[2 * t + 1]));
-        }
-        break;
-      }
-      default:
+    const auto it = refHandlers().find(image.kind);
+    if (it == refHandlers().end()) {
         rpu_fatal("cpu-reference backend cannot execute kernel '%s' "
                   "(unhandled kind %d)",
                   image.program.name().c_str(), int(image.kind));
     }
     // Output-region count/size validation happens once for every
     // backend in RpuDevice::executeValidated.
-    return outputs;
+    return it->second(dev, image, inputs);
 }
 
 // ----------------------------------------------------------------------
@@ -94,6 +176,14 @@ RpuDevice::RpuDevice(std::unique_ptr<ExecutionBackend> backend)
 void
 RpuDevice::setParallelism(unsigned workers)
 {
+    // The per-worker launch ledger has one slot per worker plus the
+    // inline slot; a wider pool would alias workers into the last
+    // slot and corrupt the utilisation signal, so the pool is capped
+    // at the tracked width (launch granularity is far too coarse for
+    // >64 workers to pay anyway — callers routinely pass
+    // hardware_concurrency() from big hosts).
+    workers = std::min(workers,
+                       unsigned(DeviceCounters::kWorkerSlots - 1));
     if (workers <= 1) {
         pool_.reset();
         return;
@@ -109,6 +199,65 @@ RpuDevice::resetCounters()
     counters_.towerLaunches = 0;
     counters_.kernelHits = 0;
     counters_.kernelMisses = 0;
+    counters_.forwardTransforms = 0;
+    counters_.inverseTransforms = 0;
+    counters_.pointwiseMuls = 0;
+    counters_.transformsElided = 0;
+    for (auto &w : counters_.perWorkerLaunches)
+        w = 0;
+}
+
+void
+RpuDevice::noteElidedTransforms(uint64_t towers)
+{
+    counters_.transformsElided += towers;
+}
+
+DeviceStats
+RpuDevice::stats() const
+{
+    DeviceStats s;
+    s.launches = counters_.launches;
+    s.towerLaunches = counters_.towerLaunches;
+    s.kernelHits = counters_.kernelHits;
+    s.kernelMisses = counters_.kernelMisses;
+    s.forwardTransforms = counters_.forwardTransforms;
+    s.inverseTransforms = counters_.inverseTransforms;
+    s.pointwiseMuls = counters_.pointwiseMuls;
+    s.transformsElided = counters_.transformsElided;
+
+    // Slot 0 (inline) plus one slot per current pool worker — but
+    // never drop a slot that recorded launches under an earlier,
+    // wider pool configuration.
+    size_t slots = 1 + (pool_ ? pool_->workers() : 0);
+    for (size_t i = slots; i < DeviceCounters::kWorkerSlots; ++i) {
+        if (counters_.perWorkerLaunches[i] != 0)
+            slots = i + 1;
+    }
+    slots = std::min(slots, DeviceCounters::kWorkerSlots);
+    s.perWorkerLaunches.resize(slots);
+    for (size_t i = 0; i < slots; ++i)
+        s.perWorkerLaunches[i] = counters_.perWorkerLaunches[i];
+    return s;
+}
+
+std::string
+DeviceStats::summary() const
+{
+    std::string s = "launches=" + std::to_string(launches) +
+                    " (towers=" + std::to_string(towerLaunches) +
+                    "), ntt fwd=" + std::to_string(forwardTransforms) +
+                    " inv=" + std::to_string(inverseTransforms) +
+                    ", pointwise=" + std::to_string(pointwiseMuls) +
+                    ", transforms elided=" +
+                    std::to_string(transformsElided) + ", workers=[";
+    for (size_t i = 0; i < perWorkerLaunches.size(); ++i) {
+        if (i > 0)
+            s += " ";
+        s += std::to_string(perWorkerLaunches[i]);
+    }
+    s += "]";
+    return s;
 }
 
 const Modulus &
@@ -220,7 +369,8 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
     lock.unlock();
 
     NttCodegenOptions gen_opts = opts;
-    gen_opts.inverse = kind == KernelKind::InverseNtt;
+    gen_opts.inverse = kind == KernelKind::InverseNtt ||
+                       kind == KernelKind::BatchedInverseNtt;
 
     std::vector<const TwiddleTable *> towers;
     towers.reserve(moduli.size());
@@ -241,12 +391,23 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
             generatePolyMulKernel(*towers[0], gen_opts));
         break;
       case KernelKind::BatchedForwardNtt:
+      case KernelKind::BatchedInverseNtt:
         *image = static_cast<KernelImage &&>(
-            generateBatchedForwardNtt(towers, gen_opts));
+            generateBatchedNtt(towers, gen_opts));
         break;
       case KernelKind::BatchedPolyMul:
         *image = generateBatchedPolyMul(towers, gen_opts);
         break;
+      case KernelKind::PointwiseMul:
+        rpu_assert(moduli.size() == 1, "single-ring kernel");
+        *image = static_cast<KernelImage &&>(
+            generatePointwiseMulKernel(*towers[0], gen_opts));
+        break;
+      case KernelKind::PointwiseMulBatched:
+        *image = generateBatchedPointwiseMul(towers, gen_opts);
+        break;
+      case KernelKind::kCount:
+        rpu_fatal("kCount is a sentinel, not a kernel kind");
     }
 
     // Publish and wake every same-key waiter. Generation itself
@@ -286,6 +447,54 @@ RpuDevice::executeValidated(const KernelImage &image,
 {
     ++counters_.launches;
     counters_.towerLaunches += image.moduli.size();
+
+    // Semantic, tower-granular transform ledger: what the kernel kind
+    // actually computes, independent of how it was dispatched.
+    const uint64_t towers = image.moduli.size();
+    switch (image.kind) {
+      case KernelKind::ForwardNtt:
+        counters_.forwardTransforms += 1;
+        break;
+      case KernelKind::InverseNtt:
+        counters_.inverseTransforms += 1;
+        break;
+      case KernelKind::PolyMul:
+        counters_.forwardTransforms += 2;
+        counters_.inverseTransforms += 1;
+        counters_.pointwiseMuls += 1;
+        break;
+      case KernelKind::BatchedForwardNtt:
+        counters_.forwardTransforms += towers;
+        break;
+      case KernelKind::BatchedInverseNtt:
+        counters_.inverseTransforms += towers;
+        break;
+      case KernelKind::BatchedPolyMul:
+        counters_.forwardTransforms += 2 * towers;
+        counters_.inverseTransforms += towers;
+        counters_.pointwiseMuls += towers;
+        break;
+      case KernelKind::PointwiseMul:
+        counters_.pointwiseMuls += 1;
+        break;
+      case KernelKind::PointwiseMulBatched:
+        counters_.pointwiseMuls += towers;
+        break;
+      case KernelKind::kCount:
+        break;
+    }
+
+    // Attribute the launch to the lane that ran it: slot 0 for the
+    // calling thread, 1 + w for worker w of *this device's* pool.
+    // A launch issued from some other pool's worker thread is an
+    // inline launch as far as this device is concerned, so it counts
+    // in slot 0 rather than crediting a phantom worker.
+    const bool own_worker =
+        pool_ && ThreadPool::currentPool() == pool_.get();
+    const size_t slot =
+        own_worker ? size_t(ThreadPool::currentWorkerIndex() + 1) : 0;
+    ++counters_.perWorkerLaunches[slot];
+
     auto outputs = backend_->execute(*this, image, inputs);
 
     // Guard every backend, present and future: an execute() that
@@ -445,8 +654,9 @@ RpuDevice::mulTowersBatch(
 }
 
 std::vector<PendingTowerProducts>
-RpuDevice::mulTowersBatchAsync(
-    uint64_t n, const std::vector<u128> &moduli,
+RpuDevice::pairProductsBatchAsync(
+    KernelKind single, KernelKind batched, uint64_t n,
+    const std::vector<u128> &moduli,
     std::vector<std::vector<std::vector<u128>>> a,
     std::vector<std::vector<std::vector<u128>>> b,
     const NttCodegenOptions &opts)
@@ -464,16 +674,14 @@ RpuDevice::mulTowersBatchAsync(
         p.towers = towers;
 
     if (pool_ && pairs * towers > 1) {
-        // One single-ring fused product per (pair, tower), so every
+        // One single-ring launch per (pair, tower), so every
         // independent product overlaps across the worker pool — the
         // paper's "process different towers simultaneously", realised
         // in host wall-clock time. Operand vectors are moved into the
         // launches, which own them until their futures resolve.
         std::vector<const KernelImage *> tower_kernels(towers);
-        for (size_t t = 0; t < towers; ++t) {
-            tower_kernels[t] =
-                &kernel(KernelKind::PolyMul, n, {moduli[t]}, opts);
-        }
+        for (size_t t = 0; t < towers; ++t)
+            tower_kernels[t] = &kernel(single, n, {moduli[t]}, opts);
         for (size_t p = 0; p < pairs; ++p) {
             pending[p].futures.reserve(towers);
             for (size_t t = 0; t < towers; ++t) {
@@ -491,8 +699,7 @@ RpuDevice::mulTowersBatchAsync(
     // Serial: one batched all-towers launch per pair (executed inline
     // by launchAsync when there is no pool, so the returned futures
     // are already ready). Region order is t0.a, t0.b, t1.a, t1.b, ...
-    const KernelImage &k =
-        kernel(KernelKind::BatchedPolyMul, n, moduli, opts);
+    const KernelImage &k = kernel(batched, n, moduli, opts);
     for (size_t p = 0; p < pairs; ++p) {
         std::vector<std::vector<u128>> in;
         in.reserve(2 * towers);
@@ -503,6 +710,91 @@ RpuDevice::mulTowersBatchAsync(
         pending[p].futures.push_back(launchAsync(k, std::move(in)));
     }
     return pending;
+}
+
+std::vector<PendingTowerProducts>
+RpuDevice::mulTowersBatchAsync(
+    uint64_t n, const std::vector<u128> &moduli,
+    std::vector<std::vector<std::vector<u128>>> a,
+    std::vector<std::vector<std::vector<u128>>> b,
+    const NttCodegenOptions &opts)
+{
+    return pairProductsBatchAsync(KernelKind::PolyMul,
+                                  KernelKind::BatchedPolyMul, n,
+                                  moduli, std::move(a), std::move(b),
+                                  opts);
+}
+
+std::vector<u128>
+RpuDevice::pointwiseMul(uint64_t n, u128 q, const std::vector<u128> &a,
+                        const std::vector<u128> &b,
+                        const NttCodegenOptions &opts)
+{
+    const KernelImage &k = kernel(KernelKind::PointwiseMul, n, {q}, opts);
+    return launch(k, {a, b})[0];
+}
+
+std::vector<PendingTowerProducts>
+RpuDevice::transformTowersBatchAsync(
+    uint64_t n, const std::vector<u128> &moduli,
+    std::vector<std::vector<std::vector<u128>>> xs, bool inverse,
+    const NttCodegenOptions &opts)
+{
+    const size_t towers = moduli.size();
+    const size_t sets = xs.size();
+    for (size_t s = 0; s < sets; ++s)
+        rpu_assert(xs[s].size() == towers, "tower count mismatch");
+
+    std::vector<PendingTowerProducts> pending(sets);
+    for (auto &p : pending)
+        p.towers = towers;
+
+    if (pool_ && sets * towers > 1) {
+        // One single-ring transform per (set, tower), fanned across
+        // the worker pool — the same policy split as the fused tower
+        // products.
+        std::vector<const KernelImage *> tower_kernels(towers);
+        for (size_t t = 0; t < towers; ++t) {
+            tower_kernels[t] = &kernel(inverse ? KernelKind::InverseNtt
+                                               : KernelKind::ForwardNtt,
+                                       n, {moduli[t]}, opts);
+        }
+        for (size_t s = 0; s < sets; ++s) {
+            pending[s].futures.reserve(towers);
+            for (size_t t = 0; t < towers; ++t) {
+                pending[s].futures.push_back(launchAsync(
+                    *tower_kernels[t], {std::move(xs[s][t])}));
+            }
+        }
+        return pending;
+    }
+
+    // Serial: one batched all-towers transform launch per set.
+    const KernelImage &k =
+        kernel(inverse ? KernelKind::BatchedInverseNtt
+                       : KernelKind::BatchedForwardNtt,
+               n, moduli, opts);
+    for (size_t s = 0; s < sets; ++s) {
+        std::vector<std::vector<u128>> in;
+        in.reserve(towers);
+        for (size_t t = 0; t < towers; ++t)
+            in.push_back(std::move(xs[s][t]));
+        pending[s].futures.push_back(launchAsync(k, std::move(in)));
+    }
+    return pending;
+}
+
+std::vector<PendingTowerProducts>
+RpuDevice::pointwiseTowersBatchAsync(
+    uint64_t n, const std::vector<u128> &moduli,
+    std::vector<std::vector<std::vector<u128>>> a,
+    std::vector<std::vector<std::vector<u128>>> b,
+    const NttCodegenOptions &opts)
+{
+    return pairProductsBatchAsync(KernelKind::PointwiseMul,
+                                  KernelKind::PointwiseMulBatched, n,
+                                  moduli, std::move(a), std::move(b),
+                                  opts);
 }
 
 std::vector<std::vector<u128>>

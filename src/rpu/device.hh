@@ -94,6 +94,15 @@ class CpuReferenceBackend : public ExecutionBackend
   public:
     const char *name() const override { return "cpu-reference"; }
 
+    /**
+     * Whether a reference handler is registered for @p kind. The
+     * handler table is the single source of truth execute() consults;
+     * a tier-1 test iterates every KernelKind through this, so adding
+     * a kind without a reference handler fails ctest instead of
+     * fataling at the first launch.
+     */
+    static bool handles(KernelKind kind);
+
     std::vector<std::vector<u128>>
     execute(RpuDevice &dev, const KernelImage &image,
             const std::vector<std::vector<u128>> &inputs) override;
@@ -104,13 +113,67 @@ class CpuReferenceBackend : public ExecutionBackend
  * Fields are individually atomic (workers bump them concurrently);
  * cross-counter consistency is only guaranteed while no launches are
  * in flight.
+ *
+ * The transform counters are semantic and tower-granular: every
+ * launch contributes the number of forward / inverse NTT passes and
+ * pointwise tower products its kernel kind actually performs (a
+ * BatchedPolyMul over T towers is 2T forward + T inverse; a
+ * PointwiseMulBatched is T pointwise products and no transforms).
+ * transformsElided counts the tower transforms a domain-aware caller
+ * skipped because an operand was already resident in the target
+ * domain (see ResidueOps) — the paper's amortise-the-NTT win, made
+ * observable.
  */
 struct DeviceCounters
 {
+    /** Worker slots tracked for per-worker launch attribution:
+     *  slot 0 is the calling thread (serial / inline launches),
+     *  slot 1 + w is pool worker w. */
+    static constexpr size_t kWorkerSlots = 65;
+
     std::atomic<uint64_t> launches{0}; ///< launches issued to the backend
     std::atomic<uint64_t> towerLaunches{0}; ///< tower transforms inside those
     std::atomic<uint64_t> kernelHits{0};    ///< kernel-cache hits
     std::atomic<uint64_t> kernelMisses{0};  ///< kernel-cache misses
+
+    std::atomic<uint64_t> forwardTransforms{0}; ///< fwd NTT passes executed
+    std::atomic<uint64_t> inverseTransforms{0}; ///< inv NTT passes executed
+    std::atomic<uint64_t> pointwiseMuls{0}; ///< pointwise tower products
+    std::atomic<uint64_t> transformsElided{0}; ///< conversions skipped
+
+    std::atomic<uint64_t> perWorkerLaunches[kWorkerSlots] = {};
+};
+
+/**
+ * A coherent snapshot of the device's aggregate activity — the
+ * device-level roll-up of what per-kernel KernelMetrics measure one
+ * program at a time, and the first step toward a multi-RPU
+ * utilisation model: per-worker launch counts show how evenly a
+ * batch spread across the pool, and issued-vs-elided transform
+ * totals show what evaluation-domain residency saved.
+ */
+struct DeviceStats
+{
+    uint64_t launches = 0;
+    uint64_t towerLaunches = 0;
+    uint64_t kernelHits = 0;
+    uint64_t kernelMisses = 0;
+
+    uint64_t forwardTransforms = 0;
+    uint64_t inverseTransforms = 0;
+    uint64_t pointwiseMuls = 0;
+    uint64_t transformsElided = 0;
+
+    /** [0] = inline launches on callers' threads; [1 + w] = worker w. */
+    std::vector<uint64_t> perWorkerLaunches;
+
+    uint64_t transformsIssued() const
+    {
+        return forwardTransforms + inverseTransforms;
+    }
+
+    /** One-line summary for benches and examples. */
+    std::string summary() const;
 };
 
 /** One element of a batched launchAll(). */
@@ -151,6 +214,21 @@ class RpuDevice
     const DeviceCounters &counters() const { return counters_; }
     void resetCounters();
 
+    /**
+     * Aggregate activity snapshot (see DeviceStats). Consistent only
+     * while no launches are in flight; perWorkerLaunches spans slot 0
+     * (inline launches) plus one slot per current pool worker.
+     */
+    DeviceStats stats() const;
+
+    /**
+     * Record @p towers tower transforms that a domain-aware caller
+     * skipped because the operand was already resident in the target
+     * domain. Callers (ResidueOps) report elisions here so the
+     * issued-vs-elided ledger lives in one place.
+     */
+    void noteElidedTransforms(uint64_t towers);
+
     // -- Concurrency -----------------------------------------------------
 
     /**
@@ -159,8 +237,11 @@ class RpuDevice
      * thread; w > 1 starts a worker pool and launchAll()/launchAsync()
      * (and the RNS tower paths built on them) overlap independent
      * launches. Results are request-ordered and bit-identical to the
-     * serial path regardless of the setting. Not thread-safe against
-     * in-flight launches: reconfigure only between batches.
+     * serial path regardless of the setting. Capped at 64 workers
+     * (the per-worker launch ledger's width) so passing
+     * hardware_concurrency() from a large host is always safe. Not
+     * thread-safe against in-flight launches: reconfigure only
+     * between batches.
      */
     void setParallelism(unsigned workers);
     unsigned parallelism() const { return pool_ ? pool_->workers() : 1; }
@@ -304,7 +385,60 @@ class RpuDevice
     static std::vector<std::vector<u128>>
     collectTowers(PendingTowerProducts pending);
 
+    /**
+     * Pointwise (evaluation-domain) product a .* b in one launch —
+     * the whole homomorphic multiply once operands are NTT-resident.
+     */
+    std::vector<u128> pointwiseMul(uint64_t n, u128 q,
+                                   const std::vector<u128> &a,
+                                   const std::vector<u128> &b,
+                                   const NttCodegenOptions &opts = {});
+
+    /**
+     * Forward or inverse NTT of every tower of several residue
+     * polynomials in one dispatch decision — the launch stream a
+     * domain-resident ciphertext issues at a Coeff<->Eval boundary.
+     * Serially each set is one batched all-towers launch; with
+     * parallelism() > 1 every (set, tower) transform becomes its own
+     * single-ring launch across the worker pool (bit-identical either
+     * way). Join each set with collectTowers, in any order.
+     */
+    std::vector<PendingTowerProducts>
+    transformTowersBatchAsync(uint64_t n, const std::vector<u128> &moduli,
+                              std::vector<std::vector<std::vector<u128>>> xs,
+                              bool inverse,
+                              const NttCodegenOptions &opts = {});
+
+    /**
+     * Pointwise tower products of many operand pairs over one basis:
+     * result[p][t] = a[p][t] .* b[p][t] mod moduli[t], with the same
+     * dispatch policy split as mulTowersBatchAsync (serial: one
+     * PointwiseMulBatched launch per pair; pooled: one PointwiseMul
+     * launch per (pair, tower)). This is mulTowersBatchAsync minus
+     * every butterfly stage — what the ciphertext hot loop launches
+     * when both operands are evaluation-domain resident.
+     */
+    std::vector<PendingTowerProducts>
+    pointwiseTowersBatchAsync(uint64_t n, const std::vector<u128> &moduli,
+                              std::vector<std::vector<std::vector<u128>>> a,
+                              std::vector<std::vector<std::vector<u128>>> b,
+                              const NttCodegenOptions &opts = {});
+
   private:
+    /**
+     * Shared body of the two pair-product dispatch families
+     * (mulTowersBatchAsync / pointwiseTowersBatchAsync): the policy
+     * split — one @p batched all-towers launch per pair serially,
+     * one @p single launch per (pair, tower) across the pool — lives
+     * here exactly once.
+     */
+    std::vector<PendingTowerProducts>
+    pairProductsBatchAsync(KernelKind single, KernelKind batched,
+                           uint64_t n, const std::vector<u128> &moduli,
+                           std::vector<std::vector<std::vector<u128>>> a,
+                           std::vector<std::vector<std::vector<u128>>> b,
+                           const NttCodegenOptions &opts);
+
     std::string kernelKey(KernelKind kind, uint64_t n,
                           const std::vector<u128> &moduli,
                           const NttCodegenOptions &opts) const;

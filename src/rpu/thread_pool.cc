@@ -4,12 +4,30 @@
 
 namespace rpu {
 
+namespace {
+/** Set for the lifetime of a worker thread; -1/null everywhere else. */
+thread_local int tl_worker_index = -1;
+thread_local const ThreadPool *tl_worker_pool = nullptr;
+} // namespace
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return tl_worker_index;
+}
+
+const ThreadPool *
+ThreadPool::currentPool()
+{
+    return tl_worker_pool;
+}
+
 ThreadPool::ThreadPool(unsigned workers)
 {
     rpu_assert(workers > 0, "thread pool needs at least one worker");
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -35,8 +53,10 @@ ThreadPool::enqueue(std::function<void()> job)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
+    tl_worker_index = int(index);
+    tl_worker_pool = this;
     for (;;) {
         std::function<void()> job;
         {

@@ -41,6 +41,19 @@ class ThreadPool
     unsigned workers() const { return unsigned(threads_.size()); }
 
     /**
+     * Index (0-based) of the pool worker executing the caller, or -1
+     * when called from a thread that is not a pool worker. Lets
+     * per-worker accounting (e.g. DeviceStats launch attribution)
+     * name the lane a job actually ran on. Pair with currentPool():
+     * the index is only meaningful relative to the pool that owns
+     * the thread.
+     */
+    static int currentWorkerIndex();
+
+    /** The pool owning the calling thread, or nullptr off-pool. */
+    static const ThreadPool *currentPool();
+
+    /**
      * Queue @p fn for execution on a worker; the future carries its
      * result (or the exception it threw).
      */
@@ -60,7 +73,7 @@ class ThreadPool
 
   private:
     void enqueue(std::function<void()> job);
-    void workerLoop();
+    void workerLoop(unsigned index);
 
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -206,10 +206,15 @@ TEST(Ckks, RescaleMatchesWideIntegerReference)
     // wide-integer map V -> (V - centred(V mod q_l)) / q_l.
     CkksContext ctx(smallParams());
     const CkksSecretKey sk = ctx.keygen();
-    const CkksCiphertext ct =
+    CkksCiphertext ct =
         ctx.mulPlain(ctx.encrypt(sk, randomSlots(ctx.slots(), 23)),
                      randomSlots(ctx.slots(), 29));
-    const CkksCiphertext scaled = ctx.rescale(ct);
+    CkksCiphertext scaled = ctx.rescale(ct);
+
+    // The chain runs evaluation-resident; the wide-integer reference
+    // speaks coefficients, so compare both in coefficient form.
+    ctx.toCoeff(ct);
+    ctx.toCoeff(scaled);
 
     const size_t L = ct.towers();
     const CrtContext &crt = ctx.crt(L);
@@ -217,9 +222,10 @@ TEST(Ckks, RescaleMatchesWideIntegerReference)
     const BigUInt q_l = BigUInt::fromU128(ctx.basis().prime(L - 1));
     const BigUInt half_l = q_l >> 1;
 
-    const std::vector<std::vector<u128>> *comps[2] = {&ct.c0, &ct.c1};
-    const std::vector<std::vector<u128>> *outs[2] = {&scaled.c0,
-                                                     &scaled.c1};
+    const std::vector<std::vector<u128>> *comps[2] = {&ct.c0.towers,
+                                                      &ct.c1.towers};
+    const std::vector<std::vector<u128>> *outs[2] = {&scaled.c0.towers,
+                                                     &scaled.c1.towers};
     for (size_t c = 0; c < 2; ++c) {
         for (size_t i = 0; i < ctx.params().n; ++i) {
             std::vector<u128> residues(L);
@@ -260,6 +266,7 @@ TEST(CkksOnDevice, MulPlainBitIdenticalToHostOnEveryTower)
     const auto z = randomSlots(ctx.slots(), 31);
     const auto w = randomSlots(ctx.slots(), 37);
     const CkksCiphertext ct = ctx.encrypt(sk, z);
+    EXPECT_EQ(ct.domain(), ResidueDomain::Eval);
 
     const CkksCiphertext via_host = ctx.mulPlain(ct, w); // no device
 
@@ -268,18 +275,29 @@ TEST(CkksOnDevice, MulPlainBitIdenticalToHostOnEveryTower)
     const CkksCiphertext via_rpu = ctx.mulPlain(ct, w);
 
     ASSERT_EQ(via_rpu.towers(), via_host.towers());
+    EXPECT_EQ(via_rpu.domain(), ResidueDomain::Eval);
     for (size_t t = 0; t < via_host.towers(); ++t) {
-        EXPECT_EQ(via_rpu.c0[t], via_host.c0[t]) << "tower " << t;
-        EXPECT_EQ(via_rpu.c1[t], via_host.c1[t]) << "tower " << t;
+        EXPECT_EQ(via_rpu.c0.towers[t], via_host.c0.towers[t])
+            << "tower " << t;
+        EXPECT_EQ(via_rpu.c1.towers[t], via_host.c1.towers[t])
+            << "tower " << t;
     }
     EXPECT_DOUBLE_EQ(via_rpu.scale, via_host.scale);
 
-    // The device really did the work: one batched all-towers launch
-    // per ciphertext component on a serial device.
-    const DeviceCounters &c = device->counters();
-    EXPECT_EQ(c.launches, 2u);
-    EXPECT_EQ(c.towerLaunches, 2 * ctx.params().towers);
-    EXPECT_EQ(c.kernelMisses, 1u);
+    // The device really did the work, and only the minimal work: one
+    // batched forward transform for the plaintext encode, then one
+    // batched pointwise launch per ciphertext component — the
+    // Eval-resident ciphertext itself was never transformed (the
+    // elision ledger shows both components skipped).
+    const size_t L = ctx.params().towers;
+    const DeviceStats s = device->stats();
+    EXPECT_EQ(s.launches, 3u);
+    EXPECT_EQ(s.towerLaunches, 3 * L);
+    EXPECT_EQ(s.kernelMisses, 2u);
+    EXPECT_EQ(s.forwardTransforms, L);
+    EXPECT_EQ(s.inverseTransforms, 0u);
+    EXPECT_EQ(s.pointwiseMuls, 2 * L);
+    EXPECT_EQ(s.transformsElided, 2 * L);
 
     // And the result decrypts to the slot products.
     std::vector<Cplx> want(ctx.slots());
@@ -304,17 +322,95 @@ TEST(CkksOnDevice, RescaleBitIdenticalToHostOnEveryTower)
 
     ASSERT_EQ(via_rpu.towers(), via_host.towers());
     for (size_t t = 0; t < via_host.towers(); ++t) {
-        EXPECT_EQ(via_rpu.c0[t], via_host.c0[t]) << "tower " << t;
-        EXPECT_EQ(via_rpu.c1[t], via_host.c1[t]) << "tower " << t;
+        EXPECT_EQ(via_rpu.c0.towers[t], via_host.c0.towers[t])
+            << "tower " << t;
+        EXPECT_EQ(via_rpu.c1.towers[t], via_host.c1.towers[t])
+            << "tower " << t;
     }
     EXPECT_DOUBLE_EQ(via_rpu.scale, via_host.scale);
 
-    // Per remaining tower and component: one forward and one inverse
-    // NTT launch.
-    const size_t remaining = prod.towers() - 1;
-    EXPECT_EQ(device->counters().launches, 2 * remaining * 2);
-    // One forward and one inverse kernel generated per tower.
-    EXPECT_EQ(device->counters().kernelMisses, 2 * remaining);
+    // An Eval-resident rescale's only device work is the forced
+    // return to coefficients of the *dropped* tower: one inverse-NTT
+    // launch per component, zero forward transforms.
+    const DeviceStats s = device->stats();
+    EXPECT_EQ(s.launches, 2u);
+    EXPECT_EQ(s.kernelMisses, 1u);
+    EXPECT_EQ(s.inverseTransforms, 2u);
+    EXPECT_EQ(s.forwardTransforms, 0u);
+}
+
+TEST(CkksOnDevice, RescaleCommutesWithDomainTransitions)
+{
+    // toCoeff(rescale(Eval ct)) must equal rescale(toCoeff(ct)) bit
+    // for bit: the evaluation-domain rescale is the same exact RNS
+    // map, just computed without leaving residency.
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const CkksCiphertext prod =
+        ctx.mulPlain(ctx.encrypt(sk, randomSlots(ctx.slots(), 63)),
+                     randomSlots(ctx.slots(), 65));
+    ASSERT_EQ(prod.domain(), ResidueDomain::Eval);
+
+    CkksCiphertext via_eval = ctx.rescale(prod);
+    EXPECT_EQ(via_eval.domain(), ResidueDomain::Eval);
+    ctx.toCoeff(via_eval);
+
+    CkksCiphertext coeff_prod = prod;
+    ctx.toCoeff(coeff_prod);
+    const CkksCiphertext via_coeff = ctx.rescale(coeff_prod);
+    EXPECT_EQ(via_coeff.domain(), ResidueDomain::Coeff);
+
+    ASSERT_EQ(via_eval.towers(), via_coeff.towers());
+    for (size_t t = 0; t < via_eval.towers(); ++t) {
+        EXPECT_EQ(via_eval.c0.towers[t], via_coeff.c0.towers[t])
+            << "tower " << t;
+        EXPECT_EQ(via_eval.c1.towers[t], via_coeff.c1.towers[t])
+            << "tower " << t;
+    }
+    EXPECT_DOUBLE_EQ(via_eval.scale, via_coeff.scale);
+}
+
+TEST(CkksOnDevice, ChainedMulPlainRescaleIssuesMinimalTransforms)
+{
+    // The acceptance check for evaluation-domain residency: across a
+    // chained mulPlain -> rescale -> mulPlain with a pre-encoded
+    // plaintext, the device issues *zero* forward-NTT launches —
+    // only the rescale's two dropped-tower inverse transforms and
+    // the pointwise products — while the elision ledger records the
+    // conversions a coefficient-resident system would have paid.
+    CkksContext ctx(smallParams());
+    const CkksSecretKey sk = ctx.keygen();
+    const auto z = randomSlots(ctx.slots(), 67);
+    const auto w = randomSlots(ctx.slots(), 69);
+
+    const auto device = std::make_shared<RpuDevice>();
+    ctx.attachDevice(device);
+
+    // Setup: encode once (the plaintext's only transform, reused at
+    // every level through its tower prefix) and encrypt.
+    const CkksPlaintext pt = ctx.encodePlain(w);
+    const CkksCiphertext ct = ctx.encrypt(sk, z);
+
+    device->resetCounters();
+    const CkksCiphertext p1 = ctx.mulPlain(ct, pt);
+    const CkksCiphertext r1 = ctx.rescale(p1);
+    const CkksCiphertext p2 = ctx.mulPlain(r1, pt);
+
+    const size_t L = ctx.params().towers;
+    const size_t l = L - 1;
+    const DeviceStats s = device->stats();
+    EXPECT_EQ(s.forwardTransforms, 0u)
+        << "a forward NTT ran inside the chained hot path";
+    EXPECT_EQ(s.inverseTransforms, 2u); // rescale's dropped tower x2
+    EXPECT_EQ(s.pointwiseMuls, 2 * L + 2 * l);
+    EXPECT_EQ(s.launches, 6u); // 2 pointwise + 2 intt + 2 pointwise
+    EXPECT_EQ(s.transformsElided, 2 * L + 2 * l);
+
+    // The chain still computes z * w * w at the right scale.
+    std::vector<Cplx> want(ctx.slots());
+    for (size_t i = 0; i < want.size(); ++i)
+        want[i] = z[i] * w[i] * w[i];
+    expectWithinRelative(ctx.decrypt(sk, p2), want);
 }
 
 TEST(CkksOnDevice, ParallelDeviceBitIdenticalToSerial)
@@ -338,13 +434,15 @@ TEST(CkksOnDevice, ParallelDeviceBitIdenticalToSerial)
     const CkksCiphertext pool_scaled = ctx.rescale(pool_prod);
 
     for (size_t t = 0; t < host_prod.towers(); ++t) {
-        EXPECT_EQ(pool_prod.c0[t], host_prod.c0[t]) << "tower " << t;
-        EXPECT_EQ(pool_prod.c1[t], host_prod.c1[t]) << "tower " << t;
+        EXPECT_EQ(pool_prod.c0.towers[t], host_prod.c0.towers[t])
+            << "tower " << t;
+        EXPECT_EQ(pool_prod.c1.towers[t], host_prod.c1.towers[t])
+            << "tower " << t;
     }
     for (size_t t = 0; t < host_scaled.towers(); ++t) {
-        EXPECT_EQ(pool_scaled.c0[t], host_scaled.c0[t])
+        EXPECT_EQ(pool_scaled.c0.towers[t], host_scaled.c0.towers[t])
             << "tower " << t;
-        EXPECT_EQ(pool_scaled.c1[t], host_scaled.c1[t])
+        EXPECT_EQ(pool_scaled.c1.towers[t], host_scaled.c1.towers[t])
             << "tower " << t;
     }
 
@@ -352,8 +450,8 @@ TEST(CkksOnDevice, ParallelDeviceBitIdenticalToSerial)
     device->setParallelism(1);
     const CkksCiphertext serial_prod = ctx.mulPlain(ct, w);
     for (size_t t = 0; t < serial_prod.towers(); ++t) {
-        EXPECT_EQ(serial_prod.c0[t], host_prod.c0[t]);
-        EXPECT_EQ(serial_prod.c1[t], host_prod.c1[t]);
+        EXPECT_EQ(serial_prod.c0.towers[t], host_prod.c0.towers[t]);
+        EXPECT_EQ(serial_prod.c1.towers[t], host_prod.c1.towers[t]);
     }
 }
 
@@ -373,8 +471,10 @@ TEST(CkksOnDevice, CpuReferenceBackendMatchesFunctionalSim)
     const CkksCiphertext via_ref = ctx.rescale(ctx.mulPlain(ct, w));
 
     for (size_t t = 0; t < via_sim.towers(); ++t) {
-        EXPECT_EQ(via_sim.c0[t], via_ref.c0[t]) << "tower " << t;
-        EXPECT_EQ(via_sim.c1[t], via_ref.c1[t]) << "tower " << t;
+        EXPECT_EQ(via_sim.c0.towers[t], via_ref.c0.towers[t])
+            << "tower " << t;
+        EXPECT_EQ(via_sim.c1.towers[t], via_ref.c1.towers[t])
+            << "tower " << t;
     }
 }
 

@@ -538,19 +538,29 @@ TEST(BfvOnDevice, PlaintextMultiplyExecutesOnTheRpu)
     EXPECT_EQ(via_rpu.c0, via_ntt.c0);
     EXPECT_EQ(via_rpu.c1, via_ntt.c1);
 
-    // The device really did the work: one batched tower launch per
-    // ciphertext polynomial, one kernel generation.
-    const DeviceCounters &c = device->counters();
-    EXPECT_EQ(c.launches, 2u);
-    EXPECT_EQ(c.kernelMisses, 1u);
-    EXPECT_EQ(c.towerLaunches, 2 * ctx.rnsBasis().towers());
+    // The device really did the work, through the domain-tagged
+    // residue path: one batched forward transform per input
+    // polynomial (the shared plaintext transformed once, not once
+    // per component), one batched pointwise launch per component,
+    // and one batched inverse transform per component.
+    const size_t towers = ctx.rnsBasis().towers();
+    {
+        const DeviceStats s = device->stats();
+        EXPECT_EQ(s.launches, 7u);
+        EXPECT_EQ(s.kernelMisses, 3u);
+        EXPECT_EQ(s.towerLaunches, 7 * towers);
+        EXPECT_EQ(s.forwardTransforms, 3 * towers);
+        EXPECT_EQ(s.inverseTransforms, 2 * towers);
+        EXPECT_EQ(s.pointwiseMuls, 2 * towers);
+    }
 
-    // A second multiply reuses the cached kernel.
+    // A second multiply reuses all three cached kernels.
     const Ciphertext again = ctx.mulPlain(ct, plain);
     EXPECT_EQ(again.c0, via_ntt.c0);
-    EXPECT_EQ(c.launches, 4u);
-    EXPECT_EQ(c.kernelMisses, 1u);
-    EXPECT_EQ(c.kernelHits, 1u);
+    const DeviceCounters &c = device->counters();
+    EXPECT_EQ(c.launches, 14u);
+    EXPECT_EQ(c.kernelMisses, 3u);
+    EXPECT_EQ(c.kernelHits, 3u);
 
     // And the result still decrypts correctly.
     std::vector<uint64_t> expected(ctx.params().n);
@@ -600,9 +610,10 @@ TEST(BfvOnDevice, ParallelDeviceBitIdenticalToSerial)
     EXPECT_EQ(via_pool.c0, via_ntt.c0);
     EXPECT_EQ(via_pool.c1, via_ntt.c1);
 
-    // One single-tower launch per (component, tower) pair.
+    // One single-tower launch per (polynomial, tower, stage): three
+    // forward-transform fan-outs, two pointwise, two inverse.
     EXPECT_EQ(device->counters().launches,
-              2 * ctx.rnsBasis().towers());
+              7 * ctx.rnsBasis().towers());
 
     device->setParallelism(1);
     const Ciphertext via_serial = ctx.mulPlain(ct, plain);
@@ -638,6 +649,176 @@ TEST(BfvOnDevice, RnsPathMatchesMulPlainAcrossBackends)
     const Ciphertext via_sim = ctx.mulPlain(ct, plain);
     EXPECT_EQ(via_sim.c0, reference.c0);
     EXPECT_EQ(via_sim.c1, reference.c1);
+}
+
+// ----------------------------------------------------------------------
+// Pointwise kernels and the domain-boundary dispatch paths
+// ----------------------------------------------------------------------
+
+TEST(CpuReference, EveryKernelKindHasAHandler)
+{
+    // The reference backend's kind -> handler table must cover every
+    // KernelKind: a new kind merged without a reference handler fails
+    // here, in ctest, instead of fataling at the first launch of a
+    // production run.
+    for (int k = 0; k < int(KernelKind::kCount); ++k) {
+        EXPECT_TRUE(CpuReferenceBackend::handles(KernelKind(k)))
+            << "KernelKind " << k
+            << " has no CpuReferenceBackend handler";
+    }
+}
+
+TEST(PointwiseKernel, MatchesHostPointwiseAcrossBackends)
+{
+    const uint64_t n = 1024;
+    const u128 q = nttPrime(60, n);
+    RpuDevice sim;
+    RpuDevice ref(std::make_unique<CpuReferenceBackend>());
+
+    Rng rng(83);
+    const Modulus mod(q);
+    const auto a = randomPoly(mod, n, rng);
+    const auto b = randomPoly(mod, n, rng);
+
+    const auto expected = polyPointwise(mod, a, b);
+    EXPECT_EQ(sim.pointwiseMul(n, q, a, b), expected);
+    EXPECT_EQ(ref.pointwiseMul(n, q, a, b), expected);
+
+    // The generated program really has no butterfly stages: it is a
+    // small fraction of the fused polymul's size.
+    const KernelImage &pw = sim.kernel(KernelKind::PointwiseMul, n, {q});
+    const KernelImage &mul = sim.kernel(KernelKind::PolyMul, n, {q});
+    EXPECT_LT(10 * pw.program.size(), mul.program.size());
+}
+
+TEST(PointwiseKernel, BatchedMatchesPerTowerAcrossBackends)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(58, n, 3);
+    RpuDevice sim;
+    RpuDevice ref(std::make_unique<CpuReferenceBackend>());
+
+    Rng rng(89);
+    std::vector<std::vector<std::vector<u128>>> a(1), b(1);
+    for (u128 q : primes) {
+        const Modulus mod(q);
+        a[0].push_back(randomPoly(mod, n, rng));
+        b[0].push_back(randomPoly(mod, n, rng));
+    }
+
+    for (RpuDevice *dev : {&sim, &ref}) {
+        auto pending =
+            dev->pointwiseTowersBatchAsync(n, primes, a, b);
+        ASSERT_EQ(pending.size(), 1u);
+        const auto towers =
+            RpuDevice::collectTowers(std::move(pending[0]));
+        ASSERT_EQ(towers.size(), primes.size());
+        for (size_t t = 0; t < primes.size(); ++t) {
+            EXPECT_EQ(towers[t],
+                      polyPointwise(Modulus(primes[t]), a[0][t],
+                                    b[0][t]))
+                << dev->backend().name() << " tower " << t;
+        }
+    }
+}
+
+TEST(TransformTowers, BatchedInverseUndoesBatchedForward)
+{
+    // Eval <-> Coeff round trip, bit-identical on every tower, across
+    // the serial device, a pooled device, and the CPU reference
+    // backend — the transition ResidueOps issues at domain
+    // boundaries.
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(59, n, 3);
+
+    Rng rng(97);
+    std::vector<std::vector<u128>> original;
+    for (u128 q : primes)
+        original.push_back(randomPoly(Modulus(q), n, rng));
+
+    const auto round_trip = [&](RpuDevice &dev) {
+        std::vector<std::vector<std::vector<u128>>> xs(1);
+        xs[0] = original;
+        auto fwd = dev.transformTowersBatchAsync(n, primes,
+                                                 std::move(xs), false);
+        std::vector<std::vector<std::vector<u128>>> ys(1);
+        ys[0] = RpuDevice::collectTowers(std::move(fwd[0]));
+        // The evaluation form is not the coefficient form.
+        EXPECT_NE(ys[0], original) << dev.backend().name();
+        auto inv = dev.transformTowersBatchAsync(n, primes,
+                                                 std::move(ys), true);
+        return RpuDevice::collectTowers(std::move(inv[0]));
+    };
+
+    RpuDevice serial;
+    EXPECT_EQ(round_trip(serial), original);
+
+    RpuDevice pooled;
+    pooled.setParallelism(4);
+    EXPECT_EQ(round_trip(pooled), original);
+
+    RpuDevice ref(std::make_unique<CpuReferenceBackend>());
+    EXPECT_EQ(round_trip(ref), original);
+}
+
+TEST(DeviceStats, AggregatesLaunchesTransformsAndWorkers)
+{
+    const uint64_t n = 1024;
+    const auto primes = nttPrimes(60, n, 2);
+    RpuDevice dev;
+
+    Rng rng(101);
+    std::vector<std::vector<u128>> a, b;
+    for (u128 q : primes) {
+        const Modulus mod(q);
+        a.push_back(randomPoly(mod, n, rng));
+        b.push_back(randomPoly(mod, n, rng));
+    }
+
+    // Serial: one batched polymul launch (2 fwd + 1 inv + 1 pointwise
+    // per tower) plus one explicitly elided conversion.
+    dev.mulTowers(n, primes, a, b);
+    dev.noteElidedTransforms(primes.size());
+    {
+        const DeviceStats s = dev.stats();
+        EXPECT_EQ(s.launches, 1u);
+        EXPECT_EQ(s.towerLaunches, primes.size());
+        EXPECT_EQ(s.forwardTransforms, 2 * primes.size());
+        EXPECT_EQ(s.inverseTransforms, primes.size());
+        EXPECT_EQ(s.pointwiseMuls, primes.size());
+        EXPECT_EQ(s.transformsElided, primes.size());
+        EXPECT_EQ(s.transformsIssued(), 3 * primes.size());
+        // Serial launches attribute to slot 0 (the calling thread).
+        ASSERT_EQ(s.perWorkerLaunches.size(), 1u);
+        EXPECT_EQ(s.perWorkerLaunches[0], 1u);
+        EXPECT_FALSE(s.summary().empty());
+    }
+
+    // Pooled: per-tower launches spread across workers; the
+    // per-worker ledger must account for every launch exactly once.
+    dev.resetCounters();
+    dev.setParallelism(2);
+    dev.mulTowers(n, primes, a, b);
+    {
+        const DeviceStats s = dev.stats();
+        EXPECT_EQ(s.launches, primes.size());
+        ASSERT_EQ(s.perWorkerLaunches.size(), 3u); // inline + 2 workers
+        uint64_t attributed = 0;
+        for (uint64_t w : s.perWorkerLaunches)
+            attributed += w;
+        EXPECT_EQ(attributed, s.launches);
+        // Worker launches never attribute to the inline slot.
+        EXPECT_EQ(s.perWorkerLaunches[0], 0u);
+    }
+
+    // resetCounters clears the whole snapshot.
+    dev.resetCounters();
+    const DeviceStats cleared = dev.stats();
+    EXPECT_EQ(cleared.launches, 0u);
+    EXPECT_EQ(cleared.transformsIssued(), 0u);
+    EXPECT_EQ(cleared.transformsElided, 0u);
+    for (uint64_t w : cleared.perWorkerLaunches)
+        EXPECT_EQ(w, 0u);
 }
 
 TEST(BfvOnDevice, SharedDeviceAccumulatesAcrossContexts)
