@@ -7,8 +7,12 @@
  * simultaneously; on the host side, RpuDevice::setParallelism fans a
  * batch of independent tower launches across a worker pool. This
  * bench measures what that dispatch concurrency is actually worth in
- * wall-clock terms: one fused negacyclic-product launch per tower,
- * batch sizes 1..16 towers, worker counts 1..8.
+ * wall-clock terms, for both launch shapes the RNS-resident schemes
+ * issue: the fused negacyclic product (the Coeff<->Eval boundary
+ * shape — what the old wide-modulus BFV paid per multiply) and the
+ * pointwise product (the steady-state shape of an Eval-resident
+ * chain). One launch per tower, batch sizes 1..16 towers, worker
+ * counts 1..8.
  *
  * Results are workload-true (each launch runs the full functional
  * simulation of a generated B512 program) but host-dependent: the
@@ -45,15 +49,16 @@ struct Workload
     std::vector<std::vector<std::vector<u128>>> expected;
 };
 
-/** One fused per-tower product per request, kernels pre-generated. */
+/** One per-tower product per request, kernels pre-generated. */
 Workload
-makeWorkload(RpuDevice &dev, uint64_t n, size_t towers)
+makeWorkload(RpuDevice &dev, KernelKind kind, uint64_t n,
+             size_t towers)
 {
     const auto primes = nttPrimes(60, n, towers);
     Rng rng(uint64_t(towers) * 977 + 11);
     Workload w;
     for (u128 q : primes) {
-        const KernelImage &k = dev.kernel(KernelKind::PolyMul, n, {q});
+        const KernelImage &k = dev.kernel(kind, n, {q});
         const Modulus mod(q);
         w.batch.push_back(
             {&k, {randomPoly(mod, n, rng), randomPoly(mod, n, rng)}});
@@ -95,29 +100,42 @@ main()
     std::printf("n = %llu, %d reps/cell, host cores = %u\n",
                 (unsigned long long)n, reps,
                 std::thread::hardware_concurrency());
-    std::printf("cells: batches/s (speedup vs 1 worker)\n\n");
-
-    std::printf("%8s", "towers");
-    for (unsigned wkr : worker_counts)
-        std::printf("  %18u", wkr);
-    std::printf("\n");
-    bench::rule('-', 8 + 20 * int(worker_counts.size()));
+    std::printf("cells: batches/s (speedup vs 1 worker)\n");
 
     RpuDevice dev;
-    for (size_t towers : tower_counts) {
-        const Workload w = makeWorkload(dev, n, towers);
-        std::printf("%8zu", towers);
-        double serial = 0.0;
-        for (unsigned wkr : worker_counts) {
-            dev.setParallelism(wkr);
-            const double bps = throughput(dev, w, reps);
-            if (wkr == 1)
-                serial = bps;
-            std::printf("  %10.2f (%4.2fx)", bps,
-                        serial > 0 ? bps / serial : 0.0);
-        }
-        dev.setParallelism(1);
+    const struct
+    {
+        KernelKind kind;
+        const char *label;
+    } shapes[] = {
+        {KernelKind::PolyMul,
+         "fused negacyclic products (domain-boundary shape)"},
+        {KernelKind::PointwiseMul,
+         "pointwise products (eval-resident steady-state shape)"},
+    };
+    for (const auto &shape : shapes) {
+        std::printf("\n%s\n", shape.label);
+        std::printf("%8s", "towers");
+        for (unsigned wkr : worker_counts)
+            std::printf("  %18u", wkr);
         std::printf("\n");
+        bench::rule('-', 8 + 20 * int(worker_counts.size()));
+        for (size_t towers : tower_counts) {
+            const Workload w =
+                makeWorkload(dev, shape.kind, n, towers);
+            std::printf("%8zu", towers);
+            double serial = 0.0;
+            for (unsigned wkr : worker_counts) {
+                dev.setParallelism(wkr);
+                const double bps = throughput(dev, w, reps);
+                if (wkr == 1)
+                    serial = bps;
+                std::printf("  %10.2f (%4.2fx)", bps,
+                            serial > 0 ? bps / serial : 0.0);
+            }
+            dev.setParallelism(1);
+            std::printf("\n");
+        }
     }
 
     std::printf("\nPASS: every parallel batch bit-identical to serial\n");

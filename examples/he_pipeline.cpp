@@ -1,20 +1,21 @@
 /**
  * @file
  * The paper's Fig. 1 pipeline, end to end: a synthetic "image" is
- * vectorised, RLWE-encrypted into two ciphertext polynomials, and
- * computed on homomorphically — with every homomorphic polynomial
- * product decomposed into RNS towers and executed on the RPU
- * functional simulator through the RpuDevice layer, as one batched
- * per-tower kernel launch per product.
+ * vectorised, RLWE-encrypted into two RNS-resident ciphertext
+ * polynomials, and computed on homomorphically on the RPU functional
+ * simulator through the RpuDevice layer.
  *
  * Workload 1 (BFV, exact): brighten an encrypted image (homomorphic
  * add) and apply a 2x scaling (plaintext multiply), then decrypt and
- * check against the plaintext computation.
+ * check against the plaintext computation. Ciphertexts live
+ * evaluation-domain resident in the RNS towers from encryption
+ * onward, so the homomorphic chain issues only pointwise launches —
+ * the stage fails if any device forward NTT runs.
  *
  * Workload 2 (CKKS, approximate): a slot-wise dot product of two
  * encrypted feature vectors with plaintext weights — mulPlain +
- * mulPlain + add + rescale, every tower product and rescale NTT
- * dispatched to the same shared RPU device — then decrypt and check
+ * mulPlain + add + rescale, dispatched to the same shared RPU device
+ * through the same scheme-generic evaluator — then decrypt and check
  * the slot values against plaintext complex arithmetic.
  *
  * Build & run:   ./build/he_pipeline
@@ -107,13 +108,16 @@ main()
     // --- Scheme setup -------------------------------------------------
     RlweParams params;
     params.n = 4096;
-    params.qBits = 124;
+    params.towers = 3;
+    params.towerBits = 45;
     params.plaintextModulus = 65537;
     params.noiseBound = 4;
     BfvContext ctx(params);
     const SecretKey sk = ctx.keygen();
-    std::printf("RLWE scheme: n=%llu, |q|=%u bits, t=%llu\n",
-                (unsigned long long)params.n, params.qBits,
+    std::printf("RLWE scheme: n=%llu, q = chain of %zu x %u-bit NTT "
+                "primes (|q| = %zu bits), t=%llu\n",
+                (unsigned long long)params.n, params.towers,
+                params.towerBits, ctx.basis().qBits(),
                 (unsigned long long)params.plaintextModulus);
 
     // One RPU serves the whole pipeline: the scheme's homomorphic
@@ -125,10 +129,10 @@ main()
     const unsigned cores = std::thread::hardware_concurrency();
     device->setParallelism(cores > 1 ? cores : 1);
     ctx.attachDevice(device);
-    std::printf("RPU device attached (%s backend, parallelism %u): q "
-                "split into %zu RNS towers of <=120-bit NTT primes\n",
-                device->backend().name(), device->parallelism(),
-                ctx.rnsBasis().towers());
+    std::printf("RPU device attached (%s backend, parallelism %u): "
+                "ciphertexts are RNS-resident ResiduePoly towers, "
+                "born in the evaluation domain\n",
+                device->backend().name(), device->parallelism());
 
     // --- Fig. 1: image -> vector -> two ciphertext polynomials --------
     const unsigned side = 64; // 64x64 = 4096 pixels
@@ -140,31 +144,42 @@ main()
         }
     }
     const Ciphertext ct = ctx.encrypt(sk, image);
-    std::printf("\nencrypted %ux%u image -> 2 polynomials of %llu "
-                "x %u-bit coefficients (expansion ~%.0fx)\n",
-                side, side, (unsigned long long)params.n, 124,
-                2 * 124.0 / 8.0);
+    std::printf("\nencrypted %ux%u image -> 2 residue polynomials of "
+                "%zu x %llu coefficients (expansion ~%.0fx)\n",
+                side, side, ctx.basis().towers(),
+                (unsigned long long)params.n,
+                2.0 * double(ctx.basis().qBits()) / 8.0);
     std::printf("fresh noise budget: %.1f bits\n",
                 ctx.noiseBudgetBits(sk, ct, image));
 
-    // --- Homomorphic brighten: pixel + 50 ------------------------------
-    std::vector<uint64_t> bright(params.n, 50);
-    const Ciphertext brightened = ctx.add(ct, ctx.encrypt(sk, bright));
-
-    // --- Homomorphic 2x scaling via plaintext multiply on the RPU -----
-    // mulPlain routes both ciphertext polynomials through the device:
-    // CRT-decompose, one batched tower polymul launch each,
-    // reconstruct.
+    // --- Homomorphic brighten + 2x scaling, all Eval-resident ---------
+    // The plaintext is encoded once (its only forward transform);
+    // after that the whole chain is per-tower adds plus pointwise
+    // launches — the device must issue zero forward NTTs.
     std::vector<uint64_t> two(params.n, 0);
     two[0] = 2;
-    const Ciphertext scaled = ctx.mulPlain(brightened, two);
+    const BfvPlaintext two_pt = ctx.encodePlain(two);
+
+    std::vector<uint64_t> bright(params.n, 50);
+    const Ciphertext bright_ct = ctx.encrypt(sk, bright);
+
+    device->resetCounters();
+    const Ciphertext scaled =
+        ctx.mulPlain(ctx.add(ct, bright_ct), two_pt);
     const DeviceStats bfv_stats = device->stats();
     std::printf("homomorphic ops done: 1 ciphertext add + 1 plaintext "
                 "multiply\n");
     std::printf("RPU activity: %s\n", bfv_stats.summary().c_str());
-    std::printf("  (the plaintext's towers were forward-transformed "
-                "once and shared by both\n   ciphertext components; "
-                "the products themselves are pointwise launches)\n");
+    std::printf("  (the add is host tower arithmetic; the multiply is "
+                "one pointwise launch per\n   component against the "
+                "pre-encoded plaintext — the Eval-resident towers "
+                "were\n   never transformed, which the elision ledger "
+                "records)\n");
+    if (bfv_stats.forwardTransforms != 0) {
+        std::printf("FAIL: eval-resident BFV chain issued a forward "
+                    "NTT launch\n");
+        return 1;
+    }
 
     // --- Decrypt & check ----------------------------------------------
     const std::vector<uint64_t> result = ctx.decrypt(sk, scaled);
@@ -187,12 +202,11 @@ main()
 
     // --- What would this cost on silicon? ------------------------------
     // Cycle-model the two kernels the domain-resident pipeline
-    // actually launches: the batched all-towers NTT it pays at domain
+    // cares about: the batched all-towers NTT it pays at domain
     // boundaries and the batched pointwise product that is the whole
     // multiply once operands are evaluation-resident. Their runtime
-    // ratio is the paper's motivation in one line — and the
-    // DeviceStats transform ledger converts directly into RPU time.
-    const std::vector<u128> tower_moduli = ctx.rnsBasis().primes();
+    // ratio is the paper's motivation in one line.
+    const std::vector<u128> tower_moduli = ctx.basis().primes();
     const size_t towers = tower_moduli.size();
     RpuConfig cfg;
     const KernelImage &bntt = device->kernel(
@@ -212,20 +226,23 @@ main()
                 "NTT pass)\n",
                 (unsigned long long)m_pw.cycle.cycles, m_pw.runtimeUs,
                 100.0 * m_pw.runtimeUs / m_ntt.runtimeUs);
-    const double transform_us =
-        double(bfv_stats.transformsIssued()) / double(towers) *
-        m_ntt.runtimeUs;
-    const double pointwise_us =
-        double(bfv_stats.pointwiseMuls) / double(towers) *
-        m_pw.runtimeUs;
-    std::printf("pipeline total: %llu transform + %llu pointwise "
-                "tower passes ~= %.1f us of RPU time (%.0f%% spent "
-                "in transforms)\n",
-                (unsigned long long)bfv_stats.transformsIssued(),
-                (unsigned long long)bfv_stats.pointwiseMuls,
-                transform_us + pointwise_us,
-                100.0 * transform_us /
-                    (transform_us + pointwise_us));
+
+    // The per-worker cycle ledger folds exactly these costs into
+    // DeviceStats at launch time: per-lane totals plus the busiest
+    // lane's makespan — the modelled wall-clock of a multi-RPU (or
+    // multi-lane-group) system running this batch.
+    std::printf("pipeline cycle ledger: total=%llu cycles, makespan="
+                "%llu cycles (%.2fx concurrency) — per lane [",
+                (unsigned long long)bfv_stats.cycleTotal(),
+                (unsigned long long)bfv_stats.makespanCycles(),
+                bfv_stats.makespanCycles() == 0
+                    ? 0.0
+                    : double(bfv_stats.cycleTotal()) /
+                          double(bfv_stats.makespanCycles()));
+    for (size_t i = 0; i < bfv_stats.perWorkerCycles.size(); ++i)
+        std::printf("%s%llu", i == 0 ? "" : " ",
+                    (unsigned long long)bfv_stats.perWorkerCycles[i]);
+    std::printf("]\n");
 
     // --- CKKS: approximate arithmetic on the same device ---------------
     // The second scheme the RPU serves: complex slots instead of

@@ -72,6 +72,14 @@ struct KernelImage
     /** Minimum VDM capacity the kernel needs, in bytes. */
     size_t vdmBytesRequired = 0;
 
+    /**
+     * Modelled cycles of one launch at the design point the program
+     * was generated for. Zero until a launch layer that accounts for
+     * device-time (RpuDevice) cycle-simulates the program; the
+     * generators themselves never run the cycle model.
+     */
+    uint64_t modelCycles = 0;
+
     std::vector<const DataRegion *>
     inputRegions() const
     {

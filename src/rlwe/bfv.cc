@@ -1,265 +1,236 @@
 #include "rlwe/bfv.hh"
 
 #include <cmath>
+#include <utility>
 
-#include "common/bitops.hh"
 #include "common/logging.hh"
-#include "modmath/primegen.hh"
-#include "rpu/device.hh"
+#include "poly/polynomial.hh"
 
 namespace rpu {
 
-namespace {
-
-/** One-time modulus construction helper (member init order). */
-u128
-makePrime(const RlweParams &p)
-{
-    p.validate();
-    return nttPrime(p.qBits, p.n);
-}
-
-} // namespace
-
 BfvContext::BfvContext(const RlweParams &params, uint64_t seed)
-    : params_(params), mod_(makePrime(params)), tw_(mod_, params.n),
-      ntt_(tw_), rng_(seed)
+    : params_(params), rng_(seed)
 {
-    delta_ = mod_.value() / params_.plaintextModulus;
-}
+    params_.validate();
+    basis_ = std::make_unique<RnsBasis>(RnsBasis::nttBasis(
+        params_.towerBits, params_.n, params_.towers));
+    crt_ = std::make_unique<CrtContext>(*basis_);
+    evaluator_ = RlweEvaluator(params_.n, basis_.get());
 
-std::vector<u128>
-BfvContext::samplePolyUniform()
-{
-    return randomPoly(mod_, params_.n, rng_);
-}
-
-std::vector<u128>
-BfvContext::samplePolySmall()
-{
-    std::vector<u128> p(params_.n);
-    const uint64_t span = 2 * params_.noiseBound + 1;
-    for (auto &v : p) {
-        const int64_t e = int64_t(rng_.below64(span)) -
-                          int64_t(params_.noiseBound);
-        v = e >= 0 ? u128(e) : mod_.value() - u128(-e);
-    }
-    return p;
-}
-
-std::vector<u128>
-BfvContext::samplePolyTernary()
-{
-    std::vector<u128> p(params_.n);
-    for (auto &v : p) {
-        const uint64_t r = rng_.below64(3);
-        v = r == 0 ? u128(0) : r == 1 ? u128(1) : mod_.value() - 1;
-    }
-    return p;
+    delta_ = basis_->q() / BigUInt(params_.plaintextModulus);
+    delta_res_.resize(params_.towers);
+    for (size_t t = 0; t < params_.towers; ++t)
+        delta_res_[t] = (delta_ % BigUInt::fromU128(
+                                      basis_->prime(t))).low128();
 }
 
 SecretKey
 BfvContext::keygen()
 {
-    return SecretKey{samplePolyTernary()};
+    SecretKey sk;
+    sk.s.resize(params_.n);
+    for (auto &v : sk.s) {
+        const uint64_t r = rng_.below64(3);
+        v = r == 0 ? 0 : r == 1 ? 1 : -1;
+    }
+    return sk;
 }
 
-std::vector<u128>
+RlweEvaluator::TowerPoly
+BfvContext::secretResidues(const SecretKey &sk) const
+{
+    rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
+    RlweEvaluator::TowerPoly st(params_.towers,
+                                std::vector<u128>(params_.n));
+    for (size_t t = 0; t < params_.towers; ++t) {
+        const Modulus &mod = basis_->modulus(t);
+        for (size_t i = 0; i < params_.n; ++i) {
+            const int8_t c = sk.s[i];
+            st[t][i] = c == 0 ? u128(0)
+                              : c > 0 ? u128(1) : mod.value() - 1;
+        }
+    }
+    return st;
+}
+
+std::vector<uint64_t>
 BfvContext::liftPlain(const std::vector<uint64_t> &plain) const
 {
     rpu_assert(plain.size() == params_.n, "plaintext size mismatch");
-    std::vector<u128> m(params_.n);
+    std::vector<uint64_t> m(params_.n);
     for (size_t i = 0; i < plain.size(); ++i)
-        m[i] = u128(plain[i] % params_.plaintextModulus);
+        m[i] = plain[i] % params_.plaintextModulus;
     return m;
+}
+
+BfvPlaintext
+BfvContext::encodePlain(const std::vector<uint64_t> &plain) const
+{
+    const std::vector<uint64_t> m = liftPlain(plain);
+    RlweEvaluator::TowerPoly res(params_.towers,
+                                 std::vector<u128>(params_.n));
+    for (size_t t = 0; t < params_.towers; ++t) {
+        const Modulus &mod = basis_->modulus(t);
+        for (size_t i = 0; i < params_.n; ++i)
+            res[t][i] = mod.reduce(u128(m[i]));
+    }
+    // The one forward transform the plaintext ever pays: a batched
+    // device dispatch when attached, host transforms otherwise.
+    return BfvPlaintext{evaluator_.enterEval(std::move(res))};
 }
 
 Ciphertext
 BfvContext::encrypt(const SecretKey &sk,
                     const std::vector<uint64_t> &message)
 {
-    const std::vector<u128> m = liftPlain(message);
-    const std::vector<u128> a = samplePolyUniform();
-    const std::vector<u128> e = samplePolySmall();
+    const std::vector<uint64_t> m = liftPlain(message);
 
-    // c0 = a*s + e + Delta*m; c1 = -a.
-    std::vector<u128> as = negacyclicMulNtt(ntt_, a, sk.s);
-    std::vector<u128> c0 = polyAdd(mod_, as, e);
-    c0 = polyAdd(mod_, c0, polyScale(mod_, delta_, m));
+    // One small error polynomial, shared by every tower's residues.
+    std::vector<int64_t> e(params_.n);
+    const uint64_t span = 2 * params_.noiseBound + 1;
+    for (auto &v : e)
+        v = int64_t(rng_.below64(span)) - int64_t(params_.noiseBound);
 
-    std::vector<u128> c1(params_.n);
-    for (size_t i = 0; i < a.size(); ++i)
-        c1[i] = mod_.neg(a[i]);
-    return Ciphertext{std::move(c0), std::move(c1)};
+    // Residues of Delta*m + e per tower: Delta*m_i's residue mod q_t
+    // is (Delta mod q_t) * m_i, because Delta*m_i < q.
+    RlweEvaluator::TowerPoly em(params_.towers,
+                                std::vector<u128>(params_.n));
+    for (size_t t = 0; t < params_.towers; ++t) {
+        const Modulus &mod = basis_->modulus(t);
+        for (size_t i = 0; i < params_.n; ++i) {
+            const u128 dm = mod.mul(delta_res_[t], u128(m[i]));
+            const int64_t ei = e[i];
+            const u128 er = ei >= 0
+                                ? mod.reduce(u128(uint64_t(ei)))
+                                : mod.neg(mod.reduce(
+                                      u128(uint64_t(-ei))));
+            em[t][i] = mod.add(dm, er);
+        }
+    }
+
+    auto pair = evaluator_.encryptPair(secretResidues(sk), em, rng_);
+    return Ciphertext{std::move(pair[0]), std::move(pair[1])};
+}
+
+std::vector<uint64_t>
+BfvContext::roundToPlain(const std::vector<BigUInt> &wide) const
+{
+    // m_i = floor((t*v_i + q/2) / q) mod t — the scheme's one
+    // centred rounding, on the reconstructed wide coefficients.
+    const BigUInt &big_q = basis_->q();
+    const BigUInt half_q = big_q >> 1;
+    const BigUInt big_t(params_.plaintextModulus);
+    std::vector<uint64_t> out(params_.n);
+    for (size_t i = 0; i < params_.n; ++i) {
+        const BigUInt quot = (wide[i] * big_t + half_q) / big_q;
+        out[i] = (quot % big_t).low64();
+    }
+    return out;
 }
 
 std::vector<uint64_t>
 BfvContext::decrypt(const SecretKey &sk, const Ciphertext &ct) const
 {
-    // v = c0 + c1*s = e + Delta*m; round(t*v/q) recovers m.
-    const std::vector<u128> c1s = negacyclicMulNtt(ntt_, ct.c1, sk.s);
-    const std::vector<u128> v = polyAdd(mod_, ct.c0, c1s);
+    rpu_assert(ct.towers() == params_.towers,
+               "ciphertext spans %zu towers, scheme has %zu",
+               ct.towers(), params_.towers);
+    // v = c0 + c1*s = e + Delta*m per tower; out of RNS exactly once.
+    const RlweEvaluator::TowerPoly v =
+        evaluator_.innerProduct(ct.c0, ct.c1, secretResidues(sk));
+    return roundToPlain(crt_->reconstructPoly(v));
+}
 
-    const u128 q = mod_.value();
-    const uint64_t t = params_.plaintextModulus;
-    std::vector<uint64_t> out(params_.n);
-    for (size_t i = 0; i < v.size(); ++i) {
-        // m_i = floor((t*v_i + q/2) / q) mod t
-        U256 num = mulWide(v[i], u128(t));
-        const U256 half = U256::fromU128(q >> 1);
-        U256 sum = num;
-        addWithCarry(sum, half);
-        u128 rem;
-        const U256 quot = divmod256by128(sum, q, rem);
-        out[i] = uint64_t(quot.lo % t);
+std::vector<uint64_t>
+BfvContext::decryptWideReference(const SecretKey &sk,
+                                 const Ciphertext &ct) const
+{
+    rpu_assert(ct.towers() == params_.towers,
+               "ciphertext spans %zu towers, scheme has %zu",
+               ct.towers(), params_.towers);
+    rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
+    rpu_assert(ct.c0.domain == ct.c1.domain,
+               "ciphertext components in different domains");
+    const uint64_t n = params_.n;
+
+    // Leave residency through the host reference transforms only, so
+    // this path shares nothing with the device dispatch it checks.
+    const auto coeff_towers = [&](const ResiduePoly &p) {
+        CrtContext::TowerPoly tp = p.towers;
+        if (p.inEval()) {
+            for (size_t t = 0; t < tp.size(); ++t)
+                evaluator_.hostNtt(t).inverse(tp[t]);
+        }
+        return tp;
+    };
+    const std::vector<BigUInt> c0w =
+        crt_->reconstructPoly(coeff_towers(ct.c0));
+    const std::vector<BigUInt> c1w =
+        crt_->reconstructPoly(coeff_towers(ct.c1));
+
+    // c1*s as a schoolbook negacyclic product over the wide
+    // coefficients, exploiting the ternary secret: each nonzero s_j
+    // adds +-c1 shifted by j. Addends stay below q, so the
+    // accumulator never exceeds (n+1)*q; one reduction at the end.
+    const BigUInt &big_q = basis_->q();
+    std::vector<BigUInt> v = c0w;
+    for (size_t j = 0; j < n; ++j) {
+        const int8_t sj = sk.s[j];
+        if (sj == 0)
+            continue;
+        for (size_t i = 0; i < n; ++i) {
+            size_t k = i + j;
+            bool negate = sj < 0;
+            if (k >= n) {
+                k -= n; // x^n = -1
+                negate = !negate;
+            }
+            v[k] = v[k] + (negate ? big_q - c1w[i] : c1w[i]);
+        }
     }
-    return out;
+    for (auto &c : v)
+        c = c % big_q;
+    return roundToPlain(v);
 }
 
 Ciphertext
 BfvContext::add(const Ciphertext &a, const Ciphertext &b) const
 {
-    return Ciphertext{polyAdd(mod_, a.c0, b.c0),
-                      polyAdd(mod_, a.c1, b.c1)};
+    auto pair = evaluator_.addPair(a.c0, a.c1, b.c0, b.c1);
+    return Ciphertext{std::move(pair[0]), std::move(pair[1])};
 }
 
 Ciphertext
-BfvContext::mulPlain(const Ciphertext &ct,
-                     const std::vector<uint64_t> &plain,
-                     const PolyMul &mul) const
+BfvContext::sub(const Ciphertext &a, const Ciphertext &b) const
 {
-    const std::vector<u128> p = liftPlain(plain);
-    return Ciphertext{mul(ct.c0, p), mul(ct.c1, p)};
+    auto pair = evaluator_.subPair(a.c0, a.c1, b.c0, b.c1);
+    return Ciphertext{std::move(pair[0]), std::move(pair[1])};
+}
+
+Ciphertext
+BfvContext::mulPlain(const Ciphertext &ct, const BfvPlaintext &pt) const
+{
+    auto pair =
+        evaluator_.mulPlainPair(ct.c0, ct.c1, pt.rp, ct.towers());
+    return Ciphertext{std::move(pair[0]), std::move(pair[1])};
 }
 
 Ciphertext
 BfvContext::mulPlain(const Ciphertext &ct,
                      const std::vector<uint64_t> &plain) const
 {
-    if (device_)
-        return mulPlainRns(ct, plain);
-    return mulPlain(ct, plain, [this](const std::vector<u128> &a,
-                                      const std::vector<u128> &b) {
-        return negacyclicMulNtt(ntt_, a, b);
-    });
+    return mulPlain(ct, encodePlain(plain));
 }
 
 void
-BfvContext::attachDevice(std::shared_ptr<RpuDevice> device,
-                         unsigned tower_bits)
+BfvContext::toCoeff(Ciphertext &ct) const
 {
-    rpu_assert(device != nullptr, "no device");
-    rpu_assert(tower_bits >= 30 && tower_bits <= 128,
-               "tower width %u out of range", tower_bits);
-    rpu_assert(params_.n >= 1024,
-               "RPU kernels need n >= 1024, scheme has n=%llu",
-               (unsigned long long)params_.n);
-
-    // The integer negacyclic product of two polynomials with
-    // coefficients in [0, q) has coefficients of magnitude below
-    // n * q^2. The basis modulus Q must exceed twice that so the
-    // centred representative is unambiguous. Primes from nttBasis
-    // have tower_bits bits, i.e. each contributes > tower_bits - 1
-    // bits to Q.
-    const size_t product_bits =
-        2 * mod_.bits() + log2Ceil(params_.n) + 2;
-    const size_t towers =
-        (product_bits + tower_bits - 2) / (tower_bits - 1);
-
-    device_ = std::move(device);
-    rns_basis_ = std::make_unique<RnsBasis>(
-        RnsBasis::nttBasis(tower_bits, params_.n, towers));
-    rns_crt_ = std::make_unique<CrtContext>(*rns_basis_);
-    rns_ops_ = ResidueOps(params_.n, rns_basis_.get());
-    rns_ops_.setDevice(device_);
+    evaluator_.convertPair(ct.c0, ct.c1, ResidueDomain::Coeff);
 }
 
-CrtContext::TowerPoly
-BfvContext::rnsTowers(const std::vector<u128> &poly) const
+void
+BfvContext::toEval(Ciphertext &ct) const
 {
-    std::vector<BigUInt> wide(params_.n);
-    for (size_t i = 0; i < params_.n; ++i)
-        wide[i] = BigUInt::fromU128(poly[i]);
-    return rns_crt_->decomposePoly(wide);
-}
-
-std::vector<u128>
-BfvContext::rnsReduceCentred(const CrtContext::TowerPoly &towers) const
-{
-    rpu_assert(rns_crt_ != nullptr, "no device attached");
-    // Reconstruct the exact integer product (centred mod Q), then
-    // reduce mod q.
-    const std::vector<BigUInt> wide = rns_crt_->reconstructPoly(towers);
-    const BigUInt &big_q = rns_basis_->q();
-    const BigUInt half_q = big_q >> 1;
-    const BigUInt scheme_q = BigUInt::fromU128(mod_.value());
-
-    std::vector<u128> out(params_.n);
-    for (size_t i = 0; i < params_.n; ++i) {
-        if (wide[i] > half_q) {
-            // Negative coefficient: v - Q in [-nq^2, 0).
-            const u128 mag = ((big_q - wide[i]) % scheme_q).low128();
-            out[i] = mag == 0 ? 0 : mod_.value() - mag;
-        } else {
-            out[i] = (wide[i] % scheme_q).low128();
-        }
-    }
-    return out;
-}
-
-std::vector<u128>
-BfvContext::negacyclicMulRns(const std::vector<u128> &a,
-                             const std::vector<u128> &b) const
-{
-    rpu_assert(device_ != nullptr, "no device attached");
-    rpu_assert(a.size() == params_.n && b.size() == params_.n,
-               "operand size mismatch");
-
-    // All towers' fused negacyclic products in one kernel launch.
-    const CrtContext::TowerPoly tr =
-        device_->mulTowers(params_.n, rns_basis_->primes(),
-                           rnsTowers(a), rnsTowers(b));
-    return rnsReduceCentred(tr);
-}
-
-Ciphertext
-BfvContext::mulPlainRns(const Ciphertext &ct,
-                        const std::vector<uint64_t> &plain) const
-{
-    // Domain-tagged residue polynomials: CRT-decompose the plaintext
-    // and both ciphertext components, enter the evaluation domain in
-    // one batched-transform dispatch (three forward passes over the
-    // basis — the fused per-component kernels transformed the shared
-    // plaintext twice), take both tower products as pure pointwise
-    // launches, and leave the evaluation domain once for CRT
-    // reconstruction. The device still decides the dispatch shape:
-    // batched all-towers kernels when serial, per-tower launches
-    // fanned across the worker pool when parallel — bit-identical
-    // results either way.
-    ResiduePoly pt(ResidueDomain::Coeff, rnsTowers(liftPlain(plain)));
-    std::vector<ResiduePoly> comps(2);
-    comps[0] = ResiduePoly(ResidueDomain::Coeff, rnsTowers(ct.c0));
-    comps[1] = ResiduePoly(ResidueDomain::Coeff, rnsTowers(ct.c1));
-    rns_ops_.convert({&comps[0], &comps[1], &pt}, ResidueDomain::Eval);
-
-    std::vector<ResiduePoly> prods =
-        rns_ops_.mulEvalShared(std::move(comps), std::move(pt));
-
-    // Leave the evaluation domain through the async dispatch so
-    // component 0's host-side BigUInt reconstruction overlaps
-    // component 1's inverse launches still running on the worker
-    // pool (the same join-order overlap the fused path had).
-    std::vector<std::vector<std::vector<u128>>> sets;
-    sets.reserve(2);
-    sets.push_back(std::move(prods[0].towers));
-    sets.push_back(std::move(prods[1].towers));
-    auto pending = device_->transformTowersBatchAsync(
-        params_.n, rns_basis_->primes(), std::move(sets), true);
-    std::vector<u128> c0 = rnsReduceCentred(
-        RpuDevice::collectTowers(std::move(pending[0])));
-    std::vector<u128> c1 = rnsReduceCentred(
-        RpuDevice::collectTowers(std::move(pending[1])));
-    return Ciphertext{std::move(c0), std::move(c1)};
+    evaluator_.convertPair(ct.c0, ct.c1, ResidueDomain::Eval);
 }
 
 double
@@ -268,24 +239,36 @@ BfvContext::noiseBudgetBits(const SecretKey &sk, const Ciphertext &ct,
 {
     // Noise = v - Delta*m, measured as a signed magnitude; budget is
     // how many more bits it can grow before rounding fails.
-    const std::vector<u128> c1s = negacyclicMulNtt(ntt_, ct.c1, sk.s);
-    const std::vector<u128> v = polyAdd(mod_, ct.c0, c1s);
-    const u128 q = mod_.value();
+    const RlweEvaluator::TowerPoly vt =
+        evaluator_.innerProduct(ct.c0, ct.c1, secretResidues(sk));
+    const std::vector<BigUInt> v = crt_->reconstructPoly(vt);
 
-    u128 worst = 0;
+    const BigUInt &big_q = basis_->q();
+    const BigUInt half_q = big_q >> 1;
+    BigUInt worst;
     for (size_t i = 0; i < v.size(); ++i) {
-        const u128 dm = mod_.mul(delta_, u128(expected[i] %
-                                              params_.plaintextModulus));
-        u128 noise = mod_.sub(v[i], dm);
-        if (noise > q / 2)
-            noise = q - noise; // centred magnitude
-        worst = std::max(worst, noise);
+        const uint64_t m = expected[i] % params_.plaintextModulus;
+        const BigUInt dm = delta_ * BigUInt(m); // Delta*m < q
+        BigUInt noise =
+            v[i] >= dm ? v[i] - dm : (v[i] + big_q) - dm;
+        if (noise > half_q)
+            noise = big_q - noise; // centred magnitude
+        if (noise > worst)
+            worst = noise;
     }
-    const double limit = std::log2(double(q)) -
-                         std::log2(2.0 * params_.plaintextModulus);
+    const double limit =
+        std::log2(big_q.toDouble()) -
+        std::log2(2.0 * double(params_.plaintextModulus));
     const double used =
-        worst == 0 ? 0.0 : std::log2(double(worst) + 1.0);
+        worst.isZero() ? 0.0 : std::log2(worst.toDouble() + 1.0);
     return std::max(0.0, limit - used);
+}
+
+void
+BfvContext::attachDevice(std::shared_ptr<RpuDevice> device)
+{
+    rpu_assert(device != nullptr, "no device");
+    evaluator_.attachDevice(std::move(device));
 }
 
 } // namespace rpu

@@ -1,32 +1,42 @@
 /**
  * @file
- * Minimal symmetric BFV-style RLWE scheme over Z_q[x]/(x^n + 1).
+ * Minimal symmetric BFV-style RLWE scheme, full-RNS and
+ * evaluation-domain resident on the RPU device layer.
  *
  *   sk: ternary polynomial s
  *   Enc(m): a <- uniform, e <- small;  ct = (c0, c1) with
  *           c0 = a*s + e + Delta*m,  c1 = -a,  Delta = floor(q/t)
  *   Dec(ct): m = round(t * (c0 + c1*s) / q) mod t
  *
- * Supports homomorphic addition and plaintext multiplication —
- * exactly the operations whose polynomial products the RPU
- * accelerates. With an RpuDevice attached, every homomorphic
- * polynomial product is decomposed into RNS towers (the paper's
- * section II-B wide-arithmetic strategy), executed on the device as
- * one batched per-tower kernel launch, and CRT-reconstructed — the
- * simulated RPU is then the actual execution engine of the pipeline.
- * Without a device, products run on the host reference NTT.
+ * The ciphertext modulus is the product of an RNS chain of NTT
+ * primes, q = q_0 * ... * q_{L-1}, so a ciphertext *is* its towers:
+ * domain-tagged ResiduePoly pairs, born evaluation-resident at
+ * encryption (the uniform mask is sampled directly in NTT form, the
+ * message+error residues pay one host forward transform per tower)
+ * and kept there by every homomorphic op. add/sub are per-tower
+ * coefficient adds; mulPlain against a once-encoded plaintext is a
+ * pure pointwise dispatch through the shared RlweEvaluator — zero
+ * forward NTTs in steady state, with every skipped conversion
+ * reported to the device's elision ledger. CRT reconstruction and
+ * the centred rounding by t/q happen exactly once, at decryption.
+ *
+ * (Earlier revisions kept ciphertexts as wide-modulus coefficient
+ * vectors over one large prime and CRT-reconstructed after every
+ * homomorphic product; decryptWideReference retains that wide-
+ * integer decrypt as an independent cross-check of the RNS path.)
+ *
+ * Like the CKKS sibling this is a demonstration workload, not a
+ * hardened cryptosystem.
  */
 
 #ifndef RPU_RLWE_BFV_HH
 #define RPU_RLWE_BFV_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
-#include "common/logging.hh"
-#include "poly/polynomial.hh"
+#include "rlwe/evaluator.hh"
 #include "rlwe/params.hh"
 #include "rlwe/residue_poly.hh"
 #include "rns/crt.hh"
@@ -35,95 +45,129 @@ namespace rpu {
 
 class RpuDevice;
 
-/** A ciphertext: two ring polynomials (the paper's Fig. 1 pair). */
+/**
+ * A ciphertext: two domain-tagged RNS ring polynomials over the
+ * scheme's full modulus chain (the paper's Fig. 1 pair, resident in
+ * the representation the RPU computes on). Freshly encrypted
+ * ciphertexts are Eval-resident and every homomorphic op keeps them
+ * there; toCoeff/toEval move both components together.
+ */
 struct Ciphertext
 {
-    std::vector<u128> c0;
-    std::vector<u128> c1;
+    ResiduePoly c0;
+    ResiduePoly c1;
+
+    size_t towers() const { return c0.towerCount(); }
+
+    /** The components' shared residency (they always move together). */
+    ResidueDomain domain() const { return c0.domain; }
 };
 
-/** Secret key. */
+/** Secret key: one ternary integer polynomial, shared by all towers. */
 struct SecretKey
 {
-    std::vector<u128> s;
+    std::vector<int8_t> s; ///< coefficients in {-1, 0, 1}
+};
+
+/**
+ * An encoded plaintext: Eval-resident residues of the (mod-t lifted)
+ * message over the full chain, forward-transformed once at encode
+ * time and reusable across ops and ciphertexts.
+ */
+struct BfvPlaintext
+{
+    ResiduePoly rp;
+
+    size_t towers() const { return rp.towerCount(); }
 };
 
 /** Scheme context bound to concrete parameters. */
 class BfvContext
 {
   public:
-    /** Generates the NTT-friendly modulus and twiddle tables. */
+    /** Generates the NTT-friendly modulus chain and host tables. */
     explicit BfvContext(const RlweParams &params, uint64_t seed = 1);
 
     const RlweParams &params() const { return params_; }
-    const Modulus &modulus() const { return mod_; }
-    const NttContext &ntt() const { return ntt_; }
-    u128 q() const { return mod_.value(); }
-    u128 delta() const { return delta_; }
+
+    /** The RNS basis every ciphertext lives in (q = its product). */
+    const RnsBasis &basis() const { return *basis_; }
+
+    /** CRT context over the chain (decrypt's one reconstruction). */
+    const CrtContext &crt() const { return *crt_; }
+
+    /** The composite ciphertext modulus q. */
+    const BigUInt &q() const { return basis_->q(); }
+
+    /** Delta = floor(q / t). */
+    const BigUInt &delta() const { return delta_; }
+
+    /** The shared op pipeline (dispatch, domains, host fallback). */
+    const RlweEvaluator &evaluator() const { return evaluator_; }
 
     SecretKey keygen();
 
-    /** Encrypt a plaintext vector (coefficients mod t). */
+    /**
+     * Encode a plaintext vector (coefficients mod t) into an
+     * Eval-resident residue polynomial — one batched forward-NTT
+     * dispatch on the attached device (host transforms otherwise),
+     * the only transform the plaintext ever pays.
+     */
+    BfvPlaintext encodePlain(const std::vector<uint64_t> &plain) const;
+
+    /**
+     * Encrypt a plaintext vector (coefficients mod t). The
+     * ciphertext is born Eval-resident: the uniform mask is sampled
+     * directly in evaluation form and Delta*m + e enters through one
+     * host forward transform per tower (see RlweEvaluator); the
+     * device issues no launch.
+     */
     Ciphertext encrypt(const SecretKey &sk,
                        const std::vector<uint64_t> &message);
 
-    /** Decrypt back to coefficients mod t. */
+    /**
+     * Decrypt back to coefficients mod t: per-tower c0 + c1*s
+     * (pointwise in Eval, negacyclic in Coeff), then the scheme's
+     * one CRT reconstruction and the centred rounding by t/q.
+     */
     std::vector<uint64_t> decrypt(const SecretKey &sk,
                                   const Ciphertext &ct) const;
 
-    /** Homomorphic ciphertext addition. */
+    /**
+     * Independent wide-modulus reference decrypt: reconstruct both
+     * components to wide integers mod q first, compute c0 + c1*s as
+     * a schoolbook negacyclic product over BigUInt coefficients
+     * (exploiting the ternary secret), and round. Exercises none of
+     * the per-tower NTT path, so agreement with decrypt() is a real
+     * cross-check of RNS residency — the tier-1 bit-identity tests
+     * pin the two against each other on every backend.
+     */
+    std::vector<uint64_t>
+    decryptWideReference(const SecretKey &sk,
+                         const Ciphertext &ct) const;
+
+    /** Homomorphic ciphertext addition (pure per-tower RNS adds). */
     Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
 
-    /**
-     * Multiply a ciphertext by a plaintext polynomial (entries mod t),
-     * using the supplied negacyclic multiplier so callers can route
-     * the products through RPU-generated kernels.
-     */
-    using PolyMul = std::function<std::vector<u128>(
-        const std::vector<u128> &, const std::vector<u128> &)>;
+    /** Homomorphic ciphertext subtraction (per-tower RNS subs). */
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
 
+    /**
+     * Multiply a ciphertext by an encoded plaintext: both components
+     * against the shared plaintext through one pointwise dispatch —
+     * no transform at all when the ciphertext is Eval-resident (the
+     * elision lands in DeviceStats).
+     */
     Ciphertext mulPlain(const Ciphertext &ct,
-                        const std::vector<uint64_t> &plain,
-                        const PolyMul &mul) const;
+                        const BfvPlaintext &pt) const;
 
-    /**
-     * Default multiplier: the attached device's RNS-tower path when
-     * one is attached (see attachDevice), else the reference NTT.
-     */
+    /** Convenience: encodePlain + mulPlain in one call. */
     Ciphertext mulPlain(const Ciphertext &ct,
                         const std::vector<uint64_t> &plain) const;
 
-    // -- RPU execution ---------------------------------------------------
-
-    /**
-     * Route homomorphic polynomial products through @p device. The
-     * scheme modulus q is wider than any single tower, so products
-     * are computed exactly over an RNS basis of @p tower_bits-bit
-     * NTT primes sized so the integer negacyclic product cannot wrap
-     * (|coeff| < n*q^2 << Q), one batched kernel launch per product.
-     */
-    void attachDevice(std::shared_ptr<RpuDevice> device,
-                      unsigned tower_bits = 120);
-
-    bool deviceAttached() const { return device_ != nullptr; }
-    std::shared_ptr<RpuDevice> device() const { return device_; }
-
-    /** The RNS basis products run over (device attached only). */
-    const RnsBasis &
-    rnsBasis() const
-    {
-        rpu_assert(rns_basis_ != nullptr, "no device attached");
-        return *rns_basis_;
-    }
-
-    /**
-     * Exact negacyclic product of two ring polynomials mod q,
-     * computed on the attached device: CRT-decompose both operands
-     * into towers, run all towers' fused negacyclic products in one
-     * batched kernel launch, reconstruct, centre, and reduce mod q.
-     */
-    std::vector<u128> negacyclicMulRns(const std::vector<u128> &a,
-                                       const std::vector<u128> &b) const;
+    /** Move both components to the target residency (see ResidueOps). */
+    void toCoeff(Ciphertext &ct) const;
+    void toEval(Ciphertext &ct) const;
 
     /**
      * Remaining noise budget in bits (log2(q/(2t)) minus the current
@@ -132,54 +176,38 @@ class BfvContext
     double noiseBudgetBits(const SecretKey &sk, const Ciphertext &ct,
                            const std::vector<uint64_t> &expected) const;
 
-    /** Lift a plaintext vector into the ring (mod q). */
-    std::vector<u128> liftPlain(const std::vector<uint64_t> &plain) const;
+    // -- RPU execution ---------------------------------------------------
 
-    /**
-     * Reconstruct a tower product, centre it, and reduce mod q.
-     * A reconstructed value w maps to the centred representative
-     * w - Q when w > Q/2 and to w itself otherwise; for the odd
-     * basis product Q, w == (Q-1)/2 is exactly the largest positive
-     * representative (device attached only).
-     */
-    std::vector<u128>
-    rnsReduceCentred(const CrtContext::TowerPoly &towers) const;
+    /** Route tower products and domain transforms through @p device. */
+    void attachDevice(std::shared_ptr<RpuDevice> device);
+
+    bool deviceAttached() const { return evaluator_.deviceAttached(); }
+    std::shared_ptr<RpuDevice> device() const
+    {
+        return evaluator_.device();
+    }
 
   private:
-    std::vector<u128> samplePolyUniform();
-    std::vector<u128> samplePolySmall();
-    std::vector<u128> samplePolyTernary();
+    /** Residues of the secret over every tower. */
+    RlweEvaluator::TowerPoly secretResidues(const SecretKey &sk) const;
 
-    /** CRT-split a ring polynomial (mod q) into RNS towers. */
-    CrtContext::TowerPoly rnsTowers(const std::vector<u128> &poly) const;
+    /** Coefficients reduced mod t (size-checked). */
+    std::vector<uint64_t>
+    liftPlain(const std::vector<uint64_t> &plain) const;
 
-    /**
-     * Device path of mulPlain, on domain-tagged residue polynomials:
-     * decompose the plaintext and both ciphertext components once,
-     * enter the evaluation domain in one batched-NTT dispatch (the
-     * plaintext is transformed a single time and shared — the fused
-     * per-component kernels used to transform it twice), take the
-     * tower products as pure pointwise launches, and return to
-     * coefficients for CRT reconstruction. BFV's wide-modulus
-     * ciphertexts live outside the tower basis, so Coeff->Eval->Coeff
-     * per multiply is this scheme's floor; the elision win belongs to
-     * the RNS-native CKKS sibling.
-     */
-    Ciphertext mulPlainRns(const Ciphertext &ct,
-                           const std::vector<uint64_t> &plain) const;
+    /** round(t * v / q) mod t for reconstructed coefficients. */
+    std::vector<uint64_t>
+    roundToPlain(const std::vector<BigUInt> &wide) const;
 
     RlweParams params_;
-    Modulus mod_;
-    TwiddleTable tw_;
-    NttContext ntt_;
-    u128 delta_;
     Rng rng_;
 
-    // RNS-tower execution state (set by attachDevice).
-    std::shared_ptr<RpuDevice> device_;
-    std::unique_ptr<RnsBasis> rns_basis_;
-    std::unique_ptr<CrtContext> rns_crt_;
-    ResidueOps rns_ops_;
+    std::unique_ptr<RnsBasis> basis_;
+    std::unique_ptr<CrtContext> crt_;
+    RlweEvaluator evaluator_;
+
+    BigUInt delta_;                ///< floor(q / t)
+    std::vector<u128> delta_res_;  ///< Delta mod q_t, per tower
 };
 
 } // namespace rpu

@@ -5,7 +5,6 @@
 
 #include "common/logging.hh"
 #include "modmath/primegen.hh"
-#include "rpu/device.hh"
 
 namespace rpu {
 
@@ -17,17 +16,6 @@ u128ToDouble(u128 v)
 {
     return double(uint64_t(v >> 64)) * 18446744073709551616.0 +
            double(uint64_t(v));
-}
-
-/** Nearest double to a BigUInt (centred decrypt coefficients). */
-double
-bigToDouble(const BigUInt &v)
-{
-    double r = 0.0;
-    const auto &limbs = v.limbs();
-    for (size_t i = limbs.size(); i-- > 0;)
-        r = r * 18446744073709551616.0 + double(limbs[i]);
-    return r;
 }
 
 } // namespace
@@ -65,21 +53,9 @@ CkksContext::CkksContext(const CkksParams &params, uint64_t seed)
         crts_.push_back(std::make_unique<CrtContext>(*prefixes_.back()));
     }
 
-    twiddles_.reserve(params_.towers);
-    ntts_.reserve(params_.towers);
-    for (size_t t = 0; t < params_.towers; ++t) {
-        twiddles_.push_back(std::make_unique<TwiddleTable>(
-            basis().modulus(t), params_.n));
-        ntts_.push_back(std::make_unique<NttContext>(*twiddles_[t]));
-    }
-
-    // Domain transitions over the full chain: host transforms by
+    // The shared op pipeline over the full chain: host transforms by
     // default, rerouted through the device by attachDevice.
-    ops_ = ResidueOps(params_.n, prefixes_.back().get());
-    std::vector<const NttContext *> host(params_.towers);
-    for (size_t t = 0; t < params_.towers; ++t)
-        host[t] = ntts_[t].get();
-    ops_.setHostTransforms(std::move(host));
+    evaluator_ = RlweEvaluator(params_.n, prefixes_.back().get());
 }
 
 const RnsBasis &
@@ -98,13 +74,6 @@ CkksContext::crt(size_t towers) const
                "chain prefix %zu out of range [1, %zu]", towers,
                params_.towers);
     return *crts_[towers - 1];
-}
-
-const NttContext &
-CkksContext::hostNtt(size_t t) const
-{
-    rpu_assert(t < ntts_.size(), "tower %zu out of range", t);
-    return *ntts_[t];
 }
 
 CrtContext::TowerPoly
@@ -159,12 +128,10 @@ CkksContext::encodePlain(
                params_.towers);
     CkksPlaintext pt;
     pt.scale = params_.scale;
-    pt.rp.domain = ResidueDomain::Coeff;
-    pt.rp.towers = residuesOfSigned(
-        encoder_.encode(values, params_.scale), towers);
     // The one forward transform the plaintext ever pays: a batched
     // device dispatch when attached, host transforms otherwise.
-    ops_.toEval(pt.rp);
+    pt.rp = evaluator_.enterEval(residuesOfSigned(
+        encoder_.encode(values, params_.scale), towers));
     return pt;
 }
 
@@ -176,12 +143,9 @@ CkksContext::encrypt(const CkksSecretKey &sk,
     const size_t L = params_.towers;
 
     // The message+error and secret are single integer polynomials;
-    // each tower sees their residues, forward-transformed on the host
-    // (encryption-side arithmetic stays off the device, like decrypt).
-    // The mask a is one uniform ring element mod Q sampled directly
-    // in *evaluation* form — uniform residues are uniform in either
-    // domain, so the ciphertext is born Eval-resident with no
-    // transform spent on the mask at all.
+    // each tower sees their residues. The born-Eval assembly itself
+    // (mask sampled directly in evaluation form, one host forward
+    // transform per tower for the residues) is the evaluator's.
     const std::vector<int64_t> m =
         encoder_.encode(values, params_.scale);
     std::vector<int64_t> em(params_.n), s(params_.n);
@@ -193,31 +157,12 @@ CkksContext::encrypt(const CkksSecretKey &sk,
         s[i] = sk.s[i];
     }
 
-    const CrtContext::TowerPoly emt = residuesOfSigned(em, L);
-    const CrtContext::TowerPoly st = residuesOfSigned(s, L);
-
+    auto pair = evaluator_.encryptPair(residuesOfSigned(s, L),
+                                       residuesOfSigned(em, L), rng_);
     CkksCiphertext ct;
     ct.scale = params_.scale;
-    ct.c0.domain = ResidueDomain::Eval;
-    ct.c1.domain = ResidueDomain::Eval;
-    ct.c0.towers.reserve(L);
-    ct.c1.towers.reserve(L);
-    for (size_t t = 0; t < L; ++t) {
-        const Modulus &mod = basis().modulus(t);
-        const std::vector<u128> a = randomPoly(mod, params_.n, rng_);
-        std::vector<u128> s_eval = st[t];
-        hostNtt(t).forward(s_eval);
-        std::vector<u128> em_eval = emt[t];
-        hostNtt(t).forward(em_eval);
-        // c0 = a*s + (e + m); c1 = -a — all pointwise in Eval.
-        std::vector<u128> c0 =
-            polyAdd(mod, polyPointwise(mod, a, s_eval), em_eval);
-        std::vector<u128> c1(params_.n);
-        for (size_t i = 0; i < params_.n; ++i)
-            c1[i] = mod.neg(a[i]);
-        ct.c0.towers.push_back(std::move(c0));
-        ct.c1.towers.push_back(std::move(c1));
-    }
+    ct.c0 = std::move(pair[0]);
+    ct.c1 = std::move(pair[1]);
     return ct;
 }
 
@@ -233,28 +178,12 @@ CkksContext::decrypt(const CkksSecretKey &sk,
     std::vector<int64_t> s(params_.n);
     for (size_t i = 0; i < params_.n; ++i)
         s[i] = sk.s[i];
-    const CrtContext::TowerPoly st = residuesOfSigned(s, L);
 
     // v = c0 + c1*s per tower = m + e in RNS; this is the scheme's
     // forced return to coefficients (Eval-resident ciphertexts pay
     // one inverse transform per tower, never a forward one).
-    CrtContext::TowerPoly v(L);
-    for (size_t t = 0; t < L; ++t) {
-        const Modulus &mod = basis().modulus(t);
-        if (ct.c0.inEval()) {
-            std::vector<u128> s_eval = st[t];
-            hostNtt(t).forward(s_eval);
-            std::vector<u128> ve = polyAdd(
-                mod, ct.c0.towers[t],
-                polyPointwise(mod, ct.c1.towers[t], s_eval));
-            hostNtt(t).inverse(ve);
-            v[t] = std::move(ve);
-        } else {
-            const std::vector<u128> c1s = negacyclicMulNtt(
-                hostNtt(t), ct.c1.towers[t], st[t]);
-            v[t] = polyAdd(mod, ct.c0.towers[t], c1s);
-        }
-    }
+    const CrtContext::TowerPoly v = evaluator_.innerProduct(
+        ct.c0, ct.c1, residuesOfSigned(s, L));
 
     // Out of RNS exactly once: reconstruct mod the active Q, centre,
     // and decode at the ciphertext's scale.
@@ -263,8 +192,8 @@ CkksContext::decrypt(const CkksSecretKey &sk,
     const BigUInt half_q = big_q >> 1;
     std::vector<double> coeffs(params_.n);
     for (size_t i = 0; i < params_.n; ++i) {
-        coeffs[i] = wide[i] > half_q ? -bigToDouble(big_q - wide[i])
-                                     : bigToDouble(wide[i]);
+        coeffs[i] = wide[i] > half_q ? -(big_q - wide[i]).toDouble()
+                                     : wide[i].toDouble();
     }
     return encoder_.decode(coeffs, ct.scale);
 }
@@ -280,10 +209,11 @@ CkksContext::add(const CkksCiphertext &a, const CkksCiphertext &b) const
     rpu_assert(a.domain() == b.domain(),
                "residency mismatch: convert one operand first");
 
+    auto pair = evaluator_.addPair(a.c0, a.c1, b.c0, b.c1);
     CkksCiphertext out;
     out.scale = a.scale;
-    out.c0 = ops_.add(a.c0, b.c0);
-    out.c1 = ops_.add(a.c1, b.c1);
+    out.c0 = std::move(pair[0]);
+    out.c1 = std::move(pair[1]);
     return out;
 }
 
@@ -292,33 +222,11 @@ CkksContext::mulPlain(const CkksCiphertext &ct,
                       const CkksPlaintext &pt) const
 {
     rpu_assert(ct.towers() >= 1, "empty ciphertext");
-    rpu_assert(pt.towers() >= ct.towers(),
-               "plaintext spans %zu towers, ciphertext needs %zu",
-               pt.towers(), ct.towers());
-    rpu_assert(pt.rp.inEval(), "plaintext must be encoded (Eval)");
-    rpu_assert(ct.c0.domain == ct.c1.domain,
-               "ciphertext components in different domains");
-    const size_t L = ct.towers();
 
-    // Steady state (Eval-resident ciphertext): the components are
-    // read in place — no copy, no transform, just the pointwise
-    // dispatch — and the conversions a coefficient-resident system
-    // would have paid land in the elision ledger. A Coeff-resident
-    // ciphertext converts on copies so the input stays untouched.
-    std::vector<ResiduePoly> owned;
-    std::vector<const ResiduePoly *> comps;
-    if (ct.domain() == ResidueDomain::Eval) {
-        ops_.noteElidedConversions(2 * L);
-        comps = {&ct.c0, &ct.c1};
-    } else {
-        owned.reserve(2);
-        owned.push_back(ct.c0);
-        owned.push_back(ct.c1);
-        ops_.convert({&owned[0], &owned[1]}, ResidueDomain::Eval);
-        comps = {&owned[0], &owned[1]};
-    }
-
-    auto prods = ops_.mulEvalShared(comps, pt.rp, L);
+    // Domain alignment, elision accounting, and the pointwise
+    // dispatch are the evaluator's; the scheme only tracks scale.
+    auto prods = evaluator_.mulPlainPair(ct.c0, ct.c1, pt.rp,
+                                         ct.towers());
     CkksCiphertext out;
     out.scale = ct.scale * pt.scale;
     out.c0 = std::move(prods[0]);
@@ -366,45 +274,33 @@ CkksContext::rescale(const CkksCiphertext &ct) const
         // The scheme's one forced Coeff boundary: only the *dropped*
         // tower leaves the evaluation domain, as an inverse-NTT
         // launch on the attached device (host transform otherwise).
-        std::vector<std::vector<u128>> r(2);
-        if (device_) {
-            const KernelImage &k = device_->kernel(
-                KernelKind::InverseNtt, params_.n, {q_l});
-            std::vector<LaunchFuture> futures;
-            futures.reserve(2);
-            for (size_t c = 0; c < 2; ++c)
-                futures.push_back(device_->launchAsync(
-                    k, {comps[c]->towers[l]}));
-            auto results = RpuDevice::whenAll(std::move(futures));
-            for (size_t c = 0; c < 2; ++c)
-                r[c] = std::move(results[c][0]);
-        } else {
-            for (size_t c = 0; c < 2; ++c) {
-                r[c] = comps[c]->towers[l];
-                hostNtt(l).inverse(r[c]);
-            }
-        }
+        const std::vector<std::vector<u128>> r =
+            evaluator_.inverseTower({&ct.c0, &ct.c1}, l);
 
         // Re-enter the lift into each remaining tower's evaluation
         // domain via the host transform — the same plaintext-sized
         // side engine encrypt and decrypt use — then subtract and
         // scale pointwise. The ciphertext towers themselves never
         // see a forward transform, so the device's forward-NTT
-        // counter stays at zero across a whole rescale chain.
+        // counter stays at zero across a whole rescale chain. The
+        // 2*(L-1) independent (component, tower) units fan across
+        // the device's worker pool when it has one.
         for (size_t c = 0; c < 2; ++c) {
             out_comps[c]->domain = ResidueDomain::Eval;
             out_comps[c]->towers.resize(l);
-            for (size_t t = 0; t < l; ++t) {
-                const Modulus &mod_t = basis().modulus(t);
-                std::vector<u128> d(params_.n);
-                for (size_t i = 0; i < params_.n; ++i)
-                    d[i] = liftCentred(r[c][i], mod_l, mod_t);
-                hostNtt(t).forward(d);
-                out_comps[c]->towers[t] = polyScale(
-                    mod_t, inv_ql[t],
-                    polySub(mod_t, comps[c]->towers[t], d));
-            }
         }
+        evaluator_.forEachUnit(2 * l, [&](size_t u) {
+            const size_t c = u / l;
+            const size_t t = u % l;
+            const Modulus &mod_t = basis().modulus(t);
+            std::vector<u128> d(params_.n);
+            for (size_t i = 0; i < params_.n; ++i)
+                d[i] = liftCentred(r[c][i], mod_l, mod_t);
+            hostNtt(t).forward(d);
+            out_comps[c]->towers[t] = polyScale(
+                mod_t, inv_ql[t],
+                polySub(mod_t, comps[c]->towers[t], d));
+        });
         return out;
     }
 
@@ -433,13 +329,13 @@ CkksContext::rescale(const CkksCiphertext &ct) const
 void
 CkksContext::toCoeff(CkksCiphertext &ct) const
 {
-    ops_.convert({&ct.c0, &ct.c1}, ResidueDomain::Coeff);
+    evaluator_.convertPair(ct.c0, ct.c1, ResidueDomain::Coeff);
 }
 
 void
 CkksContext::toEval(CkksCiphertext &ct) const
 {
-    ops_.convert({&ct.c0, &ct.c1}, ResidueDomain::Eval);
+    evaluator_.convertPair(ct.c0, ct.c1, ResidueDomain::Eval);
 }
 
 void
@@ -449,8 +345,7 @@ CkksContext::attachDevice(std::shared_ptr<RpuDevice> device)
     rpu_assert(params_.n >= 1024,
                "RPU kernels need n >= 1024, scheme has n=%llu",
                (unsigned long long)params_.n);
-    device_ = std::move(device);
-    ops_.setDevice(device_);
+    evaluator_.attachDevice(std::move(device));
 }
 
 } // namespace rpu

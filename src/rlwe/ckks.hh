@@ -55,6 +55,7 @@
 
 #include "poly/polynomial.hh"
 #include "rlwe/ckks_encoder.hh"
+#include "rlwe/evaluator.hh"
 #include "rlwe/residue_poly.hh"
 #include "rns/crt.hh"
 
@@ -138,10 +139,16 @@ class CkksContext
     const CrtContext &crt(size_t towers) const;
 
     /** Host reference transform for tower @p t's ring. */
-    const NttContext &hostNtt(size_t t) const;
+    const NttContext &hostNtt(size_t t) const
+    {
+        return evaluator_.hostNtt(t);
+    }
 
     /** Domain transitions / pointwise algebra over the full chain. */
-    const ResidueOps &residueOps() const { return ops_; }
+    const ResidueOps &residueOps() const { return evaluator_.ops(); }
+
+    /** The shared op pipeline (dispatch, domains, host fallback). */
+    const RlweEvaluator &evaluator() const { return evaluator_; }
 
     CkksSecretKey keygen();
 
@@ -218,8 +225,11 @@ class CkksContext
     /** Route homomorphic tower products/transforms through @p device. */
     void attachDevice(std::shared_ptr<RpuDevice> device);
 
-    bool deviceAttached() const { return device_ != nullptr; }
-    std::shared_ptr<RpuDevice> device() const { return device_; }
+    bool deviceAttached() const { return evaluator_.deviceAttached(); }
+    std::shared_ptr<RpuDevice> device() const
+    {
+        return evaluator_.device();
+    }
 
   private:
     /** Residues of signed coefficients over the first @p towers. */
@@ -240,13 +250,9 @@ class CkksContext
     std::vector<std::unique_ptr<RnsBasis>> prefixes_;
     std::vector<std::unique_ptr<CrtContext>> crts_;
 
-    // Per-tower host twiddles/transforms (reference path, encrypt/
-    // decrypt, and rescale's lift re-entry).
-    std::vector<std::unique_ptr<TwiddleTable>> twiddles_;
-    std::vector<std::unique_ptr<NttContext>> ntts_;
-
-    ResidueOps ops_;
-    std::shared_ptr<RpuDevice> device_;
+    // The shared op pipeline over the full chain: per-tower host
+    // transforms, domain transitions, dispatch, ledger accounting.
+    RlweEvaluator evaluator_;
 };
 
 } // namespace rpu

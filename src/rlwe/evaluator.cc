@@ -1,0 +1,249 @@
+#include "rlwe/evaluator.hh"
+
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "common/logging.hh"
+#include "poly/polynomial.hh"
+#include "rpu/device.hh"
+#include "rpu/thread_pool.hh"
+
+namespace rpu {
+
+RlweEvaluator::RlweEvaluator(uint64_t n, const RnsBasis *basis)
+    : n_(n), basis_(basis), ops_(n, basis)
+{
+    rpu_assert(basis_ != nullptr, "evaluator needs a basis");
+    const size_t towers = basis_->towers();
+    twiddles_.reserve(towers);
+    ntts_.reserve(towers);
+    std::vector<const NttContext *> host(towers);
+    for (size_t t = 0; t < towers; ++t) {
+        twiddles_.push_back(
+            std::make_unique<TwiddleTable>(basis_->modulus(t), n_));
+        ntts_.push_back(std::make_unique<NttContext>(*twiddles_[t]));
+        host[t] = ntts_[t].get();
+    }
+    ops_.setHostTransforms(std::move(host));
+}
+
+void
+RlweEvaluator::attachDevice(std::shared_ptr<RpuDevice> device)
+{
+    rpu_assert(device != nullptr, "no device");
+    device_ = std::move(device);
+    ops_.setDevice(device_);
+}
+
+const RnsBasis &
+RlweEvaluator::basis() const
+{
+    rpu_assert(basis_ != nullptr, "evaluator has no basis bound");
+    return *basis_;
+}
+
+const Modulus &
+RlweEvaluator::modulus(size_t t) const
+{
+    return basis().modulus(t);
+}
+
+const NttContext &
+RlweEvaluator::hostNtt(size_t t) const
+{
+    rpu_assert(t < ntts_.size(), "tower %zu out of range", t);
+    return *ntts_[t];
+}
+
+ResiduePoly
+RlweEvaluator::enterEval(TowerPoly coeff_towers) const
+{
+    ResiduePoly p(ResidueDomain::Coeff, std::move(coeff_towers));
+    ops_.toEval(p);
+    return p;
+}
+
+void
+RlweEvaluator::convertPair(ResiduePoly &c0, ResiduePoly &c1,
+                           ResidueDomain target) const
+{
+    ops_.convert({&c0, &c1}, target);
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::addPair(const ResiduePoly &a0, const ResiduePoly &a1,
+                       const ResiduePoly &b0,
+                       const ResiduePoly &b1) const
+{
+    return {ops_.add(a0, b0), ops_.add(a1, b1)};
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::subPair(const ResiduePoly &a0, const ResiduePoly &a1,
+                       const ResiduePoly &b0,
+                       const ResiduePoly &b1) const
+{
+    return {ops_.sub(a0, b0), ops_.sub(a1, b1)};
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::mulPlainPair(const ResiduePoly &c0, const ResiduePoly &c1,
+                            const ResiduePoly &pt, size_t towers) const
+{
+    rpu_assert(towers >= 1, "empty ciphertext");
+    rpu_assert(pt.towerCount() >= towers,
+               "plaintext spans %zu towers, ciphertext needs %zu",
+               pt.towerCount(), towers);
+    rpu_assert(pt.inEval(), "plaintext must be encoded (Eval)");
+    rpu_assert(c0.domain == c1.domain,
+               "ciphertext components in different domains");
+    rpu_assert(c0.towerCount() == towers && c1.towerCount() == towers,
+               "component tower count mismatch");
+
+    // Steady state (Eval-resident components): read in place — no
+    // copy, no transform, just the pointwise dispatch — and the
+    // conversions a coefficient-resident system would have paid land
+    // in the elision ledger. Coeff-resident components convert on
+    // copies so the inputs stay untouched.
+    std::vector<ResiduePoly> owned;
+    std::vector<const ResiduePoly *> comps;
+    if (c0.inEval()) {
+        ops_.noteElidedConversions(2 * towers);
+        comps = {&c0, &c1};
+    } else {
+        owned.reserve(2);
+        owned.push_back(c0);
+        owned.push_back(c1);
+        ops_.convert({&owned[0], &owned[1]}, ResidueDomain::Eval);
+        comps = {&owned[0], &owned[1]};
+    }
+
+    auto prods = ops_.mulEvalShared(comps, pt, towers);
+    return {std::move(prods[0]), std::move(prods[1])};
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::encryptPair(const TowerPoly &s_res,
+                           const TowerPoly &em_res, Rng &rng) const
+{
+    const size_t L = s_res.size();
+    rpu_assert(L >= 1 && L <= basis().towers(),
+               "ciphertext spans %zu towers, chain has %zu", L,
+               basis().towers());
+    rpu_assert(em_res.size() == L, "residue tower count mismatch");
+
+    std::array<ResiduePoly, 2> ct;
+    ct[0].domain = ResidueDomain::Eval;
+    ct[1].domain = ResidueDomain::Eval;
+    ct[0].towers.reserve(L);
+    ct[1].towers.reserve(L);
+    for (size_t t = 0; t < L; ++t) {
+        const Modulus &mod = modulus(t);
+        const std::vector<u128> a = randomPoly(mod, n_, rng);
+        std::vector<u128> s_eval = s_res[t];
+        hostNtt(t).forward(s_eval);
+        std::vector<u128> em_eval = em_res[t];
+        hostNtt(t).forward(em_eval);
+        // c0 = a*s + (e + m); c1 = -a — all pointwise in Eval.
+        std::vector<u128> c0 =
+            polyAdd(mod, polyPointwise(mod, a, s_eval), em_eval);
+        std::vector<u128> c1(n_);
+        for (size_t i = 0; i < n_; ++i)
+            c1[i] = mod.neg(a[i]);
+        ct[0].towers.push_back(std::move(c0));
+        ct[1].towers.push_back(std::move(c1));
+    }
+    return ct;
+}
+
+RlweEvaluator::TowerPoly
+RlweEvaluator::innerProduct(const ResiduePoly &c0, const ResiduePoly &c1,
+                            const TowerPoly &s_res) const
+{
+    const size_t L = c0.towerCount();
+    rpu_assert(L >= 1, "empty ciphertext");
+    rpu_assert(c0.domain == c1.domain && c1.towerCount() == L,
+               "ciphertext components in different shapes");
+    rpu_assert(s_res.size() >= L, "secret residues span too few towers");
+
+    TowerPoly v(L);
+    forEachUnit(L, [&](size_t t) {
+        const Modulus &mod = modulus(t);
+        if (c0.inEval()) {
+            std::vector<u128> s_eval = s_res[t];
+            hostNtt(t).forward(s_eval);
+            std::vector<u128> ve =
+                polyAdd(mod, c0.towers[t],
+                        polyPointwise(mod, c1.towers[t], s_eval));
+            hostNtt(t).inverse(ve);
+            v[t] = std::move(ve);
+        } else {
+            const std::vector<u128> c1s = negacyclicMulNtt(
+                hostNtt(t), c1.towers[t], s_res[t]);
+            v[t] = polyAdd(mod, c0.towers[t], c1s);
+        }
+    });
+    return v;
+}
+
+std::vector<std::vector<u128>>
+RlweEvaluator::inverseTower(
+    const std::vector<const ResiduePoly *> &polys, size_t t) const
+{
+    std::vector<std::vector<u128>> out(polys.size());
+    for (const ResiduePoly *p : polys) {
+        rpu_assert(p != nullptr && p->inEval() && t < p->towerCount(),
+                   "inverseTower needs Eval operands with tower %zu",
+                   t);
+    }
+    if (device_) {
+        const KernelImage &k = device_->kernel(
+            KernelKind::InverseNtt, n_, {basis().prime(t)});
+        std::vector<LaunchFuture> futures;
+        futures.reserve(polys.size());
+        for (const ResiduePoly *p : polys)
+            futures.push_back(device_->launchAsync(k, {p->towers[t]}));
+        auto results = RpuDevice::whenAll(std::move(futures));
+        for (size_t c = 0; c < polys.size(); ++c)
+            out[c] = std::move(results[c][0]);
+        return out;
+    }
+    for (size_t c = 0; c < polys.size(); ++c) {
+        out[c] = polys[c]->towers[t];
+        hostNtt(t).inverse(out[c]);
+    }
+    return out;
+}
+
+void
+RlweEvaluator::forEachUnit(size_t count,
+                           const std::function<void(size_t)> &fn) const
+{
+    ThreadPool *pool = device_ ? device_->workerPool() : nullptr;
+    if (pool == nullptr || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    // Independent units ride the device's worker pool. Every unit is
+    // joined before the first failure is rethrown, so no unit is left
+    // running with references into an unwinding caller.
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        futures.push_back(pool->submit([&fn, i] { fn(i); }));
+    std::exception_ptr first_error;
+    for (auto &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace rpu

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Scheme-generic RLWE evaluator: the op pipeline BFV and CKKS share.
+ *
+ * Both schemes compute on the same object — a pair of domain-tagged
+ * RNS residue polynomials over (a prefix of) one modulus chain — and
+ * until this layer existed each scheme re-implemented the same
+ * plumbing around it: operand domain alignment before a pointwise
+ * dispatch, elision accounting for conversions skipped, the batched
+ * device dispatch itself, per-tower host-NTT fallback when no device
+ * is attached, the born-Eval encryption assembly (uniform mask
+ * sampled directly in evaluation form), and the decrypt-side
+ * c0 + c1*s inner product. RlweEvaluator owns all of that exactly
+ * once; the scheme files shrink to scheme math — encoding, noise,
+ * Delta/rescale arithmetic — and future shared machinery
+ * (relinearisation key-switching, Galois rotations) is written here
+ * once instead of per scheme.
+ *
+ * The evaluator also owns the host-side parallel fan-out for
+ * independent per-(component, tower) units of host work (e.g. the
+ * CKKS rescale's lift re-entry transforms): when the attached
+ * device runs a worker pool, those units ride the same pool;
+ * results are bit-identical to the serial loop either way.
+ */
+
+#ifndef RPU_RLWE_EVALUATOR_HH
+#define RPU_RLWE_EVALUATOR_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "rlwe/residue_poly.hh"
+
+namespace rpu {
+
+class RpuDevice;
+
+/** Shared op pipeline over one modulus chain (see file comment). */
+class RlweEvaluator
+{
+  public:
+    /** Residues of one integer polynomial: [tower][coefficient]. */
+    using TowerPoly = std::vector<std::vector<u128>>;
+
+    RlweEvaluator() = default;
+
+    /**
+     * Bind to the full modulus chain of @p basis: builds the
+     * per-tower host twiddle tables and reference transforms (the
+     * no-device fallback and the encrypt/decrypt side engine) and a
+     * ResidueOps routing domain transitions over them.
+     */
+    RlweEvaluator(uint64_t n, const RnsBasis *basis);
+
+    /** Route conversions, products, and transforms through @p device. */
+    void attachDevice(std::shared_ptr<RpuDevice> device);
+
+    bool deviceAttached() const { return device_ != nullptr; }
+    std::shared_ptr<RpuDevice> device() const { return device_; }
+
+    uint64_t ringDim() const { return n_; }
+    const RnsBasis &basis() const;
+    const Modulus &modulus(size_t t) const;
+
+    /** Host reference transform for tower @p t's ring. */
+    const NttContext &hostNtt(size_t t) const;
+
+    /** Domain transitions / pointwise algebra over the full chain. */
+    const ResidueOps &ops() const { return ops_; }
+
+    // -- Domain plumbing -------------------------------------------------
+
+    /**
+     * Enter the evaluation domain once, at encode time: wrap
+     * @p coeff_towers and forward-transform every tower in one
+     * batched device dispatch (host transforms otherwise). This is
+     * the only forward transform an encoded plaintext ever pays.
+     */
+    ResiduePoly enterEval(TowerPoly coeff_towers) const;
+
+    /** Move both ciphertext components to @p target together. */
+    void convertPair(ResiduePoly &c0, ResiduePoly &c1,
+                     ResidueDomain target) const;
+
+    // -- Component-pair ops ----------------------------------------------
+
+    /** Tower-wise pair addition (domain-preserving, host). */
+    std::array<ResiduePoly, 2> addPair(const ResiduePoly &a0,
+                                       const ResiduePoly &a1,
+                                       const ResiduePoly &b0,
+                                       const ResiduePoly &b1) const;
+
+    /** Tower-wise pair subtraction (domain-preserving, host). */
+    std::array<ResiduePoly, 2> subPair(const ResiduePoly &a0,
+                                       const ResiduePoly &a1,
+                                       const ResiduePoly &b0,
+                                       const ResiduePoly &b1) const;
+
+    /**
+     * Both ciphertext components times one shared Eval-resident
+     * plaintext over the first @p towers primes — the homomorphic
+     * multiply's entire op pipeline. Eval-resident components are
+     * read in place (no copy, no transform; the skipped conversions
+     * land in the device's elision ledger), Coeff-resident ones are
+     * converted on copies so the inputs stay untouched; either way
+     * the products go through one pointwise dispatch
+     * (PointwiseMulBatched per pair serially, per-tower PointwiseMul
+     * fan-out on a pooled device).
+     */
+    std::array<ResiduePoly, 2> mulPlainPair(const ResiduePoly &c0,
+                                            const ResiduePoly &c1,
+                                            const ResiduePoly &pt,
+                                            size_t towers) const;
+
+    // -- Encrypt / decrypt common halves ---------------------------------
+
+    /**
+     * Assemble a born-Eval ciphertext pair over @p s_res.size()
+     * towers: per tower, the uniform mask a is sampled directly in
+     * evaluation form (uniform residues are uniform in either
+     * domain, so no transform is spent on it), the secret and
+     * message+error residues enter through one host forward
+     * transform each, and c0 = a .* s + (e + m), c1 = -a — all
+     * pointwise. The returned pair is Eval-resident; the device
+     * issues no launch at all on this path (encryption-side
+     * arithmetic stays off the device, like decryption).
+     */
+    std::array<ResiduePoly, 2> encryptPair(const TowerPoly &s_res,
+                                           const TowerPoly &em_res,
+                                           Rng &rng) const;
+
+    /**
+     * Decrypt-side inner product v = c0 + c1*s over the components'
+     * active towers, returned as Coeff residues — the scheme's one
+     * forced return to coefficients. Eval-resident components pay
+     * one host inverse transform per tower (never a forward one);
+     * Coeff-resident components use the host negacyclic product.
+     * Independent towers fan across the device's worker pool when
+     * one is running (bit-identical to the serial loop).
+     */
+    TowerPoly innerProduct(const ResiduePoly &c0, const ResiduePoly &c1,
+                           const TowerPoly &s_res) const;
+
+    // -- Rescale helpers -------------------------------------------------
+
+    /**
+     * Inverse-transform tower @p t of each Eval-resident polynomial
+     * (one device launch per polynomial when attached, host
+     * transforms otherwise) and return the Coeff residues; the
+     * polynomials themselves are not modified. The dispatch the CKKS
+     * rescale issues for the tower it drops.
+     */
+    std::vector<std::vector<u128>>
+    inverseTower(const std::vector<const ResiduePoly *> &polys,
+                 size_t t) const;
+
+    /**
+     * Run @p fn(0..count-1), fanning the units across the attached
+     * device's worker pool when it has one (serial loop otherwise).
+     * Units must be independent — each writes its own outputs — so
+     * the result is bit-identical to the serial loop; every unit is
+     * joined before the first failure (if any) is rethrown.
+     */
+    void forEachUnit(size_t count,
+                     const std::function<void(size_t)> &fn) const;
+
+  private:
+    uint64_t n_ = 0;
+    const RnsBasis *basis_ = nullptr;
+    std::vector<std::unique_ptr<TwiddleTable>> twiddles_;
+    std::vector<std::unique_ptr<NttContext>> ntts_;
+    ResidueOps ops_;
+    std::shared_ptr<RpuDevice> device_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RLWE_EVALUATOR_HH

@@ -10,8 +10,10 @@ RlweParams::validate() const
 {
     if (!isPow2(n) || n < 1024)
         rpu_fatal("ring dimension must be a power of two >= 1024");
-    if (qBits < 40 || qBits > 128)
-        rpu_fatal("qBits must be in [40, 128]");
+    if (towers < 1)
+        rpu_fatal("modulus chain needs at least one tower");
+    if (towerBits < 30 || towerBits > 120)
+        rpu_fatal("towerBits must be in [30, 120]");
     if (plaintextModulus < 2)
         rpu_fatal("plaintext modulus must be >= 2");
     if (noiseBound == 0)

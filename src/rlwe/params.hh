@@ -6,13 +6,17 @@
  * plaintext -> vectorised encoding -> two ciphertext polynomials).
  * This module provides a minimal BFV-style symmetric scheme — just
  * enough structure to run the Fig. 1 pipeline end to end on RPU
- * kernels. It is a demonstration workload, not a hardened
+ * kernels. The ciphertext modulus is an RNS chain q = q_0 ... q_L-1
+ * of NTT primes, so ciphertexts live tower-wise in exactly the
+ * representation the RPU computes on (full-RNS BFV); CRT only runs
+ * at decryption. It is a demonstration workload, not a hardened
  * cryptosystem (no CCA protections, simplistic noise sampling).
  */
 
 #ifndef RPU_RLWE_PARAMS_HH
 #define RPU_RLWE_PARAMS_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/random.hh"
@@ -22,10 +26,11 @@ namespace rpu {
 /** Scheme parameters. */
 struct RlweParams
 {
-    uint64_t n = 4096;          ///< ring dimension (power of two)
-    unsigned qBits = 124;       ///< ciphertext modulus width
+    uint64_t n = 4096;       ///< ring dimension (power of two)
+    size_t towers = 3;       ///< RNS modulus-chain length
+    unsigned towerBits = 45; ///< bits per chain prime
     uint64_t plaintextModulus = 65537;
-    uint64_t noiseBound = 8;    ///< uniform error in [-B, B]
+    uint64_t noiseBound = 8; ///< uniform error in [-B, B]
 
     /** Fatal on invalid combinations. */
     void validate() const;

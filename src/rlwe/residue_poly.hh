@@ -158,6 +158,9 @@ class ResidueOps
     /** Tower-wise a + b (host); domains must match and are kept. */
     ResiduePoly add(const ResiduePoly &a, const ResiduePoly &b) const;
 
+    /** Tower-wise a - b (host); domains must match and are kept. */
+    ResiduePoly sub(const ResiduePoly &a, const ResiduePoly &b) const;
+
   private:
     /** Shared operand validation for the mulEvalShared variants;
      *  resolves towers == 0 to the left operands' count. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "sim/cycle/simulator.hh"
 #include "sim/functional/state.hh"
 
 namespace rpu {
@@ -205,6 +206,8 @@ RpuDevice::resetCounters()
     counters_.transformsElided = 0;
     for (auto &w : counters_.perWorkerLaunches)
         w = 0;
+    for (auto &w : counters_.perWorkerCycles)
+        w = 0;
 }
 
 void
@@ -234,10 +237,17 @@ RpuDevice::stats() const
         if (counters_.perWorkerLaunches[i] != 0)
             slots = i + 1;
     }
+    for (size_t i = slots; i < DeviceCounters::kWorkerSlots; ++i) {
+        if (counters_.perWorkerCycles[i] != 0)
+            slots = i + 1;
+    }
     slots = std::min(slots, DeviceCounters::kWorkerSlots);
     s.perWorkerLaunches.resize(slots);
-    for (size_t i = 0; i < slots; ++i)
+    s.perWorkerCycles.resize(slots);
+    for (size_t i = 0; i < slots; ++i) {
         s.perWorkerLaunches[i] = counters_.perWorkerLaunches[i];
+        s.perWorkerCycles[i] = counters_.perWorkerCycles[i];
+    }
     return s;
 }
 
@@ -256,7 +266,8 @@ DeviceStats::summary() const
             s += " ";
         s += std::to_string(perWorkerLaunches[i]);
     }
-    s += "]";
+    s += "], cycles total=" + std::to_string(cycleTotal()) +
+         " makespan=" + std::to_string(makespanCycles());
     return s;
 }
 
@@ -410,6 +421,17 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
         rpu_fatal("kCount is a sentinel, not a kernel kind");
     }
 
+    // Cycle-simulate the program once, at the design point it was
+    // generated for, and stamp the cost on the image itself: every
+    // launch then folds its modelled cost into the per-worker cycle
+    // ledger with a plain field read, no lock (this runs outside the
+    // cache lock, like generation itself).
+    RpuConfig cycle_cfg = gen_opts.scheduleConfig;
+    cycle_cfg.vdmBytes =
+        std::max(cycle_cfg.vdmBytes, image->vdmBytesRequired);
+    image->modelCycles =
+        simulateCycles(image->program, cycle_cfg).cycles;
+
     // Publish and wake every same-key waiter. Generation itself
     // cannot fail softly (codegen errors are fatal), so the
     // generating_ entry is always cleared here.
@@ -494,6 +516,7 @@ RpuDevice::executeValidated(const KernelImage &image,
     const size_t slot =
         own_worker ? size_t(ThreadPool::currentWorkerIndex() + 1) : 0;
     ++counters_.perWorkerLaunches[slot];
+    counters_.perWorkerCycles[slot] += image.modelCycles;
 
     auto outputs = backend_->execute(*this, image, inputs);
 

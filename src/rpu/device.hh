@@ -29,6 +29,7 @@
 #ifndef RPU_RPU_DEVICE_HH
 #define RPU_RPU_DEVICE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <future>
@@ -142,6 +143,11 @@ struct DeviceCounters
     std::atomic<uint64_t> transformsElided{0}; ///< conversions skipped
 
     std::atomic<uint64_t> perWorkerLaunches[kWorkerSlots] = {};
+
+    /** Modelled RPU cycles of the launches each lane executed (the
+     *  per-kernel KernelMetrics cycle counts, folded into the same
+     *  per-worker ledger as the launch counts). */
+    std::atomic<uint64_t> perWorkerCycles[kWorkerSlots] = {};
 };
 
 /**
@@ -167,9 +173,44 @@ struct DeviceStats
     /** [0] = inline launches on callers' threads; [1 + w] = worker w. */
     std::vector<uint64_t> perWorkerLaunches;
 
+    /**
+     * Modelled RPU cycles executed per lane (same slot layout):
+     * every launch contributes its image's modelCycles — stamped at
+     * generation time by the device's kernel cache — so the ledger
+     * converts directly into device-time. Ad-hoc KernelImages that
+     * were never cycle-simulated contribute zero; every scheme /
+     * ResidueOps path launches cached kernels, so the HE pipelines
+     * are fully covered.
+     */
+    std::vector<uint64_t> perWorkerCycles;
+
     uint64_t transformsIssued() const
     {
         return forwardTransforms + inverseTransforms;
+    }
+
+    /** Total modelled cycles across every lane. */
+    uint64_t cycleTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : perWorkerCycles)
+            sum += c;
+        return sum;
+    }
+
+    /**
+     * Device-level makespan estimate: the busiest lane's cycle
+     * total. For a batch fanned across w workers this is the
+     * modelled wall-clock of a w-RPU (or w-lane-group) system;
+     * cycleTotal() / makespanCycles() is its utilisation-weighted
+     * speedup over one RPU.
+     */
+    uint64_t makespanCycles() const
+    {
+        uint64_t worst = 0;
+        for (uint64_t c : perWorkerCycles)
+            worst = std::max(worst, c);
+        return worst;
     }
 
     /** One-line summary for benches and examples. */
@@ -245,6 +286,14 @@ class RpuDevice
      */
     void setParallelism(unsigned workers);
     unsigned parallelism() const { return pool_ ? pool_->workers() : 1; }
+
+    /**
+     * The worker pool, or null when parallelism() == 1. Host-side
+     * helpers (e.g. RlweEvaluator's per-tower fan-outs) may submit
+     * independent host work to ride the same lanes between launches;
+     * jobs submitted here do not touch the launch ledger.
+     */
+    ThreadPool *workerPool() const { return pool_.get(); }
 
     // -- Shared numeric context caches ---------------------------------
 

@@ -64,6 +64,15 @@ BigUInt::low128() const
     return v;
 }
 
+double
+BigUInt::toDouble() const
+{
+    double r = 0.0;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        r = r * 18446744073709551616.0 + double(limbs_[i]);
+    return r;
+}
+
 BigUInt
 BigUInt::operator+(const BigUInt &o) const
 {

@@ -49,6 +49,12 @@ class BigUInt
     /** Low 128 bits. */
     u128 low128() const;
 
+    /**
+     * Nearest double (infinity above ~2^1024). For scale and noise
+     * tracking in the RLWE layers, not for exact arithmetic.
+     */
+    double toDouble() const;
+
     BigUInt operator+(const BigUInt &o) const;
     BigUInt operator-(const BigUInt &o) const; // requires *this >= o
     BigUInt operator*(const BigUInt &o) const;

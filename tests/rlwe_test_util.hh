@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared reference oracles for the RLWE scheme tests. Kept naive on
+ * purpose: the schemes compute these quantities through NTTs and RNS
+ * towers, so the test oracle must not.
+ */
+
+#ifndef RPU_TESTS_RLWE_TEST_UTIL_HH
+#define RPU_TESTS_RLWE_TEST_UTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rpu {
+namespace testutil {
+
+/** Naive negacyclic product of two mod-t vectors (x^n = -1). */
+inline std::vector<uint64_t>
+naiveNegacyclicModT(const std::vector<uint64_t> &a,
+                    const std::vector<uint64_t> &b, uint64_t t)
+{
+    const size_t n = a.size();
+    std::vector<int64_t> acc(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        if (b[i] == 0)
+            continue;
+        for (size_t j = 0; j < n; ++j) {
+            const size_t k = (i + j) % n;
+            const int64_t sign = (i + j) < n ? 1 : -1;
+            acc[k] += sign * int64_t((a[j] * b[i]) % t);
+            acc[k] %= int64_t(t);
+        }
+    }
+    std::vector<uint64_t> out(n);
+    for (size_t k = 0; k < n; ++k)
+        out[k] = uint64_t((acc[k] + int64_t(t)) % int64_t(t));
+    return out;
+}
+
+} // namespace testutil
+} // namespace rpu
+
+#endif // RPU_TESTS_RLWE_TEST_UTIL_HH

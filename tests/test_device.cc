@@ -15,6 +15,7 @@
 
 #include "modmath/primegen.hh"
 #include "rlwe/bfv.hh"
+#include "rlwe_test_util.hh"
 #include "rpu/device.hh"
 #include "rpu/runner.hh"
 
@@ -492,105 +493,79 @@ smallParams()
 {
     RlweParams p;
     p.n = 1024;
-    p.qBits = 100;
+    p.towers = 2;
+    p.towerBits = 50;
     p.plaintextModulus = 65537;
     p.noiseBound = 4;
     return p;
-}
-
-TEST(BfvOnDevice, RnsProductMatchesReferenceNtt)
-{
-    BfvContext ctx(smallParams());
-    ctx.attachDevice(std::make_shared<RpuDevice>());
-
-    Rng rng(31);
-    const auto a = randomPoly(ctx.modulus(), ctx.params().n, rng);
-    const auto b = randomPoly(ctx.modulus(), ctx.params().n, rng);
-    EXPECT_EQ(ctx.negacyclicMulRns(a, b),
-              negacyclicMulNtt(ctx.ntt(), a, b));
 }
 
 TEST(BfvOnDevice, PlaintextMultiplyExecutesOnTheRpu)
 {
     // The acceptance check: an HE multiply must actually run on the
     // simulated RPU through the device (non-zero launch and cache
-    // counters) and produce ciphertexts identical to the
-    // reference-NTT path.
+    // counters) and produce ciphertexts identical to the host
+    // pointwise path, tower for tower.
     BfvContext ctx(smallParams());
     const SecretKey sk = ctx.keygen();
 
     Rng rng(33);
-    std::vector<uint64_t> msg(ctx.params().n), plain(ctx.params().n);
+    std::vector<uint64_t> msg(ctx.params().n);
     for (auto &v : msg)
         v = rng.below64(ctx.params().plaintextModulus);
-    for (auto &v : plain)
-        v = rng.below64(ctx.params().plaintextModulus);
+    std::vector<uint64_t> plain(ctx.params().n, 0);
+    plain[0] = 2;
+    plain[5] = 40000;
     const Ciphertext ct = ctx.encrypt(sk, msg);
 
-    // Reference path first (no device attached yet).
-    const Ciphertext via_ntt = ctx.mulPlain(ct, plain);
+    // Host reference path first (no device attached yet).
+    const Ciphertext via_host = ctx.mulPlain(ct, plain);
 
     const auto device = std::make_shared<RpuDevice>();
     ctx.attachDevice(device);
     const Ciphertext via_rpu = ctx.mulPlain(ct, plain);
 
-    // Identical ciphertexts, bit for bit.
-    EXPECT_EQ(via_rpu.c0, via_ntt.c0);
-    EXPECT_EQ(via_rpu.c1, via_ntt.c1);
+    // Identical ciphertexts, bit for bit, still Eval-resident.
+    EXPECT_EQ(via_rpu.c0, via_host.c0);
+    EXPECT_EQ(via_rpu.c1, via_host.c1);
+    EXPECT_EQ(via_rpu.domain(), ResidueDomain::Eval);
 
-    // The device really did the work, through the domain-tagged
-    // residue path: one batched forward transform per input
-    // polynomial (the shared plaintext transformed once, not once
-    // per component), one batched pointwise launch per component,
-    // and one batched inverse transform per component.
-    const size_t towers = ctx.rnsBasis().towers();
+    // The device did the work, and only the minimal work: one
+    // batched forward transform for the plaintext encode, then one
+    // batched pointwise launch per ciphertext component — the
+    // Eval-resident ciphertext itself was never transformed (the
+    // elision ledger shows both components skipped).
+    const size_t towers = ctx.basis().towers();
     {
         const DeviceStats s = device->stats();
-        EXPECT_EQ(s.launches, 7u);
-        EXPECT_EQ(s.kernelMisses, 3u);
-        EXPECT_EQ(s.towerLaunches, 7 * towers);
-        EXPECT_EQ(s.forwardTransforms, 3 * towers);
-        EXPECT_EQ(s.inverseTransforms, 2 * towers);
+        EXPECT_EQ(s.launches, 3u);
+        EXPECT_EQ(s.kernelMisses, 2u);
+        EXPECT_EQ(s.towerLaunches, 3 * towers);
+        EXPECT_EQ(s.forwardTransforms, towers);
+        EXPECT_EQ(s.inverseTransforms, 0u);
         EXPECT_EQ(s.pointwiseMuls, 2 * towers);
+        EXPECT_EQ(s.transformsElided, 2 * towers);
     }
 
-    // A second multiply reuses all three cached kernels.
+    // A second multiply reuses both cached kernels.
     const Ciphertext again = ctx.mulPlain(ct, plain);
-    EXPECT_EQ(again.c0, via_ntt.c0);
+    EXPECT_EQ(again.c0, via_host.c0);
     const DeviceCounters &c = device->counters();
-    EXPECT_EQ(c.launches, 14u);
-    EXPECT_EQ(c.kernelMisses, 3u);
-    EXPECT_EQ(c.kernelHits, 3u);
+    EXPECT_EQ(c.launches, 6u);
+    EXPECT_EQ(c.kernelMisses, 2u);
+    EXPECT_EQ(c.kernelHits, 2u);
 
     // And the result still decrypts correctly.
-    std::vector<uint64_t> expected(ctx.params().n);
-    {
-        const u128 t = ctx.params().plaintextModulus;
-        // plain(x) * msg(x) mod (x^n + 1, t) via the naive rule.
-        std::vector<int64_t> acc(ctx.params().n, 0);
-        for (size_t i = 0; i < msg.size(); ++i) {
-            for (size_t j = 0; j < plain.size(); ++j) {
-                const size_t k = (i + j) % msg.size();
-                const int64_t sign =
-                    (i + j) < msg.size() ? 1 : -1;
-                acc[k] += sign *
-                          int64_t((msg[i] * plain[j]) % uint64_t(t));
-                acc[k] %= int64_t(uint64_t(t));
-            }
-        }
-        for (size_t k = 0; k < acc.size(); ++k) {
-            expected[k] = uint64_t((acc[k] + int64_t(uint64_t(t))) %
-                                   int64_t(uint64_t(t)));
-        }
-    }
-    EXPECT_EQ(ctx.decrypt(sk, via_rpu), expected);
+    EXPECT_EQ(ctx.decrypt(sk, via_rpu),
+              testutil::naiveNegacyclicModT(
+                  msg, plain, ctx.params().plaintextModulus));
 }
 
 TEST(BfvOnDevice, ParallelDeviceBitIdenticalToSerial)
 {
-    // The whole RNS product pipeline — decompose, per-tower products
-    // across the worker pool, CRT reconstruction — must be
-    // bit-identical to both the serial device and the reference NTT.
+    // The whole Eval-resident pipeline — per-tower pointwise
+    // products fanned across the worker pool — must be bit-identical
+    // to both the serial device and the host path.
     BfvContext ctx(smallParams());
     const SecretKey sk = ctx.keygen();
 
@@ -601,19 +576,19 @@ TEST(BfvOnDevice, ParallelDeviceBitIdenticalToSerial)
     for (auto &v : plain)
         v = rng.below64(ctx.params().plaintextModulus);
     const Ciphertext ct = ctx.encrypt(sk, msg);
-    const Ciphertext via_ntt = ctx.mulPlain(ct, plain); // no device
+    const Ciphertext via_host = ctx.mulPlain(ct, plain); // no device
 
     const auto device = std::make_shared<RpuDevice>();
     device->setParallelism(4);
     ctx.attachDevice(device);
     const Ciphertext via_pool = ctx.mulPlain(ct, plain);
-    EXPECT_EQ(via_pool.c0, via_ntt.c0);
-    EXPECT_EQ(via_pool.c1, via_ntt.c1);
+    EXPECT_EQ(via_pool.c0, via_host.c0);
+    EXPECT_EQ(via_pool.c1, via_host.c1);
 
-    // One single-tower launch per (polynomial, tower, stage): three
-    // forward-transform fan-outs, two pointwise, two inverse.
+    // One single-tower launch per (polynomial, tower): the encode's
+    // forward fan-out plus both components' pointwise products.
     EXPECT_EQ(device->counters().launches,
-              7 * ctx.rnsBasis().towers());
+              3 * ctx.basis().towers());
 
     device->setParallelism(1);
     const Ciphertext via_serial = ctx.mulPlain(ct, plain);
@@ -621,11 +596,11 @@ TEST(BfvOnDevice, ParallelDeviceBitIdenticalToSerial)
     EXPECT_EQ(via_serial.c1, via_pool.c1);
 }
 
-TEST(BfvOnDevice, RnsPathMatchesMulPlainAcrossBackends)
+TEST(BfvOnDevice, EvalResidentPathMatchesAcrossBackends)
 {
-    // Backend-equivalence for the full mulPlainRns path: the
-    // functional simulator and the CPU reference baseline must both
-    // reproduce the CPU-only mulPlain ciphertexts bit for bit.
+    // Backend-equivalence for the full encode + pointwise-multiply
+    // path: the functional simulator and the CPU reference baseline
+    // must both reproduce the host-path ciphertexts bit for bit.
     BfvContext ctx(smallParams());
     const SecretKey sk = ctx.keygen();
 
@@ -791,6 +766,13 @@ TEST(DeviceStats, AggregatesLaunchesTransformsAndWorkers)
         // Serial launches attribute to slot 0 (the calling thread).
         ASSERT_EQ(s.perWorkerLaunches.size(), 1u);
         EXPECT_EQ(s.perWorkerLaunches[0], 1u);
+        // The cycle ledger folds the kernel's modelled cost into the
+        // same slot: one lane did everything, so the makespan IS the
+        // total.
+        ASSERT_EQ(s.perWorkerCycles.size(), 1u);
+        EXPECT_GT(s.perWorkerCycles[0], 0u);
+        EXPECT_EQ(s.cycleTotal(), s.perWorkerCycles[0]);
+        EXPECT_EQ(s.makespanCycles(), s.cycleTotal());
         EXPECT_FALSE(s.summary().empty());
     }
 
@@ -809,7 +791,21 @@ TEST(DeviceStats, AggregatesLaunchesTransformsAndWorkers)
         EXPECT_EQ(attributed, s.launches);
         // Worker launches never attribute to the inline slot.
         EXPECT_EQ(s.perWorkerLaunches[0], 0u);
+        // Per-worker cycles follow the launches: nothing on the
+        // inline slot, every launch's modelled cost on some worker,
+        // and the makespan (busiest lane) bounded by the total.
+        ASSERT_EQ(s.perWorkerCycles.size(), 3u);
+        EXPECT_EQ(s.perWorkerCycles[0], 0u);
+        EXPECT_GT(s.cycleTotal(), 0u);
+        EXPECT_GT(s.makespanCycles(), 0u);
+        EXPECT_LE(s.makespanCycles(), s.cycleTotal());
     }
+
+    // The per-kernel cost the ledger folds in is stamped on the
+    // cached image at generation and stable across launches.
+    const KernelImage &k = dev.kernel(KernelKind::PolyMul, n,
+                                      {primes[0]});
+    EXPECT_GT(k.modelCycles, 0u);
 
     // resetCounters clears the whole snapshot.
     dev.resetCounters();
@@ -817,6 +813,7 @@ TEST(DeviceStats, AggregatesLaunchesTransformsAndWorkers)
     EXPECT_EQ(cleared.launches, 0u);
     EXPECT_EQ(cleared.transformsIssued(), 0u);
     EXPECT_EQ(cleared.transformsElided, 0u);
+    EXPECT_EQ(cleared.cycleTotal(), 0u);
     for (uint64_t w : cleared.perWorkerLaunches)
         EXPECT_EQ(w, 0u);
 }
@@ -828,17 +825,20 @@ TEST(BfvOnDevice, SharedDeviceAccumulatesAcrossContexts)
     const auto device = std::make_shared<RpuDevice>();
     BfvContext ctx(smallParams());
     ctx.attachDevice(device);
-    NttRunner runner =
-        NttRunner::withModulus(ctx.params().n, ctx.q(), device);
+    NttRunner runner = NttRunner::withModulus(
+        ctx.params().n, ctx.basis().prime(0), device);
 
-    Rng rng(41);
-    const auto a = randomPoly(ctx.modulus(), ctx.params().n, rng);
-    const auto b = randomPoly(ctx.modulus(), ctx.params().n, rng);
-    ctx.negacyclicMulRns(a, b);
+    // encode (1 batched forward launch) + mulPlain (2 pointwise).
+    const SecretKey sk = ctx.keygen();
+    std::vector<uint64_t> msg(ctx.params().n, 1), plain(ctx.params().n,
+                                                        2);
+    ctx.mulPlain(ctx.encrypt(sk, msg), plain);
 
     const NttKernel fwd = runner.makeKernel();
-    runner.execute(fwd, a);
-    EXPECT_EQ(device->counters().launches, 2u);
+    Rng rng(41);
+    runner.execute(fwd, randomPoly(Modulus(ctx.basis().prime(0)),
+                                   ctx.params().n, rng));
+    EXPECT_EQ(device->counters().launches, 4u);
     EXPECT_GT(device->modulusCache().size(), 0u);
 }
 

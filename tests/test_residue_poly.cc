@@ -147,6 +147,24 @@ TEST(ResiduePoly, EvalPointwiseMatchesFusedNegacyclicProduct)
         EXPECT_EQ(prod.towers[t], fused[t]) << "tower " << t;
 }
 
+TEST(ResiduePoly, AddSubRoundTripInBothDomains)
+{
+    // sub is add's exact inverse, tower for tower, in either
+    // residency — the algebra the RNS-resident BFV add/sub ride on.
+    const size_t towers = 2;
+    Fixture fx(towers);
+    ResiduePoly a = fx.randomCoeffPoly(37, towers);
+    ResiduePoly b = fx.randomCoeffPoly(41, towers);
+
+    const ResiduePoly coeff_rt = fx.ops.sub(fx.ops.add(a, b), b);
+    EXPECT_EQ(coeff_rt, a);
+
+    fx.ops.convert({&a, &b}, ResidueDomain::Eval);
+    const ResiduePoly eval_rt = fx.ops.sub(fx.ops.add(a, b), b);
+    EXPECT_EQ(eval_rt, a);
+    EXPECT_TRUE(eval_rt.inEval());
+}
+
 TEST(ResiduePoly, SharedRightOperandAndPrefixLevels)
 {
     // mulEvalShared against one plaintext, at two different levels:
