@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "modmath/simd.hh"
 #include "rlwe/bfv.hh"
 #include "rpu/device.hh"
 
@@ -204,9 +205,10 @@ main()
 
     bench::header("BFV add->mulPlain->add chain: RNS residency");
     std::printf("n = %llu, 45-bit towers, t = 65537, %d reps/cell, "
-                "host cores = %u\n",
+                "host cores = %u, host SIMD = %s (%s)\n",
                 (unsigned long long)n, reps,
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(),
+                simd::hostSimdModeName(), simd::hostSimdIsa());
 
     const auto device = std::make_shared<RpuDevice>();
 

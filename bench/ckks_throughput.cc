@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "modmath/simd.hh"
 #include "rlwe/ckks.hh"
 #include "rpu/device.hh"
 
@@ -197,9 +198,10 @@ main()
     bench::header("CKKS mulPlain->rescale->mulPlain chain: "
                   "evaluation-domain residency");
     std::printf("n = %llu, 45-bit towers, scale 2^40, %d reps/cell, "
-                "host cores = %u\n",
+                "host cores = %u, host SIMD = %s (%s)\n",
                 (unsigned long long)n, reps,
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(),
+                simd::hostSimdModeName(), simd::hostSimdIsa());
 
     const auto device = std::make_shared<RpuDevice>();
 

@@ -29,6 +29,7 @@
 
 #include "bench/bench_util.hh"
 #include "modmath/primegen.hh"
+#include "modmath/simd.hh"
 #include "poly/polynomial.hh"
 #include "rpu/device.hh"
 
@@ -97,9 +98,11 @@ main()
     const std::vector<unsigned> worker_counts = {1, 2, 4, 8};
 
     bench::header("launchAll throughput: serial vs worker pool");
-    std::printf("n = %llu, %d reps/cell, host cores = %u\n",
+    std::printf("n = %llu, %d reps/cell, host cores = %u, "
+                "host SIMD = %s (%s)\n",
                 (unsigned long long)n, reps,
-                std::thread::hardware_concurrency());
+                std::thread::hardware_concurrency(),
+                simd::hostSimdModeName(), simd::hostSimdIsa());
     std::printf("cells: batches/s (speedup vs 1 worker)\n");
 
     RpuDevice dev;

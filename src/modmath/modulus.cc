@@ -16,6 +16,9 @@ Modulus::Modulus(u128 q) : q_(q)
     if (!isOdd())
         return; // Montgomery constants are undefined; generic path only.
 
+    if (simd::narrowModulusOk(q_))
+        narrow_.emplace(uint64_t(q_));
+
     // Newton iteration for q^-1 mod 2^128: each step doubles the
     // number of correct low bits, so 7 steps starting from 1 bit
     // reach 128.

@@ -18,8 +18,10 @@
 #define RPU_MODMATH_MODULUS_HH
 
 #include <cstdint>
+#include <optional>
 
 #include "common/random.hh"
+#include "modmath/simd.hh"
 #include "wide/u256.hh"
 
 namespace rpu {
@@ -91,6 +93,18 @@ class Modulus
 
     bool isOdd() const { return (q_ & 1) != 0; }
 
+    /**
+     * The per-modulus constants for the vectorised u64 kernel set, or
+     * nullptr when q is outside the narrow domain (even or >= 2^62).
+     * Built once at construction; the contexts are cached and shared
+     * (ModulusContextCache, RnsBasis), so hot paths never rebuild it.
+     */
+    const simd::NarrowModulus *
+    narrow() const
+    {
+        return narrow_ ? &*narrow_ : nullptr;
+    }
+
   private:
     /** Montgomery reduction: t * 2^-128 mod q, for t < q * 2^128. */
     u128 redc(U256 t) const;
@@ -102,6 +116,7 @@ class Modulus
     u128 qInvNeg_ = 0; ///< -q^-1 mod 2^128 (odd q only)
     u128 r2_ = 0;      ///< 2^256 mod q (odd q only)
     unsigned bits_;
+    std::optional<simd::NarrowModulus> narrow_; ///< q < 2^62 and odd
 };
 
 } // namespace rpu

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Narrow-kernel dispatch: mode selection (RPU_HOST_SIMD), the
+ * ISA-table pick (done once, at first use), and the always-available
+ * scalar-u64 fallback kernel set. The fallback instantiates the same
+ * generic bodies as the vector sets with a width-1 "vector", so the
+ * three implementations can only ever differ in how a span is split,
+ * never in what an element becomes.
+ */
+
+#include "modmath/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace rpu::simd {
+
+NarrowModulus::NarrowModulus(uint64_t modulus) : q(modulus)
+{
+    rpu_assert(narrowModulusOk(modulus),
+               "modulus %llu outside the narrow-kernel domain",
+               (unsigned long long)modulus);
+    // Newton iteration doubles correct low bits per step: 5 steps
+    // from the 5-bit seed (q * q == q^-1 mod 2^5 for odd q... the
+    // classic trick: x := q is correct mod 2^3 already).
+    uint64_t inv = q;
+    for (int i = 0; i < 5; ++i)
+        inv *= 2 - q * inv;
+    qInvNeg = ~inv + 1; // -q^-1 mod 2^64
+    const uint64_t r = uint64_t((u128(1) << 64) % q); // 2^64 mod q
+    r2 = uint64_t(u128(r) * r % q);                   // 2^128 mod q
+}
+
+namespace {
+
+HostSimdMode
+initialModeFromEnv()
+{
+    const char *env = std::getenv("RPU_HOST_SIMD");
+    if (env == nullptr || *env == '\0')
+        return HostSimdMode::Native;
+    if (std::strcmp(env, "scalar") == 0)
+        return HostSimdMode::Scalar;
+    if (std::strcmp(env, "native") == 0)
+        return HostSimdMode::Native;
+    rpu_fatal("RPU_HOST_SIMD must be 'scalar' or 'native', got '%s'",
+              env);
+}
+
+std::atomic<HostSimdMode> &
+modeSlot()
+{
+    static std::atomic<HostSimdMode> mode{initialModeFromEnv()};
+    return mode;
+}
+
+const detail::KernelTable &
+activeTable()
+{
+    static const detail::KernelTable *table = [] {
+        if (const auto *t = detail::avx2KernelTable())
+            return t;
+        if (const auto *t = detail::neonKernelTable())
+            return t;
+        return detail::scalarKernelTable();
+    }();
+    return *table;
+}
+
+} // namespace
+
+HostSimdMode
+hostSimdMode()
+{
+    return modeSlot().load(std::memory_order_relaxed);
+}
+
+void
+setHostSimdMode(HostSimdMode mode)
+{
+    modeSlot().store(mode, std::memory_order_relaxed);
+}
+
+bool
+narrowLanesActive()
+{
+    return hostSimdMode() == HostSimdMode::Native;
+}
+
+const char *
+hostSimdIsa()
+{
+    return activeTable().isa;
+}
+
+const char *
+hostSimdModeName()
+{
+    return hostSimdMode() == HostSimdMode::Scalar ? "scalar" : "native";
+}
+
+void
+mulShoupSpan(const uint64_t *a, uint64_t *out, size_t len, uint64_t w,
+             uint64_t wShoup, uint64_t q)
+{
+    activeTable().mulShoupSpan(a, out, len, w, wShoup, q);
+}
+
+void
+mulModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+           size_t len, const NarrowModulus &m)
+{
+    activeTable().mulModSpan(a, b, out, len, m);
+}
+
+void
+addModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+           size_t len, uint64_t q)
+{
+    activeTable().addModSpan(a, b, out, len, q);
+}
+
+void
+subModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+           size_t len, uint64_t q)
+{
+    activeTable().subModSpan(a, b, out, len, q);
+}
+
+void
+butterflyMulModSpan(const uint64_t *x, const uint64_t *y,
+                    const uint64_t *w, uint64_t *sum, uint64_t *diff,
+                    size_t len, const NarrowModulus &m)
+{
+    activeTable().butterflyMulModSpan(x, y, w, sum, diff, len, m);
+}
+
+void
+forwardButterflyLazySpan(uint64_t *lo, uint64_t *hi, size_t len,
+                         uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    activeTable().forwardButterflyLazySpan(lo, hi, len, w, wShoup, q);
+}
+
+void
+inverseButterflyLazySpan(uint64_t *lo, uint64_t *hi, size_t len,
+                         uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    activeTable().inverseButterflyLazySpan(lo, hi, len, w, wShoup, q);
+}
+
+void
+canonicalizeSpan(uint64_t *x, size_t len, uint64_t q)
+{
+    activeTable().canonicalizeSpan(x, len, q);
+}
+
+// ---------------------------------------------------------------------
+// Scalar fallback kernel set: the generic bodies over a 1-lane "vector".
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ScalarVec
+{
+    uint64_t v;
+    static constexpr size_t width = 1;
+
+    static ScalarVec load(const uint64_t *p) { return {*p}; }
+    static void store(uint64_t *p, ScalarVec x) { *p = x.v; }
+    static ScalarVec set1(uint64_t x) { return {x}; }
+    static ScalarVec add(ScalarVec a, ScalarVec b) { return {a.v + b.v}; }
+    static ScalarVec sub(ScalarVec a, ScalarVec b) { return {a.v - b.v}; }
+    static ScalarVec
+    mullo(ScalarVec a, ScalarVec b)
+    {
+        return {a.v * b.v};
+    }
+    static ScalarVec
+    mulhi(ScalarVec a, ScalarVec b)
+    {
+        return {uint64_t((u128(a.v) * b.v) >> 64)};
+    }
+    static ScalarVec
+    csub(ScalarVec x, ScalarVec q)
+    {
+        return {x.v >= q.v ? x.v - q.v : x.v};
+    }
+    static ScalarVec
+    nonzero01(ScalarVec x)
+    {
+        return {x.v != 0 ? uint64_t(1) : uint64_t(0)};
+    }
+};
+
+using VecT = ScalarVec;
+#include "modmath/simd_kernels.inl"
+
+} // namespace
+
+namespace detail {
+
+const KernelTable *
+scalarKernelTable()
+{
+    static const KernelTable table = {
+        mulShoupSpanImpl,
+        mulModSpanImpl,
+        addModSpanImpl,
+        subModSpanImpl,
+        butterflyMulModSpanImpl,
+        forwardButterflyLazySpanImpl,
+        inverseButterflyLazySpanImpl,
+        canonicalizeSpanImpl,
+        "scalar-fallback",
+    };
+    return &table;
+}
+
+} // namespace detail
+
+} // namespace rpu::simd

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Vectorised host math: the SIMD backend for the scalar hot loops.
+ *
+ * The RPU paper's CPU baseline (Fig. 10) runs the NTT inner loop on
+ * scalar 64-/128-bit arithmetic, and so did every host path in this
+ * repository: the reference NTT, the functional simulator's
+ * butterfly/pointwise lanes, and the ResidueOps/RlweEvaluator host
+ * fallbacks all went through the 128-bit Montgomery `Modulus`. Every
+ * tower prime any scheme actually uses is far narrower (<= 50 bits in
+ * the tests and benches), so this layer adds a *narrow* u64 kernel
+ * set for the three hot shapes — Shoup modular multiply over a span,
+ * radix-2 butterfly passes with lazy reduction, and Montgomery
+ * pointwise products — vectorised with AVX2 or NEON where available
+ * and falling back to scalar u64 otherwise.
+ *
+ * Dispatch contract:
+ *  - The kernel ISA (AVX2 / NEON / scalar fallback) is chosen once,
+ *    at first use, from compile-time availability plus a runtime
+ *    cpuid check. Both paths are always compiled; nothing here
+ *    requires building the whole tree with -mavx2.
+ *  - `RPU_HOST_SIMD=scalar|native` selects at startup whether callers
+ *    use the narrow kernels at all. `scalar` keeps every caller on
+ *    the verbatim u128 reference path (the bit-identity baseline);
+ *    `native` (the default) routes moduli below 2^62 through the
+ *    narrow kernels. setHostSimdMode() is the in-process override
+ *    the A/B benches and bit-identity tests use.
+ *  - Every kernel produces canonical representatives in [0, q) at
+ *    its boundary and is bit-identical to the scalar reference: the
+ *    lazy butterfly passes keep values in [0, 4q)/[0, 2q) *between*
+ *    stages, but a transform always ends with a canonicalisation
+ *    pass, and canonical residues agree with the u128 path exactly.
+ *
+ * Lane-width requirements: q odd and q < 2^62 (the same bound as the
+ * Fig. 10 CPU-64b baseline) so lazy sums never overflow 64 bits and
+ * Shoup's w*a - floor(ws*a/2^64)*q stays below 2q for any a < 2^64.
+ */
+
+#ifndef RPU_MODMATH_SIMD_HH
+#define RPU_MODMATH_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/random.hh"
+
+namespace rpu::simd {
+
+/** Which path the callers take (see file comment). */
+enum class HostSimdMode
+{
+    Scalar, ///< verbatim u128 reference loops everywhere
+    Native, ///< narrow u64 kernels for moduli below 2^62
+};
+
+/**
+ * The process-wide mode: initialised once from RPU_HOST_SIMD
+ * ("scalar" | "native"; unset means native, anything else is fatal).
+ */
+HostSimdMode hostSimdMode();
+
+/** In-process override for A/B benches and bit-identity tests. */
+void setHostSimdMode(HostSimdMode mode);
+
+/** True when callers should take the narrow kernel path. */
+bool narrowLanesActive();
+
+/**
+ * Name of the kernel set the narrow path dispatches to ("avx2",
+ * "neon", or "scalar-fallback") — fixed at first use, independent of
+ * the mode.
+ */
+const char *hostSimdIsa();
+
+/** "scalar" or "native", after env/override resolution. */
+const char *hostSimdModeName();
+
+/** Largest modulus the narrow kernels accept (exclusive). */
+constexpr unsigned kMaxNarrowModulusBits = 62;
+
+/** Narrow kernels need q odd (Montgomery) and q < 2^62 (lazy sums). */
+inline bool
+narrowModulusOk(u128 q)
+{
+    return (q & 1) != 0 && q >= 3 && q < (u128(1) << kMaxNarrowModulusBits);
+}
+
+/**
+ * Per-modulus constants for the narrow kernels (Montgomery with
+ * R = 2^64 plus the plain value). Cheap to build; `Modulus` owns one
+ * per cached context so hot paths never rebuild it.
+ */
+struct NarrowModulus
+{
+    uint64_t q = 0;
+    uint64_t qInvNeg = 0; ///< -q^-1 mod 2^64
+    uint64_t r2 = 0;      ///< 2^128 mod q
+
+    NarrowModulus() = default;
+    explicit NarrowModulus(uint64_t modulus);
+};
+
+/** floor(w * 2^64 / q) — the Shoup constant for w in [0, q). */
+inline uint64_t
+shoupPrecompute64(uint64_t w, uint64_t q)
+{
+    return uint64_t((u128(w) << 64) / q);
+}
+
+// ---------------------------------------------------------------------
+// Scalar lane helpers. These are *the* semantics: the vector kernels'
+// tail loops and the scalar-fallback kernel set call exactly these, so
+// a span is element-for-element identical no matter how it was split
+// between vector body and tail.
+// ---------------------------------------------------------------------
+
+/** w * a mod q in [0, 2q): Harvey's lazy Shoup product (any a). */
+inline uint64_t
+mulShoupLazy64(uint64_t w, uint64_t wShoup, uint64_t a, uint64_t q)
+{
+    const uint64_t hi = uint64_t((u128(wShoup) * a) >> 64);
+    return w * a - hi * q;
+}
+
+/** w * a mod q, canonical (w < q, any a < 2^64). */
+inline uint64_t
+mulShoup64(uint64_t w, uint64_t wShoup, uint64_t a, uint64_t q)
+{
+    const uint64_t r = mulShoupLazy64(w, wShoup, a, q);
+    return r >= q ? r - q : r;
+}
+
+/** REDC(t) = t * 2^-64 mod q, in [0, 2q) for t < q * 2^64. */
+inline uint64_t
+redc64(u128 t, const NarrowModulus &m)
+{
+    const uint64_t lo = uint64_t(t);
+    const uint64_t hi = uint64_t(t >> 64);
+    const uint64_t k = lo * m.qInvNeg;
+    const uint64_t correction = uint64_t((u128(k) * m.q + lo) >> 64);
+    return hi + correction;
+}
+
+/** a * b mod q, canonical, via two Montgomery reductions (a, b < q). */
+inline uint64_t
+mulMontMod64(uint64_t a, uint64_t b, const NarrowModulus &m)
+{
+    const uint64_t u = redc64(u128(a) * b, m);     // < 2q
+    const uint64_t r = redc64(u128(u) * m.r2, m);  // < 2q
+    return r >= m.q ? r - m.q : r;
+}
+
+/** a + b mod q, canonical inputs. */
+inline uint64_t
+addMod64(uint64_t a, uint64_t b, uint64_t q)
+{
+    const uint64_t s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** a - b mod q, canonical inputs. */
+inline uint64_t
+subMod64(uint64_t a, uint64_t b, uint64_t q)
+{
+    const uint64_t d = a + q - b;
+    return d >= q ? d - q : d;
+}
+
+// ---------------------------------------------------------------------
+// Batch kernels. All handle arbitrary span lengths (including lengths
+// that are not a multiple of the vector width, and len == 0); `out`
+// may alias `a` / `b`. Dispatch to the selected ISA happens inside.
+// ---------------------------------------------------------------------
+
+/** out[i] = w * a[i] mod q, canonical (w < q). */
+void mulShoupSpan(const uint64_t *a, uint64_t *out, size_t len,
+                  uint64_t w, uint64_t wShoup, uint64_t q);
+
+/** out[i] = a[i] * b[i] mod q, canonical (Montgomery pointwise). */
+void mulModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t len, const NarrowModulus &m);
+
+/** out[i] = a[i] + b[i] mod q, canonical inputs. */
+void addModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t len, uint64_t q);
+
+/** out[i] = a[i] - b[i] mod q, canonical inputs. */
+void subModSpan(const uint64_t *a, const uint64_t *b, uint64_t *out,
+                size_t len, uint64_t q);
+
+/**
+ * The functional simulator's butterfly lane op, fused: per element
+ * t = w[i] * y[i] mod q, sum[i] = x[i] + t, diff[i] = x[i] - t, all
+ * canonical. sum/diff must not alias the inputs.
+ */
+void butterflyMulModSpan(const uint64_t *x, const uint64_t *y,
+                         const uint64_t *w, uint64_t *sum,
+                         uint64_t *diff, size_t len,
+                         const NarrowModulus &m);
+
+/**
+ * One forward (Cooley-Tukey) butterfly group with lazy reduction:
+ * inputs in [0, 4q), outputs in [0, 4q). Per element:
+ *   x' = csub(lo, 2q) + t;  hi' = csub(lo, 2q) - t + 2q
+ * with t = mulShoupLazy(w, hi) < 2q. Canonicalise after the last
+ * stage with canonicalizeSpan().
+ */
+void forwardButterflyLazySpan(uint64_t *lo, uint64_t *hi, size_t len,
+                              uint64_t w, uint64_t wShoup, uint64_t q);
+
+/**
+ * One inverse (Gentleman-Sande) butterfly group with lazy reduction:
+ * inputs in [0, 2q), outputs in [0, 2q). Per element:
+ *   lo' = csub(lo + hi, 2q);  hi' = mulShoupLazy(w, lo - hi + 2q)
+ */
+void inverseButterflyLazySpan(uint64_t *lo, uint64_t *hi, size_t len,
+                              uint64_t w, uint64_t wShoup, uint64_t q);
+
+/** Reduce x[i] in [0, 4q) to canonical [0, q). */
+void canonicalizeSpan(uint64_t *x, size_t len, uint64_t q);
+
+namespace detail {
+
+/** The dispatchable kernel set; one instance per ISA. */
+struct KernelTable
+{
+    void (*mulShoupSpan)(const uint64_t *, uint64_t *, size_t, uint64_t,
+                         uint64_t, uint64_t);
+    void (*mulModSpan)(const uint64_t *, const uint64_t *, uint64_t *,
+                       size_t, const NarrowModulus &);
+    void (*addModSpan)(const uint64_t *, const uint64_t *, uint64_t *,
+                       size_t, uint64_t);
+    void (*subModSpan)(const uint64_t *, const uint64_t *, uint64_t *,
+                       size_t, uint64_t);
+    void (*butterflyMulModSpan)(const uint64_t *, const uint64_t *,
+                                const uint64_t *, uint64_t *, uint64_t *,
+                                size_t, const NarrowModulus &);
+    void (*forwardButterflyLazySpan)(uint64_t *, uint64_t *, size_t,
+                                     uint64_t, uint64_t, uint64_t);
+    void (*inverseButterflyLazySpan)(uint64_t *, uint64_t *, size_t,
+                                     uint64_t, uint64_t, uint64_t);
+    void (*canonicalizeSpan)(uint64_t *, size_t, uint64_t);
+    const char *isa;
+};
+
+/** nullptr when the build/CPU cannot run AVX2 code. */
+const KernelTable *avx2KernelTable();
+
+/** nullptr when not an AArch64 build. */
+const KernelTable *neonKernelTable();
+
+/** The always-available scalar-u64 kernel set. */
+const KernelTable *scalarKernelTable();
+
+} // namespace detail
+
+} // namespace rpu::simd
+
+#endif // RPU_MODMATH_SIMD_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * AVX2 specialisation of the narrow kernels: four u64 lanes per op.
+ *
+ * This translation unit alone is compiled with -mavx2 (see
+ * CMakeLists.txt); nothing in it runs unless the runtime cpuid check
+ * in avx2KernelTable() passes, so the base build stays portable to
+ * any x86-64. AVX2 has no 64x64 multiplier, so mullo/mulhi are
+ * composed from 32x32->64 vpmuludq partial products — the standard
+ * trick (Intel HEXL, SEAL do the same). Unsigned compares go through
+ * the sign-bit flip because vpcmpgtq is signed-only.
+ */
+
+#include "modmath/simd.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace rpu::simd {
+namespace {
+
+struct Avx2Vec
+{
+    __m256i v;
+    static constexpr size_t width = 4;
+
+    static Avx2Vec
+    load(const uint64_t *p)
+    {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i *>(p))};
+    }
+    static void
+    store(uint64_t *p, Avx2Vec x)
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), x.v);
+    }
+    static Avx2Vec
+    set1(uint64_t x)
+    {
+        return {_mm256_set1_epi64x((long long)x)};
+    }
+    static Avx2Vec add(Avx2Vec a, Avx2Vec b)
+    {
+        return {_mm256_add_epi64(a.v, b.v)};
+    }
+    static Avx2Vec sub(Avx2Vec a, Avx2Vec b)
+    {
+        return {_mm256_sub_epi64(a.v, b.v)};
+    }
+
+    /** Low 64 bits of the 64x64 product per lane. */
+    static Avx2Vec
+    mullo(Avx2Vec a, Avx2Vec b)
+    {
+        // a*b mod 2^64 = a0*b0 + ((a1*b0 + a0*b1) << 32)
+        const __m256i aHi = _mm256_srli_epi64(a.v, 32);
+        const __m256i bHi = _mm256_srli_epi64(b.v, 32);
+        const __m256i loLo = _mm256_mul_epu32(a.v, b.v);
+        const __m256i cross =
+            _mm256_add_epi64(_mm256_mul_epu32(aHi, b.v),
+                             _mm256_mul_epu32(a.v, bHi));
+        return {_mm256_add_epi64(loLo, _mm256_slli_epi64(cross, 32))};
+    }
+
+    /** High 64 bits of the 64x64 product per lane. */
+    static Avx2Vec
+    mulhi(Avx2Vec a, Avx2Vec b)
+    {
+        const __m256i mask32 = _mm256_set1_epi64x(0xffffffffll);
+        const __m256i aHi = _mm256_srli_epi64(a.v, 32);
+        const __m256i bHi = _mm256_srli_epi64(b.v, 32);
+        const __m256i loLo = _mm256_mul_epu32(a.v, b.v);   // a0*b0
+        const __m256i hiLo = _mm256_mul_epu32(aHi, b.v);   // a1*b0
+        const __m256i loHi = _mm256_mul_epu32(a.v, bHi);   // a0*b1
+        const __m256i hiHi = _mm256_mul_epu32(aHi, bHi);   // a1*b1
+        // carry-save middle column: cannot overflow 64 bits
+        // (2^32-1)^2 >> 32 + 2 * (2^32-1) < 2^34.
+        const __m256i mid =
+            _mm256_add_epi64(_mm256_add_epi64(_mm256_srli_epi64(loLo, 32),
+                                              _mm256_and_si256(hiLo,
+                                                               mask32)),
+                             _mm256_and_si256(loHi, mask32));
+        return {_mm256_add_epi64(
+            _mm256_add_epi64(hiHi, _mm256_srli_epi64(hiLo, 32)),
+            _mm256_add_epi64(_mm256_srli_epi64(loHi, 32),
+                             _mm256_srli_epi64(mid, 32)))};
+    }
+
+    /** x >= q ? x - q : x, unsigned per lane. */
+    static Avx2Vec
+    csub(Avx2Vec x, Avx2Vec q)
+    {
+        const __m256i sign = _mm256_set1_epi64x(
+            (long long)0x8000000000000000ull);
+        // q > x (unsigned) <=> keep x; else take x - q.
+        const __m256i gt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(q.v, sign), _mm256_xor_si256(x.v, sign));
+        const __m256i diff = _mm256_sub_epi64(x.v, q.v);
+        return {_mm256_blendv_epi8(diff, x.v, gt)};
+    }
+
+    /** Per lane: x != 0 ? 1 : 0. */
+    static Avx2Vec
+    nonzero01(Avx2Vec x)
+    {
+        // cmpeq(x, 0) is all-ones (-1) on zero lanes; 1 + (-1) = 0.
+        const __m256i eq0 =
+            _mm256_cmpeq_epi64(x.v, _mm256_setzero_si256());
+        return {_mm256_add_epi64(_mm256_set1_epi64x(1), eq0)};
+    }
+};
+
+using VecT = Avx2Vec;
+#include "modmath/simd_kernels.inl"
+
+} // namespace
+
+namespace detail {
+
+const KernelTable *
+avx2KernelTable()
+{
+    if (!__builtin_cpu_supports("avx2"))
+        return nullptr;
+    static const KernelTable table = {
+        mulShoupSpanImpl,
+        mulModSpanImpl,
+        addModSpanImpl,
+        subModSpanImpl,
+        butterflyMulModSpanImpl,
+        forwardButterflyLazySpanImpl,
+        inverseButterflyLazySpanImpl,
+        canonicalizeSpanImpl,
+        "avx2",
+    };
+    return &table;
+}
+
+} // namespace detail
+} // namespace rpu::simd
+
+#else // not x86-64
+
+namespace rpu::simd::detail {
+
+const KernelTable *
+avx2KernelTable()
+{
+    return nullptr;
+}
+
+} // namespace rpu::simd::detail
+
+#endif

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Generic bodies of the narrow batch kernels, templated over a vector
+ * wrapper type V. Each ISA translation unit (simd.cc scalar fallback,
+ * simd_avx2.cc, simd_neon.cc) defines its wrapper and instantiates
+ * these once; the tail of every span falls through to the scalar lane
+ * helpers in simd.hh, so splitting a span between vector body and
+ * tail can never change a single element.
+ *
+ * Wrapper contract (all lanes are uint64_t, arithmetic mod 2^64):
+ *   static constexpr size_t width;
+ *   static V load(const uint64_t *);    static void store(uint64_t *, V);
+ *   static V set1(uint64_t);
+ *   static V add(V, V);                 static V sub(V, V);
+ *   static V mullo(V, V);  // low 64 bits of the product
+ *   static V mulhi(V, V);  // high 64 bits of the product
+ *   static V csub(V x, V q);      // x >= q ? x - q : x  (unsigned)
+ *   static V nonzero01(V x);      // per lane: x != 0 ? 1 : 0
+ *
+ * This file is included inside a namespace with `using VecT = ...;`
+ * and relies on rpu::simd scalar helpers being visible.
+ */
+
+// REDC(hi:lo) = (hi:lo) * 2^-64 mod q, in [0, 2q) for hi < q.
+// k = lo * (-q^-1); correction = carry-out of (lo + k*q) — the low
+// word of that sum is zero by construction, so the carry is exactly
+// mulhi(k, q) plus (lo != 0).
+static inline VecT
+vecRedc(VecT hi, VecT lo, VecT vq, VecT vqInvNeg)
+{
+    const VecT k = VecT::mullo(lo, vqInvNeg);
+    const VecT kqHi = VecT::mulhi(k, vq);
+    return VecT::add(VecT::add(hi, kqHi), VecT::nonzero01(lo));
+}
+
+static void
+mulShoupSpanImpl(const uint64_t *a, uint64_t *out, size_t len,
+                 uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    const VecT vw = VecT::set1(w);
+    const VecT vws = VecT::set1(wShoup);
+    const VecT vq = VecT::set1(q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT va = VecT::load(a + i);
+        const VecT hi = VecT::mulhi(vws, va);
+        const VecT r =
+            VecT::sub(VecT::mullo(vw, va), VecT::mullo(hi, vq));
+        VecT::store(out + i, VecT::csub(r, vq));
+    }
+    for (; i < len; ++i)
+        out[i] = rpu::simd::mulShoup64(w, wShoup, a[i], q);
+}
+
+// a * b mod q canonical: u = REDC(a*b) < 2q, r = REDC(u*r2) < 2q,
+// then one conditional subtraction. Needs 2q < 2^64 (q < 2^62 holds)
+// so u * r2 < q * 2^64 stays inside REDC's input bound.
+static inline VecT
+vecMulMontMod(VecT va, VecT vb, VecT vq, VecT vqInvNeg, VecT vr2)
+{
+    const VecT u = vecRedc(VecT::mulhi(va, vb), VecT::mullo(va, vb),
+                           vq, vqInvNeg);
+    const VecT r = vecRedc(VecT::mulhi(u, vr2), VecT::mullo(u, vr2),
+                           vq, vqInvNeg);
+    return VecT::csub(r, vq);
+}
+
+static void
+mulModSpanImpl(const uint64_t *a, const uint64_t *b, uint64_t *out,
+               size_t len, const rpu::simd::NarrowModulus &m)
+{
+    const VecT vq = VecT::set1(m.q);
+    const VecT vqInvNeg = VecT::set1(m.qInvNeg);
+    const VecT vr2 = VecT::set1(m.r2);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT va = VecT::load(a + i);
+        const VecT vb = VecT::load(b + i);
+        VecT::store(out + i, vecMulMontMod(va, vb, vq, vqInvNeg, vr2));
+    }
+    for (; i < len; ++i)
+        out[i] = rpu::simd::mulMontMod64(a[i], b[i], m);
+}
+
+static void
+addModSpanImpl(const uint64_t *a, const uint64_t *b, uint64_t *out,
+               size_t len, uint64_t q)
+{
+    const VecT vq = VecT::set1(q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT s = VecT::add(VecT::load(a + i), VecT::load(b + i));
+        VecT::store(out + i, VecT::csub(s, vq));
+    }
+    for (; i < len; ++i)
+        out[i] = rpu::simd::addMod64(a[i], b[i], q);
+}
+
+static void
+subModSpanImpl(const uint64_t *a, const uint64_t *b, uint64_t *out,
+               size_t len, uint64_t q)
+{
+    const VecT vq = VecT::set1(q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT d = VecT::sub(VecT::add(VecT::load(a + i), vq),
+                                 VecT::load(b + i));
+        VecT::store(out + i, VecT::csub(d, vq));
+    }
+    for (; i < len; ++i)
+        out[i] = rpu::simd::subMod64(a[i], b[i], q);
+}
+
+static void
+butterflyMulModSpanImpl(const uint64_t *x, const uint64_t *y,
+                        const uint64_t *w, uint64_t *sum, uint64_t *diff,
+                        size_t len, const rpu::simd::NarrowModulus &m)
+{
+    const VecT vq = VecT::set1(m.q);
+    const VecT vqInvNeg = VecT::set1(m.qInvNeg);
+    const VecT vr2 = VecT::set1(m.r2);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT vx = VecT::load(x + i);
+        const VecT t = vecMulMontMod(VecT::load(w + i), VecT::load(y + i),
+                                     vq, vqInvNeg, vr2);
+        VecT::store(sum + i, VecT::csub(VecT::add(vx, t), vq));
+        VecT::store(diff + i,
+                    VecT::csub(VecT::sub(VecT::add(vx, vq), t), vq));
+    }
+    for (; i < len; ++i) {
+        const uint64_t t = rpu::simd::mulMontMod64(w[i], y[i], m);
+        sum[i] = rpu::simd::addMod64(x[i], t, m.q);
+        diff[i] = rpu::simd::subMod64(x[i], t, m.q);
+    }
+}
+
+static void
+forwardButterflyLazySpanImpl(uint64_t *lo, uint64_t *hi, size_t len,
+                             uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    const VecT vw = VecT::set1(w);
+    const VecT vws = VecT::set1(wShoup);
+    const VecT vq = VecT::set1(q);
+    const VecT v2q = VecT::set1(2 * q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT x = VecT::csub(VecT::load(lo + i), v2q); // < 2q
+        const VecT y = VecT::load(hi + i);                  // < 4q
+        const VecT prodHi = VecT::mulhi(vws, y);
+        const VecT t =
+            VecT::sub(VecT::mullo(vw, y), VecT::mullo(prodHi, vq)); // < 2q
+        VecT::store(lo + i, VecT::add(x, t));                 // < 4q
+        VecT::store(hi + i, VecT::add(VecT::sub(x, t), v2q)); // < 4q
+    }
+    for (; i < len; ++i) {
+        uint64_t x = lo[i];
+        if (x >= 2 * q)
+            x -= 2 * q;
+        const uint64_t t = rpu::simd::mulShoupLazy64(w, wShoup, hi[i], q);
+        lo[i] = x + t;
+        hi[i] = x - t + 2 * q;
+    }
+}
+
+static void
+inverseButterflyLazySpanImpl(uint64_t *lo, uint64_t *hi, size_t len,
+                             uint64_t w, uint64_t wShoup, uint64_t q)
+{
+    const VecT vw = VecT::set1(w);
+    const VecT vws = VecT::set1(wShoup);
+    const VecT vq = VecT::set1(q);
+    const VecT v2q = VecT::set1(2 * q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT x = VecT::load(lo + i); // < 2q
+        const VecT y = VecT::load(hi + i); // < 2q
+        VecT::store(lo + i, VecT::csub(VecT::add(x, y), v2q)); // < 2q
+        const VecT d = VecT::add(VecT::sub(x, y), v2q);        // < 4q
+        const VecT prodHi = VecT::mulhi(vws, d);
+        VecT::store(
+            hi + i,
+            VecT::sub(VecT::mullo(vw, d), VecT::mullo(prodHi, vq))); // <2q
+    }
+    for (; i < len; ++i) {
+        const uint64_t x = lo[i];
+        const uint64_t y = hi[i];
+        uint64_t s = x + y;
+        if (s >= 2 * q)
+            s -= 2 * q;
+        lo[i] = s;
+        hi[i] = rpu::simd::mulShoupLazy64(w, wShoup, x - y + 2 * q, q);
+    }
+}
+
+static void
+canonicalizeSpanImpl(uint64_t *x, size_t len, uint64_t q)
+{
+    const VecT vq = VecT::set1(q);
+    const VecT v2q = VecT::set1(2 * q);
+    size_t i = 0;
+    for (; i + VecT::width <= len; i += VecT::width) {
+        const VecT v = VecT::csub(VecT::load(x + i), v2q);
+        VecT::store(x + i, VecT::csub(v, vq));
+    }
+    for (; i < len; ++i) {
+        uint64_t v = x[i];
+        if (v >= 2 * q)
+            v -= 2 * q;
+        if (v >= q)
+            v -= q;
+        x[i] = v;
+    }
+}

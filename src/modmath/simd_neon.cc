@@ -1,0 +1,125 @@
+/**
+ * @file
+ * NEON (AArch64) specialisation of the narrow kernels: two u64 lanes
+ * per op. AArch64 guarantees Advanced SIMD, so there is no runtime
+ * feature check — the table is available whenever this is an arm64
+ * build. Like AVX2, NEON has no full 64x64 multiplier; mullo/mulhi
+ * are composed from 32x32->64 vmull_u32 partial products. Unlike
+ * AVX2, unsigned 64-bit compares exist (vcgeq_u64), which makes the
+ * conditional subtraction direct.
+ */
+
+#include "modmath/simd.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace rpu::simd {
+namespace {
+
+struct NeonVec
+{
+    uint64x2_t v;
+    static constexpr size_t width = 2;
+
+    static NeonVec load(const uint64_t *p) { return {vld1q_u64(p)}; }
+    static void store(uint64_t *p, NeonVec x) { vst1q_u64(p, x.v); }
+    static NeonVec set1(uint64_t x) { return {vdupq_n_u64(x)}; }
+    static NeonVec add(NeonVec a, NeonVec b)
+    {
+        return {vaddq_u64(a.v, b.v)};
+    }
+    static NeonVec sub(NeonVec a, NeonVec b)
+    {
+        return {vsubq_u64(a.v, b.v)};
+    }
+
+    static NeonVec
+    mullo(NeonVec a, NeonVec b)
+    {
+        const uint32x2_t aLo = vmovn_u64(a.v);
+        const uint32x2_t bLo = vmovn_u64(b.v);
+        const uint32x2_t aHi = vshrn_n_u64(a.v, 32);
+        const uint32x2_t bHi = vshrn_n_u64(b.v, 32);
+        const uint64x2_t loLo = vmull_u32(aLo, bLo);
+        const uint64x2_t cross =
+            vaddq_u64(vmull_u32(aHi, bLo), vmull_u32(aLo, bHi));
+        return {vaddq_u64(loLo, vshlq_n_u64(cross, 32))};
+    }
+
+    static NeonVec
+    mulhi(NeonVec a, NeonVec b)
+    {
+        const uint32x2_t aLo = vmovn_u64(a.v);
+        const uint32x2_t bLo = vmovn_u64(b.v);
+        const uint32x2_t aHi = vshrn_n_u64(a.v, 32);
+        const uint32x2_t bHi = vshrn_n_u64(b.v, 32);
+        const uint64x2_t loLo = vmull_u32(aLo, bLo);
+        const uint64x2_t hiLo = vmull_u32(aHi, bLo);
+        const uint64x2_t loHi = vmull_u32(aLo, bHi);
+        const uint64x2_t hiHi = vmull_u32(aHi, bHi);
+        const uint64x2_t mask32 = vdupq_n_u64(0xffffffffull);
+        const uint64x2_t mid = vaddq_u64(
+            vaddq_u64(vshrq_n_u64(loLo, 32), vandq_u64(hiLo, mask32)),
+            vandq_u64(loHi, mask32));
+        return {vaddq_u64(
+            vaddq_u64(hiHi, vshrq_n_u64(hiLo, 32)),
+            vaddq_u64(vshrq_n_u64(loHi, 32), vshrq_n_u64(mid, 32)))};
+    }
+
+    static NeonVec
+    csub(NeonVec x, NeonVec q)
+    {
+        const uint64x2_t ge = vcgeq_u64(x.v, q.v); // all-ones where x>=q
+        return {vsubq_u64(x.v, vandq_u64(ge, q.v))};
+    }
+
+    static NeonVec
+    nonzero01(NeonVec x)
+    {
+        const uint64x2_t eq0 = vceqq_u64(x.v, vdupq_n_u64(0));
+        return {vaddq_u64(vdupq_n_u64(1), eq0)}; // 1 + (-1 | 0)
+    }
+};
+
+using VecT = NeonVec;
+#include "modmath/simd_kernels.inl"
+
+} // namespace
+
+namespace detail {
+
+const KernelTable *
+neonKernelTable()
+{
+    static const KernelTable table = {
+        mulShoupSpanImpl,
+        mulModSpanImpl,
+        addModSpanImpl,
+        subModSpanImpl,
+        butterflyMulModSpanImpl,
+        forwardButterflyLazySpanImpl,
+        inverseButterflyLazySpanImpl,
+        canonicalizeSpanImpl,
+        "neon",
+    };
+    return &table;
+}
+
+} // namespace detail
+} // namespace rpu::simd
+
+#else // not AArch64
+
+namespace rpu::simd::detail {
+
+const KernelTable *
+neonKernelTable()
+{
+    return nullptr;
+}
+
+} // namespace rpu::simd::detail
+
+#endif

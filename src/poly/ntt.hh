@@ -22,6 +22,16 @@
 
 namespace rpu {
 
+/**
+ * Coefficient tile (in u64 elements) for the cache-blocked narrow
+ * transforms: once a stage's butterfly groups fit inside one tile,
+ * all remaining stages of that tile run to completion while it is
+ * L1-resident instead of streaming the whole polynomial through the
+ * cache once per stage. 2048 elements = 16 KiB, half a typical
+ * 32 KiB L1D, leaving room for the twiddle lines.
+ */
+constexpr uint64_t kNttTileElems = 2048;
+
 /** Forward/inverse transforms bound to one twiddle table. */
 class NttContext
 {
@@ -31,22 +41,37 @@ class NttContext
     const TwiddleTable &table() const { return tw_; }
 
     /**
-     * In-place forward NTT (fast path: Montgomery-form twiddles, one
-     * reduction per butterfly product).
+     * In-place forward NTT. Under RPU_HOST_SIMD=native (the default)
+     * and a narrow modulus (odd, < 2^62) this runs the vectorised
+     * cache-blocked lazy-reduction path; otherwise the verbatim
+     * scalar reference (Montgomery-form twiddles, one reduction per
+     * butterfly product). Both produce bit-identical results.
      */
     void forward(std::vector<u128> &x) const;
 
-    /** In-place inverse NTT. */
+    /** In-place inverse NTT (same dual-path contract as forward). */
     void inverse(std::vector<u128> &x) const;
 
     /**
      * Textbook variant using only plain modular multiplication —
-     * an independent cross-check of the Montgomery fast path.
+     * an independent cross-check of the Montgomery fast path. Always
+     * scalar, regardless of the host-SIMD mode.
      */
     void forwardPlain(std::vector<u128> &x) const;
     void inversePlain(std::vector<u128> &x) const;
 
+    /** True when forward/inverse take the narrow vectorised path. */
+    bool
+    narrowPathActive() const
+    {
+        return simd::narrowLanesActive() && tw_.hasNarrow();
+    }
+
   private:
+    /** Vectorised lazy-reduction transforms on a u64 mirror of x. */
+    void forwardNarrow(std::vector<u128> &x) const;
+    void inverseNarrow(std::vector<u128> &x) const;
+
     const TwiddleTable &tw_;
 };
 

@@ -1,8 +1,26 @@
 #include "poly/polynomial.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace rpu {
+
+namespace {
+
+/**
+ * Tile size for the narrowed pointwise kernels: both operand tiles
+ * plus the output tile stay L1-resident (3 * 1024 * 8 B = 24 KiB).
+ */
+constexpr size_t kPointwiseTileElems = 1024;
+
+bool
+narrowPointwiseActive(const Modulus &mod)
+{
+    return simd::narrowLanesActive() && mod.narrow() != nullptr;
+}
+
+} // namespace
 
 std::vector<u128>
 polyAdd(const Modulus &mod, const std::vector<u128> &a,
@@ -32,6 +50,27 @@ polyPointwise(const Modulus &mod, const std::vector<u128> &a,
 {
     rpu_assert(a.size() == b.size(), "polynomial size mismatch");
     std::vector<u128> r(a.size());
+    if (narrowPointwiseActive(mod)) {
+        // Montgomery pointwise on u64 lanes, tiled so the staging
+        // buffers stay in L1. Inputs are canonical, so the narrowing
+        // casts are exact and results are bit-identical to mod.mul.
+        const simd::NarrowModulus &nm = *mod.narrow();
+        uint64_t ta[kPointwiseTileElems], tb[kPointwiseTileElems];
+        uint64_t to[kPointwiseTileElems];
+        for (size_t base = 0; base < a.size();
+             base += kPointwiseTileElems) {
+            const size_t len =
+                std::min(kPointwiseTileElems, a.size() - base);
+            for (size_t i = 0; i < len; ++i) {
+                ta[i] = uint64_t(a[base + i]);
+                tb[i] = uint64_t(b[base + i]);
+            }
+            simd::mulModSpan(ta, tb, to, len, nm);
+            for (size_t i = 0; i < len; ++i)
+                r[base + i] = to[i];
+        }
+        return r;
+    }
     for (size_t i = 0; i < a.size(); ++i)
         r[i] = mod.mul(a[i], b[i]);
     return r;
@@ -41,6 +80,25 @@ std::vector<u128>
 polyScale(const Modulus &mod, u128 s, const std::vector<u128> &a)
 {
     std::vector<u128> r(a.size());
+    if (narrowPointwiseActive(mod)) {
+        // Constant multiplier: precompute its Shoup companion once
+        // and run the lazy Shoup span kernel tile by tile.
+        const uint64_t q = uint64_t(mod.value());
+        const uint64_t w = uint64_t(mod.reduce(s));
+        const uint64_t wShoup = simd::shoupPrecompute64(w, q);
+        uint64_t ta[kPointwiseTileElems], to[kPointwiseTileElems];
+        for (size_t base = 0; base < a.size();
+             base += kPointwiseTileElems) {
+            const size_t len =
+                std::min(kPointwiseTileElems, a.size() - base);
+            for (size_t i = 0; i < len; ++i)
+                ta[i] = uint64_t(a[base + i]);
+            simd::mulShoupSpan(ta, to, len, w, wShoup, q);
+            for (size_t i = 0; i < len; ++i)
+                r[base + i] = to[i];
+        }
+        return r;
+    }
     for (size_t i = 0; i < a.size(); ++i)
         r[i] = mod.mul(s, a[i]);
     return r;

@@ -38,6 +38,26 @@ TwiddleTable::TwiddleTable(const Modulus &mod, uint64_t n)
         root_powers_mont_[j] = mod.toMont(root_powers_[j]);
         inv_root_powers_mont_[j] = mod.toMont(inv_root_powers_[j]);
     }
+
+    // Narrow (u64 + Shoup) mirrors of the same tables for the
+    // vectorised host transforms. Every entry is canonical (< q), so
+    // the casts are exact.
+    if (simd::narrowModulusOk(mod.value())) {
+        const uint64_t q = uint64_t(mod.value());
+        root64_.resize(n);
+        root64_shoup_.resize(n);
+        inv_root64_.resize(n);
+        inv_root64_shoup_.resize(n);
+        for (uint64_t j = 0; j < n; ++j) {
+            root64_[j] = uint64_t(root_powers_[j]);
+            root64_shoup_[j] = simd::shoupPrecompute64(root64_[j], q);
+            inv_root64_[j] = uint64_t(inv_root_powers_[j]);
+            inv_root64_shoup_[j] =
+                simd::shoupPrecompute64(inv_root64_[j], q);
+        }
+        n_inv64_ = uint64_t(n_inv_);
+        n_inv64_shoup_ = simd::shoupPrecompute64(n_inv64_, q);
+    }
 }
 
 } // namespace rpu

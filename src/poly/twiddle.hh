@@ -57,6 +57,23 @@ class TwiddleTable
         return inv_root_powers_;
     }
 
+    /**
+     * Narrow (u64 + Shoup) tables for the vectorised host NTT. Built
+     * at construction whenever q fits the narrow-kernel domain
+     * (odd, < 2^62); the SIMD transforms in NttContext require
+     * hasNarrow().
+     */
+    bool hasNarrow() const { return !root64_.empty(); }
+    const uint64_t *root64() const { return root64_.data(); }
+    const uint64_t *root64Shoup() const { return root64_shoup_.data(); }
+    const uint64_t *invRoot64() const { return inv_root64_.data(); }
+    const uint64_t *invRoot64Shoup() const
+    {
+        return inv_root64_shoup_.data();
+    }
+    uint64_t nInv64() const { return n_inv64_; }
+    uint64_t nInv64Shoup() const { return n_inv64_shoup_; }
+
   private:
     const Modulus &mod_;
     uint64_t n_;
@@ -69,6 +86,14 @@ class TwiddleTable
     std::vector<u128> inv_root_powers_;
     std::vector<u128> root_powers_mont_;
     std::vector<u128> inv_root_powers_mont_;
+
+    // Narrow tables (empty unless q is odd and < 2^62).
+    std::vector<uint64_t> root64_;
+    std::vector<uint64_t> root64_shoup_;
+    std::vector<uint64_t> inv_root64_;
+    std::vector<uint64_t> inv_root64_shoup_;
+    uint64_t n_inv64_ = 0;
+    uint64_t n_inv64_shoup_ = 0;
 };
 
 } // namespace rpu

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "modmath/simd.hh"
 #include "poly/polynomial.hh"
 #include "rpu/device.hh"
 
@@ -136,10 +137,38 @@ ResidueOps::mulEvalHost(const std::vector<const ResiduePoly *> &as,
     std::vector<ResiduePoly> out(as.size());
     for (size_t i = 0; i < as.size(); ++i) {
         out[i].domain = ResidueDomain::Eval;
-        out[i].towers.reserve(towers);
-        for (size_t t = 0; t < towers; ++t) {
-            out[i].towers.push_back(polyPointwise(
-                basis().modulus(t), as[i]->towers[t], b.towers[t]));
+        out[i].towers.resize(towers);
+    }
+    // Tower-major so the shared right operand is narrowed to u64 once
+    // per tower and its lanes stay cache-resident while every left
+    // component multiplies against it.
+    std::vector<uint64_t> nb, na, no;
+    for (size_t t = 0; t < towers; ++t) {
+        const Modulus &mod = basis().modulus(t);
+        const simd::NarrowModulus *nm =
+            simd::narrowLanesActive() ? mod.narrow() : nullptr;
+        if (!nm) {
+            for (size_t i = 0; i < as.size(); ++i)
+                out[i].towers[t] = polyPointwise(mod, as[i]->towers[t],
+                                                 b.towers[t]);
+            continue;
+        }
+        const std::vector<u128> &bt = b.towers[t];
+        nb.resize(bt.size());
+        na.resize(bt.size());
+        no.resize(bt.size());
+        for (size_t j = 0; j < bt.size(); ++j)
+            nb[j] = uint64_t(bt[j]);
+        for (size_t i = 0; i < as.size(); ++i) {
+            const std::vector<u128> &at = as[i]->towers[t];
+            for (size_t j = 0; j < at.size(); ++j)
+                na[j] = uint64_t(at[j]);
+            simd::mulModSpan(na.data(), nb.data(), no.data(),
+                             at.size(), *nm);
+            std::vector<u128> r(at.size());
+            for (size_t j = 0; j < at.size(); ++j)
+                r[j] = no[j];
+            out[i].towers[t] = std::move(r);
         }
     }
     return out;

@@ -1,8 +1,32 @@
 #include "sim/functional/executor.hh"
 
 #include "common/logging.hh"
+#include "modmath/simd.hh"
 
 namespace rpu {
+
+namespace {
+
+/**
+ * The narrow lane kernels are exact only for canonical inputs: a lane
+ * value >= q would be truncated by the u64 cast, whereas the u128
+ * Montgomery path reduces it. Well-formed programs only ever put
+ * canonical residues in vector registers, but the bit-identity
+ * contract between RPU_HOST_SIMD modes must hold for any program, so
+ * verify before narrowing and fall back to the scalar loop otherwise.
+ */
+bool
+narrowLanes(const ArchState::Vreg &v, u128 q, uint64_t *out)
+{
+    for (unsigned i = 0; i < arch::kVectorLength; ++i) {
+        if (v[i] >= q)
+            return false;
+        out[i] = uint64_t(v[i]);
+    }
+    return true;
+}
+
+} // namespace
 
 uint64_t
 FunctionalSimulator::laneOffset(AddrMode mode, unsigned value,
@@ -125,14 +149,29 @@ FunctionalSimulator::execCompute(const Instruction &instr)
     // read-before-write register file timing.
     const ArchState::Vreg vs = state_.vreg(instr.vs);
 
+    const simd::NarrowModulus *nm =
+        simd::narrowLanesActive() ? mod.narrow() : nullptr;
+
     if (instr.isButterfly()) {
         const ArchState::Vreg vt = state_.vreg(instr.vt);
         const ArchState::Vreg vt1 = state_.vreg(instr.vt1);
         ArchState::Vreg sum, diff;
-        for (unsigned i = 0; i < VL; ++i) {
-            const u128 t = mod.mul(vt1[i], vt[i]);
-            sum[i] = mod.add(vs[i], t);
-            diff[i] = mod.sub(vs[i], t);
+        uint64_t nx[VL], ny[VL], nw[VL];
+        if (nm && narrowLanes(vs, mod.value(), nx) &&
+            narrowLanes(vt, mod.value(), ny) &&
+            narrowLanes(vt1, mod.value(), nw)) {
+            uint64_t ns[VL], nd[VL];
+            simd::butterflyMulModSpan(nx, ny, nw, ns, nd, VL, *nm);
+            for (unsigned i = 0; i < VL; ++i) {
+                sum[i] = ns[i];
+                diff[i] = nd[i];
+            }
+        } else {
+            for (unsigned i = 0; i < VL; ++i) {
+                const u128 t = mod.mul(vt1[i], vt[i]);
+                sum[i] = mod.add(vs[i], t);
+                diff[i] = mod.sub(vs[i], t);
+            }
         }
         state_.vreg(instr.vd) = sum;
         state_.vreg(instr.vd1) = diff;
@@ -147,6 +186,16 @@ FunctionalSimulator::execCompute(const Instruction &instr)
       case Opcode::VSUBMOD:
       case Opcode::VMULMOD: {
         const ArchState::Vreg vt = state_.vreg(instr.vt);
+        uint64_t na[VL], nb[VL];
+        if (instr.op == Opcode::VMULMOD && nm &&
+            narrowLanes(vs, mod.value(), na) &&
+            narrowLanes(vt, mod.value(), nb)) {
+            uint64_t no[VL];
+            simd::mulModSpan(na, nb, no, VL, *nm);
+            for (unsigned i = 0; i < VL; ++i)
+                out[i] = no[i];
+            break;
+        }
         for (unsigned i = 0; i < VL; ++i) {
             if (instr.op == Opcode::VADDMOD)
                 out[i] = mod.add(vs[i], vt[i]);
@@ -161,6 +210,19 @@ FunctionalSimulator::execCompute(const Instruction &instr)
       case Opcode::VSSUBMOD:
       case Opcode::VSMULMOD: {
         const u128 s = state_.sreg(instr.rt);
+        uint64_t na[VL];
+        if (instr.op == Opcode::VSMULMOD && nm && s < mod.value() &&
+            narrowLanes(vs, mod.value(), na)) {
+            // Per-instruction Shoup precompute: one 128/64 division
+            // amortised over all kVectorLength lanes.
+            const uint64_t w = uint64_t(s);
+            const uint64_t wShoup = simd::shoupPrecompute64(w, nm->q);
+            uint64_t no[VL];
+            simd::mulShoupSpan(na, no, VL, w, wShoup, nm->q);
+            for (unsigned i = 0; i < VL; ++i)
+                out[i] = no[i];
+            break;
+        }
         for (unsigned i = 0; i < VL; ++i) {
             if (instr.op == Opcode::VSADDMOD)
                 out[i] = mod.add(vs[i], s);
