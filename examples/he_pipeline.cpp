@@ -18,6 +18,16 @@
  * through the same scheme-generic evaluator — then decrypt and check
  * the slot values against plaintext complex arithmetic.
  *
+ * Both workloads then go ciphertext x ciphertext: BFV computes an
+ * encrypted dot product of the image against an encrypted weight
+ * vector (the classic reversal trick — coefficient n-1 of u(x) *
+ * rev(v)(x) is <u, v>, and i+j = n-1 never wraps the negacyclic
+ * sign), CKKS multiplies two encrypted vectors slot-wise and
+ * rescales. Each multiply routes through the evaluator's shared
+ * tensor + gadget-relinearisation pipeline and prints the
+ * DeviceStats ledger with the key-switch transforms annotated
+ * separately from workload transforms.
+ *
  * Build & run:   ./build/he_pipeline
  */
 
@@ -97,7 +107,44 @@ ckksDotProductStage(const std::shared_ptr<RpuDevice> &device)
     std::printf("decrypted slots vs plaintext arithmetic: max error "
                 "%.3g -> %s\n",
                 worst, ok ? "PASS" : "FAIL");
-    return ok ? 0 : 1;
+    if (!ok)
+        return 1;
+
+    // --- ct x ct: slot-wise product of two encrypted vectors ---------
+    // The multiply step of a fully encrypted dot product (the final
+    // slot-sum needs the rotation keys on the roadmap): tensor the
+    // two fresh ciphertexts, gadget-relinearise back to degree 1,
+    // rescale the doubled scale away. Every transform the key-switch
+    // spends (c2's digit-split inverse, the digits' re-entry
+    // forwards) is annotated in the ledger — the multiply itself
+    // adds zero workload transforms.
+    const RelinKey rk = ctx.makeRelinKey(sk);
+    device->resetCounters();
+    const CkksCiphertext prod =
+        ctx.rescale(ctx.mulCt(ctx.encrypt(sk, x), ctx.encrypt(sk, y), rk));
+    const DeviceStats mul_stats = device->stats();
+    std::printf("\nct x ct slot product: mulCt (digit base 2^%u, %zu "
+                "digits) + rescale -> scale 2^%.1f, %zu towers left\n",
+                rk.digitBits, rk.totalDigits(params.towers),
+                std::log2(prod.scale), prod.towers());
+    std::printf("RPU activity: %s\n", mul_stats.summary().c_str());
+    std::printf("  key-switch transforms: %llu of %llu issued "
+                "(workload share: %llu)\n",
+                (unsigned long long)mul_stats.keySwitchTransforms,
+                (unsigned long long)mul_stats.transformsIssued(),
+                (unsigned long long)mul_stats.workloadTransforms());
+
+    const auto prod_slots = ctx.decrypt(sk, prod);
+    double worst_prod = 0.0;
+    for (size_t j = 0; j < ctx.slots(); ++j) {
+        const std::complex<double> want = x[j] * y[j];
+        worst_prod = std::max(worst_prod, std::abs(prod_slots[j] - want));
+    }
+    const bool mul_ok = worst_prod < 9.5367431640625e-07; // 2^-20
+    std::printf("decrypted products vs plaintext arithmetic: max error "
+                "%.3g -> %s\n",
+                worst_prod, mul_ok ? "PASS" : "FAIL");
+    return mul_ok ? 0 : 1;
 }
 
 } // namespace
@@ -199,6 +246,52 @@ main()
     std::printf("decrypted result: %zu / %zu pixels correct -> %s\n",
                 image.size() - errors, image.size(),
                 errors == 0 ? "PASS" : "FAIL");
+
+    // --- ct x ct: encrypted dot product <image, weights> ---------------
+    // Neither operand is public this time. Coefficient packing turns
+    // the dot product into one polynomial multiply: with the weights
+    // reversed into v'(x) (v'_j = v_{n-1-j}), coefficient n-1 of
+    // u(x) * v'(x) is sum_i u_i * v_i — and since i + j = n-1 never
+    // exceeds n-1, the negacyclic wrap's sign never touches it. The
+    // multiply is the evaluator's shared pipeline: base-extend to
+    // the tensor chain, tensor product, BFV's scale-and-round hook,
+    // gadget relinearisation — with the key-switch transforms
+    // annotated apart from the workload's own.
+    const RelinKey rk = ctx.makeRelinKey(sk);
+    std::vector<uint64_t> weights(params.n), weights_rev(params.n);
+    for (size_t i = 0; i < weights.size(); ++i)
+        weights[i] = (i % 7) + 1;
+    for (size_t i = 0; i < weights.size(); ++i)
+        weights_rev[i] = weights[weights.size() - 1 - i];
+    const Ciphertext w_ct = ctx.encrypt(sk, weights_rev);
+
+    device->resetCounters();
+    const Ciphertext dot_ct = ctx.mulCt(ct, w_ct, rk);
+    const DeviceStats mul_stats = device->stats();
+    std::printf("\nct x ct dot product: 1 mulCt (digit base 2^%u, %zu "
+                "digits over %zu towers)\n",
+                rk.digitBits, rk.totalDigits(ctx.basis().towers()),
+                ctx.basis().towers());
+    std::printf("RPU activity: %s\n", mul_stats.summary().c_str());
+    std::printf("  key-switch transforms: %llu of %llu issued "
+                "(workload share %llu: the base\n   extension's aux-"
+                "tower entries and the scale-and-round's chain "
+                "re-entry)\n",
+                (unsigned long long)mul_stats.keySwitchTransforms,
+                (unsigned long long)mul_stats.transformsIssued(),
+                (unsigned long long)mul_stats.workloadTransforms());
+
+    uint64_t dot = 0;
+    for (size_t i = 0; i < image.size(); ++i)
+        dot = (dot + image[i] * weights[i]) % params.plaintextModulus;
+    const std::vector<uint64_t> dot_dec = ctx.decrypt(sk, dot_ct);
+    const bool dot_ok = dot_dec[params.n - 1] == dot;
+    std::printf("decrypted coefficient n-1 = %llu, plaintext <image, "
+                "weights> mod t = %llu -> %s\n",
+                (unsigned long long)dot_dec[params.n - 1],
+                (unsigned long long)dot, dot_ok ? "PASS" : "FAIL");
+    if (!dot_ok)
+        return 1;
 
     // --- What would this cost on silicon? ------------------------------
     // Cycle-model the two kernels the domain-resident pipeline

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "modmath/primegen.hh"
 #include "poly/polynomial.hh"
 
 namespace rpu {
@@ -12,10 +13,25 @@ BfvContext::BfvContext(const RlweParams &params, uint64_t seed)
     : params_(params), rng_(seed)
 {
     params_.validate();
-    basis_ = std::make_unique<RnsBasis>(RnsBasis::nttBasis(
-        params_.towerBits, params_.n, params_.towers));
+    // One prime-generation pass for the whole tensor chain; the
+    // ciphertext basis is its L-tower prefix (so q — and every
+    // ciphertext-path launch count — is exactly what an L-tower
+    // context had), and the L+1 same-width auxiliary towers give
+    // mulCt's tensor product integer room: |coeff| <= n*q^2/4 needs
+    // Q_aux >= n*q/2, and one extra tower covers the factor n for
+    // every supported ring dimension.
+    rpu_assert((u128(1) << params_.towerBits) >= 2 * params_.n,
+               "tower width %u too narrow for the tensor chain at "
+               "n=%llu",
+               params_.towerBits, (unsigned long long)params_.n);
+    const std::vector<u128> primes = nttPrimes(
+        params_.towerBits, params_.n, 2 * params_.towers + 1);
+    basis_ = std::make_unique<RnsBasis>(std::vector<u128>(
+        primes.begin(), primes.begin() + ptrdiff_t(params_.towers)));
+    basisExt_ = std::make_unique<RnsBasis>(primes);
     crt_ = std::make_unique<CrtContext>(*basis_);
-    evaluator_ = RlweEvaluator(params_.n, basis_.get());
+    crtExt_ = std::make_unique<CrtContext>(*basisExt_);
+    evaluator_ = RlweEvaluator(params_.n, basisExt_.get());
 
     delta_ = basis_->q() / BigUInt(params_.plaintextModulus);
     delta_res_.resize(params_.towers);
@@ -219,6 +235,172 @@ BfvContext::mulPlain(const Ciphertext &ct,
                      const std::vector<uint64_t> &plain) const
 {
     return mulPlain(ct, encodePlain(plain));
+}
+
+RelinKey
+BfvContext::makeRelinKey(const SecretKey &sk, unsigned digitBits)
+{
+    return evaluator_.makeRelinKey(secretResidues(sk),
+                                   params_.noiseBound, rng_, digitBits);
+}
+
+std::vector<ResiduePoly>
+BfvContext::extendComponents(
+    const std::vector<const ResiduePoly *> &comps) const
+{
+    const size_t L = params_.towers;
+    const size_t E = basisExt_->towers();
+    const BigUInt &big_q = basis_->q();
+    const BigUInt half_q = big_q >> 1;
+
+    // Coefficient residues of every component (on copies; one
+    // batched inverse dispatch covers all of them).
+    std::vector<ResiduePoly> coeff(comps.size());
+    std::vector<ResiduePoly *> movers;
+    movers.reserve(comps.size());
+    for (size_t i = 0; i < comps.size(); ++i) {
+        rpu_assert(comps[i] != nullptr && comps[i]->towerCount() == L,
+                   "component %zu does not span the ciphertext chain",
+                   i);
+        coeff[i] = *comps[i];
+        movers.push_back(&coeff[i]);
+    }
+    evaluator_.ops().convert(movers, ResidueDomain::Coeff);
+
+    // The auxiliary residues of each component's centred integer
+    // coefficients: out of RNS once per component, then reduced mod
+    // every auxiliary prime. Independent per component, so the
+    // BigUInt work fans across the device's worker pool.
+    std::vector<BigUInt> aux_primes_big(E - L);
+    for (size_t k = L; k < E; ++k)
+        aux_primes_big[k - L] = BigUInt::fromU128(basisExt_->prime(k));
+    std::vector<RlweEvaluator::TowerPoly> aux(comps.size());
+    evaluator_.forEachUnit(comps.size(), [&](size_t i) {
+        const std::vector<BigUInt> wide =
+            crt_->reconstructPoly(coeff[i].towers);
+        aux[i].assign(E - L, std::vector<u128>(params_.n));
+        for (size_t k = L; k < E; ++k) {
+            const Modulus &mod = basisExt_->modulus(k);
+            const BigUInt &p_big = aux_primes_big[k - L];
+            for (size_t c = 0; c < params_.n; ++c) {
+                if (wide[c] <= half_q) {
+                    aux[i][k - L][c] = (wide[c] % p_big).low128();
+                } else {
+                    aux[i][k - L][c] = mod.neg(
+                        ((big_q - wide[c]) % p_big).low128());
+                }
+            }
+        }
+    });
+
+    // Assemble the extended polynomials. Eval-resident components
+    // reuse their resident towers for the prefix — the L forward
+    // transforms a residency-oblivious extension would redo land in
+    // the elision ledger — and only the auxiliary towers enter the
+    // evaluation domain, in one batched dispatch for all of them.
+    // Coeff-resident components just grow their coefficient towers
+    // and convert whole.
+    std::vector<ResiduePoly> out(comps.size());
+    std::vector<RlweEvaluator::TowerPoly> aux_pending;
+    std::vector<size_t> aux_owner;
+    std::vector<ResiduePoly *> full_movers;
+    for (size_t i = 0; i < comps.size(); ++i) {
+        if (comps[i]->inEval()) {
+            aux_pending.push_back(std::move(aux[i]));
+            aux_owner.push_back(i);
+        } else {
+            out[i].domain = ResidueDomain::Coeff;
+            out[i].towers = std::move(coeff[i].towers);
+            for (std::vector<u128> &tw : aux[i])
+                out[i].towers.push_back(std::move(tw));
+            full_movers.push_back(&out[i]);
+        }
+    }
+    if (!aux_pending.empty()) {
+        auto aux_eval =
+            evaluator_.forwardTowersAt(std::move(aux_pending), L);
+        for (size_t m = 0; m < aux_eval.size(); ++m) {
+            const size_t i = aux_owner[m];
+            out[i].domain = ResidueDomain::Eval;
+            out[i].towers = comps[i]->towers;
+            for (std::vector<u128> &tw : aux_eval[m])
+                out[i].towers.push_back(std::move(tw));
+        }
+        evaluator_.ops().noteElidedConversions(aux_eval.size() * L);
+    }
+    if (!full_movers.empty())
+        evaluator_.ops().convert(full_movers, ResidueDomain::Eval);
+    return out;
+}
+
+std::array<ResiduePoly, 3>
+BfvContext::scaleRoundHook(std::array<ResiduePoly, 3> d) const
+{
+    const size_t L = params_.towers;
+    const BigUInt &big_Q = basisExt_->q();
+    const BigUInt half_Q = big_Q >> 1;
+    const BigUInt &big_q = basis_->q();
+    const BigUInt half_q = big_q >> 1;
+    const BigUInt big_t(params_.plaintextModulus);
+
+    // All three tensor components leave the extended evaluation
+    // domain together (one batched inverse dispatch).
+    evaluator_.ops().convert({&d[0], &d[1], &d[2]},
+                             ResidueDomain::Coeff);
+
+    std::vector<BigUInt> primes_big(L);
+    for (size_t t = 0; t < L; ++t)
+        primes_big[t] = BigUInt::fromU128(basis_->prime(t));
+
+    // Per component: reconstruct the exact centred tensor integer V
+    // mod the full tensor modulus, scale-and-round R = round(t*V/q)
+    // (half-away-from-zero on the centred magnitude), reduce mod q,
+    // and take the ciphertext chain's residues. Independent per
+    // component — the BigUInt work fans across the worker pool.
+    std::array<ResiduePoly, 3> out;
+    evaluator_.forEachUnit(3, [&](size_t c) {
+        const std::vector<BigUInt> wide =
+            crtExt_->reconstructPoly(d[c].towers);
+        out[c].domain = ResidueDomain::Coeff;
+        out[c].towers.assign(L, std::vector<u128>(params_.n));
+        for (size_t i = 0; i < params_.n; ++i) {
+            const bool neg = wide[i] > half_Q;
+            const BigUInt mag =
+                neg ? big_Q - wide[i] : BigUInt(wide[i]);
+            BigUInt r = ((mag * big_t + half_q) / big_q) % big_q;
+            if (neg && !r.isZero())
+                r = big_q - r;
+            for (size_t t = 0; t < L; ++t)
+                out[c].towers[t][i] = (r % primes_big[t]).low128();
+        }
+    });
+
+    // c0 and c1 re-enter the evaluation domain (one batched forward
+    // dispatch); c2 stays in Coeff — the relinearisation's digit
+    // split starts there anyway, so its inverse pass is elided.
+    evaluator_.ops().convert({&out[0], &out[1]}, ResidueDomain::Eval);
+    return out;
+}
+
+Ciphertext
+BfvContext::mulCt(const Ciphertext &a, const Ciphertext &b,
+                  const RelinKey &rk) const
+{
+    rpu_assert(a.towers() == params_.towers &&
+                   b.towers() == params_.towers,
+               "mulCt operands must span the ciphertext chain");
+
+    // Base-extend all four components onto the tensor chain, then
+    // the evaluator's shared pipeline: tensor product, this scheme's
+    // scale-and-round as the degree-2 hook, gadget key-switch.
+    const std::vector<ResiduePoly> ext =
+        extendComponents({&a.c0, &a.c1, &b.c0, &b.c1});
+    auto pair = evaluator_.mulPair(
+        ext[0], ext[1], ext[2], ext[3], rk,
+        [this](std::array<ResiduePoly, 3> d) {
+            return scaleRoundHook(std::move(d));
+        });
+    return Ciphertext{std::move(pair[0]), std::move(pair[1])};
 }
 
 void

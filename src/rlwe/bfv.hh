@@ -20,6 +20,18 @@
  * reported to the device's elision ledger. CRT reconstruction and
  * the centred rounding by t/q happen exactly once, at decryption.
  *
+ * Ciphertext x ciphertext multiply routes through the evaluator's
+ * shared mulPair pipeline (tensor product + gadget-decomposed
+ * relinearisation, see RlweEvaluator); the scheme contributes only
+ * its own math as the degree-2 hook. Because the tensor product's
+ * integer coefficients reach n*q^2/4, the context carries an
+ * *extended* chain of 2L+1 same-width towers (ciphertexts live on
+ * the L-tower prefix): mulCt base-extends the operands onto the
+ * auxiliary towers (reusing the resident Eval towers for the
+ * prefix — the reuse lands in the elision ledger), tensors there,
+ * and the hook scale-and-rounds round(t * V / q) back down to the
+ * ciphertext chain before the relinearisation key-switch.
+ *
  * (Earlier revisions kept ciphertexts as wide-modulus coefficient
  * vectors over one large prime and CRT-reconstructed after every
  * homomorphic product; decryptWideReference retains that wide-
@@ -93,6 +105,14 @@ class BfvContext
     /** The RNS basis every ciphertext lives in (q = its product). */
     const RnsBasis &basis() const { return *basis_; }
 
+    /**
+     * The extended tensor chain (2L+1 towers; the ciphertext basis
+     * is its prefix): enough auxiliary room that the tensor
+     * product's integer coefficients never wrap before the
+     * scale-and-round.
+     */
+    const RnsBasis &extendedBasis() const { return *basisExt_; }
+
     /** CRT context over the chain (decrypt's one reconstruction). */
     const CrtContext &crt() const { return *crt_; }
 
@@ -165,6 +185,28 @@ class BfvContext
     Ciphertext mulPlain(const Ciphertext &ct,
                         const std::vector<uint64_t> &plain) const;
 
+    /**
+     * Gadget-decomposed relinearisation key over the ciphertext
+     * chain (see RlweEvaluator::makeRelinKey). Smaller digit bases
+     * cost more re-entry transforms and inner-product launches per
+     * multiply but add less key-switch noise.
+     */
+    RelinKey makeRelinKey(const SecretKey &sk,
+                          unsigned digitBits = 16);
+
+    /**
+     * Homomorphic ciphertext x ciphertext multiply, relinearised
+     * back to degree 1: base-extend both operands to the tensor
+     * chain, then the evaluator's shared mulPair — tensor product
+     * in the evaluation domain, this scheme's scale-and-round
+     * (round(t * V / q), centred, exact over the extended chain) as
+     * the degree-2 hook, and the gadget key-switch with @p rk.
+     * Decrypting the result yields the coefficient-wise negacyclic
+     * product of the plaintexts mod t.
+     */
+    Ciphertext mulCt(const Ciphertext &a, const Ciphertext &b,
+                     const RelinKey &rk) const;
+
     /** Move both components to the target residency (see ResidueOps). */
     void toCoeff(Ciphertext &ct) const;
     void toEval(Ciphertext &ct) const;
@@ -199,11 +241,35 @@ class BfvContext
     std::vector<uint64_t>
     roundToPlain(const std::vector<BigUInt> &wide) const;
 
+    /**
+     * Base-extend ciphertext components onto the full tensor chain:
+     * reconstruct the centred integer coefficients out of the
+     * ciphertext chain and reduce them mod the auxiliary primes.
+     * Eval-resident components reuse their resident towers for the
+     * prefix (the reuse lands in the elision ledger) and enter only
+     * the auxiliary towers through one batched forward dispatch.
+     */
+    std::vector<ResiduePoly>
+    extendComponents(const std::vector<const ResiduePoly *> &comps) const;
+
+    /**
+     * mulCt's degree-2 hook: take the tensor product out of the
+     * extended evaluation domain (one batched inverse dispatch),
+     * reconstruct the centred integer coefficients mod the full
+     * tensor modulus, scale-and-round by t/q, and re-enter the
+     * ciphertext chain — c0 and c1 forward into Eval, c2 left in
+     * Coeff so the relinearisation's digit split elides its inverse.
+     */
+    std::array<ResiduePoly, 3>
+    scaleRoundHook(std::array<ResiduePoly, 3> d) const;
+
     RlweParams params_;
     Rng rng_;
 
-    std::unique_ptr<RnsBasis> basis_;
+    std::unique_ptr<RnsBasis> basis_;    ///< ciphertext chain (L towers)
+    std::unique_ptr<RnsBasis> basisExt_; ///< tensor chain (2L+1 towers)
     std::unique_ptr<CrtContext> crt_;
+    std::unique_ptr<CrtContext> crtExt_;
     RlweEvaluator evaluator_;
 
     BigUInt delta_;                ///< floor(q / t)

@@ -244,6 +244,35 @@ CkksContext::mulPlain(const CkksCiphertext &ct,
     return mulPlain(ct, encodePlain(values, ct.towers()));
 }
 
+RelinKey
+CkksContext::makeRelinKey(const CkksSecretKey &sk, unsigned digitBits)
+{
+    rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
+    std::vector<int64_t> s(params_.n);
+    for (size_t i = 0; i < params_.n; ++i)
+        s[i] = sk.s[i];
+    return evaluator_.makeRelinKey(residuesOfSigned(s, params_.towers),
+                                   params_.noiseBound, rng_, digitBits);
+}
+
+CkksCiphertext
+CkksContext::mulCt(const CkksCiphertext &a, const CkksCiphertext &b,
+                   const RelinKey &rk) const
+{
+    rpu_assert(a.towers() == b.towers() && a.towers() >= 1,
+               "level mismatch: %zu vs %zu towers", a.towers(),
+               b.towers());
+
+    // Tensor, hook (none for CKKS), and key-switch are the
+    // evaluator's; the scheme only tracks the scale product.
+    auto pair = evaluator_.mulPair(a.c0, a.c1, b.c0, b.c1, rk);
+    CkksCiphertext out;
+    out.scale = a.scale * b.scale;
+    out.c0 = std::move(pair[0]);
+    out.c1 = std::move(pair[1]);
+    return out;
+}
+
 CkksCiphertext
 CkksContext::rescale(const CkksCiphertext &ct) const
 {

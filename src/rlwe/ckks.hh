@@ -206,6 +206,28 @@ class CkksContext
              const std::vector<std::complex<double>> &values) const;
 
     /**
+     * Gadget-decomposed relinearisation key over the full chain
+     * (see RlweEvaluator::makeRelinKey). One key serves every
+     * level: a rescaled ciphertext's key-switch reads the key
+     * through its tower prefix.
+     */
+    RelinKey makeRelinKey(const CkksSecretKey &sk,
+                          unsigned digitBits = 16);
+
+    /**
+     * Slot-wise ciphertext x ciphertext product, relinearised back
+     * to degree 1 through the evaluator's shared mulPair pipeline
+     * (tensor product as pure pointwise launches, gadget key-switch
+     * with @p rk; CKKS needs no degree-2 hook). Operands must sit
+     * at the same level; the result's scale is the product of the
+     * operands' scales, so the natural follow-up is a rescale —
+     * which then drops a tower, exactly as after mulPlain.
+     */
+    CkksCiphertext mulCt(const CkksCiphertext &a,
+                         const CkksCiphertext &b,
+                         const RelinKey &rk) const;
+
+    /**
      * Drop the last active tower q_l and divide the scale by it:
      * c'_t = (c_t - lift([c]_l)) * q_l^-1 mod q_t. Exact in RNS:
      * bit-identical to the wide-integer (V - centred(V mod q_l)) / q_l

@@ -123,6 +123,205 @@ RlweEvaluator::mulPlainPair(const ResiduePoly &c0, const ResiduePoly &c1,
     return {std::move(prods[0]), std::move(prods[1])};
 }
 
+std::array<ResiduePoly, 3>
+RlweEvaluator::tensorPair(const ResiduePoly &a0, const ResiduePoly &a1,
+                          const ResiduePoly &b0,
+                          const ResiduePoly &b1) const
+{
+    const size_t towers = a0.towerCount();
+    rpu_assert(a1.towerCount() == towers &&
+                   b0.towerCount() == towers &&
+                   b1.towerCount() == towers,
+               "tensor operands span different tower counts");
+    rpu_assert(a0.domain == a1.domain && b0.domain == b1.domain,
+               "ciphertext components in different domains");
+
+    // Eval-resident pairs are read in place (the conversions a
+    // coefficient-resident system would pay land in the elision
+    // ledger); Coeff-resident pairs convert on copies.
+    std::vector<ResiduePoly> owned;
+    owned.reserve(4);
+    const ResiduePoly *pa0 = &a0, *pa1 = &a1;
+    const ResiduePoly *pb0 = &b0, *pb1 = &b1;
+    if (a0.inEval()) {
+        ops_.noteElidedConversions(2 * towers);
+    } else {
+        owned.push_back(a0);
+        owned.push_back(a1);
+        ops_.convert({&owned[0], &owned[1]}, ResidueDomain::Eval);
+        pa0 = &owned[0];
+        pa1 = &owned[1];
+    }
+    if (b0.inEval()) {
+        ops_.noteElidedConversions(2 * towers);
+    } else {
+        const size_t base = owned.size();
+        owned.push_back(b0);
+        owned.push_back(b1);
+        ops_.convert({&owned[base], &owned[base + 1]},
+                     ResidueDomain::Eval);
+        pb0 = &owned[base];
+        pb1 = &owned[base + 1];
+    }
+
+    // The four cross products in one pointwise dispatch, folded into
+    // (c0, c1, c2) = (a0b0, a0b1 + a1b0, a1b1) with host tower adds.
+    auto prods = ops_.mulEvalPairs({pa0, pa0, pa1, pa1},
+                                   {pb0, pb1, pb0, pb1}, towers);
+    return {std::move(prods[0]), ops_.add(prods[1], prods[2]),
+            std::move(prods[3])};
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::relinearise(const ResiduePoly &d0, const ResiduePoly &d1,
+                           ResiduePoly d2, const RelinKey &rk) const
+{
+    const size_t towers = d0.towerCount();
+    rpu_assert(d1.towerCount() == towers && d2.towerCount() == towers,
+               "degree-2 components span different tower counts");
+    rpu_assert(d0.inEval() && d1.inEval(),
+               "degree-1 components must be evaluation-resident");
+    rpu_assert(rk.towerCount() >= towers,
+               "relin key covers %zu towers, ciphertext spans %zu",
+               rk.towerCount(), towers);
+    for (size_t t = 0; t < towers; ++t) {
+        rpu_assert(rk.k[t].size() == ops_.digitCount(t, rk.digitBits),
+                   "relin key digit layout mismatch at tower %zu", t);
+    }
+
+    // c2 leaves the evaluation domain — the key-switch's one batched
+    // inverse pass. A scheme hook that already returned it in Coeff
+    // (BFV's scale-and-round) makes this a recorded elision instead.
+    const bool c2_was_eval = d2.inEval();
+    ops_.toCoeff(d2);
+    if (c2_was_eval && device_)
+        device_->noteKeySwitchTransforms(towers);
+
+    // Digit split (host) and re-entry: every digit polynomial back
+    // into the evaluation domain through one batched forward
+    // dispatch — the digits * towers transforms the gadget
+    // decomposition costs, annotated as key-switch plumbing.
+    std::vector<ResiduePoly> digits =
+        ops_.digitDecompose(d2, rk.digitBits, towers);
+    std::vector<ResiduePoly *> views;
+    views.reserve(digits.size());
+    for (ResiduePoly &d : digits)
+        views.push_back(&d);
+    ops_.convert(views, ResidueDomain::Eval);
+    if (device_)
+        device_->noteKeySwitchTransforms(digits.size() * towers);
+
+    // The inner product against the key: 2 * totalDigits pairs
+    // (digit .* k0, digit .* k1) through one pointwise dispatch, the
+    // key read through its tower prefix without copying it down.
+    std::vector<const ResiduePoly *> as, bs;
+    as.reserve(2 * digits.size());
+    bs.reserve(2 * digits.size());
+    size_t idx = 0;
+    for (size_t t = 0; t < towers; ++t) {
+        for (size_t j = 0; j < rk.k[t].size(); ++j, ++idx) {
+            as.push_back(&digits[idx]);
+            bs.push_back(&rk.k[t][j][0]);
+            as.push_back(&digits[idx]);
+            bs.push_back(&rk.k[t][j][1]);
+        }
+    }
+    rpu_assert(idx == digits.size(), "digit/key layout mismatch");
+    auto prods = ops_.mulEvalPairs(as, bs, towers);
+
+    ResiduePoly r0 = d0;
+    ResiduePoly r1 = d1;
+    for (size_t i = 0; i < digits.size(); ++i) {
+        r0 = ops_.add(r0, prods[2 * i]);
+        r1 = ops_.add(r1, prods[2 * i + 1]);
+    }
+    return {std::move(r0), std::move(r1)};
+}
+
+std::array<ResiduePoly, 2>
+RlweEvaluator::mulPair(const ResiduePoly &a0, const ResiduePoly &a1,
+                       const ResiduePoly &b0, const ResiduePoly &b1,
+                       const RelinKey &rk, const Degree2Hook &hook) const
+{
+    std::array<ResiduePoly, 3> d = tensorPair(a0, a1, b0, b1);
+    if (hook)
+        d = hook(std::move(d));
+    return relinearise(d[0], d[1], std::move(d[2]), rk);
+}
+
+RelinKey
+RlweEvaluator::makeRelinKey(const TowerPoly &s_res, uint64_t noiseBound,
+                            Rng &rng, unsigned digitBits) const
+{
+    const size_t towers = s_res.size();
+    rpu_assert(towers >= 1 && towers <= basis().towers(),
+               "key spans %zu towers, chain has %zu", towers,
+               basis().towers());
+
+    // s and s^2 in evaluation form, once per tower; the squaring is
+    // pointwise there.
+    std::vector<std::vector<u128>> s_eval(towers), s2_eval(towers);
+    for (size_t t = 0; t < towers; ++t) {
+        rpu_assert(s_res[t].size() == n_, "secret residue size mismatch");
+        s_eval[t] = s_res[t];
+        hostNtt(t).forward(s_eval[t]);
+        s2_eval[t] = polyPointwise(modulus(t), s_eval[t], s_eval[t]);
+    }
+
+    RelinKey rk;
+    rk.digitBits = digitBits;
+    rk.k.resize(towers);
+    const u128 base = u128(1) << digitBits;
+    const uint64_t span = 2 * noiseBound + 1;
+    std::vector<int64_t> e(n_);
+    for (size_t t = 0; t < towers; ++t) {
+        const Modulus &mod_t = modulus(t);
+        rk.k[t].resize(ops_.digitCount(t, digitBits));
+        u128 g = 1; // B^j mod q_t
+        for (size_t j = 0; j < rk.k[t].size(); ++j) {
+            // One small error polynomial per key entry, shared by
+            // every tower's residues (like encryptPair's).
+            for (auto &v : e)
+                v = int64_t(rng.below64(span)) - int64_t(noiseBound);
+
+            std::array<ResiduePoly, 2> &entry = rk.k[t][j];
+            entry[0].domain = ResidueDomain::Eval;
+            entry[1].domain = ResidueDomain::Eval;
+            entry[0].towers.resize(towers);
+            entry[1].towers.resize(towers);
+            for (size_t u = 0; u < towers; ++u) {
+                const Modulus &mod = modulus(u);
+                const std::vector<u128> a = randomPoly(mod, n_, rng);
+                std::vector<u128> er(n_);
+                for (size_t i = 0; i < n_; ++i) {
+                    const int64_t ei = e[i];
+                    er[i] = ei >= 0
+                                ? mod.reduce(u128(uint64_t(ei)))
+                                : mod.neg(mod.reduce(
+                                      u128(uint64_t(-ei))));
+                }
+                hostNtt(u).forward(er);
+                // k0 = a*s + e + g_{t,j}*s^2, k1 = -a — the gadget
+                // factor is a CRT unit vector, so the s^2 term only
+                // exists in tower t and costs a pointwise scale, no
+                // transform.
+                std::vector<u128> k0 = polyAdd(
+                    mod, polyPointwise(mod, a, s_eval[u]), er);
+                if (u == t)
+                    k0 = polyAdd(mod, k0,
+                                 polyScale(mod, g, s2_eval[t]));
+                std::vector<u128> k1(n_);
+                for (size_t i = 0; i < n_; ++i)
+                    k1[i] = mod.neg(a[i]);
+                entry[0].towers[u] = std::move(k0);
+                entry[1].towers[u] = std::move(k1);
+            }
+            g = mod_t.mul(g, mod_t.reduce(base));
+        }
+    }
+    return rk;
+}
+
 std::array<ResiduePoly, 2>
 RlweEvaluator::encryptPair(const TowerPoly &s_res,
                            const TowerPoly &em_res, Rng &rng) const
@@ -214,6 +413,37 @@ RlweEvaluator::inverseTower(
         hostNtt(t).inverse(out[c]);
     }
     return out;
+}
+
+std::vector<RlweEvaluator::TowerPoly>
+RlweEvaluator::forwardTowersAt(std::vector<TowerPoly> xs,
+                               size_t first) const
+{
+    if (xs.empty())
+        return xs;
+    const size_t count = xs[0].size();
+    rpu_assert(count >= 1 && first + count <= basis().towers(),
+               "tower range [%zu, %zu) outside the chain", first,
+               first + count);
+    for (const TowerPoly &x : xs)
+        rpu_assert(x.size() == count, "tower count mismatch");
+
+    if (device_) {
+        std::vector<u128> primes(count);
+        for (size_t t = 0; t < count; ++t)
+            primes[t] = basis().prime(first + t);
+        auto pending = device_->transformTowersBatchAsync(
+            n_, primes, std::move(xs), false);
+        std::vector<TowerPoly> out(pending.size());
+        for (size_t i = 0; i < out.size(); ++i)
+            out[i] = RpuDevice::collectTowers(std::move(pending[i]));
+        return out;
+    }
+    for (TowerPoly &x : xs) {
+        for (size_t t = 0; t < count; ++t)
+            hostNtt(first + t).forward(x[t]);
+    }
+    return xs;
 }
 
 void

@@ -38,6 +38,50 @@ namespace rpu {
 
 class RpuDevice;
 
+/**
+ * Gadget-decomposed relinearisation (key-switching) key, the
+ * scheme-generic half of ct x ct multiply: for every tower t of the
+ * chain prefix it covers and every base-2^digitBits digit slot j,
+ * an RLWE encryption of g_{t,j} * s^2 under s, where the gadget
+ * factor g_{t,j} is the CRT unit vector that is B^j mod q_t and
+ * 0 mod every other prime:
+ *
+ *   k0_{t,j} = a*s + e + g_{t,j}*s^2,   k1_{t,j} = -a .
+ *
+ * Summing digit-weighted key pairs over (t, j) therefore
+ * reconstructs [c2]_{q_u} * s^2 exactly in every tower u — the
+ * recomposition identity the tier-1 tests pin — while each digit
+ * polynomial stays below B, keeping the noise each key's e
+ * contributes to B-sized coefficients instead of q-sized ones.
+ * Both key components are Eval-resident over the full prefix at
+ * generation time, so the key-switch inner product is pure
+ * pointwise launches; a lower-level ciphertext (CKKS after
+ * rescales) reads the key through its tower prefix. Smaller
+ * digitBits means more digits (more re-entry NTTs and pointwise
+ * products) but less noise per multiply — the classic knob, here
+ * visible directly in the DeviceStats ledger.
+ */
+struct RelinKey
+{
+    unsigned digitBits = 16;
+
+    /** k[t][j] = {k0, k1} for tower t's digit j; ragged in j when
+     *  tower widths differ (the last digit may be partial). */
+    std::vector<std::vector<std::array<ResiduePoly, 2>>> k;
+
+    /** Towers the key can relinearise (decomposition range). */
+    size_t towerCount() const { return k.size(); }
+
+    /** Total digit slots over the first @p towers towers. */
+    size_t totalDigits(size_t towers) const
+    {
+        size_t d = 0;
+        for (size_t t = 0; t < towers; ++t)
+            d += k[t].size();
+        return d;
+    }
+};
+
 /** Shared op pipeline over one modulus chain (see file comment). */
 class RlweEvaluator
 {
@@ -115,6 +159,80 @@ class RlweEvaluator
                                             const ResiduePoly &pt,
                                             size_t towers) const;
 
+    // -- Ciphertext x ciphertext multiply --------------------------------
+
+    /**
+     * Scheme hook between tensor product and relinearisation: maps
+     * the degree-2 ciphertext (c0, c1, c2) the tensor produced to
+     * the one relinearise consumes. BFV's scale-and-round lives
+     * here (and shrinks the extended chain back to the ciphertext
+     * chain); CKKS needs none. The hook may return components in
+     * either domain — a Coeff c2 lets relinearise skip its inverse
+     * transform (the skip lands in the elision ledger).
+     */
+    using Degree2Hook = std::function<std::array<ResiduePoly, 3>(
+        std::array<ResiduePoly, 3>)>;
+
+    /**
+     * Tensor product of two ciphertext pairs over their towers: the
+     * four cross products a0b0, a0b1, a1b0, a1b1 go through one
+     * pointwise dispatch and fold into the degree-2 ciphertext
+     * (a0b0, a0b1 + a1b0, a1b1) with host tower adds. Eval-resident
+     * operands are read in place (the four skipped conversions per
+     * tower land in the elision ledger); Coeff-resident ones are
+     * converted on copies. No transform runs on the Eval path —
+     * residency makes the tensor product pure PointwiseMulBatched
+     * launches.
+     */
+    std::array<ResiduePoly, 3> tensorPair(const ResiduePoly &a0,
+                                          const ResiduePoly &a1,
+                                          const ResiduePoly &b0,
+                                          const ResiduePoly &b1) const;
+
+    /**
+     * Key-switch the degree-2 ciphertext back to degree 1 with
+     * @p rk, exactly once, for every scheme: c2 leaves the
+     * evaluation domain (one batched inverse pass — skipped and
+     * elided when the scheme hook already returned it in Coeff),
+     * is split into gadget digits, the digits re-enter in one
+     * batched forward dispatch, and one pointwise dispatch runs the
+     * 2 * totalDigits inner-product pairs against the key. The
+     * digit-split transforms are annotated as keySwitchTransforms
+     * in DeviceStats on top of the ordinary forward/inverse counts,
+     * so workload elision ratios stay meaningful. Returns
+     * (d0 + sum digit.*k0, d1 + sum digit.*k1), Eval-resident.
+     */
+    std::array<ResiduePoly, 2> relinearise(const ResiduePoly &d0,
+                                           const ResiduePoly &d1,
+                                           ResiduePoly d2,
+                                           const RelinKey &rk) const;
+
+    /**
+     * The whole ct x ct multiply: tensorPair, then the scheme's
+     * @p hook (if any) on the degree-2 ciphertext, then relinearise
+     * with @p rk. This is the single pipeline both BFV and CKKS
+     * route their mulCt through — the schemes contribute only the
+     * hook (BFV's scale-and-round) and the scale/level bookkeeping.
+     */
+    std::array<ResiduePoly, 2> mulPair(const ResiduePoly &a0,
+                                       const ResiduePoly &a1,
+                                       const ResiduePoly &b0,
+                                       const ResiduePoly &b1,
+                                       const RelinKey &rk,
+                                       const Degree2Hook &hook = {}) const;
+
+    /**
+     * Generate a gadget-decomposed relinearisation key over the
+     * first s_res.size() towers (see RelinKey): per (tower, digit),
+     * a fresh uniform mask sampled directly in evaluation form and
+     * a fresh small error (uniform in [-noiseBound, noiseBound])
+     * entering through one host forward transform — keygen stays
+     * off the device, like encryptPair. s^2 is computed once per
+     * tower as a pointwise square of the secret's evaluation form.
+     */
+    RelinKey makeRelinKey(const TowerPoly &s_res, uint64_t noiseBound,
+                          Rng &rng, unsigned digitBits = 16) const;
+
     // -- Encrypt / decrypt common halves ---------------------------------
 
     /**
@@ -156,6 +274,18 @@ class RlweEvaluator
     std::vector<std::vector<u128>>
     inverseTower(const std::vector<const ResiduePoly *> &polys,
                  size_t t) const;
+
+    /**
+     * Forward-transform each polynomial's coefficient towers
+     * against the chain primes starting at offset @p first (so
+     * xs[i][t] enters tower first + t's evaluation domain) in one
+     * batched device dispatch (host transforms otherwise). BFV's
+     * base extension uses this to enter only the auxiliary towers
+     * it just computed, reusing the ciphertext's existing Eval
+     * towers for the rest of the extended chain.
+     */
+    std::vector<TowerPoly> forwardTowersAt(std::vector<TowerPoly> xs,
+                                           size_t first) const;
 
     /**
      * Run @p fn(0..count-1), fanning the units across the attached

@@ -250,6 +250,127 @@ ResidueOps::mulEval(const ResiduePoly &a, const ResiduePoly &b) const
     return std::move(out[0]);
 }
 
+std::vector<ResiduePoly>
+ResidueOps::mulEvalPairs(const std::vector<const ResiduePoly *> &as,
+                         const std::vector<const ResiduePoly *> &bs,
+                         size_t towers) const
+{
+    rpu_assert(!as.empty() && as.size() == bs.size(),
+               "pair operand count mismatch: %zu vs %zu", as.size(),
+               bs.size());
+    if (towers == 0)
+        towers = as[0]->towerCount();
+    for (size_t i = 0; i < as.size(); ++i) {
+        rpu_assert(as[i] != nullptr && bs[i] != nullptr,
+                   "null operand in pair %zu", i);
+        rpu_assert(as[i]->inEval() && bs[i]->inEval(),
+                   "pair %zu operands must be evaluation-resident", i);
+        rpu_assert(as[i]->towerCount() >= towers &&
+                       bs[i]->towerCount() >= towers,
+                   "pair %zu spans too few towers", i);
+    }
+
+    if (!device_) {
+        std::vector<ResiduePoly> out(as.size());
+        std::vector<uint64_t> na, nb, no;
+        for (size_t i = 0; i < as.size(); ++i) {
+            out[i].domain = ResidueDomain::Eval;
+            out[i].towers.resize(towers);
+            for (size_t t = 0; t < towers; ++t) {
+                const Modulus &mod = basis().modulus(t);
+                const simd::NarrowModulus *nm =
+                    simd::narrowLanesActive() ? mod.narrow() : nullptr;
+                const std::vector<u128> &at = as[i]->towers[t];
+                const std::vector<u128> &bt = bs[i]->towers[t];
+                if (!nm) {
+                    out[i].towers[t] = polyPointwise(mod, at, bt);
+                    continue;
+                }
+                na.resize(at.size());
+                nb.resize(at.size());
+                no.resize(at.size());
+                for (size_t j = 0; j < at.size(); ++j) {
+                    na[j] = uint64_t(at[j]);
+                    nb[j] = uint64_t(bt[j]);
+                }
+                simd::mulModSpan(na.data(), nb.data(), no.data(),
+                                 at.size(), *nm);
+                std::vector<u128> r(at.size());
+                for (size_t j = 0; j < at.size(); ++j)
+                    r[j] = no[j];
+                out[i].towers[t] = std::move(r);
+            }
+        }
+        return out;
+    }
+
+    // Every pair through one dispatch (PointwiseMulBatched per pair
+    // serially, per-tower fan-out on a pooled device); operands are
+    // copied in because the launches consume their inputs.
+    std::vector<std::vector<std::vector<u128>>> lhs, rhs;
+    lhs.reserve(as.size());
+    rhs.reserve(as.size());
+    for (size_t i = 0; i < as.size(); ++i) {
+        lhs.emplace_back(as[i]->towers.begin(),
+                         as[i]->towers.begin() + ptrdiff_t(towers));
+        rhs.emplace_back(bs[i]->towers.begin(),
+                         bs[i]->towers.begin() + ptrdiff_t(towers));
+    }
+    return collectEvalProducts(std::move(lhs), std::move(rhs), towers);
+}
+
+size_t
+ResidueOps::digitCount(size_t t, unsigned digitBits) const
+{
+    rpu_assert(digitBits >= 1 && digitBits < 62,
+               "digit base 2^%u out of range", digitBits);
+    const u128 q = basis().prime(t);
+    size_t bits = 0;
+    for (u128 v = q; v != 0; v >>= 1)
+        ++bits;
+    return (bits + digitBits - 1) / digitBits;
+}
+
+std::vector<ResiduePoly>
+ResidueOps::digitDecompose(const ResiduePoly &p, unsigned digitBits,
+                           size_t towers) const
+{
+    rpu_assert(!p.inEval(),
+               "gadget decomposition splits coefficient residues");
+    rpu_assert(towers >= 1 && p.towerCount() >= towers,
+               "polynomial spans %zu towers, need %zu", p.towerCount(),
+               towers);
+    const u128 base = u128(1) << digitBits;
+    for (size_t t = 0; t < towers; ++t) {
+        rpu_assert(base < basis().prime(t),
+                   "digit base 2^%u not below tower %zu's prime",
+                   digitBits, t);
+    }
+
+    std::vector<ResiduePoly> digits;
+    const u128 mask = base - 1;
+    for (size_t t = 0; t < towers; ++t) {
+        const size_t dcount = digitCount(t, digitBits);
+        const std::vector<u128> &src = p.towers[t];
+        for (size_t j = 0; j < dcount; ++j) {
+            std::vector<u128> d(src.size());
+            for (size_t i = 0; i < src.size(); ++i)
+                d[i] = (src[i] >> (j * digitBits)) & mask;
+            // The digit values are below every chain prime, so the
+            // digit polynomial's residues are identical in every
+            // tower it spans.
+            ResiduePoly rp;
+            rp.domain = ResidueDomain::Coeff;
+            rp.towers.reserve(towers);
+            for (size_t u = 0; u + 1 < towers; ++u)
+                rp.towers.push_back(d);
+            rp.towers.push_back(std::move(d));
+            digits.push_back(std::move(rp));
+        }
+    }
+    return digits;
+}
+
 ResiduePoly
 ResidueOps::add(const ResiduePoly &a, const ResiduePoly &b) const
 {

@@ -155,6 +155,46 @@ class ResidueOps
     /** Single-pair convenience over mulEvalShared. */
     ResiduePoly mulEval(const ResiduePoly &a, const ResiduePoly &b) const;
 
+    /**
+     * Independent pointwise pairs through one dispatch:
+     * result[i] = as[i] .* bs[i] over the first @p towers primes
+     * (0 = as[0]'s tower count). Unlike mulEvalShared there is no
+     * shared operand — this is the shape of the relinearisation
+     * inner product (every gadget digit against its own key
+     * component) and of the tensor product's four cross terms. All
+     * operands must be Eval and may span more than @p towers (a
+     * full-chain key serves any level); results span exactly
+     * @p towers. Operands are only read.
+     */
+    std::vector<ResiduePoly>
+    mulEvalPairs(const std::vector<const ResiduePoly *> &as,
+                 const std::vector<const ResiduePoly *> &bs,
+                 size_t towers = 0) const;
+
+    /**
+     * Gadget decomposition of Coeff-resident @p p: split every tower
+     * t's residues into base-2^digitBits digits, least significant
+     * first — d_{t,j} with [p]_{q_t} = sum_j d_{t,j} * B^j exactly
+     * (the last digit is partial when B does not divide q_t's
+     * width). Returned tower-major (all of tower 0's digits, then
+     * tower 1's, ...; digitCount() gives the per-tower split).
+     *
+     * Every digit value is < B < every chain prime, so a digit
+     * polynomial's residues are the same small integers in every
+     * tower: each returned ResiduePoly spans @p towers replicated
+     * towers, ready for the batched re-entry transform and the
+     * pointwise inner product against a key that lives over the same
+     * prefix. Pure host arithmetic — the transforms it feeds are
+     * where the device comes in.
+     */
+    std::vector<ResiduePoly> digitDecompose(const ResiduePoly &p,
+                                            unsigned digitBits,
+                                            size_t towers) const;
+
+    /** Digits of tower @p t under base 2^digitBits:
+     *  ceil(bitlen(q_t) / digitBits). */
+    size_t digitCount(size_t t, unsigned digitBits) const;
+
     /** Tower-wise a + b (host); domains must match and are kept. */
     ResiduePoly add(const ResiduePoly &a, const ResiduePoly &b) const;
 

@@ -204,6 +204,7 @@ RpuDevice::resetCounters()
     counters_.inverseTransforms = 0;
     counters_.pointwiseMuls = 0;
     counters_.transformsElided = 0;
+    counters_.keySwitchTransforms = 0;
     for (auto &w : counters_.perWorkerLaunches)
         w = 0;
     for (auto &w : counters_.perWorkerCycles)
@@ -214,6 +215,12 @@ void
 RpuDevice::noteElidedTransforms(uint64_t towers)
 {
     counters_.transformsElided += towers;
+}
+
+void
+RpuDevice::noteKeySwitchTransforms(uint64_t towers)
+{
+    counters_.keySwitchTransforms += towers;
 }
 
 DeviceStats
@@ -228,6 +235,7 @@ RpuDevice::stats() const
     s.inverseTransforms = counters_.inverseTransforms;
     s.pointwiseMuls = counters_.pointwiseMuls;
     s.transformsElided = counters_.transformsElided;
+    s.keySwitchTransforms = counters_.keySwitchTransforms;
 
     // Slot 0 (inline) plus one slot per current pool worker — but
     // never drop a slot that recorded launches under an earlier,
@@ -260,7 +268,9 @@ DeviceStats::summary() const
                     " inv=" + std::to_string(inverseTransforms) +
                     ", pointwise=" + std::to_string(pointwiseMuls) +
                     ", transforms elided=" +
-                    std::to_string(transformsElided) + ", workers=[";
+                    std::to_string(transformsElided) +
+                    " key-switch=" +
+                    std::to_string(keySwitchTransforms) + ", workers=[";
     for (size_t i = 0; i < perWorkerLaunches.size(); ++i) {
         if (i > 0)
             s += " ";

@@ -142,6 +142,15 @@ struct DeviceCounters
     std::atomic<uint64_t> pointwiseMuls{0}; ///< pointwise tower products
     std::atomic<uint64_t> transformsElided{0}; ///< conversions skipped
 
+    /** Of the issued transforms, how many were key-switch plumbing
+     *  (relinearisation's digit split + re-entry) rather than
+     *  workload domain boundaries. A subset annotation reported by
+     *  the evaluator, not a separate execution count: subtract it
+     *  from transformsIssued() to get the workload-only figure, so
+     *  elision ratios for user chains stay meaningful once ct x ct
+     *  multiplies enter the mix. */
+    std::atomic<uint64_t> keySwitchTransforms{0};
+
     std::atomic<uint64_t> perWorkerLaunches[kWorkerSlots] = {};
 
     /** Modelled RPU cycles of the launches each lane executed (the
@@ -169,6 +178,7 @@ struct DeviceStats
     uint64_t inverseTransforms = 0;
     uint64_t pointwiseMuls = 0;
     uint64_t transformsElided = 0;
+    uint64_t keySwitchTransforms = 0; ///< subset of issued (see counters)
 
     /** [0] = inline launches on callers' threads; [1 + w] = worker w. */
     std::vector<uint64_t> perWorkerLaunches;
@@ -187,6 +197,13 @@ struct DeviceStats
     uint64_t transformsIssued() const
     {
         return forwardTransforms + inverseTransforms;
+    }
+
+    /** Transforms issued for the workload's own domain boundaries —
+     *  issued minus the key-switch digit-split/re-entry passes. */
+    uint64_t workloadTransforms() const
+    {
+        return transformsIssued() - keySwitchTransforms;
     }
 
     /** Total modelled cycles across every lane. */
@@ -269,6 +286,14 @@ class RpuDevice
      * issued-vs-elided ledger lives in one place.
      */
     void noteElidedTransforms(uint64_t towers);
+
+    /**
+     * Annotate @p towers of the transforms just issued as key-switch
+     * plumbing (relinearisation's digit split + re-entry). Reported
+     * by RlweEvaluator::relinearise alongside the launches
+     * themselves; always <= the tower transforms issued.
+     */
+    void noteKeySwitchTransforms(uint64_t towers);
 
     // -- Concurrency -----------------------------------------------------
 
