@@ -135,9 +135,36 @@ CkksContext::encodePlain(
     return pt;
 }
 
+CkksPlaintext
+CkksContext::encodePlainCoeff(
+    const std::vector<std::complex<double>> &values,
+    size_t towers) const
+{
+    if (towers == 0)
+        towers = params_.towers;
+    rpu_assert(towers <= params_.towers,
+               "encode over %zu towers, chain has %zu", towers,
+               params_.towers);
+    CkksPlaintext pt;
+    pt.scale = params_.scale;
+    pt.rp = ResiduePoly(
+        ResidueDomain::Coeff,
+        residuesOfSigned(encoder_.encode(values, params_.scale),
+                         towers));
+    return pt;
+}
+
 CkksCiphertext
 CkksContext::encrypt(const CkksSecretKey &sk,
                      const std::vector<std::complex<double>> &values)
+{
+    return encrypt(sk, values, rng_);
+}
+
+CkksCiphertext
+CkksContext::encrypt(const CkksSecretKey &sk,
+                     const std::vector<std::complex<double>> &values,
+                     Rng &rng) const
 {
     rpu_assert(sk.s.size() == params_.n, "secret key size mismatch");
     const size_t L = params_.towers;
@@ -151,14 +178,14 @@ CkksContext::encrypt(const CkksSecretKey &sk,
     std::vector<int64_t> em(params_.n), s(params_.n);
     const uint64_t span = 2 * params_.noiseBound + 1;
     for (size_t i = 0; i < params_.n; ++i) {
-        const int64_t e = int64_t(rng_.below64(span)) -
+        const int64_t e = int64_t(rng.below64(span)) -
                           int64_t(params_.noiseBound);
         em[i] = m[i] + e;
         s[i] = sk.s[i];
     }
 
     auto pair = evaluator_.encryptPair(residuesOfSigned(s, L),
-                                       residuesOfSigned(em, L), rng_);
+                                       residuesOfSigned(em, L), rng);
     CkksCiphertext ct;
     ct.scale = params_.scale;
     ct.c0 = std::move(pair[0]);
@@ -274,13 +301,19 @@ CkksContext::mulCt(const CkksCiphertext &a, const CkksCiphertext &b,
 }
 
 CkksCiphertext
-CkksContext::rescale(const CkksCiphertext &ct) const
+CkksContext::rescaleFromDropped(
+    const CkksCiphertext &ct,
+    const std::vector<std::vector<u128>> &dropped) const
 {
     rpu_assert(ct.towers() >= 2,
                "rescale needs at least two active towers, have %zu",
                ct.towers());
-    rpu_assert(ct.c0.domain == ct.c1.domain,
-               "ciphertext components in different domains");
+    rpu_assert(ct.c0.inEval() && ct.c1.inEval(),
+               "rescaleFromDropped takes Eval-resident components");
+    rpu_assert(dropped.size() == 2 &&
+                   dropped[0].size() == params_.n &&
+                   dropped[1].size() == params_.n,
+               "dropped-tower residues must cover both components");
     const size_t l = ct.towers() - 1; // tower being dropped
     const Modulus &mod_l = basis().modulus(l);
     const u128 q_l = mod_l.value();
@@ -295,6 +328,45 @@ CkksContext::rescale(const CkksCiphertext &ct) const
     const ResiduePoly *comps[2] = {&ct.c0, &ct.c1};
     ResiduePoly *out_comps[2] = {&out.c0, &out.c1};
 
+    // Re-enter the lift into each remaining tower's evaluation
+    // domain via the host transform — the same plaintext-sized
+    // side engine encrypt and decrypt use — then subtract and
+    // scale pointwise. The ciphertext towers themselves never
+    // see a forward transform, so the device's forward-NTT
+    // counter stays at zero across a whole rescale chain. The
+    // 2*(L-1) independent (component, tower) units fan across
+    // the device's worker pool when it has one.
+    for (size_t c = 0; c < 2; ++c) {
+        out_comps[c]->domain = ResidueDomain::Eval;
+        out_comps[c]->towers.resize(l);
+    }
+    evaluator_.forEachUnit(2 * l, [&](size_t u) {
+        const size_t c = u / l;
+        const size_t t = u % l;
+        const Modulus &mod_t = basis().modulus(t);
+        std::vector<u128> d(params_.n);
+        for (size_t i = 0; i < params_.n; ++i)
+            d[i] = liftCentred(dropped[c][i], mod_l, mod_t);
+        hostNtt(t).forward(d);
+        out_comps[c]->towers[t] = polyScale(
+            mod_t, inv_ql[t],
+            polySub(mod_t, comps[c]->towers[t], d));
+    });
+    return out;
+}
+
+CkksCiphertext
+CkksContext::rescale(const CkksCiphertext &ct) const
+{
+    rpu_assert(ct.towers() >= 2,
+               "rescale needs at least two active towers, have %zu",
+               ct.towers());
+    rpu_assert(ct.c0.domain == ct.c1.domain,
+               "ciphertext components in different domains");
+    const size_t l = ct.towers() - 1; // tower being dropped
+    const Modulus &mod_l = basis().modulus(l);
+    const u128 q_l = mod_l.value();
+
     // Exact RNS rescale: with r the centred lift of [c]_l, every
     // remaining tower computes c'_t = (c_t - r) * q_l^-1 mod q_t —
     // the residues of the integer (V - centred(V mod q_l)) / q_l.
@@ -302,36 +374,23 @@ CkksContext::rescale(const CkksCiphertext &ct) const
     if (ct.c0.inEval()) {
         // The scheme's one forced Coeff boundary: only the *dropped*
         // tower leaves the evaluation domain, as an inverse-NTT
-        // launch on the attached device (host transform otherwise).
-        const std::vector<std::vector<u128>> r =
-            evaluator_.inverseTower({&ct.c0, &ct.c1}, l);
-
-        // Re-enter the lift into each remaining tower's evaluation
-        // domain via the host transform — the same plaintext-sized
-        // side engine encrypt and decrypt use — then subtract and
-        // scale pointwise. The ciphertext towers themselves never
-        // see a forward transform, so the device's forward-NTT
-        // counter stays at zero across a whole rescale chain. The
-        // 2*(L-1) independent (component, tower) units fan across
-        // the device's worker pool when it has one.
-        for (size_t c = 0; c < 2; ++c) {
-            out_comps[c]->domain = ResidueDomain::Eval;
-            out_comps[c]->towers.resize(l);
-        }
-        evaluator_.forEachUnit(2 * l, [&](size_t u) {
-            const size_t c = u / l;
-            const size_t t = u % l;
-            const Modulus &mod_t = basis().modulus(t);
-            std::vector<u128> d(params_.n);
-            for (size_t i = 0; i < params_.n; ++i)
-                d[i] = liftCentred(r[c][i], mod_l, mod_t);
-            hostNtt(t).forward(d);
-            out_comps[c]->towers[t] = polyScale(
-                mod_t, inv_ql[t],
-                polySub(mod_t, comps[c]->towers[t], d));
-        });
-        return out;
+        // launch on the attached device (host transform otherwise);
+        // the host half is the shared rescaleFromDropped body, so
+        // the serving layer can coalesce many ciphertexts' dropped
+        // towers into one launch and still match this bit-for-bit.
+        return rescaleFromDropped(
+            ct, evaluator_.inverseTower({&ct.c0, &ct.c1}, l));
     }
+
+    std::vector<u128> inv_ql(l);
+    for (size_t t = 0; t < l; ++t)
+        inv_ql[t] = basis().modulus(t).inv(
+            basis().modulus(t).reduce(q_l));
+
+    CkksCiphertext out;
+    out.scale = ct.scale / u128ToDouble(q_l);
+    const ResiduePoly *comps[2] = {&ct.c0, &ct.c1};
+    ResiduePoly *out_comps[2] = {&out.c0, &out.c1};
 
     // Coefficient-resident input: the same map is plain coefficient
     // arithmetic — no transform at all (the forward/pointwise/inverse

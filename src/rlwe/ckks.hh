@@ -166,6 +166,18 @@ class CkksContext
                 size_t towers = 0) const;
 
     /**
+     * encodePlain without the evaluation-domain entry: the encoded
+     * residues stay Coeff-resident and pay no transform at all. For
+     * callers that batch the forward entry themselves — the serving
+     * layer coalesces many tenants' plaintext entries into one
+     * batched device launch (RpuDevice::transformCoalesced) instead
+     * of paying one launch per encode.
+     */
+    CkksPlaintext
+    encodePlainCoeff(const std::vector<std::complex<double>> &values,
+                     size_t towers = 0) const;
+
+    /**
      * Encode @p values (at most slots() entries) at the context scale
      * and encrypt over the full chain. The ciphertext is Eval-resident:
      * the uniform mask is sampled in evaluation form and the message
@@ -173,6 +185,18 @@ class CkksContext
      */
     CkksCiphertext encrypt(const CkksSecretKey &sk,
                            const std::vector<std::complex<double>> &values);
+
+    /**
+     * Re-entrant encrypt: identical pipeline, but every random draw
+     * (error then mask) comes from @p rng instead of the context's
+     * own stream. Concurrent callers — the serving layer's per-tenant
+     * sessions with per-request derived streams — get reproducible
+     * ciphertexts regardless of interleaving; encrypt(sk, values) is
+     * exactly encrypt(sk, values, rng_).
+     */
+    CkksCiphertext encrypt(const CkksSecretKey &sk,
+                           const std::vector<std::complex<double>> &values,
+                           Rng &rng) const;
 
     /**
      * Decrypt: per-tower c0 + c1*s (pointwise in Eval, negacyclic in
@@ -237,6 +261,21 @@ class CkksContext
      * Coeff boundary) and no forward-NTT launch is issued.
      */
     CkksCiphertext rescale(const CkksCiphertext &ct) const;
+
+    /**
+     * The host half of an Eval-resident rescale, split out so the
+     * device half can be batched across ciphertexts: @p dropped must
+     * be the Coeff residues of the last active tower of {c0, c1}
+     * (exactly what RlweEvaluator::inverseTower({&ct.c0, &ct.c1}, l)
+     * returns — or one item of a coalesced
+     * RpuDevice::transformCoalesced over many ciphertexts' dropped
+     * towers). Bit-identical to rescale(ct), which is now a thin
+     * wrapper over this.
+     */
+    CkksCiphertext
+    rescaleFromDropped(const CkksCiphertext &ct,
+                       const std::vector<std::vector<u128>> &dropped)
+        const;
 
     /** Move both components to the target residency (see ResidueOps). */
     void toCoeff(CkksCiphertext &ct) const;

@@ -281,6 +281,43 @@ DeviceStats::summary() const
     return s;
 }
 
+DeviceStats
+DeviceStats::operator-(const DeviceStats &since) const
+{
+    DeviceStats d;
+    d.launches = launches - since.launches;
+    d.towerLaunches = towerLaunches - since.towerLaunches;
+    d.kernelHits = kernelHits - since.kernelHits;
+    d.kernelMisses = kernelMisses - since.kernelMisses;
+    d.forwardTransforms = forwardTransforms - since.forwardTransforms;
+    d.inverseTransforms = inverseTransforms - since.inverseTransforms;
+    d.pointwiseMuls = pointwiseMuls - since.pointwiseMuls;
+    d.transformsElided = transformsElided - since.transformsElided;
+    d.keySwitchTransforms =
+        keySwitchTransforms - since.keySwitchTransforms;
+
+    // The later snapshot may span more worker slots (the pool was
+    // widened in the window); the earlier one contributes zero there.
+    const size_t slots = std::max(perWorkerLaunches.size(),
+                                  since.perWorkerLaunches.size());
+    d.perWorkerLaunches.resize(slots);
+    d.perWorkerCycles.resize(slots);
+    for (size_t i = 0; i < slots; ++i) {
+        const uint64_t l0 = i < since.perWorkerLaunches.size()
+                                ? since.perWorkerLaunches[i]
+                                : 0;
+        const uint64_t c0 = i < since.perWorkerCycles.size()
+                                ? since.perWorkerCycles[i]
+                                : 0;
+        d.perWorkerLaunches[i] =
+            (i < perWorkerLaunches.size() ? perWorkerLaunches[i] : 0) -
+            l0;
+        d.perWorkerCycles[i] =
+            (i < perWorkerCycles.size() ? perWorkerCycles[i] : 0) - c0;
+    }
+    return d;
+}
+
 const Modulus &
 RpuDevice::modulusContext(u128 q)
 {
@@ -828,6 +865,119 @@ RpuDevice::pointwiseTowersBatchAsync(
                                   KernelKind::PointwiseMulBatched, n,
                                   moduli, std::move(a), std::move(b),
                                   opts);
+}
+
+std::vector<std::vector<std::vector<u128>>>
+RpuDevice::transformCoalesced(
+    uint64_t n, const std::vector<std::vector<u128>> &moduli,
+    std::vector<std::vector<std::vector<u128>>> xs, bool inverse,
+    const NttCodegenOptions &opts)
+{
+    const size_t items = moduli.size();
+    rpu_assert(xs.size() == items, "item count mismatch");
+
+    std::vector<u128> tiled;
+    for (size_t i = 0; i < items; ++i) {
+        rpu_assert(xs[i].size() == moduli[i].size(),
+                   "tower count mismatch in item %zu", i);
+        tiled.insert(tiled.end(), moduli[i].begin(), moduli[i].end());
+    }
+
+    std::vector<std::vector<u128>> in;
+    in.reserve(tiled.size());
+    for (auto &item : xs)
+        for (auto &tower : item)
+            in.push_back(std::move(tower));
+
+    // One launch per <= kMaxBatchedTowers group of the tiled chain
+    // (the batched-kernel register budget), so a chunk costs
+    // ceil(towers / budget) launches however many items it merged.
+    std::vector<std::vector<u128>> flat;
+    flat.reserve(tiled.size());
+    for (size_t g = 0; g < tiled.size(); g += kMaxBatchedTowers) {
+        const size_t end =
+            std::min(tiled.size(), g + kMaxBatchedTowers);
+        const std::vector<u128> group(tiled.begin() + g,
+                                      tiled.begin() + end);
+        const KernelImage &k =
+            kernel(inverse ? KernelKind::BatchedInverseNtt
+                           : KernelKind::BatchedForwardNtt,
+                   n, group, opts);
+        std::vector<std::vector<u128>> part = launch(
+            k, std::vector<std::vector<u128>>(
+                   std::make_move_iterator(in.begin() + g),
+                   std::make_move_iterator(in.begin() + end)));
+        for (auto &r : part)
+            flat.push_back(std::move(r));
+    }
+
+    std::vector<std::vector<std::vector<u128>>> out(items);
+    size_t f = 0;
+    for (size_t i = 0; i < items; ++i) {
+        out[i].reserve(moduli[i].size());
+        for (size_t t = 0; t < moduli[i].size(); ++t)
+            out[i].push_back(std::move(flat[f++]));
+    }
+    return out;
+}
+
+std::vector<std::vector<std::vector<u128>>>
+RpuDevice::pointwiseCoalesced(
+    uint64_t n, const std::vector<std::vector<u128>> &moduli,
+    std::vector<std::vector<std::vector<u128>>> a,
+    std::vector<std::vector<std::vector<u128>>> b,
+    const NttCodegenOptions &opts)
+{
+    const size_t items = moduli.size();
+    rpu_assert(a.size() == items && b.size() == items,
+               "item count mismatch");
+
+    std::vector<u128> tiled;
+    for (size_t i = 0; i < items; ++i) {
+        rpu_assert(a[i].size() == moduli[i].size() &&
+                       b[i].size() == moduli[i].size(),
+                   "tower count mismatch in item %zu", i);
+        tiled.insert(tiled.end(), moduli[i].begin(), moduli[i].end());
+    }
+
+    // Same region layout as one PointwiseMulBatched pair: per flat
+    // tower, the a operand then the b operand.
+    std::vector<std::vector<u128>> in;
+    in.reserve(2 * tiled.size());
+    for (size_t i = 0; i < items; ++i) {
+        for (size_t t = 0; t < moduli[i].size(); ++t) {
+            in.push_back(std::move(a[i][t]));
+            in.push_back(std::move(b[i][t]));
+        }
+    }
+
+    // Tiled into <= kMaxBatchedTowers launches like the transforms;
+    // a tower's a/b regions always land in the same group.
+    std::vector<std::vector<u128>> flat;
+    flat.reserve(tiled.size());
+    for (size_t g = 0; g < tiled.size(); g += kMaxBatchedTowers) {
+        const size_t end =
+            std::min(tiled.size(), g + kMaxBatchedTowers);
+        const std::vector<u128> group(tiled.begin() + g,
+                                      tiled.begin() + end);
+        const KernelImage &k =
+            kernel(KernelKind::PointwiseMulBatched, n, group, opts);
+        std::vector<std::vector<u128>> part = launch(
+            k, std::vector<std::vector<u128>>(
+                   std::make_move_iterator(in.begin() + 2 * g),
+                   std::make_move_iterator(in.begin() + 2 * end)));
+        for (auto &r : part)
+            flat.push_back(std::move(r));
+    }
+
+    std::vector<std::vector<std::vector<u128>>> out(items);
+    size_t f = 0;
+    for (size_t i = 0; i < items; ++i) {
+        out[i].reserve(moduli[i].size());
+        for (size_t t = 0; t < moduli[i].size(); ++t)
+            out[i].push_back(std::move(flat[f++]));
+    }
+    return out;
 }
 
 std::vector<std::vector<u128>>

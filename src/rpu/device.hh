@@ -232,6 +232,17 @@ struct DeviceStats
 
     /** One-line summary for benches and examples. */
     std::string summary() const;
+
+    /**
+     * Windowed delta between two snapshots of the *same* device with
+     * no resetCounters() in between: every counter of @p since is
+     * subtracted field-wise (per-worker vectors are padded with
+     * zeros when the pool widened between the snapshots). This is
+     * how the serving layer and benches attribute launches and
+     * transforms to one request window instead of diffing cumulative
+     * counters by hand; see also RpuDevice::statsSince.
+     */
+    DeviceStats operator-(const DeviceStats &since) const;
 };
 
 /** One element of a batched launchAll(). */
@@ -278,6 +289,16 @@ class RpuDevice
      * (inline launches) plus one slot per current pool worker.
      */
     DeviceStats stats() const;
+
+    /**
+     * The device's activity since @p snapshot (an earlier stats()
+     * with no resetCounters() in between): stats() - snapshot.
+     * Consistent under the same conditions as stats() itself.
+     */
+    DeviceStats statsSince(const DeviceStats &snapshot) const
+    {
+        return stats() - snapshot;
+    }
 
     /**
      * Record @p towers tower transforms that a domain-aware caller
@@ -497,6 +518,53 @@ class RpuDevice
                               std::vector<std::vector<std::vector<u128>>> a,
                               std::vector<std::vector<std::vector<u128>>> b,
                               const NttCodegenOptions &opts = {});
+
+    // -- Cross-item coalescing -------------------------------------------
+    //
+    // The serving layer's batching hooks: many *independent* items —
+    // typically requests from different tenants whose parameter sets
+    // share the ring dimension and (a prefix of) the same modulus
+    // chain — merge into batched kernels over the concatenated
+    // (tiled) moduli list, split only where the batched-kernel
+    // register budget forces it: ceil(towers / kMaxBatchedTowers)
+    // launches per call, however many items were merged. The batched
+    // kernel kinds already compute each region's ring independently,
+    // so the result is bit-identical to launching the items
+    // separately (a tier-1 test pins this); what changes is the
+    // ledger: a handful of launches where the uncoalesced path pays
+    // at least one per item, while the semantic tower-granular
+    // transform/pointwise counts stay exactly equal. Items may have
+    // different tower counts (tenants at different levels); results
+    // come back per item, in item order.
+
+    /** Towers one batched kernel can carry — the per-tower modulus /
+     *  scalar / data-pointer register budget in the codegen. */
+    static constexpr size_t kMaxBatchedTowers = 16;
+
+    /**
+     * Forward or inverse NTT of every tower of every item:
+     * result[i][t] = NTT_{moduli[i][t]}(xs[i][t]) (or the inverse).
+     * BatchedForward/InverseNtt launches over the tiled moduli,
+     * regardless of parallelism — coalescing trades the pool fan-out
+     * for launch-count reduction by design.
+     */
+    std::vector<std::vector<std::vector<u128>>>
+    transformCoalesced(uint64_t n,
+                       const std::vector<std::vector<u128>> &moduli,
+                       std::vector<std::vector<std::vector<u128>>> xs,
+                       bool inverse, const NttCodegenOptions &opts = {});
+
+    /**
+     * Pointwise tower products of every item: result[i][t] =
+     * a[i][t] .* b[i][t] mod moduli[i][t], as PointwiseMulBatched
+     * launches over the tiled moduli.
+     */
+    std::vector<std::vector<std::vector<u128>>>
+    pointwiseCoalesced(uint64_t n,
+                       const std::vector<std::vector<u128>> &moduli,
+                       std::vector<std::vector<std::vector<u128>>> a,
+                       std::vector<std::vector<std::vector<u128>>> b,
+                       const NttCodegenOptions &opts = {});
 
   private:
     /**

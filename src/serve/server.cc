@@ -1,0 +1,448 @@
+#include "serve/server.hh"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "rpu/device.hh"
+
+namespace rpu {
+namespace serve {
+
+namespace {
+
+double
+micros(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/** Largest power of two <= @p v (v >= 1). */
+size_t
+pow2Floor(size_t v)
+{
+    size_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+HeServer::HeServer(const ServeConfig &cfg,
+                   std::shared_ptr<RpuDevice> device)
+    : cfg_(cfg), device_(std::move(device)),
+      queue_(cfg.queueCapacity)
+{
+    rpu_assert(cfg_.maxBatch >= 1 && cfg_.maxPerTenant >= 1 &&
+                   cfg_.maxCoalesce >= 1,
+               "batch bounds must be positive");
+    rpu_assert(cfg_.dispatchers >= 1, "need at least one dispatcher");
+    if (!cfg_.startPaused)
+        start();
+}
+
+void
+HeServer::start()
+{
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (started_ || shut_down_)
+        return;
+    started_ = true;
+    dispatchers_.reserve(cfg_.dispatchers);
+    for (unsigned i = 0; i < cfg_.dispatchers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+HeServer::~HeServer()
+{
+    shutdown();
+}
+
+Session &
+HeServer::addTenant(const TenantConfig &cfg)
+{
+    // Key generation is heavy; build the session outside the lock and
+    // only the registration itself races with dispatcher lookups.
+    auto session = std::make_unique<Session>(cfg, device_);
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto &s : sessions_) {
+        rpu_assert(s->id() != cfg.id, "tenant %llu already exists",
+                   (unsigned long long)cfg.id);
+    }
+    sessions_.push_back(std::move(session));
+    return *sessions_.back();
+}
+
+Session *
+HeServer::tenant(uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto &s : sessions_) {
+        if (s->id() == id)
+            return s.get();
+    }
+    return nullptr;
+}
+
+Submission
+HeServer::submit(uint64_t tenant_id, RequestOp op,
+                 std::vector<std::complex<double>> a,
+                 std::vector<std::complex<double>> b)
+{
+    Session *sess = tenant(tenant_id);
+    rpu_assert(sess != nullptr, "unknown tenant %llu",
+               (unsigned long long)tenant_id);
+
+    ServeRequest req;
+    req.tenant = tenant_id;
+    // Assigned whether or not admission succeeds: the sequence
+    // number (and with it the request's derived RNG stream) must
+    // never depend on queue occupancy, or rejected submissions would
+    // shift every later request's randomness and break reproducible
+    // replay. Bit-identity harnesses run with no rejections.
+    req.seq = sess->nextSeq();
+    req.op = op;
+    req.a = std::move(a);
+    req.b = std::move(b);
+    req.submitted = std::chrono::steady_clock::now();
+
+    Submission sub;
+    // The future must exist before push: a dispatcher may pop and
+    // fulfil the request before push even returns.
+    sub.response = req.done.get_future();
+    sub.status = queue_.push(req);
+    sess->noteSubmission(sub.status);
+    switch (sub.status) {
+      case SubmitStatus::Accepted:
+        ++accepted_;
+        break;
+      case SubmitStatus::RejectedFull:
+        ++rejected_full_;
+        break;
+      case SubmitStatus::RejectedShutdown:
+        ++rejected_shutdown_;
+        break;
+    }
+    return sub;
+}
+
+void
+HeServer::prewarm()
+{
+    if (!device_)
+        return;
+
+    // One representative session per kernel class.
+    std::vector<Session *> reps;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        for (const auto &s : sessions_) {
+            bool seen = false;
+            for (Session *r : reps)
+                seen = seen || r->kernelClass() == s->kernelClass();
+            if (!seen)
+                reps.push_back(s.get());
+        }
+    }
+
+    for (Session *s : reps) {
+        const uint64_t n = s->config().params.n;
+        const std::vector<u128> primes = s->ctx().basis().primes();
+        const u128 q_l = primes.back();
+
+        // Uncoalesced path on a serial device: plaintext entry, the
+        // per-pair pointwise dispatch, the dropped-tower inverses.
+        device_->kernel(KernelKind::BatchedForwardNtt, n, primes);
+        device_->kernel(KernelKind::PointwiseMulBatched, n, primes);
+        device_->kernel(KernelKind::InverseNtt, n, {q_l});
+        // A pooled device fans the same work per tower.
+        if (device_->parallelism() > 1) {
+            for (u128 q : primes) {
+                device_->kernel(KernelKind::ForwardNtt, n, {q});
+                device_->kernel(KernelKind::PointwiseMul, n, {q});
+            }
+        }
+        if (!cfg_.coalesce)
+            continue;
+
+        // Coalesced chunk shapes: chunks come in power-of-two sizes
+        // and the coalesced hooks split tiled chains at the batched
+        // register budget, so warm exactly the per-group shapes those
+        // splits produce — the cache stays logarithmic in maxCoalesce
+        // per class and stage, not one entry per observed batch size.
+        const auto warmTiled = [&](KernelKind kind,
+                                   const std::vector<u128> &tiled) {
+            const size_t step = RpuDevice::kMaxBatchedTowers;
+            for (size_t g = 0; g < tiled.size(); g += step) {
+                const size_t end = std::min(tiled.size(), g + step);
+                device_->kernel(kind, n,
+                                std::vector<u128>(tiled.begin() + g,
+                                                  tiled.begin() + end));
+            }
+        };
+        for (size_t k = 2; k <= pow2Floor(cfg_.maxCoalesce); k *= 2) {
+            std::vector<u128> entry, pw;
+            for (size_t i = 0; i < k; ++i)
+                entry.insert(entry.end(), primes.begin(), primes.end());
+            for (size_t i = 0; i < 2 * k; ++i)
+                pw.insert(pw.end(), primes.begin(), primes.end());
+            warmTiled(KernelKind::BatchedForwardNtt, entry);
+            warmTiled(KernelKind::PointwiseMulBatched, pw);
+            warmTiled(KernelKind::BatchedInverseNtt,
+                      std::vector<u128>(2 * k, q_l));
+        }
+    }
+}
+
+void
+HeServer::shutdown()
+{
+    // A paused server still drains: whatever was admitted before the
+    // close gets dispatched and every accepted future resolves.
+    start();
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_)
+        return;
+    queue_.close();
+    for (std::thread &t : dispatchers_) {
+        if (t.joinable())
+            t.join();
+    }
+    shut_down_ = true;
+}
+
+ServerStats
+HeServer::stats() const
+{
+    ServerStats s;
+    s.accepted = accepted_;
+    s.rejectedFull = rejected_full_;
+    s.rejectedShutdown = rejected_shutdown_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.dispatches = dispatches_;
+    s.chunks = chunks_;
+    s.coalescedChunks = coalesced_chunks_;
+    s.coalescedRequests = coalesced_requests_;
+    return s;
+}
+
+void
+HeServer::dispatchLoop()
+{
+    for (;;) {
+        std::vector<ServeRequest> batch =
+            queue_.popBatch(cfg_.maxBatch, cfg_.maxPerTenant);
+        if (batch.empty())
+            return; // closed and drained
+
+        const uint64_t dispatch_index = dispatches_.fetch_add(1);
+        const auto popped = std::chrono::steady_clock::now();
+
+        // Group the batch by (op, kernel class), preserving pop
+        // order within each group — the fairness the queue
+        // established survives grouping because groups execute in
+        // first-appearance order.
+        struct Group
+        {
+            RequestOp op;
+            const std::string *cls;
+            std::vector<ServeRequest> reqs;
+        };
+        std::vector<Group> groups;
+        for (ServeRequest &req : batch) {
+            Session *sess = tenant(req.tenant);
+            const std::string &cls = sess->kernelClass();
+            Group *g = nullptr;
+            for (Group &cand : groups) {
+                if (cand.op == req.op && *cand.cls == cls) {
+                    g = &cand;
+                    break;
+                }
+            }
+            if (!g) {
+                groups.push_back(Group{req.op, &cls, {}});
+                g = &groups.back();
+            }
+            g->reqs.push_back(std::move(req));
+        }
+
+        // Cut each group into chunks. Only MulPlainRescale coalesces
+        // (the ct x ct relinearisation pipeline stays per-request);
+        // chunk sizes are powers of two so the kernel cache stays
+        // bounded (see prewarm).
+        for (Group &g : groups) {
+            const bool coalescable =
+                cfg_.coalesce && device_ != nullptr &&
+                g.op == RequestOp::MulPlainRescale;
+            const size_t cap =
+                coalescable ? pow2Floor(cfg_.maxCoalesce) : 1;
+            size_t idx = 0;
+            while (idx < g.reqs.size()) {
+                size_t take = cap;
+                while (take > g.reqs.size() - idx)
+                    take /= 2;
+                std::vector<ServeRequest> chunk;
+                chunk.reserve(take);
+                for (size_t j = 0; j < take; ++j)
+                    chunk.push_back(std::move(g.reqs[idx + j]));
+                idx += take;
+                executeChunk(std::move(chunk), dispatch_index, popped);
+            }
+        }
+    }
+}
+
+void
+HeServer::executeChunk(std::vector<ServeRequest> chunk,
+                       uint64_t dispatchIndex,
+                       std::chrono::steady_clock::time_point popped)
+{
+    const size_t k = chunk.size();
+    ++chunks_;
+    if (k > 1) {
+        ++coalesced_chunks_;
+        coalesced_requests_ += k;
+    }
+
+    std::vector<Session *> sessions(k);
+    std::vector<ServeResponse> responses(k);
+    for (size_t i = 0; i < k; ++i) {
+        sessions[i] = tenant(chunk[i].tenant);
+        responses[i].tenant = chunk[i].tenant;
+        responses[i].seq = chunk[i].seq;
+        responses[i].dispatchIndex = dispatchIndex;
+        responses[i].chunkRequests = k;
+    }
+
+    const DeviceStats before = device_ ? device_->stats()
+                                       : DeviceStats{};
+    try {
+        if (k == 1) {
+            // The per-tenant serial reference path, verbatim: the
+            // bit-identity statement "coalesced equals serial" is
+            // about the branch below, not two copies of this one.
+            responses[0].values = sessions[0]->runSerial(
+                chunk[0].op, chunk[0].a, chunk[0].b, chunk[0].seq);
+        } else {
+            coalescedMulPlain(chunk, sessions, responses);
+        }
+    } catch (...) {
+        const std::exception_ptr err = std::current_exception();
+        for (size_t i = 0; i < k; ++i) {
+            sessions[i]->noteFailed();
+            ++failed_;
+            chunk[i].done.set_exception(err);
+        }
+        return;
+    }
+    const DeviceStats delta =
+        device_ ? device_->statsSince(before) : DeviceStats{};
+
+    const auto end = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < k; ++i) {
+        responses[i].queueMicros = micros(popped - chunk[i].submitted);
+        responses[i].serviceMicros = micros(end - popped);
+        responses[i].totalMicros = micros(end - chunk[i].submitted);
+        sessions[i]->noteCompleted(k, delta);
+        ++completed_;
+        chunk[i].done.set_value(std::move(responses[i]));
+    }
+}
+
+void
+HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
+                            std::vector<Session *> &sessions,
+                            std::vector<ServeResponse> &responses)
+{
+    // The cross-tenant batched MulPlainRescale pipeline: the same
+    // math as Session::runSerial, with every device dispatch merged
+    // across the chunk — three launches total where the serial path
+    // pays five per request on a serial device (encode entry, two
+    // component pointwise launches, two dropped-tower inverses).
+    // Bit-identity with the serial path rests on the batched kernel
+    // kinds computing each region's ring independently — the same
+    // per-region math whether a tower rides its own launch or a
+    // tiled one (test_serve pins this end to end).
+    const size_t k = chunk.size();
+    const uint64_t n = sessions[0]->config().params.n;
+
+    // Host half, per request: encrypt and encode (Coeff — the
+    // evaluation-domain entry is what gets coalesced).
+    std::vector<CkksCiphertext> cts(k);
+    std::vector<CkksPlaintext> pts(k);
+    std::vector<std::vector<u128>> moduli(k);
+    for (size_t i = 0; i < k; ++i) {
+        const CkksContext &ctx = sessions[i]->ctx();
+        Rng rng = sessions[i]->requestRng(chunk[i].seq);
+        cts[i] = ctx.encrypt(sessions[i]->secretKey(), chunk[i].a, rng);
+        pts[i] =
+            ctx.encodePlainCoeff(chunk[i].b, cts[i].towers());
+        moduli[i] = ctx.basis().primes();
+    }
+
+    // Launch 1: every tenant's plaintext enters Eval together.
+    std::vector<std::vector<std::vector<u128>>> pt_in(k);
+    for (size_t i = 0; i < k; ++i)
+        pt_in[i] = std::move(pts[i].rp.towers);
+    auto pt_eval = device_->transformCoalesced(n, moduli,
+                                               std::move(pt_in), false);
+
+    // Launch 2: both components of every ciphertext against its
+    // plaintext — 2k items. The ciphertexts are read in place just
+    // like the serial path's mulPlainPair, and the same elisions are
+    // reported so the issued-vs-elided ledger stays comparable.
+    std::vector<std::vector<u128>> pw_moduli(2 * k);
+    std::vector<std::vector<std::vector<u128>>> lhs(2 * k),
+        rhs(2 * k);
+    for (size_t i = 0; i < k; ++i) {
+        pw_moduli[2 * i] = moduli[i];
+        pw_moduli[2 * i + 1] = moduli[i];
+        lhs[2 * i] = std::move(cts[i].c0.towers);
+        lhs[2 * i + 1] = std::move(cts[i].c1.towers);
+        rhs[2 * i] = pt_eval[i];
+        rhs[2 * i + 1] = std::move(pt_eval[i]);
+        sessions[i]->ctx().residueOps().noteElidedConversions(
+            2 * moduli[i].size());
+    }
+    auto prods = device_->pointwiseCoalesced(
+        n, pw_moduli, std::move(lhs), std::move(rhs));
+
+    std::vector<CkksCiphertext> prod(k);
+    for (size_t i = 0; i < k; ++i) {
+        prod[i].scale = cts[i].scale * pts[i].scale;
+        prod[i].c0 = ResiduePoly(ResidueDomain::Eval,
+                                 std::move(prods[2 * i]));
+        prod[i].c1 = ResiduePoly(ResidueDomain::Eval,
+                                 std::move(prods[2 * i + 1]));
+    }
+
+    // Launch 3: every component's dropped tower leaves Eval together
+    // — 2k single-tower items.
+    std::vector<std::vector<u128>> inv_moduli(2 * k);
+    std::vector<std::vector<std::vector<u128>>> inv_in(2 * k);
+    for (size_t i = 0; i < k; ++i) {
+        inv_moduli[2 * i] = {moduli[i].back()};
+        inv_moduli[2 * i + 1] = {moduli[i].back()};
+        inv_in[2 * i] = {prod[i].c0.towers.back()};
+        inv_in[2 * i + 1] = {prod[i].c1.towers.back()};
+    }
+    auto dropped = device_->transformCoalesced(
+        n, inv_moduli, std::move(inv_in), true);
+
+    // Host half, per request: finish the rescale and decrypt.
+    for (size_t i = 0; i < k; ++i) {
+        const CkksContext &ctx = sessions[i]->ctx();
+        std::vector<std::vector<u128>> dr;
+        dr.push_back(std::move(dropped[2 * i][0]));
+        dr.push_back(std::move(dropped[2 * i + 1][0]));
+        responses[i].values = ctx.decrypt(
+            sessions[i]->secretKey(),
+            ctx.rescaleFromDropped(prod[i], dr));
+    }
+}
+
+} // namespace serve
+} // namespace rpu

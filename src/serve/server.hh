@@ -1,0 +1,191 @@
+/**
+ * @file
+ * HeServer: the multi-tenant HE serving front-end.
+ *
+ * The paper's thesis is that the ring processor pays off when it is
+ * kept saturated with polynomial work; the serving layer is where
+ * that saturation comes from in a "millions of users" deployment.
+ * This front-end stacks three pieces over RpuDevice/RlweEvaluator:
+ *
+ *  - Admission: a BoundedRequestQueue with per-tenant lanes —
+ *    non-blocking submit that rejects with a status under
+ *    backpressure or shutdown, round-robin draining with a
+ *    per-batch per-tenant cap (the fairness bound).
+ *
+ *  - Scheduling: dispatcher threads pop batches, group them by
+ *    (op, kernel class) and cut each group into chunks of
+ *    power-of-two sizes up to maxCoalesce. A chunk of compatible
+ *    MulPlainRescale requests — typically from *different tenants*,
+ *    since each tenant's lane is capped per batch — executes as
+ *    three coalesced device dispatches (plaintext Eval entry,
+ *    both-component pointwise multiply, dropped-tower inverse), each
+ *    split only where the batched-kernel tower budget forces it,
+ *    where the uncoalesced path pays five launches per request on a
+ *    serial device. Launch-count
+ *    reduction is the whole point and is ledger-verified by bench
+ *    and tests; results are bit-identical to per-tenant serial
+ *    execution because the batched kernels compute each region's
+ *    ring independently and all randomness is (tenant, seq)-derived.
+ *    Chunks of one, MulCtRescale requests, and coalesce=false all
+ *    run the per-request serial reference path (Session::runSerial).
+ *
+ *  - Accounting: the dispatcher snapshots DeviceStats around every
+ *    chunk and splits the delta across the chunk's requests into
+ *    each tenant's ledger (exact with one dispatcher; documented
+ *    approximate with several, since windows then interleave).
+ *
+ * Shutdown is a graceful drain: the queue closes (new submits get
+ * RejectedShutdown), dispatchers finish everything already admitted
+ * — every accepted future resolves — then exit.
+ */
+
+#ifndef RPU_SERVE_SERVER_HH
+#define RPU_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hh"
+#include "serve/session.hh"
+
+namespace rpu {
+
+class RpuDevice;
+
+namespace serve {
+
+/** Serving knobs; the defaults suit the bench's request sizes. */
+struct ServeConfig
+{
+    size_t queueCapacity = 256; ///< admission bound (backpressure)
+    size_t maxBatch = 16;       ///< requests popped per dispatch
+    size_t maxPerTenant = 4;    ///< per-tenant cap per dispatch (fairness)
+    size_t maxCoalesce = 8;     ///< requests per coalesced device chunk
+    unsigned dispatchers = 1;   ///< dispatcher threads
+    bool coalesce = true;       ///< cross-tenant launch coalescing
+
+    /** Don't start dispatchers in the constructor; the first start()
+     *  (or shutdown(), which drains) does. Lets tests and ledger
+     *  harnesses queue a known request set before any dispatch, so
+     *  batch composition is deterministic. */
+    bool startPaused = false;
+};
+
+/** Server-wide counters (per-tenant ones live in each Session). */
+struct ServerStats
+{
+    uint64_t accepted = 0;
+    uint64_t rejectedFull = 0;
+    uint64_t rejectedShutdown = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t dispatches = 0;        ///< batches popped
+    uint64_t chunks = 0;            ///< device chunks executed
+    uint64_t coalescedChunks = 0;   ///< chunks with > 1 request
+    uint64_t coalescedRequests = 0; ///< requests inside those
+};
+
+/** What submit() hands back. */
+struct Submission
+{
+    SubmitStatus status = SubmitStatus::RejectedShutdown;
+    /** Valid only when status == Accepted (a rejected request's
+     *  promise is destroyed with it; don't wait on this then). */
+    std::future<ServeResponse> response;
+};
+
+/** See the file comment. */
+class HeServer
+{
+  public:
+    HeServer(const ServeConfig &cfg, std::shared_ptr<RpuDevice> device);
+    ~HeServer(); ///< graceful shutdown() if still running
+
+    const ServeConfig &config() const { return cfg_; }
+    std::shared_ptr<RpuDevice> device() const { return device_; }
+
+    /** Open a tenant session (id must be unused). Thread-safe. */
+    Session &addTenant(const TenantConfig &cfg);
+
+    /** The tenant's session, or null. */
+    Session *tenant(uint64_t id) const;
+
+    /**
+     * Submit one request: assigns the tenant's next seq, stamps the
+     * arrival time, and offers it to the queue. Non-blocking — a
+     * full queue rejects immediately (open-loop generators depend on
+     * this). Thread-safe from any number of producers.
+     */
+    Submission submit(uint64_t tenant, RequestOp op,
+                      std::vector<std::complex<double>> a,
+                      std::vector<std::complex<double>> b);
+
+    /**
+     * Pre-generate the kernels every serving path launches (single
+     * and coalesced shapes for each tenant kernel class), so first
+     * requests don't pay codegen+scheduling latency. Optional —
+     * kernels generate on demand otherwise — but benches call it to
+     * keep tail latencies about serving, not warmup.
+     */
+    void prewarm();
+
+    /** Start the dispatchers (no-op when already running). Only
+     *  needed after constructing with startPaused. */
+    void start();
+
+    /**
+     * Graceful drain: close the queue (new submits rejected), let
+     * dispatchers finish every admitted request — all accepted
+     * futures resolve — then join them (a paused server is started
+     * first, so queued work still drains). Idempotent; also run by
+     * the destructor.
+     */
+    void shutdown();
+
+    ServerStats stats() const;
+
+  private:
+    void dispatchLoop();
+
+    /** Execute one same-(op, class) chunk and fulfil its promises. */
+    void executeChunk(std::vector<ServeRequest> chunk,
+                      uint64_t dispatchIndex,
+                      std::chrono::steady_clock::time_point popped);
+
+    /** The three-launch coalesced MulPlainRescale pipeline. */
+    void coalescedMulPlain(std::vector<ServeRequest> &chunk,
+                           std::vector<Session *> &sessions,
+                           std::vector<ServeResponse> &responses);
+
+    ServeConfig cfg_;
+    std::shared_ptr<RpuDevice> device_;
+    BoundedRequestQueue queue_;
+
+    mutable std::mutex sessions_mutex_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_full_{0};
+    std::atomic<uint64_t> rejected_shutdown_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> dispatches_{0};
+    std::atomic<uint64_t> chunks_{0};
+    std::atomic<uint64_t> coalesced_chunks_{0};
+    std::atomic<uint64_t> coalesced_requests_{0};
+
+    std::mutex shutdown_mutex_; ///< guards started_/shut_down_/threads
+    bool started_ = false;
+    bool shut_down_ = false;
+
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace serve
+} // namespace rpu
+
+#endif // RPU_SERVE_SERVER_HH
