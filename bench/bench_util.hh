@@ -1,14 +1,17 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction binaries: aligned
- * table printing and the standard design-point sweep used by Figs. 3
- * and 4.
+ * table printing, the PASS/FAIL gate plumbing the throughput benches
+ * share, and the standard design-point sweep used by Figs. 3 and 4.
  */
 
 #ifndef RPU_BENCH_BENCH_UTIL_HH
 #define RPU_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,36 @@ rule(char c = '-', int width = 72)
     for (int i = 0; i < width; ++i)
         std::putchar(c);
     std::putchar('\n');
+}
+
+/** The throughput benches' shared gate-failure path: print
+ *  "FAIL: <what>" and exit 1. CI greps stdout for the final PASS
+ *  line and treats the nonzero exit as a job failure. */
+[[noreturn]] inline void
+fail(const char *what)
+{
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    std::exit(1);
+}
+
+inline double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** p-th percentile of an ascending-sorted sample (ceil-rank,
+ *  inclusive — the convention the latency tables report). */
+inline double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t rank = size_t(std::ceil(p * double(sorted.size())));
+    return sorted[std::min(sorted.size() - 1,
+                           rank == 0 ? size_t(0) : rank - 1)];
 }
 
 /** The paper's DSE axes (Figs. 3 and 4). */

@@ -38,21 +38,11 @@
 namespace rpu {
 namespace {
 
+using bench::fail;
+using bench::secondsSince;
+
 using Clock = std::chrono::steady_clock;
 using Cplx = std::complex<double>;
-
-double
-secondsSince(Clock::time_point t0)
-{
-    return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-void
-fail(const char *what)
-{
-    std::fprintf(stderr, "FAIL: %s\n", what);
-    std::exit(1);
-}
 
 bool
 identical(const CkksCiphertext &a, const CkksCiphertext &b)

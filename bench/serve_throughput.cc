@@ -59,17 +59,13 @@ using serve::Session;
 using serve::SubmitStatus;
 using serve::TenantConfig;
 
+using bench::fail;
+using bench::percentile;
+
 using Clock = std::chrono::steady_clock;
 using Cplx = std::complex<double>;
 
 constexpr size_t kTenants = 4;
-
-void
-fail(const char *what)
-{
-    std::fprintf(stderr, "FAIL: %s\n", what);
-    std::exit(1);
-}
 
 CkksParams
 tenantParams()
@@ -229,19 +225,6 @@ phaseLedger()
 // ----------------------------------------------------------------------
 // Phase 3: open-loop latency sweep
 // ----------------------------------------------------------------------
-
-double
-percentile(std::vector<double> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const size_t idx = std::min(
-        sorted.size() - 1,
-        size_t(std::ceil(p * double(sorted.size()))) == 0
-            ? size_t(0)
-            : size_t(std::ceil(p * double(sorted.size()))) - 1);
-    return sorted[idx];
-}
 
 /** Serial-path capacity estimate: timed runSerial on a scratch
  *  session, after warmup. The sweep's arrival rates scale off this,

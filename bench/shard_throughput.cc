@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Multi-RPU sharding: capacity-planning sweep over device count.
+ *
+ * The serving question behind an RpuTopology is "how many RPUs does
+ * this traffic need?" — this harness answers it on the cycle model,
+ * with the wall clock along for context. Four phases, each PASS-gated:
+ *
+ *  1. Bit-identity on a device set. A fixed mixed mulPlain/mulCt
+ *     request set across four tenants runs through a 2-device-topology
+ *     server with coalescing on; every response must equal the
+ *     per-tenant *serial* single-context reference
+ *     (Session::runSerial) exactly, while the topology ledger proves
+ *     both devices actually executed work. "Generate once, launch
+ *     anywhere" is asserted on the same run: after prewarm, device 1
+ *     records zero kernel-cache misses.
+ *
+ *  2. Contention observability. The per-device HBM-contention ledger
+ *     must be a real refinement of the PR 5 per-worker cycle ledger:
+ *     on a serial device the busy makespan equals the plain compute
+ *     makespan exactly (staging fully overlapped at one lane), and on
+ *     a pooled device running concurrent lanes it strictly exceeds it
+ *     (each extra occupant re-exposes staging traffic).
+ *
+ *  3. Modelled capacity replay. The same fixed mulPlain request set
+ *     replays against 1/2/4/8-device topologies through a paused
+ *     server (deterministic chunk composition, serial devices, one
+ *     dispatcher), and the topology-wide makespan window prices each
+ *     configuration: modelled sustained throughput = requests /
+ *     makespan seconds at the 64-bank design clock. Results stay
+ *     bit-identical to runSerial at every device count, and modelled
+ *     throughput must scale >= 1.6x from 1 to 2 devices.
+ *
+ *  4. Open-loop sweep vs device count. The Poisson open-loop
+ *     generator (same harness as serve_throughput) offers a fixed
+ *     arrival rate calibrated off the serial path to every device
+ *     count and reports sustained ops/s and p50/p99/p999 total
+ *     latency, with responses spot-checked against the serial
+ *     reference. Wall-clock rows are informational (machine- and
+ *     sanitizer-dependent); the scaling gate lives in phase 3 where
+ *     the cycle model makes it deterministic.
+ *
+ * RPU_SHARD_REQUESTS scales the replay/open-loop request counts down
+ * for sanitizer jobs. The binary exits 1 on any divergence; CI treats
+ * that as a job failure.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "model/frequency.hh"
+#include "rpu/device.hh"
+#include "rpu/topology.hh"
+#include "serve/server.hh"
+
+namespace rpu {
+namespace {
+
+using bench::fail;
+using bench::percentile;
+
+using serve::HeServer;
+using serve::RequestOp;
+using serve::ServeConfig;
+using serve::ServeResponse;
+using serve::Session;
+using serve::SubmitStatus;
+using serve::TenantConfig;
+
+using Clock = std::chrono::steady_clock;
+using Cplx = std::complex<double>;
+
+constexpr size_t kTenants = 4;
+const std::vector<size_t> kDeviceCounts = {1, 2, 4, 8};
+
+CkksParams
+tenantParams()
+{
+    CkksParams p;
+    p.n = 1024;
+    p.towers = 3;
+    p.towerBits = 45;
+    p.scale = 1099511627776.0; // 2^40
+    p.noiseBound = 4;
+    return p;
+}
+
+std::vector<Cplx>
+slotValues(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Cplx> v(count);
+    for (auto &z : v)
+        z = {2.0 * rng.nextDouble() - 1.0, 2.0 * rng.nextDouble() - 1.0};
+    return v;
+}
+
+std::unique_ptr<HeServer>
+makeServer(const std::shared_ptr<RpuTopology> &topology, bool paused,
+           size_t queueCapacity)
+{
+    ServeConfig cfg;
+    cfg.queueCapacity = queueCapacity;
+    cfg.maxBatch = 16;
+    cfg.maxPerTenant = 4;
+    cfg.maxCoalesce = 8;
+    cfg.coalesce = true;
+    cfg.startPaused = paused;
+    auto server = std::make_unique<HeServer>(cfg, topology);
+    for (uint64_t id = 1; id <= kTenants; ++id)
+        server->addTenant({id, tenantParams(), 30});
+    return server;
+}
+
+size_t
+requestBudget(size_t dflt)
+{
+    if (const char *env = std::getenv("RPU_SHARD_REQUESTS"))
+        return std::max(32ul, std::strtoul(env, nullptr, 10));
+    return dflt;
+}
+
+/** Modelled ops/s of a replay window: requests over the topology
+ *  makespan priced at the 64-bank design clock. */
+double
+modelledOpsPerSec(size_t requests, uint64_t makespan)
+{
+    if (makespan == 0)
+        return 0.0;
+    const double hz = rpuFrequencyGhz(64) * 1e9;
+    return double(requests) / (double(makespan) / hz);
+}
+
+// ----------------------------------------------------------------------
+// Phase 1: bit-identity + shared kernel cache on a 2-device topology
+// ----------------------------------------------------------------------
+
+struct Pending
+{
+    uint64_t tenant = 0;
+    uint64_t seq = 0;
+    RequestOp op = RequestOp::MulPlainRescale;
+    std::vector<Cplx> a, b;
+    std::future<ServeResponse> response;
+};
+
+void
+phaseBitIdentity()
+{
+    // Two passes of the same mixed set shapes (fresh seqs): pass 1
+    // may still generate kernels prewarm doesn't predict (the mulCt
+    // relinearisation shapes), on whichever device a chunk landed.
+    // Pass 2 must then run entirely out of the shared cache on every
+    // device — a hit even when the generating device differs, which
+    // is exactly "generate once, launch anywhere".
+    bench::header("phase 1: device-set serving vs serial reference");
+    auto topology = std::make_shared<RpuTopology>(2);
+    const auto runPass = [&](HeServer &server, size_t passIdx) {
+        std::vector<Pending> pending;
+        for (size_t r = 0; r < 6; ++r) {
+            for (uint64_t t = 1; t <= kTenants; ++t) {
+                Pending p;
+                p.tenant = t;
+                p.seq = 6 * passIdx + r;
+                p.op = (r % 3 == 2) ? RequestOp::MulCtRescale
+                                    : RequestOp::MulPlainRescale;
+                p.a = slotValues(16, 100 * t + p.seq);
+                p.b = slotValues(16, 900 * t + p.seq);
+                auto sub = server.submit(t, p.op, p.a, p.b);
+                if (sub.status != SubmitStatus::Accepted)
+                    fail("bit-identity submit rejected (queue sized "
+                         "wrong)");
+                p.response = std::move(sub.response);
+                pending.push_back(std::move(p));
+            }
+        }
+        server.start(); // no-op after pass 1; futures gate the drain
+        for (auto &p : pending) {
+            ServeResponse resp = p.response.get();
+            const Session *sess = server.tenant(p.tenant);
+            if (resp.values != sess->runSerial(p.op, p.a, p.b, p.seq))
+                fail("device-set response diverges from serial "
+                     "reference");
+        }
+        return pending.size();
+    };
+
+    auto server = makeServer(topology, true, 64);
+    server->prewarm();
+    const size_t served = runPass(*server, 0);
+
+    const RpuTopology::Snapshot warm = topology->snapshot();
+    runPass(*server, 1);
+    server->shutdown();
+    const RpuTopology::Snapshot window = topology->since(warm);
+
+    // Both devices must have executed real work — otherwise the
+    // "multi-device" identity statement is vacuous — and the warm
+    // pass must be all cache hits on every device: each kernel was
+    // generated once, somewhere in the topology, in pass 1.
+    for (size_t d = 0; d < window.size(); ++d) {
+        if (window[d].launches == 0)
+            fail("a topology device executed no launches");
+        std::printf("  device %zu: %5llu launches, %9llu modelled "
+                    "cycles, warm-pass kernel hits %llu misses %llu\n",
+                    d, (unsigned long long)window[d].launches,
+                    (unsigned long long)window[d].cycleTotal(),
+                    (unsigned long long)window[d].kernelHits,
+                    (unsigned long long)window[d].kernelMisses);
+        if (window[d].kernelMisses != 0)
+            fail("warm pass missed the shared kernel cache");
+        if (window[d].kernelHits == 0)
+            fail("warm pass never consulted the kernel cache");
+    }
+    std::printf("  2 x %zu requests bit-identical to runSerial across "
+                "2 devices; generate once, launch anywhere holds\n",
+                served);
+}
+
+// ----------------------------------------------------------------------
+// Phase 2: the contention term is observable and only when contended
+// ----------------------------------------------------------------------
+
+void
+phaseContention()
+{
+    bench::header("phase 2: HBM contention ledger vs PR 5 cycle ledger");
+    const uint64_t n = 1024;
+    const size_t items = 8;
+
+    // One batched transform fan-out: 8 sets x 3 towers. On a serial
+    // device that's 8 batched launches with a single occupant each;
+    // on a pooled device it fans into 24 single-ring launches whose
+    // structural occupancy is min(workers, 24) lanes.
+    const auto run = [&](unsigned workers) {
+        auto device = std::make_shared<RpuDevice>();
+        if (workers > 1)
+            device->setParallelism(workers);
+        const CkksContext ctx(tenantParams(), 7);
+        const std::vector<u128> moduli = ctx.basis().primes();
+        std::vector<std::vector<std::vector<u128>>> xs(items);
+        for (size_t i = 0; i < items; ++i) {
+            for (size_t t = 0; t < moduli.size(); ++t) {
+                std::vector<u128> region(n);
+                Rng rng(1000 * i + t);
+                for (auto &x : region)
+                    x = rng.below64(uint64_t(moduli[t]));
+                xs[i].push_back(std::move(region));
+            }
+        }
+        auto pending = device->transformTowersBatchAsync(
+            n, moduli, std::move(xs), false);
+        for (auto &p : pending)
+            (void)RpuDevice::collectTowers(std::move(p));
+        return device->stats();
+    };
+
+    const DeviceStats serial = run(1);
+    if (serial.busyMakespanCycles() != serial.makespanCycles())
+        fail("uncontended busy makespan diverges from the cycle ledger");
+    if (serial.contendedLaunches != 0)
+        fail("serial device recorded contended launches");
+
+    const DeviceStats pooled = run(4);
+    if (pooled.contendedLaunches == 0)
+        fail("pooled batched launches never contended");
+    if (pooled.busyMakespanCycles() <= pooled.makespanCycles())
+        fail("contended busy makespan does not exceed the uncontended "
+             "cycle-ledger makespan");
+
+    std::printf("  serial: makespan %llu == busy makespan %llu "
+                "(staging %llu cyc fully overlapped)\n",
+                (unsigned long long)serial.makespanCycles(),
+                (unsigned long long)serial.busyMakespanCycles(),
+                (unsigned long long)serial.stagingCycleTotal());
+    std::printf("  pooled: makespan %llu <  busy makespan %llu "
+                "(%llu contended launches, peak %llu lanes)\n",
+                (unsigned long long)pooled.makespanCycles(),
+                (unsigned long long)pooled.busyMakespanCycles(),
+                (unsigned long long)pooled.contendedLaunches,
+                (unsigned long long)pooled.maxOccupiedLanes);
+}
+
+// ----------------------------------------------------------------------
+// Phase 3: deterministic modelled capacity replay vs device count
+// ----------------------------------------------------------------------
+
+struct ReplayRow
+{
+    size_t devices = 0;
+    uint64_t makespan = 0;  ///< topology busy makespan, cycles
+    uint64_t busyTotal = 0; ///< summed busy cycles (work conserved)
+    double modelled = 0;    ///< modelled sustained ops/s
+};
+
+ReplayRow
+runReplay(size_t deviceCount, size_t requests)
+{
+    auto topology = std::make_shared<RpuTopology>(deviceCount);
+    auto server = makeServer(topology, true, requests);
+    server->prewarm();
+
+    std::vector<Pending> pending;
+    pending.reserve(requests);
+    std::vector<uint64_t> seqs(kTenants, 0);
+    for (size_t i = 0; i < requests; ++i) {
+        const uint64_t tenant = 1 + i % kTenants;
+        Pending p;
+        p.tenant = tenant;
+        p.seq = seqs[tenant - 1]++;
+        p.op = RequestOp::MulPlainRescale;
+        p.a = slotValues(16, 40 * tenant + p.seq);
+        p.b = slotValues(16, 7000 + p.seq);
+        auto sub = server->submit(tenant, p.op, p.a, p.b);
+        if (sub.status != SubmitStatus::Accepted)
+            fail("replay submit rejected (queue sized wrong)");
+        p.response = std::move(sub.response);
+        pending.push_back(std::move(p));
+    }
+
+    const RpuTopology::Snapshot before = topology->snapshot();
+    server->shutdown(); // the drain is the replay
+    const RpuTopology::Snapshot window = topology->since(before);
+
+    for (auto &p : pending) {
+        ServeResponse resp = p.response.get();
+        const Session *sess = server->tenant(p.tenant);
+        if (resp.values != sess->runSerial(p.op, p.a, p.b, p.seq))
+            fail("replay response diverges from serial reference");
+    }
+
+    ReplayRow row;
+    row.devices = deviceCount;
+    row.makespan = RpuTopology::makespanCycles(window);
+    row.busyTotal = RpuTopology::aggregate(window).busyCycleTotal();
+    row.modelled = modelledOpsPerSec(requests, row.makespan);
+    return row;
+}
+
+std::vector<ReplayRow>
+phaseModelledCapacity(size_t requests)
+{
+    bench::header("phase 3: modelled capacity replay (cycle model)");
+    std::printf("  %zu mulPlain requests, %zu tenants, serial devices, "
+                "one dispatcher\n\n",
+                requests, kTenants);
+    std::printf("  %8s %16s %16s %14s %9s\n", "devices",
+                "makespan cyc", "busy total cyc", "modelled op/s",
+                "scale");
+    bench::rule('-', 70);
+
+    std::vector<ReplayRow> rows;
+    for (size_t d : kDeviceCounts) {
+        rows.push_back(runReplay(d, requests));
+        const ReplayRow &r = rows.back();
+        std::printf("  %8zu %16llu %16llu %14.1f %8.2fx\n", r.devices,
+                    (unsigned long long)r.makespan,
+                    (unsigned long long)r.busyTotal, r.modelled,
+                    r.modelled / rows.front().modelled);
+    }
+
+    const double scale12 = rows[1].modelled / rows[0].modelled;
+    if (!(scale12 >= 1.6))
+        fail("modelled throughput scales < 1.6x from 1 to 2 devices");
+    std::printf("\n  1 -> 2 device modelled scaling: %.2fx (gate: "
+                ">= 1.60x)\n",
+                scale12);
+    return rows;
+}
+
+// ----------------------------------------------------------------------
+// Phase 4: open-loop Poisson sweep vs device count (wall clock)
+// ----------------------------------------------------------------------
+
+double
+calibrateSerialCapacity(const std::shared_ptr<RpuDevice> &device)
+{
+    Session scratch({99, tenantParams(), 30}, device);
+    const auto a = slotValues(16, 11);
+    const auto b = slotValues(16, 22);
+    for (int i = 0; i < 3; ++i) // warm kernels and caches
+        (void)scratch.runSerial(RequestOp::MulPlainRescale, a, b, i);
+    const int reps = 10;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        (void)scratch.runSerial(RequestOp::MulPlainRescale, a, b,
+                                100 + i);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return double(reps) / secs;
+}
+
+struct SweepRow
+{
+    size_t devices = 0;
+    double offered = 0;
+    double sustained = 0;
+    size_t accepted = 0;
+    size_t rejected = 0;
+    double p50 = 0, p99 = 0, p999 = 0;
+};
+
+SweepRow
+runOpenLoop(size_t deviceCount, double rate, size_t requests)
+{
+    auto topology = std::make_shared<RpuTopology>(deviceCount);
+    auto server = makeServer(topology, false, 64);
+    server->prewarm();
+
+    std::vector<Pending> accepted;
+    accepted.reserve(requests);
+    size_t rejected = 0;
+
+    // Open loop: arrivals follow the Poisson schedule regardless of
+    // completions, so queueing and backpressure surface honestly.
+    std::mt19937_64 gen(12345);
+    std::exponential_distribution<double> interval(rate);
+    const auto start = Clock::now();
+    auto next = start;
+    std::vector<uint64_t> seqs(kTenants, 0);
+    for (size_t i = 0; i < requests; ++i) {
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(interval(gen)));
+        std::this_thread::sleep_until(next);
+        const uint64_t tenant = 1 + i % kTenants;
+        Pending p;
+        p.tenant = tenant;
+        p.op = RequestOp::MulPlainRescale;
+        p.a = slotValues(16, 40 * tenant + seqs[tenant - 1]);
+        p.b = slotValues(16, 7000 + seqs[tenant - 1]);
+        auto sub = server->submit(tenant, p.op, p.a, p.b);
+        ++seqs[tenant - 1]; // seq advances even for rejected requests
+        if (sub.status == SubmitStatus::Accepted) {
+            p.seq = seqs[tenant - 1] - 1;
+            p.response = std::move(sub.response);
+            accepted.push_back(std::move(p));
+        } else {
+            ++rejected;
+        }
+    }
+    server->shutdown();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    std::vector<double> totals;
+    totals.reserve(accepted.size());
+    for (size_t i = 0; i < accepted.size(); ++i) {
+        ServeResponse resp = accepted[i].response.get();
+        totals.push_back(resp.totalMicros);
+        // Saturation must never corrupt results, on any device count.
+        if (i % 16 == 0) {
+            const Session *sess = server->tenant(accepted[i].tenant);
+            if (resp.values != sess->runSerial(accepted[i].op,
+                                               accepted[i].a,
+                                               accepted[i].b,
+                                               accepted[i].seq))
+                fail("open-loop response diverges from serial reference");
+        }
+    }
+    const auto stats = server->stats();
+    if (stats.failed != 0)
+        fail("open-loop run reported failed requests");
+    if (stats.completed != accepted.size())
+        fail("accepted and completed counts disagree after drain");
+
+    std::sort(totals.begin(), totals.end());
+    SweepRow row;
+    row.devices = deviceCount;
+    row.offered = rate;
+    row.sustained = double(accepted.size()) / wall;
+    row.accepted = accepted.size();
+    row.rejected = rejected;
+    row.p50 = percentile(totals, 0.50);
+    row.p99 = percentile(totals, 0.99);
+    row.p999 = percentile(totals, 0.999);
+    return row;
+}
+
+void
+phaseOpenLoop(size_t requests)
+{
+    bench::header("phase 4: open-loop Poisson sweep vs device count");
+    const double capacity =
+        calibrateSerialCapacity(std::make_shared<RpuDevice>());
+    const double rate = 1.5 * capacity;
+    std::printf("  calibrated serial capacity %.1f ops/s; offering "
+                "%.1f ops/s (1.5x) to every device count\n\n",
+                capacity, rate);
+
+    std::printf("  %8s %10s %10s %9s %9s %10s %10s %10s\n", "devices",
+                "offered/s", "sustained", "accepted", "rejected",
+                "p50 us", "p99 us", "p999 us");
+    bench::rule('-', 84);
+    for (size_t d : kDeviceCounts) {
+        const SweepRow r = runOpenLoop(d, rate, requests);
+        std::printf("  %8zu %10.1f %10.1f %9zu %9zu %10.0f %10.0f "
+                    "%10.0f\n",
+                    r.devices, r.offered, r.sustained, r.accepted,
+                    r.rejected, r.p50, r.p99, r.p999);
+        if (r.accepted == 0)
+            fail("open-loop run accepted no requests");
+    }
+    std::printf("  (wall-clock rows are informational; the scaling "
+                "gate is phase 3's cycle model)\n");
+}
+
+} // namespace
+} // namespace rpu
+
+int
+main()
+{
+    std::printf("Multi-RPU sharding: contention-aware capacity "
+                "planning\n%zu tenants, CKKS n=1024, 3 towers, "
+                "device counts 1/2/4/8, shared kernel caches\n",
+                rpu::kTenants);
+
+    const size_t requests = rpu::requestBudget(96);
+
+    rpu::phaseBitIdentity();
+    rpu::phaseContention();
+    rpu::phaseModelledCapacity(requests);
+    rpu::phaseOpenLoop(requests);
+
+    std::printf("\nPASS: device-set serving bit-identical to per-tenant "
+                "serial execution, contention term\nobservable exactly "
+                "under concurrent lanes, modelled throughput scales "
+                ">= 1.6x from 1 to 2\ndevices, shared kernel cache hit "
+                "across devices\n");
+    return 0;
+}

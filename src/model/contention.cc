@@ -1,0 +1,28 @@
+#include "model/contention.hh"
+
+#include <cmath>
+
+namespace rpu {
+
+uint64_t
+HbmContentionModel::stagingCycles(uint64_t words) const
+{
+    if (words == 0)
+        return 0;
+    const double bytes = double(words) * double(bytesPerElement);
+    const double cycles = bytes / bytesPerCycle();
+    // A launch that moves any words pays at least one cycle, so the
+    // contention term can never round a real transfer to invisible.
+    return std::max<uint64_t>(1, uint64_t(std::ceil(cycles)));
+}
+
+uint64_t
+HbmContentionModel::busyCycles(uint64_t computeCycles, uint64_t words,
+                               unsigned lanes) const
+{
+    if (lanes <= 1)
+        return computeCycles;
+    return computeCycles + uint64_t(lanes - 1) * stagingCycles(words);
+}
+
+} // namespace rpu

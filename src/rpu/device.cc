@@ -168,10 +168,12 @@ CpuReferenceBackend::execute(RpuDevice &dev, const KernelImage &image,
 // RpuDevice
 // ----------------------------------------------------------------------
 
-RpuDevice::RpuDevice(std::unique_ptr<ExecutionBackend> backend)
-    : backend_(std::move(backend))
+RpuDevice::RpuDevice(std::unique_ptr<ExecutionBackend> backend,
+                     std::shared_ptr<DeviceCaches> caches)
+    : backend_(std::move(backend)), caches_(std::move(caches))
 {
     rpu_assert(backend_ != nullptr, "device needs a backend");
+    rpu_assert(caches_ != nullptr, "device needs a cache bundle");
 }
 
 void
@@ -205,9 +207,16 @@ RpuDevice::resetCounters()
     counters_.pointwiseMuls = 0;
     counters_.transformsElided = 0;
     counters_.keySwitchTransforms = 0;
+    counters_.stagedWords = 0;
+    counters_.contendedLaunches = 0;
+    counters_.maxOccupiedLanes = 0;
     for (auto &w : counters_.perWorkerLaunches)
         w = 0;
     for (auto &w : counters_.perWorkerCycles)
+        w = 0;
+    for (auto &w : counters_.perWorkerStagingCycles)
+        w = 0;
+    for (auto &w : counters_.perWorkerBusyCycles)
         w = 0;
 }
 
@@ -236,6 +245,9 @@ RpuDevice::stats() const
     s.pointwiseMuls = counters_.pointwiseMuls;
     s.transformsElided = counters_.transformsElided;
     s.keySwitchTransforms = counters_.keySwitchTransforms;
+    s.stagedWords = counters_.stagedWords;
+    s.contendedLaunches = counters_.contendedLaunches;
+    s.maxOccupiedLanes = counters_.maxOccupiedLanes;
 
     // Slot 0 (inline) plus one slot per current pool worker — but
     // never drop a slot that recorded launches under an earlier,
@@ -252,9 +264,14 @@ RpuDevice::stats() const
     slots = std::min(slots, DeviceCounters::kWorkerSlots);
     s.perWorkerLaunches.resize(slots);
     s.perWorkerCycles.resize(slots);
+    s.perWorkerStagingCycles.resize(slots);
+    s.perWorkerBusyCycles.resize(slots);
     for (size_t i = 0; i < slots; ++i) {
         s.perWorkerLaunches[i] = counters_.perWorkerLaunches[i];
         s.perWorkerCycles[i] = counters_.perWorkerCycles[i];
+        s.perWorkerStagingCycles[i] =
+            counters_.perWorkerStagingCycles[i];
+        s.perWorkerBusyCycles[i] = counters_.perWorkerBusyCycles[i];
     }
     return s;
 }
@@ -277,9 +294,39 @@ DeviceStats::summary() const
         s += std::to_string(perWorkerLaunches[i]);
     }
     s += "], cycles total=" + std::to_string(cycleTotal()) +
-         " makespan=" + std::to_string(makespanCycles());
+         " makespan=" + std::to_string(makespanCycles()) +
+         ", busy makespan=" + std::to_string(busyMakespanCycles()) +
+         " (staging " + std::to_string(stagingCycleTotal()) +
+         " cyc overlapped, contended=" +
+         std::to_string(contendedLaunches) +
+         " peak lanes=" + std::to_string(maxOccupiedLanes) + ")";
     return s;
 }
+
+namespace {
+
+/** a[i] - b[i] over max(|a|, |b|) slots, missing slots reading 0. */
+std::vector<uint64_t>
+slotsSub(const std::vector<uint64_t> &a, const std::vector<uint64_t> &b)
+{
+    std::vector<uint64_t> out(std::max(a.size(), b.size()), 0);
+    for (size_t i = 0; i < out.size(); ++i) {
+        out[i] = (i < a.size() ? a[i] : 0) - (i < b.size() ? b[i] : 0);
+    }
+    return out;
+}
+
+/** a[i] += b[i], widening a to |b| first. */
+void
+slotsAdd(std::vector<uint64_t> &a, const std::vector<uint64_t> &b)
+{
+    if (a.size() < b.size())
+        a.resize(b.size(), 0);
+    for (size_t i = 0; i < b.size(); ++i)
+        a[i] += b[i];
+}
+
+} // namespace
 
 DeviceStats
 DeviceStats::operator-(const DeviceStats &since) const
@@ -295,44 +342,71 @@ DeviceStats::operator-(const DeviceStats &since) const
     d.transformsElided = transformsElided - since.transformsElided;
     d.keySwitchTransforms =
         keySwitchTransforms - since.keySwitchTransforms;
+    d.stagedWords = stagedWords - since.stagedWords;
+    d.contendedLaunches = contendedLaunches - since.contendedLaunches;
+    // A high-water mark has no meaningful windowed delta; keep the
+    // later snapshot's value.
+    d.maxOccupiedLanes = maxOccupiedLanes;
 
     // The later snapshot may span more worker slots (the pool was
     // widened in the window); the earlier one contributes zero there.
-    const size_t slots = std::max(perWorkerLaunches.size(),
-                                  since.perWorkerLaunches.size());
-    d.perWorkerLaunches.resize(slots);
-    d.perWorkerCycles.resize(slots);
-    for (size_t i = 0; i < slots; ++i) {
-        const uint64_t l0 = i < since.perWorkerLaunches.size()
-                                ? since.perWorkerLaunches[i]
-                                : 0;
-        const uint64_t c0 = i < since.perWorkerCycles.size()
-                                ? since.perWorkerCycles[i]
-                                : 0;
-        d.perWorkerLaunches[i] =
-            (i < perWorkerLaunches.size() ? perWorkerLaunches[i] : 0) -
-            l0;
-        d.perWorkerCycles[i] =
-            (i < perWorkerCycles.size() ? perWorkerCycles[i] : 0) - c0;
-    }
+    d.perWorkerLaunches = slotsSub(perWorkerLaunches,
+                                   since.perWorkerLaunches);
+    d.perWorkerCycles = slotsSub(perWorkerCycles,
+                                 since.perWorkerCycles);
+    d.perWorkerStagingCycles = slotsSub(perWorkerStagingCycles,
+                                        since.perWorkerStagingCycles);
+    d.perWorkerBusyCycles = slotsSub(perWorkerBusyCycles,
+                                     since.perWorkerBusyCycles);
+    return d;
+}
+
+DeviceStats &
+DeviceStats::operator+=(const DeviceStats &other)
+{
+    launches += other.launches;
+    towerLaunches += other.towerLaunches;
+    kernelHits += other.kernelHits;
+    kernelMisses += other.kernelMisses;
+    forwardTransforms += other.forwardTransforms;
+    inverseTransforms += other.inverseTransforms;
+    pointwiseMuls += other.pointwiseMuls;
+    transformsElided += other.transformsElided;
+    keySwitchTransforms += other.keySwitchTransforms;
+    stagedWords += other.stagedWords;
+    contendedLaunches += other.contendedLaunches;
+    maxOccupiedLanes = std::max(maxOccupiedLanes,
+                                other.maxOccupiedLanes);
+    slotsAdd(perWorkerLaunches, other.perWorkerLaunches);
+    slotsAdd(perWorkerCycles, other.perWorkerCycles);
+    slotsAdd(perWorkerStagingCycles, other.perWorkerStagingCycles);
+    slotsAdd(perWorkerBusyCycles, other.perWorkerBusyCycles);
+    return *this;
+}
+
+DeviceStats
+DeviceStats::operator+(const DeviceStats &other) const
+{
+    DeviceStats d = *this;
+    d += other;
     return d;
 }
 
 const Modulus &
 RpuDevice::modulusContext(u128 q)
 {
-    return modulus_cache_.get(q);
+    return caches_->modulus.get(q);
 }
 
 const TwiddleTable &
 RpuDevice::twiddleTableLocked(uint64_t n, u128 q)
 {
     const auto key = std::make_pair(n, q);
-    auto it = twiddle_cache_.find(key);
-    if (it == twiddle_cache_.end()) {
+    auto it = caches_->twiddle.find(key);
+    if (it == caches_->twiddle.end()) {
         // The table holds a reference to the modulus context; both
         // caches only ever grow, so the reference stays valid.
-        it = twiddle_cache_
+        it = caches_->twiddle
                  .emplace(key, std::make_unique<TwiddleTable>(
                                    modulusContext(q), n))
                  .first;
@@ -343,18 +417,18 @@ RpuDevice::twiddleTableLocked(uint64_t n, u128 q)
 const TwiddleTable &
 RpuDevice::twiddleTable(uint64_t n, u128 q)
 {
-    std::lock_guard<std::mutex> lock(context_mutex_);
+    std::lock_guard<std::mutex> lock(caches_->contextMutex);
     return twiddleTableLocked(n, q);
 }
 
 const NttContext &
 RpuDevice::nttContext(uint64_t n, u128 q)
 {
-    std::lock_guard<std::mutex> lock(context_mutex_);
+    std::lock_guard<std::mutex> lock(caches_->contextMutex);
     const auto key = std::make_pair(n, q);
-    auto it = ntt_cache_.find(key);
-    if (it == ntt_cache_.end()) {
-        it = ntt_cache_
+    auto it = caches_->ntt.find(key);
+    if (it == caches_->ntt.end()) {
+        it = caches_->ntt
                  .emplace(key, std::make_unique<NttContext>(
                                    twiddleTableLocked(n, q)))
                  .first;
@@ -407,21 +481,24 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
 
     const std::string key = kernelKey(kind, n, moduli, opts);
     // Single-flight generation per key: the first requester marks the
-    // key in generating_ and builds the kernel *outside* the cache
-    // lock, so distinct kernels generate concurrently (e.g. several
-    // towers' kernels racing in from worker threads); same-key
-    // requesters wait on the condvar for the one generation instead
-    // of duplicating it, and count a cache hit once it lands.
-    std::unique_lock<std::mutex> lock(kernel_mutex_);
+    // key in the bundle's generating set and builds the kernel
+    // *outside* the cache lock, so distinct kernels generate
+    // concurrently (e.g. several towers' kernels racing in from
+    // worker threads); same-key requesters wait on the condvar for
+    // the one generation instead of duplicating it, and count a cache
+    // hit once it lands. The bundle may be shared across a topology:
+    // hit/miss counters stay per-device, so a kernel generated on one
+    // device is observably a hit (not a regeneration) on every other.
+    std::unique_lock<std::mutex> lock(caches_->kernelMutex);
     for (;;) {
-        auto it = kernels_.find(key);
-        if (it != kernels_.end()) {
+        auto it = caches_->kernels.find(key);
+        if (it != caches_->kernels.end()) {
             ++counters_.kernelHits;
             return *it->second;
         }
-        if (generating_.insert(key).second)
+        if (caches_->generating.insert(key).second)
             break;
-        kernel_cv_.wait(lock);
+        caches_->kernelCv.wait(lock);
     }
     ++counters_.kernelMisses;
     lock.unlock();
@@ -481,11 +558,11 @@ RpuDevice::kernel(KernelKind kind, uint64_t n,
 
     // Publish and wake every same-key waiter. Generation itself
     // cannot fail softly (codegen errors are fatal), so the
-    // generating_ entry is always cleared here.
+    // generating entry is always cleared here.
     lock.lock();
-    auto it = kernels_.emplace(key, std::move(image)).first;
-    generating_.erase(key);
-    kernel_cv_.notify_all();
+    auto it = caches_->kernels.emplace(key, std::move(image)).first;
+    caches_->generating.erase(key);
+    caches_->kernelCv.notify_all();
     return *it->second;
 }
 
@@ -512,7 +589,8 @@ RpuDevice::validateLaunch(const KernelImage &image,
 
 std::vector<std::vector<u128>>
 RpuDevice::executeValidated(const KernelImage &image,
-                            const std::vector<std::vector<u128>> &inputs)
+                            const std::vector<std::vector<u128>> &inputs,
+                            unsigned structuralLanes)
 {
     ++counters_.launches;
     counters_.towerLaunches += image.moduli.size();
@@ -565,6 +643,47 @@ RpuDevice::executeValidated(const KernelImage &image,
     ++counters_.perWorkerLaunches[slot];
     counters_.perWorkerCycles[slot] += image.modelCycles;
 
+    // Contention ledger: words staged in + drained out, costed
+    // through the HBM model at the lane occupancy this launch ran
+    // under. Occupancy is the max of the dispatch-structure hint
+    // (deterministic: a batch of m launches over a w-worker pool
+    // fills min(w, m) lanes at steady state) and the launches
+    // actually observed in flight right now (catches unstructured
+    // concurrency, e.g. several dispatcher threads sharing a serial
+    // device). At single-lane occupancy the staging/drain traffic
+    // hides fully behind compute — busy == modelCycles, the PR 5
+    // ledger bit for bit.
+    uint64_t words = 0;
+    for (const std::vector<u128> &in : inputs)
+        words += in.size();
+    for (const DataRegion *r : image.outputRegions())
+        words += r->words;
+
+    const uint32_t in_flight = active_launches_.fetch_add(1) + 1;
+    const unsigned lanes =
+        std::max(structuralLanes, unsigned(in_flight));
+    const uint64_t staging = contention_.stagingCycles(words);
+    const uint64_t busy =
+        contention_.busyCycles(image.modelCycles, words, lanes);
+    counters_.stagedWords += words;
+    counters_.perWorkerStagingCycles[slot] += staging;
+    counters_.perWorkerBusyCycles[slot] += busy;
+    if (lanes > 1)
+        ++counters_.contendedLaunches;
+    uint64_t peak = counters_.maxOccupiedLanes.load();
+    while (peak < lanes &&
+           !counters_.maxOccupiedLanes.compare_exchange_weak(peak,
+                                                             lanes)) {
+    }
+
+    // Balance active_launches_ on every exit path (backend execute
+    // may throw; validation already happened).
+    struct LaneGuard
+    {
+        std::atomic<uint32_t> &active;
+        ~LaneGuard() { active.fetch_sub(1); }
+    } lane_guard{active_launches_};
+
     auto outputs = backend_->execute(*this, image, inputs);
 
     // Guard every backend, present and future: an execute() that
@@ -609,11 +728,16 @@ RpuDevice::launchAll(const std::vector<LaunchRequest> &batch)
 
     std::vector<std::vector<std::vector<u128>>> results(batch.size());
     if (pool_ && batch.size() > 1) {
+        // The batch structurally occupies min(workers, batch) lanes;
+        // the contention ledger models that occupancy even when the
+        // host OS happens to serialise the worker threads.
+        const unsigned lanes = unsigned(
+            std::min<size_t>(pool_->workers(), batch.size()));
         std::vector<std::future<std::vector<std::vector<u128>>>> futures;
         futures.reserve(batch.size());
         for (const LaunchRequest &req : batch) {
-            futures.push_back(pool_->submit([this, &req] {
-                return executeValidated(*req.image, req.inputs);
+            futures.push_back(pool_->submit([this, &req, lanes] {
+                return executeValidated(*req.image, req.inputs, lanes);
             }));
         }
         // Collect in request order: results are deterministic no
@@ -655,17 +779,20 @@ RpuDevice::whenAll(std::vector<LaunchFuture> futures)
 
 LaunchFuture
 RpuDevice::launchAsync(const KernelImage &image,
-                       std::vector<std::vector<u128>> inputs)
+                       std::vector<std::vector<u128>> inputs,
+                       unsigned structuralLanes)
 {
     validateLaunch(image, inputs);
     if (pool_) {
         return pool_->submit(
-            [this, &image, in = std::move(inputs)] {
-                return executeValidated(image, in);
+            [this, &image, in = std::move(inputs), structuralLanes] {
+                return executeValidated(image, in, structuralLanes);
             });
     }
     // Inline execution still reports failure through the future, so
     // callers handle errors at .get() regardless of the parallelism.
+    // An inline launch occupies exactly one lane whatever the caller
+    // believed the dispatch structure was.
     std::promise<std::vector<std::vector<u128>>> done;
     try {
         done.set_value(executeValidated(image, inputs));
@@ -749,6 +876,8 @@ RpuDevice::pairProductsBatchAsync(
         // paper's "process different towers simultaneously", realised
         // in host wall-clock time. Operand vectors are moved into the
         // launches, which own them until their futures resolve.
+        const unsigned lanes = unsigned(
+            std::min<size_t>(pool_->workers(), pairs * towers));
         std::vector<const KernelImage *> tower_kernels(towers);
         for (size_t t = 0; t < towers; ++t)
             tower_kernels[t] = &kernel(single, n, {moduli[t]}, opts);
@@ -759,8 +888,8 @@ RpuDevice::pairProductsBatchAsync(
                 in.reserve(2);
                 in.push_back(std::move(a[p][t]));
                 in.push_back(std::move(b[p][t]));
-                pending[p].futures.push_back(
-                    launchAsync(*tower_kernels[t], std::move(in)));
+                pending[p].futures.push_back(launchAsync(
+                    *tower_kernels[t], std::move(in), lanes));
             }
         }
         return pending;
@@ -823,6 +952,8 @@ RpuDevice::transformTowersBatchAsync(
         // One single-ring transform per (set, tower), fanned across
         // the worker pool — the same policy split as the fused tower
         // products.
+        const unsigned lanes = unsigned(
+            std::min<size_t>(pool_->workers(), sets * towers));
         std::vector<const KernelImage *> tower_kernels(towers);
         for (size_t t = 0; t < towers; ++t) {
             tower_kernels[t] = &kernel(inverse ? KernelKind::InverseNtt
@@ -832,8 +963,9 @@ RpuDevice::transformTowersBatchAsync(
         for (size_t s = 0; s < sets; ++s) {
             pending[s].futures.reserve(towers);
             for (size_t t = 0; t < towers; ++t) {
-                pending[s].futures.push_back(launchAsync(
-                    *tower_kernels[t], {std::move(xs[s][t])}));
+                pending[s].futures.push_back(
+                    launchAsync(*tower_kernels[t],
+                                {std::move(xs[s][t])}, lanes));
             }
         }
         return pending;

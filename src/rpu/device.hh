@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "codegen/ntt_codegen.hh"
+#include "model/contention.hh"
 #include "poly/polynomial.hh"
 #include "rpu/thread_pool.hh"
 #include "sim/functional/executor.hh"
@@ -48,6 +49,41 @@
 namespace rpu {
 
 class RpuDevice;
+
+/**
+ * The numeric and kernel caches a device launches against, extracted
+ * so an N-device topology can share one bundle: Montgomery modulus
+ * contexts, twiddle tables, reference NTT contexts, and the generated
+ * kernel images with their single-flight generation state. A kernel
+ * generated (and cycle-simulated) on one device is a cache hit on
+ * every other device of the same topology — generate once, launch
+ * anywhere — so prewarm cost and codegen latency do not scale with
+ * device count.
+ *
+ * Locking is exactly what RpuDevice used when it owned these members
+ * privately: kernel generation runs outside kernelMutex (the
+ * generating set + condvar keep it single-flight per key), generation
+ * takes contextMutex for twiddle tables, and the modulus cache
+ * synchronises itself below everything. All four caches are
+ * append-only with node-stable storage, so returned references never
+ * need the lock and stay valid for the bundle's lifetime.
+ */
+struct DeviceCaches
+{
+    ModulusContextCache modulus;
+    mutable std::mutex contextMutex;
+    std::map<std::pair<uint64_t, u128>, std::unique_ptr<TwiddleTable>>
+        twiddle;
+    std::map<std::pair<uint64_t, u128>, std::unique_ptr<NttContext>>
+        ntt;
+    mutable std::mutex kernelMutex;
+    std::map<std::string, std::unique_ptr<KernelImage>> kernels;
+    /// Keys whose kernels are being generated right now. Guarded by
+    /// kernelMutex; kernelCv signals every insertion into kernels so
+    /// same-key waiters (on any device) can re-check the cache.
+    std::set<std::string> generating;
+    std::condition_variable kernelCv;
+};
 
 /**
  * Executes staged kernel launches. Backends receive the device so
@@ -157,6 +193,26 @@ struct DeviceCounters
      *  per-kernel KernelMetrics cycle counts, folded into the same
      *  per-worker ledger as the launch counts). */
     std::atomic<uint64_t> perWorkerCycles[kWorkerSlots] = {};
+
+    /** HBM staging/drain cycles of each lane's launches at full
+     *  bandwidth (input + output region words through the contention
+     *  model). Fully overlapped behind compute while a launch has the
+     *  interface to itself — recorded so the overlap is observable,
+     *  not folded into the cycle ledger. */
+    std::atomic<uint64_t> perWorkerStagingCycles[kWorkerSlots] = {};
+
+    /** Contended busy cycles per lane: each launch's modelled cost
+     *  plus the HBM-contention term for the lanes concurrently
+     *  occupied with it (HbmContentionModel::busyCycles). Equal to
+     *  perWorkerCycles while the device never ran >1 lane at once. */
+    std::atomic<uint64_t> perWorkerBusyCycles[kWorkerSlots] = {};
+
+    /** Words staged + drained across all launches. */
+    std::atomic<uint64_t> stagedWords{0};
+    /** Launches whose modelled cost carried a contention term. */
+    std::atomic<uint64_t> contendedLaunches{0};
+    /** High-water mark of concurrently occupied lanes. */
+    std::atomic<uint64_t> maxOccupiedLanes{0};
 };
 
 /**
@@ -194,6 +250,20 @@ struct DeviceStats
      */
     std::vector<uint64_t> perWorkerCycles;
 
+    /** Staging/drain cycles per lane (same slot layout); overlapped
+     *  behind compute at single-lane occupancy. */
+    std::vector<uint64_t> perWorkerStagingCycles;
+
+    /** Contended busy cycles per lane (same slot layout): modelled
+     *  cost plus the HBM-contention term. See DeviceCounters. */
+    std::vector<uint64_t> perWorkerBusyCycles;
+
+    uint64_t stagedWords = 0;
+    uint64_t contendedLaunches = 0;
+    /** High-water mark, not a windowed delta: operator- carries the
+     *  later snapshot's value through unchanged. */
+    uint64_t maxOccupiedLanes = 0;
+
     uint64_t transformsIssued() const
     {
         return forwardTransforms + inverseTransforms;
@@ -230,6 +300,39 @@ struct DeviceStats
         return worst;
     }
 
+    /** Total staging/drain cycles across every lane. */
+    uint64_t stagingCycleTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : perWorkerStagingCycles)
+            sum += c;
+        return sum;
+    }
+
+    /** Total contended busy cycles across every lane. */
+    uint64_t busyCycleTotal() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : perWorkerBusyCycles)
+            sum += c;
+        return sum;
+    }
+
+    /**
+     * Contention-aware makespan: the busiest lane's contended busy
+     * cycles. Equals makespanCycles() exactly while the device never
+     * ran more than one lane at once (full staging/drain overlap);
+     * strictly exceeds it as soon as concurrent lanes shared the HBM
+     * interface — the multi-RPU capacity model's per-device term.
+     */
+    uint64_t busyMakespanCycles() const
+    {
+        uint64_t worst = 0;
+        for (uint64_t c : perWorkerBusyCycles)
+            worst = std::max(worst, c);
+        return worst;
+    }
+
     /** One-line summary for benches and examples. */
     std::string summary() const;
 
@@ -243,6 +346,20 @@ struct DeviceStats
      * counters by hand; see also RpuDevice::statsSince.
      */
     DeviceStats operator-(const DeviceStats &since) const;
+
+    /**
+     * Field-wise sum — how a topology rolls N per-device windows into
+     * one ledger. Per-worker vectors are padded with zeros to the
+     * wider operand (devices may run different pool widths), so slot
+     * i accumulates every device's slot-i activity and no slot is
+     * ever dropped or misaligned; maxOccupiedLanes takes the max.
+     * Note the summed per-worker vectors merge *different devices'*
+     * lanes, so makespan readings on a summed ledger are meaningless
+     * — use RpuTopology::makespanCycles (max over per-device
+     * makespans) for the topology-wide figure.
+     */
+    DeviceStats &operator+=(const DeviceStats &other);
+    DeviceStats operator+(const DeviceStats &other) const;
 };
 
 /** One element of a batched launchAll(). */
@@ -273,12 +390,45 @@ struct PendingTowerProducts
 class RpuDevice
 {
   public:
-    /** Default device: functional-simulator backend. */
+    /** Default device: functional-simulator backend, private caches. */
     RpuDevice() : RpuDevice(std::make_unique<FunctionalSimBackend>()) {}
 
-    explicit RpuDevice(std::unique_ptr<ExecutionBackend> backend);
+    explicit RpuDevice(std::unique_ptr<ExecutionBackend> backend)
+        : RpuDevice(std::move(backend),
+                    std::make_shared<DeviceCaches>())
+    {
+    }
+
+    /**
+     * A device over an existing cache bundle — how RpuTopology builds
+     * N devices that generate each kernel and numeric context once
+     * between them. @p caches must outlive the device (shared
+     * ownership guarantees it).
+     */
+    RpuDevice(std::unique_ptr<ExecutionBackend> backend,
+              std::shared_ptr<DeviceCaches> caches);
 
     ExecutionBackend &backend() { return *backend_; }
+
+    /** The cache bundle this device launches against. */
+    const std::shared_ptr<DeviceCaches> &caches() const
+    {
+        return caches_;
+    }
+
+    /**
+     * The HBM-contention model folded into the busy-cycle ledger.
+     * Reconfigure only between batches (reads race with in-flight
+     * launches otherwise).
+     */
+    const HbmContentionModel &contentionModel() const
+    {
+        return contention_;
+    }
+    void setContentionModel(const HbmContentionModel &m)
+    {
+        contention_ = m;
+    }
 
     const DeviceCounters &counters() const { return counters_; }
     void resetCounters();
@@ -343,11 +493,11 @@ class RpuDevice
 
     // -- Shared numeric context caches ---------------------------------
 
-    /** Montgomery context for @p q, built once per device. */
+    /** Montgomery context for @p q, built once per cache bundle. */
     const Modulus &modulusContext(u128 q);
 
     /** The cache itself (shared with every functional-sim launch). */
-    ModulusContextCache &modulusCache() { return modulus_cache_; }
+    ModulusContextCache &modulusCache() { return caches_->modulus; }
 
     /** Twiddle tables / reference transforms for one (n, q) ring. */
     const TwiddleTable &twiddleTable(uint64_t n, u128 q);
@@ -367,8 +517,8 @@ class RpuDevice
     size_t
     cachedKernels() const
     {
-        std::lock_guard<std::mutex> lock(kernel_mutex_);
-        return kernels_.size();
+        std::lock_guard<std::mutex> lock(caches_->kernelMutex);
+        return caches_->kernels.size();
     }
 
     // -- Launches --------------------------------------------------------
@@ -398,9 +548,18 @@ class RpuDevice
      * @p image is captured by reference and must stay alive until the
      * future resolves — kernels from kernel() satisfy this for the
      * device's lifetime.
+     *
+     * @p structuralLanes is the dispatch-structure occupancy hint for
+     * the contention ledger: how many lanes the *call site* knows it
+     * is filling concurrently (a batch of m independent launches over
+     * a w-worker pool occupies min(w, m) lanes at steady state). The
+     * ledger uses max(hint, observed in-flight launches), so the
+     * modelled contention is deterministic for structured fan-outs
+     * even when OS scheduling would serialise the real threads.
      */
     LaunchFuture launchAsync(const KernelImage &image,
-                             std::vector<std::vector<u128>> inputs);
+                             std::vector<std::vector<u128>> inputs,
+                             unsigned structuralLanes = 1);
 
     /**
      * Join a batch of asynchronous launches: results in request
@@ -590,38 +749,30 @@ class RpuDevice
                         const std::vector<std::vector<u128>> &inputs)
         const;
 
-    /** Validated launch body: count, then execute on the backend. */
+    /** Validated launch body: count (with the contention term for
+     *  max(@p structuralLanes, observed in-flight launches) occupied
+     *  lanes), then execute on the backend. */
     std::vector<std::vector<u128>>
     executeValidated(const KernelImage &image,
-                     const std::vector<std::vector<u128>> &inputs);
+                     const std::vector<std::vector<u128>> &inputs,
+                     unsigned structuralLanes = 1);
 
-    /** twiddleTable() body; caller holds context_mutex_. */
+    /** twiddleTable() body; caller holds caches_->contextMutex. */
     const TwiddleTable &twiddleTableLocked(uint64_t n, u128 q);
 
     std::unique_ptr<ExecutionBackend> backend_;
 
     DeviceCounters counters_;
 
-    // Context/kernel caches and their locks. Kernel generation runs
-    // outside kernel_mutex_ (the generating_ set + condvar keep it
-    // single-flight per key), so the only nesting left is that
-    // generation takes context_mutex_ for twiddle tables;
-    // modulus_cache_ synchronises itself and sits below everything.
-    // All four caches are append-only with node-stable storage, so
-    // returned references never need the lock.
-    ModulusContextCache modulus_cache_;
-    mutable std::mutex context_mutex_;
-    std::map<std::pair<uint64_t, u128>, std::unique_ptr<TwiddleTable>>
-        twiddle_cache_;
-    std::map<std::pair<uint64_t, u128>, std::unique_ptr<NttContext>>
-        ntt_cache_;
-    mutable std::mutex kernel_mutex_;
-    std::map<std::string, std::unique_ptr<KernelImage>> kernels_;
-    /// Keys whose kernels are being generated right now. Guarded by
-    /// kernel_mutex_; kernel_cv_ signals every insertion into
-    /// kernels_ so same-key waiters can re-check the cache.
-    std::set<std::string> generating_;
-    std::condition_variable kernel_cv_;
+    /** Launches currently inside executeValidated — the observed half
+     *  of the contention ledger's lane-occupancy count. */
+    std::atomic<uint32_t> active_launches_{0};
+
+    HbmContentionModel contention_;
+
+    /** Shared (or private) cache bundle; see DeviceCaches for the
+     *  locking story that used to live on these members directly. */
+    std::shared_ptr<DeviceCaches> caches_;
 
     // Last member on purpose: destroyed first, so the pool drains and
     // joins any still-queued async launches while the caches, mutexes,

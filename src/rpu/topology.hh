@@ -1,0 +1,170 @@
+/**
+ * @file
+ * RpuTopology: an N-device set of simulated RPUs behind one cache
+ * bundle — the device layer's answer to "serving heavy traffic means
+ * scaling past one accelerator".
+ *
+ * All devices share a single DeviceCaches: Montgomery contexts,
+ * twiddle tables, reference NTTs, and — most importantly — the
+ * generated kernel images. A kernel generated (and cycle-simulated)
+ * on device 0 is a cache hit on device 1..N-1, so prewarm cost and
+ * codegen latency are paid once per topology, not once per device
+ * ("generate once, launch anywhere"; a regression test pins this).
+ *
+ * The topology also rolls the per-device ledgers up:
+ *
+ *  - snapshot()/since() give per-device DeviceStats windows;
+ *  - stats()/aggregate() sum a window field-wise (per-worker vectors
+ *    zero-padded to the widest device — see DeviceStats::operator+=);
+ *  - makespanCycles() is the topology-wide modelled wall-clock: the
+ *    max over devices of each device's contention-aware busy
+ *    makespan. Work spread evenly across N devices shows ~1/N the
+ *    makespan of the same work on one device — the capacity-planning
+ *    signal the sharding bench sweeps.
+ *
+ * Finally, the sharded coalesced hooks (transformSharded /
+ * pointwiseSharded) take the serving layer's tiled batched launches
+ * and spread the <= kMaxBatchedTowers tile groups across devices
+ * according to a placement plan, overlapping devices on real threads.
+ * Group boundaries are identical to the single-device coalesced path
+ * and every group's math is independent, so results are bit-identical
+ * to RpuDevice::transformCoalesced / pointwiseCoalesced whatever the
+ * plan — only the ledger (which device paid which launches) moves.
+ */
+
+#ifndef RPU_RPU_TOPOLOGY_HH
+#define RPU_RPU_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rpu/device.hh"
+
+namespace rpu {
+
+/** See the file comment. */
+class RpuTopology
+{
+  public:
+    /**
+     * Build @p devices functional-simulator RPUs over one fresh
+     * shared cache bundle, each with @p parallelism worker lanes
+     * (1 = serial devices, the deterministic-ledger configuration).
+     */
+    explicit RpuTopology(size_t devices, unsigned parallelism = 1);
+
+    /**
+     * Wrap existing devices (at least one) without rebuilding them —
+     * how a single-device server becomes the degenerate 1-topology.
+     * The devices keep whatever cache bundles they were built with:
+     * cross-device cache sharing is only guaranteed when the adopted
+     * devices already share one (as the N-device constructor
+     * arranges).
+     */
+    static std::shared_ptr<RpuTopology>
+    adopt(std::vector<std::shared_ptr<RpuDevice>> devices);
+
+    size_t size() const { return devices_.size(); }
+
+    const std::shared_ptr<RpuDevice> &device(size_t i) const
+    {
+        return devices_.at(i);
+    }
+
+    /** Device 0's cache bundle (the shared one for built topologies). */
+    const std::shared_ptr<DeviceCaches> &caches() const
+    {
+        return devices_.front()->caches();
+    }
+
+    // -- Ledger roll-up --------------------------------------------------
+
+    /** One DeviceStats per device, in device order. */
+    using Snapshot = std::vector<DeviceStats>;
+
+    Snapshot snapshot() const;
+
+    /** Per-device windows since @p before (an earlier snapshot()). */
+    Snapshot since(const Snapshot &before) const;
+
+    /** Field-wise sum of a snapshot (see DeviceStats::operator+=). */
+    static DeviceStats aggregate(const Snapshot &snap);
+
+    /** aggregate(snapshot()): the topology-wide summed ledger. */
+    DeviceStats stats() const { return aggregate(snapshot()); }
+
+    /**
+     * Topology-wide modelled makespan of a window: the max over
+     * devices of the contention-aware per-device busy makespan. The
+     * denominator of "modelled sustained throughput" in the capacity
+     * sweep.
+     */
+    static uint64_t makespanCycles(const Snapshot &snap);
+
+    /** makespanCycles(snapshot()) — cumulative since construction. */
+    uint64_t makespanCycles() const
+    {
+        return makespanCycles(snapshot());
+    }
+
+    // -- Sharded coalesced launches --------------------------------------
+
+    /** Tile-group count of a @p towers-long tiled chain: the number
+     *  of launches the coalesced hooks split it into, and the length
+     *  of a placement plan. */
+    static size_t tileGroups(size_t towers)
+    {
+        return (towers + RpuDevice::kMaxBatchedTowers - 1) /
+               RpuDevice::kMaxBatchedTowers;
+    }
+
+    /**
+     * RpuDevice::transformCoalesced with the tiled launches spread
+     * across the topology: group g of the flattened chain executes on
+     * device plan[g]. plan.size() must equal tileGroups(total
+     * towers); groups placed on different devices run concurrently
+     * (one thread per occupied device), groups on the same device run
+     * in tile order on it. A uniform plan routes the whole call to
+     * that one device's coalesced hook — the 1-device degeneracy is
+     * the identical code path, not a lookalike.
+     */
+    std::vector<std::vector<std::vector<u128>>>
+    transformSharded(const std::vector<size_t> &plan, uint64_t n,
+                     const std::vector<std::vector<u128>> &moduli,
+                     std::vector<std::vector<std::vector<u128>>> xs,
+                     bool inverse,
+                     const NttCodegenOptions &opts = {});
+
+    /** RpuDevice::pointwiseCoalesced, sharded the same way. */
+    std::vector<std::vector<std::vector<u128>>>
+    pointwiseSharded(const std::vector<size_t> &plan, uint64_t n,
+                     const std::vector<std::vector<u128>> &moduli,
+                     std::vector<std::vector<std::vector<u128>>> a,
+                     std::vector<std::vector<std::vector<u128>>> b,
+                     const NttCodegenOptions &opts = {});
+
+  private:
+    RpuTopology() = default;
+
+    /**
+     * Shared body of the sharded hooks: execute each tile group of
+     * the flattened chain @p tiled on its planned device (transform:
+     * one input region per tower; pointwise: a/b region pairs) and
+     * return the flat per-tower outputs in tile order. @p pointwise
+     * selects the kernel kind and region layout; callers reassemble
+     * per item.
+     */
+    std::vector<std::vector<u128>>
+    runShardedFlat(const std::vector<size_t> &plan, uint64_t n,
+                   const std::vector<u128> &tiled,
+                   std::vector<std::vector<u128>> regions,
+                   bool pointwise, bool inverse,
+                   const NttCodegenOptions &opts);
+
+    std::vector<std::shared_ptr<RpuDevice>> devices_;
+};
+
+} // namespace rpu
+
+#endif // RPU_RPU_TOPOLOGY_HH

@@ -1,0 +1,177 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "rpu/topology.hh"
+
+namespace rpu {
+namespace serve {
+
+namespace {
+
+/** EWMA weight for new samples; high enough to track a workload
+ *  shift within a few chunks, low enough not to thrash on the
+ *  chunk-size mix. */
+constexpr double kEwma = 0.25;
+
+} // namespace
+
+MakespanScheduler::MakespanScheduler(
+    std::shared_ptr<RpuTopology> topology)
+    : topology_(std::move(topology))
+{
+    rpu_assert(topology_ != nullptr, "scheduler needs a topology");
+    devices_.resize(topology_->size());
+}
+
+std::string
+MakespanScheduler::key(RequestOp op, const std::string &cls)
+{
+    return (op == RequestOp::MulPlainRescale ? "mp|" : "mc|") + cls;
+}
+
+MakespanScheduler::Placement
+MakespanScheduler::place(RequestOp op, const std::string &cls,
+                         size_t requests)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    double busy_est = 0, staging_est = 0;
+    const auto it = estimates_.find(key(op, cls));
+    if (it != estimates_.end()) {
+        busy_est = it->second.busy;
+        staging_est = it->second.staging;
+    }
+
+    // Greedy makespan minimisation: land on the device whose load
+    // plus this chunk's contended marginal cost is smallest. The
+    // contention term re-exposes the chunk's staging traffic once per
+    // chunk already in flight on the device (HbmContentionModel with
+    // lanes = 1 + inflight), so equal loads still prefer an idle
+    // device. Ties break to the lowest index — deterministic, and on
+    // a 1-device topology this is always device 0.
+    size_t best = devices_.size();
+    double best_score = 0;
+    for (size_t d = 0; d < devices_.size(); ++d) {
+        const DeviceState &st = devices_[d];
+        if (st.paused)
+            continue;
+        const double projected =
+            double(requests) *
+            (busy_est + double(st.inflight) * staging_est);
+        const double score = double(st.load) + projected;
+        if (best == devices_.size() || score < best_score) {
+            best = d;
+            best_score = score;
+        }
+    }
+    rpu_assert(best < devices_.size(),
+               "every device of the topology is paused");
+
+    Placement p;
+    p.device = best;
+    p.booked = uint64_t(double(requests) * busy_est);
+    devices_[best].load += p.booked;
+    ++devices_[best].inflight;
+    return p;
+}
+
+void
+MakespanScheduler::complete(const Placement &p, RequestOp op,
+                            const std::string &cls, size_t requests,
+                            uint64_t busyCycles, uint64_t stagingCycles)
+{
+    rpu_assert(requests >= 1, "empty chunk completed");
+    std::lock_guard<std::mutex> lock(mutex_);
+    DeviceState &st = devices_.at(p.device);
+    // Correct the booking to the measured cycle-model cost. The
+    // booking can exceed the running load only if resetCounters-style
+    // races produced nonsense; clamp rather than wrap.
+    st.load -= std::min(st.load, p.booked);
+    st.load += busyCycles;
+    if (st.inflight > 0)
+        --st.inflight;
+
+    Estimate &est = estimates_[key(op, cls)];
+    const double busy_per_req = double(busyCycles) / double(requests);
+    const double staging_per_req =
+        double(stagingCycles) / double(requests);
+    if (est.samples == 0) {
+        est.busy = busy_per_req;
+        est.staging = staging_per_req;
+    } else {
+        est.busy += kEwma * (busy_per_req - est.busy);
+        est.staging += kEwma * (staging_per_req - est.staging);
+    }
+    ++est.samples;
+}
+
+std::vector<size_t>
+MakespanScheduler::stagePlan(const Placement &p, size_t groups) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<size_t> plan(groups, p.device);
+    if (groups <= 1 || devices_.size() <= 1)
+        return plan;
+
+    // Unpaused devices in ascending-load order, placement device
+    // first (it already carries this chunk's booking, and keeping it
+    // first means a 2-group stage on an idle topology uses the
+    // placement device plus one helper rather than skipping it).
+    std::vector<size_t> order;
+    for (size_t d = 0; d < devices_.size(); ++d) {
+        if (!devices_[d].paused && d != p.device)
+            order.push_back(d);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return devices_[a].load < devices_[b].load;
+                     });
+    order.insert(order.begin(), p.device);
+
+    for (size_t g = 0; g < groups; ++g)
+        plan[g] = order[g % order.size()];
+    return plan;
+}
+
+void
+MakespanScheduler::pause(size_t device)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    devices_.at(device).paused = true;
+}
+
+void
+MakespanScheduler::resume(size_t device)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    devices_.at(device).paused = false;
+}
+
+bool
+MakespanScheduler::paused(size_t device) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return devices_.at(device).paused;
+}
+
+uint64_t
+MakespanScheduler::load(size_t device) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return devices_.at(device).load;
+}
+
+uint64_t
+MakespanScheduler::modelledMakespan() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t worst = 0;
+    for (const DeviceState &st : devices_)
+        worst = std::max(worst, st.load);
+    return worst;
+}
+
+} // namespace serve
+} // namespace rpu

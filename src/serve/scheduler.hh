@@ -1,0 +1,141 @@
+/**
+ * @file
+ * MakespanScheduler: contention-aware placement of serving work
+ * across an RpuTopology.
+ *
+ * The placement unit is exactly what PR 8's dispatcher produces: a
+ * same-(op, kernel-class) chunk whose device cost is a handful of
+ * coalesced launches. The scheduler keeps one modelled-cycle load
+ * ledger per device and routes every chunk to the device that
+ * minimises the projected topology makespan — greedy online list
+ * scheduling (LPT-style) on the cycle model:
+ *
+ *   score(d) = load(d) + requests * (busyEst + inflight(d) * stagingEst)
+ *
+ * where busyEst/stagingEst are per-request EWMAs learned from the
+ * measured DeviceStats windows of completed chunks of the same
+ * (op, class). The inflight term is the HBM-contention model's
+ * marginal cost: a chunk landing on a device that already has
+ * in-flight chunks re-exposes its staging traffic once per competing
+ * occupant (see HbmContentionModel), so a busy device looks more
+ * expensive than its booked load alone — with one dispatcher it
+ * vanishes, with several it steers chunks apart. Bookings are
+ * corrected to measured cycles on completion, so the ledger tracks
+ * the real (deterministic) cycle model rather than estimates of it.
+ *
+ * For a chunk whose tiled stages split into more than one
+ * <= kMaxBatchedTowers launch group — a coalesced cross-tenant chunk
+ * or one single large request with a long tower chain — stagePlan()
+ * spreads the groups across the least-loaded devices, which is how
+ * independent tower-chain work of a single request shards.
+ *
+ * Paused (drained-for-maintenance) devices are never selected by
+ * place() or stagePlan(); a 1-device topology degenerates to "always
+ * device 0", which keeps the PR 8 single-device path bit-identical.
+ */
+
+#ifndef RPU_SERVE_SCHEDULER_HH
+#define RPU_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/contention.hh"
+#include "serve/queue.hh"
+
+namespace rpu {
+
+class RpuTopology;
+
+namespace serve {
+
+/** See the file comment. */
+class MakespanScheduler
+{
+  public:
+    explicit MakespanScheduler(std::shared_ptr<RpuTopology> topology);
+
+    /** One booked chunk placement; pass back to complete(). */
+    struct Placement
+    {
+        size_t device = 0;
+        uint64_t booked = 0; ///< modelled cycles booked onto device
+    };
+
+    /**
+     * Route a @p requests-request chunk of (@p op, @p cls) to the
+     * device minimising projected makespan, booking its estimated
+     * cost there. Fatal when every device is paused.
+     */
+    Placement place(RequestOp op, const std::string &cls,
+                    size_t requests);
+
+    /**
+     * Replace the placement's booking with the measured cost and
+     * fold the per-request busy/staging cycles into the (op, class)
+     * estimate.
+     */
+    void complete(const Placement &p, RequestOp op,
+                  const std::string &cls, size_t requests,
+                  uint64_t busyCycles, uint64_t stagingCycles);
+
+    /**
+     * Per-tile-group device plan for one sharded stage of a chunk
+     * placed at @p p: @p groups entries. One group (or a 1-device
+     * topology) stays entirely on the placement device; more groups
+     * round-robin across the unpaused devices in ascending-load
+     * order, the placement device first. Load is read at planning
+     * time, so consecutive stages of one chunk keep the same shape
+     * while idle devices get pulled in deterministically.
+     */
+    std::vector<size_t> stagePlan(const Placement &p, size_t groups)
+        const;
+
+    /**
+     * Drain a device out of (or back into) the placement set. Work
+     * already booked keeps running; new placements skip it. Pausing
+     * every device is fatal at the next place().
+     */
+    void pause(size_t device);
+    void resume(size_t device);
+    bool paused(size_t device) const;
+
+    /** Modelled cycle load currently booked/completed on a device. */
+    uint64_t load(size_t device) const;
+
+    /** Max load over devices: the scheduler's makespan projection. */
+    uint64_t modelledMakespan() const;
+
+  private:
+    struct DeviceState
+    {
+        uint64_t load = 0;     ///< completed + booked modelled cycles
+        uint64_t inflight = 0; ///< chunks placed, not yet completed
+        bool paused = false;
+    };
+
+    /** Per-request cost estimate for one (op, class). */
+    struct Estimate
+    {
+        double busy = 0;
+        double staging = 0;
+        uint64_t samples = 0;
+    };
+
+    static std::string key(RequestOp op, const std::string &cls);
+
+    std::shared_ptr<RpuTopology> topology_;
+
+    mutable std::mutex mutex_;
+    std::vector<DeviceState> devices_;
+    std::map<std::string, Estimate> estimates_;
+};
+
+} // namespace serve
+} // namespace rpu
+
+#endif // RPU_SERVE_SCHEDULER_HH

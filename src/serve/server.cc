@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "rpu/device.hh"
+#include "rpu/topology.hh"
 
 namespace rpu {
 namespace serve {
@@ -32,13 +33,24 @@ pow2Floor(size_t v)
 
 HeServer::HeServer(const ServeConfig &cfg,
                    std::shared_ptr<RpuDevice> device)
-    : cfg_(cfg), device_(std::move(device)),
+    : HeServer(cfg, device ? RpuTopology::adopt({std::move(device)})
+                           : std::shared_ptr<RpuTopology>())
+{
+}
+
+HeServer::HeServer(const ServeConfig &cfg,
+                   std::shared_ptr<RpuTopology> topology)
+    : cfg_(cfg), topology_(std::move(topology)),
       queue_(cfg.queueCapacity)
 {
     rpu_assert(cfg_.maxBatch >= 1 && cfg_.maxPerTenant >= 1 &&
                    cfg_.maxCoalesce >= 1,
                "batch bounds must be positive");
     rpu_assert(cfg_.dispatchers >= 1, "need at least one dispatcher");
+    if (topology_) {
+        scheduler_ = std::make_unique<MakespanScheduler>(topology_);
+        device_ = topology_->device(0);
+    }
     if (!cfg_.startPaused)
         start();
 }
@@ -73,6 +85,32 @@ HeServer::addTenant(const TenantConfig &cfg)
     }
     sessions_.push_back(std::move(session));
     return *sessions_.back();
+}
+
+const CkksContext &
+HeServer::execContext(const Session &sess, size_t device)
+{
+    rpu_assert(topology_ != nullptr && device < topology_->size(),
+               "no topology device %zu", device);
+    if (device == 0)
+        return sess.ctx(); // sessions attach device 0 themselves
+
+    // One replica per (kernel class, device): contexts are
+    // deterministic per parameter set, so any same-class session's
+    // keys and request randomness work against it unchanged (the
+    // replica's own seed never feeds a request — see runSerialWith).
+    // Like the sessions, a replica is exercised by one dispatcher at
+    // a time in the deterministic single-dispatcher configuration.
+    const std::string key =
+        sess.kernelClass() + "|d" + std::to_string(device);
+    std::lock_guard<std::mutex> lock(exec_ctx_mutex_);
+    auto it = exec_ctx_.find(key);
+    if (it == exec_ctx_.end()) {
+        auto ctx = std::make_unique<CkksContext>(sess.config().params);
+        ctx->attachDevice(topology_->device(device));
+        it = exec_ctx_.emplace(key, std::move(ctx)).first;
+    }
+    return *it->second;
 }
 
 Session *
@@ -151,6 +189,16 @@ HeServer::prewarm()
         const uint64_t n = s->config().params.n;
         const std::vector<u128> primes = s->ctx().basis().primes();
         const u128 q_l = primes.back();
+
+        // Build the cross-device execution contexts up front so a
+        // routed first request doesn't pay context construction.
+        // Kernels themselves only need warming once: the topology's
+        // devices share one cache bundle ("generate once, launch
+        // anywhere").
+        if (topology_) {
+            for (size_t d = 1; d < topology_->size(); ++d)
+                execContext(*s, d);
+        }
 
         // Uncoalesced path on a serial device: plaintext entry, the
         // per-pair pointwise dispatch, the dropped-tower inverses.
@@ -317,20 +365,47 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
         responses[i].chunkRequests = k;
     }
 
-    const DeviceStats before = device_ ? device_->stats()
-                                       : DeviceStats{};
+    // Place the chunk before touching the device: the scheduler books
+    // its estimated cost onto the chosen device's load ledger, and
+    // the booking is corrected to the measured window on completion.
+    // On a 1-device topology this is always device 0 with a uniform
+    // plan — the PR 8 path, bit-identical launches and all.
+    MakespanScheduler::Placement placement;
+    const std::string &cls = sessions[0]->kernelClass();
+    if (scheduler_)
+        placement = scheduler_->place(chunk[0].op, cls, k);
+
+    const RpuTopology::Snapshot before =
+        topology_ ? topology_->snapshot() : RpuTopology::Snapshot{};
     try {
         if (k == 1) {
-            // The per-tenant serial reference path, verbatim: the
-            // bit-identity statement "coalesced equals serial" is
-            // about the branch below, not two copies of this one.
-            responses[0].values = sessions[0]->runSerial(
-                chunk[0].op, chunk[0].a, chunk[0].b, chunk[0].seq);
+            if (placement.device == 0) {
+                // The per-tenant serial reference path, verbatim: the
+                // bit-identity statement "coalesced equals serial" is
+                // about the branch below, not two copies of this one.
+                responses[0].values = sessions[0]->runSerial(
+                    chunk[0].op, chunk[0].a, chunk[0].b, chunk[0].seq);
+            } else {
+                // Same pipeline, same keys, same request randomness —
+                // only the attached device differs.
+                responses[0].values = sessions[0]->runSerialWith(
+                    execContext(*sessions[0], placement.device),
+                    chunk[0].op, chunk[0].a, chunk[0].b, chunk[0].seq);
+            }
         } else {
-            coalescedMulPlain(chunk, sessions, responses);
+            coalescedMulPlain(placement, chunk, sessions, responses);
         }
     } catch (...) {
         const std::exception_ptr err = std::current_exception();
+        if (scheduler_) {
+            // Release the booking and in-flight slot; whatever device
+            // work the failed attempt did pay is the measured cost.
+            const DeviceStats partial =
+                RpuTopology::aggregate(topology_->since(before));
+            scheduler_->complete(placement, chunk[0].op, cls, k,
+                                 partial.busyCycleTotal(),
+                                 partial.stagingCycleTotal());
+        }
         for (size_t i = 0; i < k; ++i) {
             sessions[i]->noteFailed();
             ++failed_;
@@ -339,7 +414,13 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
         return;
     }
     const DeviceStats delta =
-        device_ ? device_->statsSince(before) : DeviceStats{};
+        topology_ ? RpuTopology::aggregate(topology_->since(before))
+                  : DeviceStats{};
+    if (scheduler_) {
+        scheduler_->complete(placement, chunk[0].op, cls, k,
+                             delta.busyCycleTotal(),
+                             delta.stagingCycleTotal());
+    }
 
     const auto end = std::chrono::steady_clock::now();
     for (size_t i = 0; i < k; ++i) {
@@ -353,7 +434,8 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
 }
 
 void
-HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
+HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
+                            std::vector<ServeRequest> &chunk,
                             std::vector<Session *> &sessions,
                             std::vector<ServeResponse> &responses)
 {
@@ -365,9 +447,16 @@ HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
     // Bit-identity with the serial path rests on the batched kernel
     // kinds computing each region's ring independently — the same
     // per-region math whether a tower rides its own launch or a
-    // tiled one (test_serve pins this end to end).
+    // tiled one (test_serve pins this end to end). Each stage's tile
+    // groups spread across the topology per the scheduler's stage
+    // plan; on a 1-device topology every plan is uniform and the
+    // stages are the device's own coalesced hooks, unchanged.
     const size_t k = chunk.size();
     const uint64_t n = sessions[0]->config().params.n;
+    const auto stagePlan = [&](size_t towers) {
+        return scheduler_->stagePlan(placement,
+                                     RpuTopology::tileGroups(towers));
+    };
 
     // Host half, per request: encrypt and encode (Coeff — the
     // evaluation-domain entry is what gets coalesced).
@@ -383,12 +472,16 @@ HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
         moduli[i] = ctx.basis().primes();
     }
 
+    size_t entry_towers = 0;
+    for (size_t i = 0; i < k; ++i)
+        entry_towers += moduli[i].size();
+
     // Launch 1: every tenant's plaintext enters Eval together.
     std::vector<std::vector<std::vector<u128>>> pt_in(k);
     for (size_t i = 0; i < k; ++i)
         pt_in[i] = std::move(pts[i].rp.towers);
-    auto pt_eval = device_->transformCoalesced(n, moduli,
-                                               std::move(pt_in), false);
+    auto pt_eval = topology_->transformSharded(
+        stagePlan(entry_towers), n, moduli, std::move(pt_in), false);
 
     // Launch 2: both components of every ciphertext against its
     // plaintext — 2k items. The ciphertexts are read in place just
@@ -407,8 +500,9 @@ HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
         sessions[i]->ctx().residueOps().noteElidedConversions(
             2 * moduli[i].size());
     }
-    auto prods = device_->pointwiseCoalesced(
-        n, pw_moduli, std::move(lhs), std::move(rhs));
+    auto prods = topology_->pointwiseSharded(
+        stagePlan(2 * entry_towers), n, pw_moduli, std::move(lhs),
+        std::move(rhs));
 
     std::vector<CkksCiphertext> prod(k);
     for (size_t i = 0; i < k; ++i) {
@@ -429,8 +523,8 @@ HeServer::coalescedMulPlain(std::vector<ServeRequest> &chunk,
         inv_in[2 * i] = {prod[i].c0.towers.back()};
         inv_in[2 * i + 1] = {prod[i].c1.towers.back()};
     }
-    auto dropped = device_->transformCoalesced(
-        n, inv_moduli, std::move(inv_in), true);
+    auto dropped = topology_->transformSharded(
+        stagePlan(2 * k), n, inv_moduli, std::move(inv_in), true);
 
     // Host half, per request: finish the rescale and decrypt.
     for (size_t i = 0; i < k; ++i) {

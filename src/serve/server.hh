@@ -14,7 +14,16 @@
  *
  *  - Scheduling: dispatcher threads pop batches, group them by
  *    (op, kernel class) and cut each group into chunks of
- *    power-of-two sizes up to maxCoalesce. A chunk of compatible
+ *    power-of-two sizes up to maxCoalesce. Every chunk is then
+ *    *placed*: a MakespanScheduler routes it to the device of the
+ *    RpuTopology minimising the projected contention-aware makespan,
+ *    and a chunk whose tiled stages split into several launch groups
+ *    is further sharded — its groups spread across the least-loaded
+ *    devices (stagePlan), which is also how one single large
+ *    request's independent tower-chain work shards. A 1-device
+ *    topology degenerates to the PR 8 single-device path exactly
+ *    (always device 0, uniform plans, identical launches and
+ *    ledger). A chunk of compatible
  *    MulPlainRescale requests — typically from *different tenants*,
  *    since each tenant's lane is capped per batch — executes as
  *    three coalesced device dispatches (plaintext Eval entry,
@@ -29,10 +38,13 @@
  *    Chunks of one, MulCtRescale requests, and coalesce=false all
  *    run the per-request serial reference path (Session::runSerial).
  *
- *  - Accounting: the dispatcher snapshots DeviceStats around every
- *    chunk and splits the delta across the chunk's requests into
- *    each tenant's ledger (exact with one dispatcher; documented
- *    approximate with several, since windows then interleave).
+ *  - Accounting: the dispatcher snapshots the topology around every
+ *    chunk, aggregates the per-device windows (see
+ *    RpuTopology::since/aggregate) and splits the delta across the
+ *    chunk's requests into each tenant's ledger (exact with one
+ *    dispatcher; documented approximate with several, since windows
+ *    then interleave). The same window's busy/staging totals feed
+ *    back into the scheduler's cost estimates.
  *
  * Shutdown is a graceful drain: the queue closes (new submits get
  * RejectedShutdown), dispatchers finish everything already admitted
@@ -44,17 +56,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/queue.hh"
+#include "serve/scheduler.hh"
 #include "serve/session.hh"
 
 namespace rpu {
 
 class RpuDevice;
+class RpuTopology;
 
 namespace serve {
 
@@ -102,11 +118,33 @@ struct Submission
 class HeServer
 {
   public:
+    /** Single-device server: wraps @p device (may be null for
+     *  host-only execution) into a degenerate 1-device topology. */
     HeServer(const ServeConfig &cfg, std::shared_ptr<RpuDevice> device);
+
+    /** Device-set server: chunks place across @p topology's devices
+     *  via the makespan scheduler. Tenants' sessions attach device 0;
+     *  other devices execute through shared per-(kernel class,
+     *  device) execution contexts. */
+    HeServer(const ServeConfig &cfg,
+             std::shared_ptr<RpuTopology> topology);
+
     ~HeServer(); ///< graceful shutdown() if still running
 
     const ServeConfig &config() const { return cfg_; }
+
+    /** Device 0 of the topology (null for host-only servers). */
     std::shared_ptr<RpuDevice> device() const { return device_; }
+
+    /** The device set (null for host-only servers). */
+    const std::shared_ptr<RpuTopology> &topology() const
+    {
+        return topology_;
+    }
+
+    /** The placement scheduler (null for host-only servers). Exposed
+     *  for drain control (pause/resume) and load inspection. */
+    MakespanScheduler *scheduler() const { return scheduler_.get(); }
 
     /** Open a tenant session (id must be unused). Thread-safe. */
     Session &addTenant(const TenantConfig &cfg);
@@ -156,14 +194,31 @@ class HeServer
                       uint64_t dispatchIndex,
                       std::chrono::steady_clock::time_point popped);
 
-    /** The three-launch coalesced MulPlainRescale pipeline. */
-    void coalescedMulPlain(std::vector<ServeRequest> &chunk,
+    /** The three-launch coalesced MulPlainRescale pipeline, each
+     *  stage sharded across the topology per @p placement. */
+    void coalescedMulPlain(const MakespanScheduler::Placement &placement,
+                           std::vector<ServeRequest> &chunk,
                            std::vector<Session *> &sessions,
                            std::vector<ServeResponse> &responses);
 
+    /**
+     * Execution context for running @p sess's requests on topology
+     * device @p device: the session's own context for device 0, a
+     * lazily-built same-parameter-set replica (shared per kernel
+     * class — keys stay the session's) attached to the device
+     * otherwise. See Session::runSerialWith.
+     */
+    const CkksContext &execContext(const Session &sess, size_t device);
+
     ServeConfig cfg_;
-    std::shared_ptr<RpuDevice> device_;
+    std::shared_ptr<RpuTopology> topology_;
+    std::unique_ptr<MakespanScheduler> scheduler_;
+    std::shared_ptr<RpuDevice> device_; ///< topology device 0
     BoundedRequestQueue queue_;
+
+    std::mutex exec_ctx_mutex_;
+    /** (kernel class, device index) -> execution context. */
+    std::map<std::string, std::unique_ptr<CkksContext>> exec_ctx_;
 
     mutable std::mutex sessions_mutex_;
     std::vector<std::unique_ptr<Session>> sessions_;

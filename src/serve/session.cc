@@ -66,8 +66,16 @@ Session::runSerial(RequestOp op,
                    const std::vector<std::complex<double>> &b,
                    uint64_t seq) const
 {
+    return runSerialWith(*ctx_, op, a, b, seq);
+}
+
+std::vector<std::complex<double>>
+Session::runSerialWith(const CkksContext &ctx, RequestOp op,
+                       const std::vector<std::complex<double>> &a,
+                       const std::vector<std::complex<double>> &b,
+                       uint64_t seq) const
+{
     Rng rng = requestRng(seq);
-    const CkksContext &ctx = *ctx_;
 
     CkksCiphertext ct = ctx.encrypt(sk_, a, rng);
     CkksCiphertext prod;

@@ -125,6 +125,23 @@ class Session
               const std::vector<std::complex<double>> &b,
               uint64_t seq) const;
 
+    /**
+     * runSerial against @p ctx instead of the session's own context.
+     * @p ctx must share this session's parameter set (same
+     * deterministic modulus chain) — the keys, encoding, and request
+     * randomness are all the session's, so the results are
+     * bit-identical to runSerial; only the attached device changes.
+     * This is how the server routes uncoalesced requests to a
+     * non-default device of a topology: one execution context per
+     * (kernel class, device), every tenant's keys usable with any of
+     * them.
+     */
+    std::vector<std::complex<double>>
+    runSerialWith(const CkksContext &ctx, RequestOp op,
+                  const std::vector<std::complex<double>> &a,
+                  const std::vector<std::complex<double>> &b,
+                  uint64_t seq) const;
+
     // -- Accounting (called by the server's dispatchers) ----------------
 
     void noteSubmission(SubmitStatus s);

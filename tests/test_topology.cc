@@ -1,0 +1,502 @@
+/**
+ * @file
+ * RpuTopology and the multi-RPU serving path: shared kernel caches
+ * across devices ("generate once, launch anywhere"), the
+ * HBM-contention refinement of the per-worker cycle ledger, the
+ * topology stats roll-up (padding-correct summing, makespan as a max
+ * over devices), bit-identity of the sharded coalesced hooks against
+ * the single-device path, the makespan scheduler's placement rules
+ * (paused devices never selected, load-correcting bookings), and the
+ * load-bearing degeneracy: a 1-device-topology server is
+ * bit-identical — outputs and launch ledger — to the single-device
+ * server.
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "model/contention.hh"
+#include "rlwe/ckks.hh"
+#include "rpu/device.hh"
+#include "rpu/topology.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+
+namespace rpu {
+namespace {
+
+using serve::HeServer;
+using serve::MakespanScheduler;
+using serve::RequestOp;
+using serve::ServeConfig;
+using serve::ServeResponse;
+using serve::SubmitStatus;
+
+using Cplx = std::complex<double>;
+
+CkksParams
+topoParams()
+{
+    CkksParams p;
+    p.n = 1024;
+    p.towers = 3;
+    p.towerBits = 45;
+    p.scale = 1099511627776.0; // 2^40
+    p.noiseBound = 4;
+    return p;
+}
+
+std::vector<Cplx>
+slotValues(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Cplx> v(count);
+    for (auto &z : v)
+        z = {2.0 * rng.nextDouble() - 1.0, 2.0 * rng.nextDouble() - 1.0};
+    return v;
+}
+
+/** @p items coalesced-transform inputs over the standard 3-tower
+ *  basis: items x towers regions of ring randomness. */
+std::vector<std::vector<std::vector<u128>>>
+coalescedInputs(size_t items, const std::vector<u128> &primes,
+                uint64_t n, uint64_t seed)
+{
+    std::vector<std::vector<std::vector<u128>>> xs(items);
+    for (size_t i = 0; i < items; ++i) {
+        for (size_t t = 0; t < primes.size(); ++t) {
+            std::vector<u128> region(n);
+            Rng rng(seed + 1000 * i + t);
+            for (auto &x : region)
+                x = rng.below64(uint64_t(primes[t]));
+            xs[i].push_back(std::move(region));
+        }
+    }
+    return xs;
+}
+
+// ----------------------------------------------------------------------
+// HbmContentionModel
+// ----------------------------------------------------------------------
+
+TEST(HbmContentionModel, SingleLaneReproducesTheCycleLedgerExactly)
+{
+    HbmContentionModel m;
+    // Fully overlapped staging at one occupant: busy == compute, no
+    // matter how much data moved.
+    EXPECT_EQ(m.busyCycles(1234, 1u << 20, 1), 1234u);
+    EXPECT_EQ(m.busyCycles(1234, 1u << 20, 0), 1234u);
+    EXPECT_EQ(m.stagingCycles(0), 0u);
+    EXPECT_GE(m.stagingCycles(1), 1u);
+}
+
+TEST(HbmContentionModel, EachExtraLaneReexposesStagingOnce)
+{
+    HbmContentionModel m;
+    const uint64_t words = 4096;
+    const uint64_t staging = m.stagingCycles(words);
+    ASSERT_GT(staging, 0u);
+    EXPECT_EQ(m.busyCycles(1000, words, 2), 1000 + staging);
+    EXPECT_EQ(m.busyCycles(1000, words, 4), 1000 + 3 * staging);
+}
+
+// ----------------------------------------------------------------------
+// Shared caches across the topology
+// ----------------------------------------------------------------------
+
+TEST(RpuTopology, KernelGeneratedOnDeviceZeroIsACacheHitOnDeviceOne)
+{
+    RpuTopology topo(2);
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+
+    (void)topo.device(0)->kernel(KernelKind::BatchedForwardNtt, 1024,
+                                 primes);
+    const DeviceStats d0 = topo.device(0)->stats();
+    EXPECT_EQ(d0.kernelMisses, 1u);
+
+    // Same key from the other device: a hit on the shared bundle —
+    // no regeneration, no second cycle simulation.
+    (void)topo.device(1)->kernel(KernelKind::BatchedForwardNtt, 1024,
+                                 primes);
+    const DeviceStats d1 = topo.device(1)->stats();
+    EXPECT_EQ(d1.kernelMisses, 0u);
+    EXPECT_EQ(d1.kernelHits, 1u);
+    EXPECT_EQ(topo.device(0)->cachedKernels(),
+              topo.device(1)->cachedKernels());
+}
+
+// ----------------------------------------------------------------------
+// DeviceStats aggregation across a device set
+// ----------------------------------------------------------------------
+
+TEST(RpuTopology, StatsSumPadsPerWorkerVectorsAcrossDevices)
+{
+    DeviceStats narrow;
+    narrow.launches = 2;
+    narrow.perWorkerLaunches = {2};
+    narrow.perWorkerCycles = {100};
+    narrow.perWorkerStagingCycles = {10};
+    narrow.perWorkerBusyCycles = {100};
+    narrow.maxOccupiedLanes = 1;
+
+    DeviceStats wide;
+    wide.launches = 3;
+    wide.perWorkerLaunches = {0, 1, 2};
+    wide.perWorkerCycles = {0, 40, 80};
+    wide.perWorkerStagingCycles = {0, 4, 8};
+    wide.perWorkerBusyCycles = {0, 44, 88};
+    wide.maxOccupiedLanes = 2;
+
+    const DeviceStats sum = narrow + wide;
+    EXPECT_EQ(sum.launches, 5u);
+    ASSERT_EQ(sum.perWorkerLaunches.size(), 3u);
+    EXPECT_EQ(sum.perWorkerLaunches[0], 2u);
+    EXPECT_EQ(sum.perWorkerLaunches[1], 1u);
+    EXPECT_EQ(sum.perWorkerCycles[0], 100u);
+    EXPECT_EQ(sum.perWorkerCycles[2], 80u);
+    EXPECT_EQ(sum.cycleTotal(), 220u);
+    EXPECT_EQ(sum.stagingCycleTotal(), 22u);
+    EXPECT_EQ(sum.busyCycleTotal(), 232u);
+    // High-water marks don't add.
+    EXPECT_EQ(sum.maxOccupiedLanes, 2u);
+}
+
+TEST(RpuTopology, WindowedStatsSumAndMakespanIsTheDeviceMax)
+{
+    RpuTopology topo(2);
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+    const uint64_t n = 1024;
+
+    const RpuTopology::Snapshot before = topo.snapshot();
+    auto xs = coalescedInputs(2, primes, n, 17);
+    (void)topo.device(0)->transformCoalesced(
+        n, {primes, primes}, std::move(xs), false);
+    auto ys = coalescedInputs(1, primes, n, 18);
+    (void)topo.device(1)->transformCoalesced(n, {primes},
+                                             std::move(ys), false);
+
+    const RpuTopology::Snapshot window = topo.since(before);
+    ASSERT_EQ(window.size(), 2u);
+    EXPECT_GT(window[0].launches, 0u);
+    EXPECT_GT(window[1].launches, 0u);
+
+    const DeviceStats sum = RpuTopology::aggregate(window);
+    EXPECT_EQ(sum.launches,
+              window[0].launches + window[1].launches);
+    EXPECT_EQ(sum.cycleTotal(),
+              window[0].cycleTotal() + window[1].cycleTotal());
+
+    // The topology makespan is a max over devices, not a sum: with
+    // both serial devices busy the window's wall clock is the slower
+    // device, and it is strictly less than the serialised total.
+    const uint64_t makespan = RpuTopology::makespanCycles(window);
+    EXPECT_EQ(makespan, std::max(window[0].busyMakespanCycles(),
+                                 window[1].busyMakespanCycles()));
+    EXPECT_LT(makespan, sum.busyCycleTotal());
+}
+
+// ----------------------------------------------------------------------
+// Contention ledger: strict only under concurrent lanes
+// ----------------------------------------------------------------------
+
+TEST(RpuTopology, ContentionLedgerIsStrictExactlyWhenLanesOverlap)
+{
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+    const uint64_t n = 1024;
+
+    const auto run = [&](unsigned workers) {
+        auto device = std::make_shared<RpuDevice>();
+        if (workers > 1)
+            device->setParallelism(workers);
+        auto pending = device->transformTowersBatchAsync(
+            n, primes, coalescedInputs(6, primes, n, 23), false);
+        for (auto &p : pending)
+            (void)RpuDevice::collectTowers(std::move(p));
+        return device->stats();
+    };
+
+    const DeviceStats serial = run(1);
+    EXPECT_EQ(serial.busyMakespanCycles(), serial.makespanCycles());
+    EXPECT_EQ(serial.contendedLaunches, 0u);
+    EXPECT_EQ(serial.maxOccupiedLanes, 1u);
+
+    const DeviceStats pooled = run(4);
+    EXPECT_GT(pooled.contendedLaunches, 0u);
+    EXPECT_GT(pooled.busyMakespanCycles(), pooled.makespanCycles());
+    EXPECT_GE(pooled.maxOccupiedLanes, 2u);
+}
+
+// ----------------------------------------------------------------------
+// Sharded coalesced hooks
+// ----------------------------------------------------------------------
+
+TEST(RpuTopology, TransformShardedMatchesSingleDeviceCoalesced)
+{
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+    const uint64_t n = 1024;
+    // 8 items x 3 towers = 24 towers -> 2 tile groups: a real split.
+    const size_t items = 8;
+    const std::vector<std::vector<u128>> moduli(items, primes);
+    ASSERT_EQ(RpuTopology::tileGroups(items * primes.size()), 2u);
+
+    RpuTopology single(1);
+    const auto want = single.device(0)->transformCoalesced(
+        n, moduli, coalescedInputs(items, primes, n, 31), false);
+
+    RpuTopology topo(2);
+    const RpuTopology::Snapshot before = topo.snapshot();
+    const auto got = topo.transformSharded(
+        {0, 1}, n, moduli, coalescedInputs(items, primes, n, 31),
+        false);
+    EXPECT_EQ(got, want);
+
+    // Each device really executed its group.
+    const RpuTopology::Snapshot window = topo.since(before);
+    EXPECT_GT(window[0].launches, 0u);
+    EXPECT_GT(window[1].launches, 0u);
+}
+
+TEST(RpuTopology, PointwiseShardedMatchesSingleDeviceCoalesced)
+{
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+    const uint64_t n = 1024;
+    const size_t items = 8;
+    const std::vector<std::vector<u128>> moduli(items, primes);
+
+    RpuTopology single(1);
+    const auto want = single.device(0)->pointwiseCoalesced(
+        n, moduli, coalescedInputs(items, primes, n, 41),
+        coalescedInputs(items, primes, n, 42));
+
+    RpuTopology topo(2);
+    const auto got = topo.pointwiseSharded(
+        {1, 0}, n, moduli, coalescedInputs(items, primes, n, 41),
+        coalescedInputs(items, primes, n, 42));
+    EXPECT_EQ(got, want);
+}
+
+TEST(RpuTopology, UniformPlanIsTheDeviceOwnCoalescedPath)
+{
+    const CkksContext ctx(topoParams(), 5);
+    const std::vector<u128> primes = ctx.basis().primes();
+    const uint64_t n = 1024;
+    const std::vector<std::vector<u128>> moduli(2, primes);
+
+    RpuTopology topo(2);
+    const RpuTopology::Snapshot before = topo.snapshot();
+    (void)topo.transformSharded({0}, n, moduli,
+                                coalescedInputs(2, primes, n, 51),
+                                false);
+    const RpuTopology::Snapshot window = topo.since(before);
+    EXPECT_GT(window[0].launches, 0u);
+    EXPECT_EQ(window[1].launches, 0u);
+}
+
+// ----------------------------------------------------------------------
+// MakespanScheduler
+// ----------------------------------------------------------------------
+
+TEST(MakespanScheduler, OneDeviceTopologyAlwaysPlacesOnDeviceZero)
+{
+    auto topo = std::make_shared<RpuTopology>(1);
+    MakespanScheduler sched(topo);
+    for (int i = 0; i < 4; ++i) {
+        const auto p = sched.place(RequestOp::MulPlainRescale, "c", 8);
+        EXPECT_EQ(p.device, 0u);
+        EXPECT_EQ(sched.stagePlan(p, 3),
+                  (std::vector<size_t>{0, 0, 0}));
+        sched.complete(p, RequestOp::MulPlainRescale, "c", 8, 1000,
+                       100);
+    }
+}
+
+TEST(MakespanScheduler, PlacementsBalanceAndBookingsAreCorrected)
+{
+    auto topo = std::make_shared<RpuTopology>(2);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+
+    // Bootstrap: no estimate yet, ties break to device 0; the
+    // completion seeds the estimate and leaves real load behind.
+    const auto p0 = sched.place(op, "c", 8);
+    EXPECT_EQ(p0.device, 0u);
+    sched.complete(p0, op, "c", 8, 8000, 800);
+    EXPECT_EQ(sched.load(0), 8000u);
+
+    // Next chunk of the same class: device 1 is now cheaper.
+    const auto p1 = sched.place(op, "c", 8);
+    EXPECT_EQ(p1.device, 1u);
+    EXPECT_GT(p1.booked, 0u);
+    sched.complete(p1, op, "c", 8, 8000, 800);
+
+    // Balanced again; makespan projection is the max.
+    EXPECT_EQ(sched.load(0), sched.load(1));
+    EXPECT_EQ(sched.modelledMakespan(), sched.load(0));
+}
+
+TEST(MakespanScheduler, PausedDeviceIsNeverSelected)
+{
+    auto topo = std::make_shared<RpuTopology>(3);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+    sched.pause(0);
+    EXPECT_TRUE(sched.paused(0));
+
+    for (int i = 0; i < 6; ++i) {
+        const auto p = sched.place(op, "c", 4);
+        EXPECT_NE(p.device, 0u);
+        // Stage plans skip it too, no matter how many groups.
+        for (size_t d : sched.stagePlan(p, 5))
+            EXPECT_NE(d, 0u);
+        sched.complete(p, op, "c", 4, 4000, 400);
+    }
+
+    sched.resume(0);
+    EXPECT_FALSE(sched.paused(0));
+    // With devices 1 and 2 loaded, the resumed idle device wins.
+    EXPECT_EQ(sched.place(op, "c", 4).device, 0u);
+}
+
+// ----------------------------------------------------------------------
+// Device-set serving
+// ----------------------------------------------------------------------
+
+struct Issued
+{
+    uint64_t tenant = 0;
+    uint64_t seq = 0;
+    RequestOp op = RequestOp::MulPlainRescale;
+    std::vector<Cplx> a, b;
+    std::future<ServeResponse> response;
+};
+
+ServeConfig
+topoServeConfig()
+{
+    ServeConfig cfg;
+    cfg.queueCapacity = 64;
+    cfg.maxBatch = 16;
+    cfg.maxPerTenant = 4;
+    cfg.maxCoalesce = 8;
+    cfg.startPaused = true; // deterministic drain via shutdown()
+    return cfg;
+}
+
+std::vector<Issued>
+issueMixedSet(HeServer &server, size_t perTenant)
+{
+    std::vector<Issued> out;
+    for (size_t r = 0; r < perTenant; ++r) {
+        for (uint64_t t = 1; t <= 4; ++t) {
+            Issued p;
+            p.tenant = t;
+            p.seq = r;
+            p.op = (r % 3 == 2) ? RequestOp::MulCtRescale
+                                : RequestOp::MulPlainRescale;
+            p.a = slotValues(16, 100 * t + r);
+            p.b = slotValues(16, 900 * t + r);
+            auto sub = server.submit(t, p.op, p.a, p.b);
+            EXPECT_EQ(sub.status, SubmitStatus::Accepted);
+            p.response = std::move(sub.response);
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+TEST(HeServerTopology, OneDeviceTopologyMatchesSingleDeviceServer)
+{
+    // The degeneracy that keeps PR 8's guarantees intact: the same
+    // request set through (a) the single-device constructor and
+    // (b) an explicit 1-device topology must produce identical
+    // responses AND an identical device launch ledger — same chunks,
+    // same coalesced launches, same per-worker attribution.
+    std::vector<std::vector<Cplx>> values[2];
+    DeviceStats ledger[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        auto topo = std::make_shared<RpuTopology>(1);
+        auto server =
+            pass == 0
+                ? std::make_unique<HeServer>(topoServeConfig(),
+                                             topo->device(0))
+                : std::make_unique<HeServer>(topoServeConfig(), topo);
+        for (uint64_t id = 1; id <= 4; ++id)
+            server->addTenant({id, topoParams(), 30});
+        auto issued = issueMixedSet(*server, 6);
+        const DeviceStats before = topo->device(0)->stats();
+        server->shutdown();
+        ledger[pass] = topo->device(0)->stats() - before;
+        for (auto &p : issued)
+            values[pass].push_back(p.response.get().values);
+    }
+    EXPECT_EQ(values[0], values[1]);
+    EXPECT_EQ(ledger[0].launches, ledger[1].launches);
+    EXPECT_EQ(ledger[0].cycleTotal(), ledger[1].cycleTotal());
+    EXPECT_EQ(ledger[0].busyCycleTotal(), ledger[1].busyCycleTotal());
+    EXPECT_EQ(ledger[0].perWorkerLaunches, ledger[1].perWorkerLaunches);
+    EXPECT_EQ(ledger[0].pointwiseMuls, ledger[1].pointwiseMuls);
+    EXPECT_EQ(ledger[0].forwardTransforms,
+              ledger[1].forwardTransforms);
+    EXPECT_EQ(ledger[0].inverseTransforms,
+              ledger[1].inverseTransforms);
+}
+
+TEST(HeServerTopology, TwoDeviceServingIsBitIdenticalToSerial)
+{
+    auto topo = std::make_shared<RpuTopology>(2);
+    HeServer server(topoServeConfig(), topo);
+    for (uint64_t id = 1; id <= 4; ++id)
+        server.addTenant({id, topoParams(), 30});
+
+    const RpuTopology::Snapshot before = topo->snapshot();
+    auto issued = issueMixedSet(server, 6);
+    server.shutdown();
+
+    for (auto &p : issued) {
+        const ServeResponse resp = p.response.get();
+        EXPECT_EQ(resp.values, server.tenant(p.tenant)->runSerial(
+                                   p.op, p.a, p.b, p.seq));
+    }
+    // Both devices carried real work, so the identity above is a
+    // statement about cross-device execution, not a vacuous pass.
+    const RpuTopology::Snapshot window = topo->since(before);
+    EXPECT_GT(window[0].launches, 0u);
+    EXPECT_GT(window[1].launches, 0u);
+}
+
+TEST(HeServerTopology, PausedDeviceExecutesNothing)
+{
+    auto topo = std::make_shared<RpuTopology>(2);
+    HeServer server(topoServeConfig(), topo);
+    for (uint64_t id = 1; id <= 4; ++id)
+        server.addTenant({id, topoParams(), 30});
+    ASSERT_NE(server.scheduler(), nullptr);
+    server.scheduler()->pause(1);
+
+    const RpuTopology::Snapshot before = topo->snapshot();
+    auto issued = issueMixedSet(server, 3);
+    server.shutdown();
+    for (auto &p : issued) {
+        const ServeResponse resp = p.response.get();
+        EXPECT_EQ(resp.values, server.tenant(p.tenant)->runSerial(
+                                   p.op, p.a, p.b, p.seq));
+    }
+
+    // The drained device saw no placements and no sharded stages.
+    const RpuTopology::Snapshot window = topo->since(before);
+    EXPECT_GT(window[0].launches, 0u);
+    EXPECT_EQ(window[1].launches, 0u);
+    EXPECT_EQ(window[1].cycleTotal(), 0u);
+}
+
+} // namespace
+} // namespace rpu
