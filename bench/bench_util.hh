@@ -8,14 +8,20 @@
 #ifndef RPU_BENCH_BENCH_UTIL_HH
 #define RPU_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <complex>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rpu/runner.hh"
+#include "serve/server.hh"
 
 namespace rpu::bench {
 
@@ -132,6 +138,168 @@ paretoFront(const std::vector<SweepPoint> &points)
             front.push_back(&p);
     }
     return front;
+}
+
+// ----------------------------------------------------------------------
+// Shared multi-tenant serving harness (serve_throughput and
+// shard_throughput run the same tenants, payload derivation, serial
+// calibration, and open-loop Poisson sweep — one copy lives here).
+// ----------------------------------------------------------------------
+
+/** The serving benches' tenant parameter set: CKKS n=1024, 3 towers
+ *  of 45 bits, scale 2^40. */
+inline CkksParams
+serveTenantParams()
+{
+    CkksParams p;
+    p.n = 1024;
+    p.towers = 3;
+    p.towerBits = 45;
+    p.scale = 1099511627776.0; // 2^40
+    p.noiseBound = 4;
+    return p;
+}
+
+/** Deterministic request payloads: every (tenant, seq) maps to fixed
+ *  slot values, so any response can be replayed serially for the
+ *  bit-identity checks. */
+inline std::vector<std::complex<double>>
+slotValues(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::complex<double>> v(count);
+    for (auto &z : v)
+        z = {2.0 * rng.nextDouble() - 1.0, 2.0 * rng.nextDouble() - 1.0};
+    return v;
+}
+
+/** One in-flight bench request: the submitted payload kept alongside
+ *  the response future so the result can be re-derived serially. */
+struct PendingServe
+{
+    uint64_t tenant = 0;
+    uint64_t seq = 0;
+    serve::RequestOp op = serve::RequestOp::MulPlainRescale;
+    std::vector<std::complex<double>> a, b;
+    std::future<serve::ServeResponse> response;
+};
+
+/** Serial-path capacity estimate: timed runSerial on a scratch
+ *  session, after warmup. Open-loop arrival rates scale off this, so
+ *  the same binary saturates on any machine or sanitizer. */
+inline double
+calibrateServeCapacity(const std::shared_ptr<RpuDevice> &device)
+{
+    serve::Session scratch({99, serveTenantParams(), 30}, device);
+    const auto a = slotValues(16, 11);
+    const auto b = slotValues(16, 22);
+    for (int i = 0; i < 3; ++i) // warm kernels and caches
+        (void)scratch.runSerial(serve::RequestOp::MulPlainRescale, a, b,
+                                i);
+    const int reps = 10;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        (void)scratch.runSerial(serve::RequestOp::MulPlainRescale, a, b,
+                                100 + i);
+    return double(reps) / secondsSince(t0);
+}
+
+/** One open-loop sweep result row (devices filled by the caller when
+ *  the sweep varies topology size). */
+struct OpenLoopRow
+{
+    size_t devices = 0;
+    double offered = 0;   ///< requested arrival rate (ops/s)
+    double sustained = 0; ///< completions / wall time
+    size_t accepted = 0;
+    size_t rejected = 0;
+    double p50 = 0, p99 = 0, p999 = 0; ///< total latency, micros
+};
+
+/**
+ * Drive @p server with @p requests open-loop Poisson arrivals at
+ * @p rate over @p tenants tenants (ids 1..tenants, expected to exist
+ * and be prewarmed), then drain it and report sustained throughput,
+ * rejection counts, and latency percentiles.
+ *
+ * Open loop: the next arrival time is scheduled from the Poisson
+ * process alone — if the server is slow, submissions do not slow down
+ * with it, so queueing delay and backpressure rejections surface
+ * exactly as they would behind real tenants (no coordinated
+ * omission). Payload seeds are fixed per (tenant, seq) and the seq
+ * advances even for rejected arrivals, so every 16th accepted
+ * response is spot-checked bit-identical against runSerial; any
+ * failed request or accepted-vs-completed mismatch is a gate failure.
+ */
+inline OpenLoopRow
+runServeOpenLoop(serve::HeServer &server, double rate, size_t requests,
+                 size_t tenants)
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<PendingServe> accepted;
+    accepted.reserve(requests);
+    size_t rejected = 0;
+
+    std::mt19937_64 gen(12345);
+    std::exponential_distribution<double> interval(rate);
+    const auto start = Clock::now();
+    auto next = start;
+    std::vector<uint64_t> seqs(tenants, 0);
+    for (size_t i = 0; i < requests; ++i) {
+        next += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(interval(gen)));
+        std::this_thread::sleep_until(next);
+        const uint64_t tenant = 1 + i % tenants;
+        PendingServe p;
+        p.tenant = tenant;
+        p.op = serve::RequestOp::MulPlainRescale;
+        p.a = slotValues(16, 40 * tenant + seqs[tenant - 1]);
+        p.b = slotValues(16, 7000 + seqs[tenant - 1]);
+        auto sub = server.submit(tenant, p.op, p.a, p.b);
+        ++seqs[tenant - 1]; // seq advances even for rejected requests
+        if (sub.status == serve::SubmitStatus::Accepted) {
+            p.seq = seqs[tenant - 1] - 1;
+            p.response = std::move(sub.response);
+            accepted.push_back(std::move(p));
+        } else {
+            ++rejected;
+        }
+    }
+    server.shutdown();
+    const double wall = secondsSince(start);
+
+    std::vector<double> totals;
+    totals.reserve(accepted.size());
+    for (size_t i = 0; i < accepted.size(); ++i) {
+        serve::ServeResponse resp = accepted[i].response.get();
+        totals.push_back(resp.totalMicros);
+        // Saturation must never corrupt results.
+        if (i % 16 == 0) {
+            const serve::Session *sess = server.tenant(accepted[i].tenant);
+            if (resp.values != sess->runSerial(accepted[i].op,
+                                               accepted[i].a,
+                                               accepted[i].b,
+                                               accepted[i].seq))
+                fail("open-loop response diverges from serial reference");
+        }
+    }
+    const auto stats = server.stats();
+    if (stats.failed != 0)
+        fail("open-loop run reported failed requests");
+    if (stats.completed != accepted.size())
+        fail("accepted and completed counts disagree after drain");
+
+    std::sort(totals.begin(), totals.end());
+    OpenLoopRow row;
+    row.offered = rate;
+    row.sustained = double(accepted.size()) / wall;
+    row.accepted = accepted.size();
+    row.rejected = rejected;
+    row.p50 = percentile(totals, 0.50);
+    row.p99 = percentile(totals, 0.99);
+    row.p999 = percentile(totals, 0.999);
+    return row;
 }
 
 } // namespace rpu::bench

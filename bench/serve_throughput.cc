@@ -29,7 +29,9 @@
  *     still checked bit-identical against the serial reference.
  *
  * The binary exits 1 on any divergence; CI treats that as a job
- * failure.
+ * failure. The tenant parameters, payload derivation, serial
+ * calibration, and the open-loop Poisson sweep itself are shared with
+ * shard_throughput via bench/bench_util.hh.
  */
 
 #include <algorithm>
@@ -67,27 +69,8 @@ using Cplx = std::complex<double>;
 
 constexpr size_t kTenants = 4;
 
-CkksParams
-tenantParams()
-{
-    CkksParams p;
-    p.n = 1024;
-    p.towers = 3;
-    p.towerBits = 45;
-    p.scale = 1099511627776.0; // 2^40
-    p.noiseBound = 4;
-    return p;
-}
-
-std::vector<Cplx>
-slotValues(size_t count, uint64_t seed)
-{
-    Rng rng(seed);
-    std::vector<Cplx> v(count);
-    for (auto &z : v)
-        z = {2.0 * rng.nextDouble() - 1.0, 2.0 * rng.nextDouble() - 1.0};
-    return v;
-}
+using bench::serveTenantParams;
+using bench::slotValues;
 
 std::unique_ptr<HeServer>
 makeServer(bool coalesce, bool paused,
@@ -102,7 +85,7 @@ makeServer(bool coalesce, bool paused,
     cfg.startPaused = paused;
     auto server = std::make_unique<HeServer>(cfg, device);
     for (uint64_t id = 1; id <= kTenants; ++id)
-        server->addTenant({id, tenantParams(), 30});
+        server->addTenant({id, serveTenantParams(), 30});
     return server;
 }
 
@@ -110,14 +93,7 @@ makeServer(bool coalesce, bool paused,
 // Phase 1: bit-identity against the per-tenant serial reference
 // ----------------------------------------------------------------------
 
-struct Pending
-{
-    uint64_t tenant = 0;
-    uint64_t seq = 0;
-    RequestOp op = RequestOp::MulPlainRescale;
-    std::vector<Cplx> a, b;
-    std::future<ServeResponse> response;
-};
+using Pending = bench::PendingServe;
 
 std::vector<Pending>
 submitMixedSet(HeServer &server, size_t perTenant)
@@ -226,121 +202,12 @@ phaseLedger()
 // Phase 3: open-loop latency sweep
 // ----------------------------------------------------------------------
 
-/** Serial-path capacity estimate: timed runSerial on a scratch
- *  session, after warmup. The sweep's arrival rates scale off this,
- *  so the same binary saturates on any machine or sanitizer. */
-double
-calibrateSerialCapacity(const std::shared_ptr<RpuDevice> &device)
-{
-    Session scratch({99, tenantParams(), 30}, device);
-    const auto a = slotValues(16, 11);
-    const auto b = slotValues(16, 22);
-    for (int i = 0; i < 3; ++i) // warm kernels and caches
-        (void)scratch.runSerial(RequestOp::MulPlainRescale, a, b, i);
-    const int reps = 10;
-    const auto t0 = Clock::now();
-    for (int i = 0; i < reps; ++i)
-        (void)scratch.runSerial(RequestOp::MulPlainRescale, a, b, 100 + i);
-    const double secs =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-    return double(reps) / secs;
-}
-
-struct SweepRow
-{
-    double offered = 0;   ///< requested arrival rate (ops/s)
-    double sustained = 0; ///< completions / wall time
-    size_t accepted = 0;
-    size_t rejected = 0;
-    double p50 = 0, p99 = 0, p999 = 0; ///< total latency, micros
-};
-
-SweepRow
-runOpenLoop(double rate, size_t requests,
-            const std::shared_ptr<RpuDevice> &device)
-{
-    auto server = makeServer(true, false, device);
-    server->prewarm();
-
-    // Every tenant's payloads are fixed per seq so each accepted
-    // response can be replayed serially for the identity spot-check.
-    std::vector<Pending> accepted;
-    accepted.reserve(requests);
-    size_t rejected = 0;
-
-    // Open loop: the next arrival time is scheduled from the Poisson
-    // process alone. If the server is slow, submissions do not slow
-    // down with it — the queue fills and rejections surface, exactly
-    // what a latency study must observe.
-    std::mt19937_64 gen(12345);
-    std::exponential_distribution<double> interval(rate);
-    const auto start = Clock::now();
-    auto next = start;
-    std::vector<uint64_t> seqs(kTenants, 0);
-    for (size_t i = 0; i < requests; ++i) {
-        next += std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(interval(gen)));
-        std::this_thread::sleep_until(next);
-        const uint64_t tenant = 1 + i % kTenants;
-        Pending p;
-        p.tenant = tenant;
-        p.op = RequestOp::MulPlainRescale;
-        p.a = slotValues(16, 40 * tenant + seqs[tenant - 1]);
-        p.b = slotValues(16, 7000 + seqs[tenant - 1]);
-        auto sub = server->submit(tenant, p.op, p.a, p.b);
-        ++seqs[tenant - 1]; // seq advances even for rejected requests
-        if (sub.status == SubmitStatus::Accepted) {
-            p.seq = seqs[tenant - 1] - 1;
-            p.response = std::move(sub.response);
-            accepted.push_back(std::move(p));
-        } else {
-            ++rejected;
-        }
-    }
-    server->shutdown();
-    const double wall =
-        std::chrono::duration<double>(Clock::now() - start).count();
-
-    std::vector<double> totals;
-    totals.reserve(accepted.size());
-    for (size_t i = 0; i < accepted.size(); ++i) {
-        ServeResponse resp = accepted[i].response.get();
-        totals.push_back(resp.totalMicros);
-        // Spot-check the open-loop traffic against the serial
-        // reference too — saturation must never corrupt results.
-        if (i % 16 == 0) {
-            const Session *sess = server->tenant(accepted[i].tenant);
-            if (resp.values != sess->runSerial(accepted[i].op,
-                                               accepted[i].a,
-                                               accepted[i].b,
-                                               accepted[i].seq))
-                fail("open-loop response diverges from serial reference");
-        }
-    }
-    const auto stats = server->stats();
-    if (stats.failed != 0)
-        fail("open-loop run reported failed requests");
-    if (stats.completed != accepted.size())
-        fail("accepted and completed counts disagree after drain");
-
-    std::sort(totals.begin(), totals.end());
-    SweepRow row;
-    row.offered = rate;
-    row.sustained = double(accepted.size()) / wall;
-    row.accepted = accepted.size();
-    row.rejected = rejected;
-    row.p50 = percentile(totals, 0.50);
-    row.p99 = percentile(totals, 0.99);
-    row.p999 = percentile(totals, 0.999);
-    return row;
-}
-
 void
 phaseOpenLoop()
 {
     bench::header("phase 3: open-loop latency sweep (Poisson arrivals)");
     auto device = std::make_shared<RpuDevice>();
-    const double capacity = calibrateSerialCapacity(device);
+    const double capacity = bench::calibrateServeCapacity(device);
     std::printf("  calibrated serial capacity: %.1f ops/s "
                 "(mulPlain+rescale, n=1024, 3 towers)\n\n",
                 capacity);
@@ -355,11 +222,15 @@ phaseOpenLoop()
                 "p99 us", "p999 us");
     bench::rule('-', 74);
 
-    std::vector<SweepRow> rows;
-    for (double f : factors)
-        rows.push_back(runOpenLoop(f * capacity, requests, device));
+    std::vector<bench::OpenLoopRow> rows;
+    for (double f : factors) {
+        auto server = makeServer(true, false, device);
+        server->prewarm();
+        rows.push_back(bench::runServeOpenLoop(*server, f * capacity,
+                                               requests, kTenants));
+    }
 
-    for (const SweepRow &r : rows) {
+    for (const bench::OpenLoopRow &r : rows) {
         std::printf("  %10.1f %10.1f %9zu %9zu %10.0f %10.0f %10.0f\n",
                     r.offered, r.sustained, r.accepted, r.rejected,
                     r.p50, r.p99, r.p999);
@@ -368,7 +239,7 @@ phaseOpenLoop()
     // At twice capacity the server must visibly saturate: either
     // backpressure rejected arrivals, or sustained throughput fell
     // measurably below the offered rate.
-    const SweepRow &hot = rows.back();
+    const bench::OpenLoopRow &hot = rows.back();
     if (hot.rejected == 0 && hot.sustained >= 0.95 * hot.offered)
         fail("no saturation signal at 2x the calibrated capacity");
     if (rows.front().accepted == 0)

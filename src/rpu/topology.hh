@@ -119,6 +119,31 @@ class RpuTopology
                RpuDevice::kMaxBatchedTowers;
     }
 
+    /** Tower count of each tile group of a @p towers-long tiled
+     *  chain — full kMaxBatchedTowers groups plus the remainder.
+     *  Matches the group boundaries the coalesced hooks cut, so a
+     *  planner can weigh each launch of a stage before building its
+     *  plan. */
+    static std::vector<size_t> groupTowerCounts(size_t towers)
+    {
+        std::vector<size_t> counts(tileGroups(towers),
+                                   RpuDevice::kMaxBatchedTowers);
+        if (!counts.empty() && towers % RpuDevice::kMaxBatchedTowers)
+            counts.back() = towers % RpuDevice::kMaxBatchedTowers;
+        return counts;
+    }
+
+    /** groupTowerCounts scaled by a per-tower cost weight: the
+     *  stage-weight vector MakespanScheduler::splitPlans consumes. */
+    static std::vector<double> groupWeights(size_t towers,
+                                            double perTower)
+    {
+        std::vector<double> w;
+        for (size_t t : groupTowerCounts(towers))
+            w.push_back(double(t) * perTower);
+        return w;
+    }
+
     /**
      * RpuDevice::transformCoalesced with the tiled launches spread
      * across the topology: group g of the flattened chain executes on

@@ -48,8 +48,10 @@ HeServer::HeServer(const ServeConfig &cfg,
                "batch bounds must be positive");
     rpu_assert(cfg_.dispatchers >= 1, "need at least one dispatcher");
     if (topology_) {
-        scheduler_ = std::make_unique<MakespanScheduler>(topology_);
+        scheduler_ =
+            std::make_unique<MakespanScheduler>(topology_, cfg_.policy);
         device_ = topology_->device(0);
+        pending_.resize(topology_->size());
     }
     if (!cfg_.startPaused)
         start();
@@ -274,80 +276,209 @@ HeServer::stats() const
     s.chunks = chunks_;
     s.coalescedChunks = coalesced_chunks_;
     s.coalescedRequests = coalesced_requests_;
+    s.splitChunks = split_chunks_;
+    s.stolenChunks = stolen_chunks_;
     return s;
 }
 
 void
 HeServer::dispatchLoop()
 {
+    const bool stealing = scheduler_ != nullptr && cfg_.policy.steal;
     for (;;) {
-        std::vector<ServeRequest> batch =
-            queue_.popBatch(cfg_.maxBatch, cfg_.maxPerTenant);
-        if (batch.empty())
-            return; // closed and drained
-
-        const uint64_t dispatch_index = dispatches_.fetch_add(1);
-        const auto popped = std::chrono::steady_clock::now();
-
-        // Group the batch by (op, kernel class), preserving pop
-        // order within each group — the fairness the queue
-        // established survives grouping because groups execute in
-        // first-appearance order.
-        struct Group
-        {
-            RequestOp op;
-            const std::string *cls;
-            std::vector<ServeRequest> reqs;
-        };
-        std::vector<Group> groups;
-        for (ServeRequest &req : batch) {
-            Session *sess = tenant(req.tenant);
-            const std::string &cls = sess->kernelClass();
-            Group *g = nullptr;
-            for (Group &cand : groups) {
-                if (cand.op == req.op && *cand.cls == cls) {
-                    g = &cand;
-                    break;
-                }
-            }
-            if (!g) {
-                groups.push_back(Group{req.op, &cls, {}});
-                g = &groups.back();
-            }
-            g->reqs.push_back(std::move(req));
+        if (!stealing) {
+            std::vector<ServeRequest> batch =
+                queue_.popBatch(cfg_.maxBatch, cfg_.maxPerTenant);
+            if (batch.empty())
+                return; // closed and drained
+            dispatchBatch(std::move(batch));
+            continue;
         }
 
-        // Cut each group into chunks. Only MulPlainRescale coalesces
-        // (the ct x ct relinearisation pipeline stays per-request);
-        // chunk sizes are powers of two so the kernel cache stays
-        // bounded (see prewarm).
-        for (Group &g : groups) {
-            const bool coalescable =
-                cfg_.coalesce && device_ != nullptr &&
-                g.op == RequestOp::MulPlainRescale;
-            const size_t cap =
-                coalescable ? pow2Floor(cfg_.maxCoalesce) : 1;
-            size_t idx = 0;
-            while (idx < g.reqs.size()) {
-                size_t take = cap;
-                while (take > g.reqs.size() - idx)
-                    take /= 2;
-                std::vector<ServeRequest> chunk;
-                chunk.reserve(take);
-                for (size_t j = 0; j < take; ++j)
-                    chunk.push_back(std::move(g.reqs[idx + j]));
-                idx += take;
-                executeChunk(std::move(chunk), dispatch_index, popped);
-            }
+        // Steal policy: the dispatcher polls two work sources — the
+        // admission queue and the per-device pending lists. The
+        // bounded pop keeps the thief responsive (a chunk never waits
+        // longer than the poll period for an idle dispatcher) without
+        // busy-spinning an idle server.
+        bool closed = false;
+        std::vector<ServeRequest> batch = queue_.popBatchFor(
+            cfg_.maxBatch, cfg_.maxPerTenant,
+            std::chrono::milliseconds(1), closed);
+        if (!batch.empty()) {
+            dispatchBatch(std::move(batch));
+            continue;
         }
+        if (stealOne())
+            continue;
+        if (closed)
+            return; // drained: queue closed and nothing left to steal
     }
 }
 
 void
-HeServer::executeChunk(std::vector<ServeRequest> chunk,
-                       uint64_t dispatchIndex,
-                       std::chrono::steady_clock::time_point popped)
+HeServer::dispatchBatch(std::vector<ServeRequest> batch)
 {
+    const uint64_t dispatch_index = dispatches_.fetch_add(1);
+    const auto popped = std::chrono::steady_clock::now();
+
+    // Group the batch by (op, kernel class), preserving pop
+    // order within each group — the fairness the queue
+    // established survives grouping because groups execute in
+    // first-appearance order.
+    struct Group
+    {
+        RequestOp op;
+        const std::string *cls;
+        std::vector<ServeRequest> reqs;
+    };
+    std::vector<Group> groups;
+    for (ServeRequest &req : batch) {
+        Session *sess = tenant(req.tenant);
+        const std::string &cls = sess->kernelClass();
+        Group *g = nullptr;
+        for (Group &cand : groups) {
+            if (cand.op == req.op && *cand.cls == cls) {
+                g = &cand;
+                break;
+            }
+        }
+        if (!g) {
+            groups.push_back(Group{req.op, &cls, {}});
+            g = &groups.back();
+        }
+        g->reqs.push_back(std::move(req));
+    }
+
+    // Cut each group into chunks. Only MulPlainRescale coalesces
+    // (the ct x ct relinearisation pipeline stays per-request);
+    // chunk sizes are powers of two so the kernel cache stays
+    // bounded (see prewarm).
+    std::vector<PendingChunk> cut;
+    for (Group &g : groups) {
+        const bool coalescable = cfg_.coalesce && device_ != nullptr &&
+                                 g.op == RequestOp::MulPlainRescale;
+        const size_t cap =
+            coalescable ? pow2Floor(cfg_.maxCoalesce) : 1;
+        size_t idx = 0;
+        while (idx < g.reqs.size()) {
+            size_t take = cap;
+            while (take > g.reqs.size() - idx)
+                take /= 2;
+            PendingChunk pc;
+            pc.chunk.reserve(take);
+            for (size_t j = 0; j < take; ++j)
+                pc.chunk.push_back(std::move(g.reqs[idx + j]));
+            idx += take;
+            pc.dispatchIndex = dispatch_index;
+            pc.popped = popped;
+            cut.push_back(std::move(pc));
+        }
+    }
+
+    // Lookahead (and the steal policy, which needs placements before
+    // chunks can sit on a pending list) books the whole batch's
+    // chunks jointly up front. The plain greedy tier keeps the
+    // original place-at-execute-time flow — completions landing
+    // between placements and all — so it stays the exact regression
+    // baseline.
+    if (scheduler_ && (cfg_.policy.lookahead || cfg_.policy.steal)) {
+        std::vector<MakespanScheduler::ChunkDesc> descs;
+        descs.reserve(cut.size());
+        for (const PendingChunk &pc : cut) {
+            descs.push_back(
+                {pc.chunk[0].op,
+                 tenant(pc.chunk[0].tenant)->kernelClass(),
+                 pc.chunk.size()});
+        }
+        std::vector<MakespanScheduler::Placement> placements =
+            scheduler_->placeBatch(descs);
+        for (size_t i = 0; i < cut.size(); ++i) {
+            cut[i].placement = placements[i];
+            cut[i].placed = true;
+        }
+    }
+
+    if (scheduler_ && cfg_.policy.steal) {
+        // Park the placed chunks on their devices' pending lists,
+        // then drain in global FIFO order. With one dispatcher this
+        // executes exactly the sequence the direct path would; with
+        // several, idle dispatchers pull from the lists concurrently.
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            for (PendingChunk &pc : cut) {
+                pc.ordinal = next_ordinal_++;
+                pending_[pc.placement.device].push_back(std::move(pc));
+            }
+        }
+        drainPending();
+        return;
+    }
+    for (PendingChunk &pc : cut)
+        executeChunk(std::move(pc));
+}
+
+void
+HeServer::drainPending()
+{
+    for (;;) {
+        PendingChunk pc;
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            std::deque<PendingChunk> *oldest = nullptr;
+            for (std::deque<PendingChunk> &dq : pending_) {
+                if (dq.empty())
+                    continue;
+                if (!oldest ||
+                    dq.front().ordinal < oldest->front().ordinal)
+                    oldest = &dq;
+            }
+            if (!oldest)
+                return;
+            pc = std::move(oldest->front());
+            oldest->pop_front();
+        }
+        executeChunk(std::move(pc));
+    }
+}
+
+bool
+HeServer::stealOne()
+{
+    PendingChunk pc;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        // Victim: the most-loaded device that still has unstarted
+        // chunks parked — relieving it is the biggest makespan win.
+        size_t victim = pending_.size();
+        uint64_t worst = 0;
+        for (size_t d = 0; d < pending_.size(); ++d) {
+            if (pending_[d].empty())
+                continue;
+            const uint64_t l = scheduler_->load(d);
+            if (victim == pending_.size() || l > worst) {
+                victim = d;
+                worst = l;
+            }
+        }
+        if (victim == pending_.size())
+            return false;
+        pc = std::move(pending_[victim].front());
+        pending_[victim].pop_front();
+    }
+    const std::string &cls = tenant(pc.chunk[0].tenant)->kernelClass();
+    if (scheduler_->rehome(pc.placement, pc.chunk[0].op, cls,
+                           pc.chunk.size()))
+        ++stolen_chunks_;
+    executeChunk(std::move(pc));
+    return true;
+}
+
+void
+HeServer::executeChunk(PendingChunk pc)
+{
+    std::vector<ServeRequest> &chunk = pc.chunk;
+    const uint64_t dispatchIndex = pc.dispatchIndex;
+    const auto popped = pc.popped;
     const size_t k = chunk.size();
     ++chunks_;
     if (k > 1) {
@@ -368,11 +499,12 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
     // Place the chunk before touching the device: the scheduler books
     // its estimated cost onto the chosen device's load ledger, and
     // the booking is corrected to the measured window on completion.
+    // Batch-placed (lookahead/steal) chunks arrive already booked.
     // On a 1-device topology this is always device 0 with a uniform
     // plan — the PR 8 path, bit-identical launches and all.
-    MakespanScheduler::Placement placement;
+    MakespanScheduler::Placement placement = std::move(pc.placement);
     const std::string &cls = sessions[0]->kernelClass();
-    if (scheduler_)
+    if (scheduler_ && !pc.placed)
         placement = scheduler_->place(chunk[0].op, cls, k);
 
     const RpuTopology::Snapshot before =
@@ -398,13 +530,20 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
     } catch (...) {
         const std::exception_ptr err = std::current_exception();
         if (scheduler_) {
-            // Release the booking and in-flight slot; whatever device
-            // work the failed attempt did pay is the measured cost.
-            const DeviceStats partial =
-                RpuTopology::aggregate(topology_->since(before));
-            scheduler_->complete(placement, chunk[0].op, cls, k,
-                                 partial.busyCycleTotal(),
-                                 partial.stagingCycleTotal());
+            // Release the bookings and in-flight slot; whatever device
+            // work the failed attempt did pay is the measured cost,
+            // but a partial window must not feed the EWMA estimate
+            // (failed = true), or one failure would poison every
+            // later placement of the class.
+            const RpuTopology::Snapshot window =
+                topology_->since(before);
+            std::vector<uint64_t> busy(window.size(), 0);
+            for (size_t d = 0; d < window.size(); ++d)
+                busy[d] = window[d].busyCycleTotal();
+            scheduler_->complete(
+                placement, chunk[0].op, cls, k, busy,
+                RpuTopology::aggregate(window).stagingCycleTotal(),
+                /*failed=*/true);
         }
         for (size_t i = 0; i < k; ++i) {
             sessions[i]->noteFailed();
@@ -413,13 +552,18 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
         }
         return;
     }
-    const DeviceStats delta =
-        topology_ ? RpuTopology::aggregate(topology_->since(before))
-                  : DeviceStats{};
+    const RpuTopology::Snapshot window =
+        topology_ ? topology_->since(before) : RpuTopology::Snapshot{};
+    const DeviceStats delta = RpuTopology::aggregate(window);
     if (scheduler_) {
-        scheduler_->complete(placement, chunk[0].op, cls, k,
-                             delta.busyCycleTotal(),
-                             delta.stagingCycleTotal());
+        // Credit each device the cycles it actually spent — under the
+        // split policy a chunk's stages land on several devices, and
+        // crediting the placement device alone would skew the ledger.
+        std::vector<uint64_t> busy(window.size(), 0);
+        for (size_t d = 0; d < window.size(); ++d)
+            busy[d] = window[d].busyCycleTotal();
+        scheduler_->complete(placement, chunk[0].op, cls, k, busy,
+                             delta.stagingCycleTotal(), /*failed=*/false);
     }
 
     const auto end = std::chrono::steady_clock::now();
@@ -434,7 +578,7 @@ HeServer::executeChunk(std::vector<ServeRequest> chunk,
 }
 
 void
-HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
+HeServer::coalescedMulPlain(MakespanScheduler::Placement &placement,
                             std::vector<ServeRequest> &chunk,
                             std::vector<Session *> &sessions,
                             std::vector<ServeResponse> &responses)
@@ -453,10 +597,6 @@ HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
     // stages are the device's own coalesced hooks, unchanged.
     const size_t k = chunk.size();
     const uint64_t n = sessions[0]->config().params.n;
-    const auto stagePlan = [&](size_t towers) {
-        return scheduler_->stagePlan(placement,
-                                     RpuTopology::tileGroups(towers));
-    };
 
     // Host half, per request: encrypt and encode (Coeff — the
     // evaluation-domain entry is what gets coalesced).
@@ -476,12 +616,49 @@ HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
     for (size_t i = 0; i < k; ++i)
         entry_towers += moduli[i].size();
 
+    // Per-stage device plans, fixed before the first launch. Under
+    // the split policy the scheduler assigns all three stages' tile
+    // groups jointly to the least-loaded devices (re-shaping the
+    // chunk's booking to match); otherwise each stage round-robins
+    // its groups from the placement device via the legacy stagePlan.
+    // Loads can't move between the three launches of one chunk in the
+    // deterministic single-dispatcher configuration, so planning up
+    // front is behaviour-identical to planning per stage.
+    std::vector<std::vector<size_t>> plans;
+    if (scheduler_->policy().split) {
+        plans = scheduler_->splitPlans(
+            placement, chunk[0].op, sessions[0]->kernelClass(), k,
+            {RpuTopology::groupWeights(
+                 entry_towers, MakespanScheduler::kForwardTowerWeight),
+             RpuTopology::groupWeights(
+                 2 * entry_towers,
+                 MakespanScheduler::kPointwiseTowerWeight),
+             RpuTopology::groupWeights(
+                 2 * k, MakespanScheduler::kInverseTowerWeight)});
+    } else {
+        plans = {
+            scheduler_->stagePlan(placement,
+                                  RpuTopology::tileGroups(entry_towers)),
+            scheduler_->stagePlan(
+                placement, RpuTopology::tileGroups(2 * entry_towers)),
+            scheduler_->stagePlan(placement,
+                                  RpuTopology::tileGroups(2 * k))};
+    }
+    if (scheduler_->policy().split) {
+        bool spread = false;
+        for (const auto &plan : plans)
+            for (size_t d : plan)
+                spread = spread || d != placement.device;
+        if (spread)
+            ++split_chunks_;
+    }
+
     // Launch 1: every tenant's plaintext enters Eval together.
     std::vector<std::vector<std::vector<u128>>> pt_in(k);
     for (size_t i = 0; i < k; ++i)
         pt_in[i] = std::move(pts[i].rp.towers);
     auto pt_eval = topology_->transformSharded(
-        stagePlan(entry_towers), n, moduli, std::move(pt_in), false);
+        plans[0], n, moduli, std::move(pt_in), false);
 
     // Launch 2: both components of every ciphertext against its
     // plaintext — 2k items. The ciphertexts are read in place just
@@ -501,8 +678,7 @@ HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
             2 * moduli[i].size());
     }
     auto prods = topology_->pointwiseSharded(
-        stagePlan(2 * entry_towers), n, pw_moduli, std::move(lhs),
-        std::move(rhs));
+        plans[1], n, pw_moduli, std::move(lhs), std::move(rhs));
 
     std::vector<CkksCiphertext> prod(k);
     for (size_t i = 0; i < k; ++i) {
@@ -524,7 +700,7 @@ HeServer::coalescedMulPlain(const MakespanScheduler::Placement &placement,
         inv_in[2 * i + 1] = {prod[i].c1.towers.back()};
     }
     auto dropped = topology_->transformSharded(
-        stagePlan(2 * k), n, inv_moduli, std::move(inv_in), true);
+        plans[2], n, inv_moduli, std::move(inv_in), true);
 
     // Host half, per request: finish the rescale and decrypt.
     for (size_t i = 0; i < k; ++i) {

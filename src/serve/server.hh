@@ -16,14 +16,19 @@
  *    (op, kernel class) and cut each group into chunks of
  *    power-of-two sizes up to maxCoalesce. Every chunk is then
  *    *placed*: a MakespanScheduler routes it to the device of the
- *    RpuTopology minimising the projected contention-aware makespan,
- *    and a chunk whose tiled stages split into several launch groups
- *    is further sharded — its groups spread across the least-loaded
- *    devices (stagePlan), which is also how one single large
- *    request's independent tower-chain work shards. A 1-device
- *    topology degenerates to the PR 8 single-device path exactly
- *    (always device 0, uniform plans, identical launches and
- *    ledger). A chunk of compatible
+ *    RpuTopology minimising the projected contention-aware makespan.
+ *    The ServeConfig's SchedulerPolicy stacks three refinements on
+ *    that greedy baseline (see scheduler.hh): lookahead books the
+ *    whole popped batch's chunks jointly longest-first; split spreads
+ *    one chunk's coalesced stage groups across idle devices via
+ *    per-stage plans; steal parks placed chunks on per-device pending
+ *    lists so an idle dispatcher can re-claim work from the
+ *    most-loaded device (bookings moved atomically). Without split, a
+ *    chunk whose tiled stages cut into several launch groups still
+ *    round-robins them across the least-loaded devices (stagePlan).
+ *    A 1-device topology degenerates to the PR 8 single-device path
+ *    exactly under every policy (always device 0, uniform plans,
+ *    identical launches and ledger). A chunk of compatible
  *    MulPlainRescale requests — typically from *different tenants*,
  *    since each tenant's lane is capped per batch — executes as
  *    three coalesced device dispatches (plaintext Eval entry,
@@ -56,6 +61,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -84,6 +90,11 @@ struct ServeConfig
     unsigned dispatchers = 1;   ///< dispatcher threads
     bool coalesce = true;       ///< cross-tenant launch coalescing
 
+    /** Which placement policies stack on the greedy baseline (all on
+     *  by default; SchedulerPolicy::greedy() is the PR 9 behaviour).
+     *  Irrelevant to host-only servers. See scheduler.hh. */
+    SchedulerPolicy policy;
+
     /** Don't start dispatchers in the constructor; the first start()
      *  (or shutdown(), which drains) does. Lets tests and ledger
      *  harnesses queue a known request set before any dispatch, so
@@ -103,6 +114,8 @@ struct ServerStats
     uint64_t chunks = 0;            ///< device chunks executed
     uint64_t coalescedChunks = 0;   ///< chunks with > 1 request
     uint64_t coalescedRequests = 0; ///< requests inside those
+    uint64_t splitChunks = 0;       ///< chunks whose stages spread devices
+    uint64_t stolenChunks = 0;      ///< chunks re-claimed by idle dispatchers
 };
 
 /** What submit() hands back. */
@@ -187,16 +200,41 @@ class HeServer
     ServerStats stats() const;
 
   private:
+    /** One cut chunk on its way to a device: what the dispatcher
+     *  executes directly, or — under the steal policy — what sits on
+     *  a device's pending list until its placement device's
+     *  dispatcher (or an idle thief) claims it. */
+    struct PendingChunk
+    {
+        std::vector<ServeRequest> chunk;
+        MakespanScheduler::Placement placement;
+        bool placed = false; ///< placement pre-booked by the batch placer
+        uint64_t dispatchIndex = 0;
+        std::chrono::steady_clock::time_point popped;
+        uint64_t ordinal = 0; ///< global FIFO order across devices
+    };
+
     void dispatchLoop();
 
+    /** Group, cut, place, and execute (or enqueue) one popped batch. */
+    void dispatchBatch(std::vector<ServeRequest> batch);
+
+    /** Execute queued pending chunks in global FIFO order until the
+     *  pending lists are empty. */
+    void drainPending();
+
+    /** Steal policy: claim the oldest booked-but-unstarted chunk from
+     *  the most-loaded device's pending list, re-place it on the best
+     *  device, and execute it. Returns false when nothing is pending. */
+    bool stealOne();
+
     /** Execute one same-(op, class) chunk and fulfil its promises. */
-    void executeChunk(std::vector<ServeRequest> chunk,
-                      uint64_t dispatchIndex,
-                      std::chrono::steady_clock::time_point popped);
+    void executeChunk(PendingChunk pc);
 
     /** The three-launch coalesced MulPlainRescale pipeline, each
-     *  stage sharded across the topology per @p placement. */
-    void coalescedMulPlain(const MakespanScheduler::Placement &placement,
+     *  stage sharded across the topology per @p placement (whose
+     *  bookings splitPlans may re-shape under the split policy). */
+    void coalescedMulPlain(MakespanScheduler::Placement &placement,
                            std::vector<ServeRequest> &chunk,
                            std::vector<Session *> &sessions,
                            std::vector<ServeResponse> &responses);
@@ -232,6 +270,16 @@ class HeServer
     std::atomic<uint64_t> chunks_{0};
     std::atomic<uint64_t> coalesced_chunks_{0};
     std::atomic<uint64_t> coalesced_requests_{0};
+    std::atomic<uint64_t> split_chunks_{0};
+    std::atomic<uint64_t> stolen_chunks_{0};
+
+    /** Steal-policy state: per-device lists of placed-but-unstarted
+     *  chunks, claimed under pending_mutex_ (by the placing
+     *  dispatcher in ordinal order, or by an idle thief from the
+     *  most-loaded device). Untouched when the steal policy is off. */
+    std::mutex pending_mutex_;
+    std::vector<std::deque<PendingChunk>> pending_;
+    uint64_t next_ordinal_ = 0;
 
     std::mutex shutdown_mutex_; ///< guards started_/shut_down_/threads
     bool started_ = false;

@@ -366,6 +366,164 @@ TEST(MakespanScheduler, PausedDeviceIsNeverSelected)
     EXPECT_EQ(sched.place(op, "c", 4).device, 0u);
 }
 
+TEST(MakespanScheduler, EwmaSeedsExactlyAndConvergesAfterWrongFirstSample)
+{
+    auto topo = std::make_shared<RpuTopology>(2);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+
+    // Cold start: no estimate yet books only the nominal cycle (so a
+    // batch still spreads), and the first completion seeds the
+    // estimate exactly rather than EWMA-blending it with zero.
+    const auto p0 = sched.place(op, "c", 8);
+    EXPECT_EQ(p0.booked, 1u);
+    sched.complete(p0, op, "c", 8, 80000, 800); // 10x the true cost
+    EXPECT_EQ(sched.place(op, "c", 8).booked, 80000u);
+
+    // Feed the true cost (1000/request); the deliberately wrong first
+    // sample must wash out of the booking within a few dozen chunks.
+    for (int i = 0; i < 21; ++i) {
+        const auto p = sched.place(op, "c", 8);
+        sched.complete(p, op, "c", 8, 8000, 800);
+    }
+    const auto converged = sched.place(op, "c", 8);
+    EXPECT_GE(converged.booked, 8000u);
+    EXPECT_LE(converged.booked, 8800u); // within 10% of the true cost
+}
+
+TEST(MakespanScheduler, FailedChunkReleasesBookingButSkipsEwma)
+{
+    auto topo = std::make_shared<RpuTopology>(2);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+
+    const auto p0 = sched.place(op, "c", 8);
+    sched.complete(p0, op, "c", 8, 8000, 800);
+    const uint64_t seeded = sched.place(op, "c", 8).booked;
+    EXPECT_EQ(seeded, 8000u);
+
+    // A chunk that dies partway measures a nonsense window. The
+    // booking must still be released (the load ledger reflects the
+    // cycles the attempt paid), but the estimate must not move — a
+    // partial window is not a cost sample.
+    const auto p1 = sched.place(op, "c", 8);
+    std::vector<uint64_t> busy(2, 0);
+    busy[p1.device] = 999999;
+    sched.complete(p1, op, "c", 8, busy, 0, /*failed=*/true);
+    EXPECT_GE(sched.load(p1.device), 999999u);
+    EXPECT_EQ(sched.place(op, "c", 8).booked, seeded);
+}
+
+TEST(MakespanScheduler, PlaceBatchBooksLongestChunksFirst)
+{
+    // Two classes with 10x different learned costs, two devices with
+    // unequal loads. Lookahead must book the expensive chunk onto the
+    // emptier device before the cheap one can squat there; greedy in
+    // pop order stacks both on it.
+    const auto op = RequestOp::MulPlainRescale;
+    const auto seed = [&](MakespanScheduler &sched) {
+        const auto pb = sched.place(op, "big", 1);
+        sched.complete(pb, op, "big", 1, 1000, 0); // device 0: load 1000
+        const auto ps = sched.place(op, "small", 1);
+        sched.complete(ps, op, "small", 1, 100, 0); // device 1: load 100
+    };
+    const std::vector<MakespanScheduler::ChunkDesc> batch = {
+        {op, "small", 1}, {op, "big", 1}};
+
+    auto topo = std::make_shared<RpuTopology>(2);
+    MakespanScheduler lpt(topo, serve::SchedulerPolicy::all());
+    seed(lpt);
+    const auto spread = lpt.placeBatch(batch);
+    EXPECT_EQ(spread[1].device, 1u); // big books first, takes the idle
+    EXPECT_EQ(spread[0].device, 0u); // small lands beside the old load
+
+    MakespanScheduler greedy(topo, serve::SchedulerPolicy::greedy());
+    seed(greedy);
+    const auto stacked = greedy.placeBatch(batch);
+    EXPECT_EQ(stacked[0].device, 1u); // pop order: small takes the idle
+    EXPECT_EQ(stacked[1].device, 1u); // ...and big piles on behind it
+}
+
+TEST(MakespanScheduler, SplitPlansConserveBookingsAndSkipPaused)
+{
+    auto topo = std::make_shared<RpuTopology>(4);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+    sched.pause(3);
+
+    const auto p0 = sched.place(op, "c", 8);
+    sched.complete(p0, op, "c", 8, 8000, 800); // seed the estimate
+    auto p = sched.place(op, "c", 8);
+    EXPECT_EQ(p.booked, 8000u);
+
+    // The coalesced chunk's three stages as the server weighs them:
+    // 24 entry towers, 48 pointwise towers, 16 dropped towers.
+    const auto plans = sched.splitPlans(
+        p, op, "c", 8,
+        {RpuTopology::groupWeights(
+             24, MakespanScheduler::kForwardTowerWeight),
+         RpuTopology::groupWeights(
+             48, MakespanScheduler::kPointwiseTowerWeight),
+         RpuTopology::groupWeights(
+             16, MakespanScheduler::kInverseTowerWeight)});
+    ASSERT_EQ(plans.size(), 3u);
+    EXPECT_EQ(plans[0].size(), 2u);
+    EXPECT_EQ(plans[1].size(), 3u);
+    EXPECT_EQ(plans[2].size(), 1u);
+
+    // The whole-chunk booking became per-group bookings summing back
+    // to the chunk's estimated cost (up to per-group rounding), and
+    // the paused device took none of them.
+    EXPECT_EQ(p.booked, 0u);
+    ASSERT_EQ(p.stageBooked.size(), 4u);
+    uint64_t rebooked = 0;
+    for (uint64_t b : p.stageBooked)
+        rebooked += b;
+    EXPECT_GE(rebooked, 8000u - 6);
+    EXPECT_LE(rebooked, 8000u + 6);
+    EXPECT_EQ(p.stageBooked[3], 0u);
+    size_t distinct = 0;
+    for (uint64_t b : p.stageBooked)
+        distinct += b > 0 ? 1 : 0;
+    EXPECT_GE(distinct, 2u);
+    for (const auto &plan : plans)
+        for (size_t d : plan)
+            EXPECT_NE(d, 3u);
+
+    // Completion releases every per-device booking and replaces it
+    // with the measured per-device cost.
+    sched.complete(p, op, "c", 8, std::vector<uint64_t>{100, 200, 300, 0},
+                   60, false);
+    EXPECT_EQ(sched.load(0) + sched.load(1) + sched.load(2) +
+                  sched.load(3),
+              8000u + 600u);
+}
+
+TEST(MakespanScheduler, RehomeMovesBookingAtomicallyAndAvoidsPaused)
+{
+    auto topo = std::make_shared<RpuTopology>(3);
+    MakespanScheduler sched(topo);
+    const auto op = RequestOp::MulPlainRescale;
+
+    const auto p0 = sched.place(op, "c", 8);
+    sched.complete(p0, op, "c", 8, 8000, 800); // device 0: load 8000
+    auto p = sched.place(op, "c", 8);
+    EXPECT_EQ(p.device, 1u);
+    EXPECT_EQ(sched.load(1), 8000u);
+
+    // The chunk's home drains for maintenance while it waits. Stealing
+    // it must move the booking in one step — total load conserved —
+    // and never onto a paused device.
+    sched.pause(0);
+    sched.pause(1);
+    EXPECT_TRUE(sched.rehome(p, op, "c", 8));
+    EXPECT_EQ(p.device, 2u);
+    EXPECT_EQ(sched.load(1), 0u);
+    EXPECT_EQ(sched.load(2), 8000u);
+    EXPECT_EQ(sched.load(0), 8000u); // untouched bystander
+    sched.complete(p, op, "c", 8, 8000, 800);
+}
+
 // ----------------------------------------------------------------------
 // Device-set serving
 // ----------------------------------------------------------------------
@@ -496,6 +654,91 @@ TEST(HeServerTopology, PausedDeviceExecutesNothing)
     EXPECT_GT(window[0].launches, 0u);
     EXPECT_EQ(window[1].launches, 0u);
     EXPECT_EQ(window[1].cycleTotal(), 0u);
+}
+
+TEST(HeServerTopology, SplitChunkIsBitIdenticalToUnsplitAndSpreads)
+{
+    // One coalesced chunk (2 tenants x 4 requests, all compatible)
+    // through a 4-device topology, with and without the split policy.
+    // Splitting changes only *where* stage groups execute — the
+    // responses must match the unsplit server and the serial
+    // reference bit for bit, while the split ledger shows the chunk's
+    // stages actually spread.
+    std::vector<std::vector<Cplx>> values[2];
+    for (int pass = 0; pass < 2; ++pass) {
+        auto topo = std::make_shared<RpuTopology>(4);
+        ServeConfig cfg = topoServeConfig();
+        cfg.policy = pass == 0 ? serve::SchedulerPolicy::all()
+                               : serve::SchedulerPolicy{true, false, false};
+        HeServer server(cfg, topo);
+        for (uint64_t id = 1; id <= 2; ++id)
+            server.addTenant({id, topoParams(), 30});
+
+        std::vector<Issued> issued;
+        for (uint64_t t = 1; t <= 2; ++t) {
+            for (uint64_t r = 0; r < 4; ++r) {
+                Issued p;
+                p.tenant = t;
+                p.seq = r;
+                p.a = slotValues(16, 100 * t + r);
+                p.b = slotValues(16, 900 * t + r);
+                auto sub = server.submit(t, p.op, p.a, p.b);
+                ASSERT_EQ(sub.status, SubmitStatus::Accepted);
+                p.response = std::move(sub.response);
+                issued.push_back(std::move(p));
+            }
+        }
+        const RpuTopology::Snapshot before = topo->snapshot();
+        server.shutdown();
+
+        for (auto &p : issued) {
+            const ServeResponse resp = p.response.get();
+            EXPECT_EQ(resp.values, server.tenant(p.tenant)->runSerial(
+                                       p.op, p.a, p.b, p.seq));
+            values[pass].push_back(resp.values);
+        }
+        const auto stats = server.stats();
+        EXPECT_EQ(stats.failed, 0u);
+        if (pass == 0) {
+            EXPECT_GE(stats.splitChunks, 1u);
+            const RpuTopology::Snapshot window = topo->since(before);
+            size_t active = 0;
+            for (const auto &d : window)
+                active += d.launches > 0 ? 1 : 0;
+            EXPECT_GE(active, 2u);
+        } else {
+            EXPECT_EQ(stats.splitChunks, 0u);
+        }
+    }
+    EXPECT_EQ(values[0], values[1]);
+}
+
+TEST(HeServerTopology, TwoDispatchersWithStealingDrainCorrectly)
+{
+    // Two dispatcher threads over a 4-device topology with every
+    // policy on: placed chunks sit on per-device pending lists and an
+    // idle dispatcher may re-claim them, so chunk execution order and
+    // steal counts are racy — but every accepted request must still
+    // complete bit-identically to the serial reference.
+    auto topo = std::make_shared<RpuTopology>(4);
+    ServeConfig cfg = topoServeConfig();
+    cfg.dispatchers = 2;
+    HeServer server(cfg, topo);
+    for (uint64_t id = 1; id <= 4; ++id)
+        server.addTenant({id, topoParams(), 30});
+
+    auto issued = issueMixedSet(server, 6);
+    server.shutdown();
+
+    for (auto &p : issued) {
+        const ServeResponse resp = p.response.get();
+        EXPECT_EQ(resp.values, server.tenant(p.tenant)->runSerial(
+                                   p.op, p.a, p.b, p.seq));
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.accepted, issued.size());
+    EXPECT_EQ(stats.completed, issued.size());
 }
 
 } // namespace
